@@ -1,0 +1,27 @@
+"""Extension of Figure 16: a realisable meta-predictor vs the oracle.
+
+The paper only evaluates *perfect* meta-predictors and argues
+"implementing a perfect meta-predictor is impossible.  Therefore, the
+DFCM can outperform any hybrid predictor of the discussed type."
+Checked here with an actual saturating-counter meta-predictor:
+- the realisable hybrid loses part of the oracle's edge;
+- the DFCM beats the realisable STRIDE+FCM hybrid (the paper's
+  conclusion), even where the oracle hybrid is competitive.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_ablation_meta(benchmark, traces):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("ablation_meta", traces=traces, fast=True))
+    table = result.table("accuracy by selection mechanism")
+    for row in table.rows:
+        point = dict(zip(table.headers, row))
+        assert point["meta(stride+fcm)"] < point["oracle(stride+fcm)"]
+        assert point["dfcm"] > point["meta(stride+fcm)"]
+        assert point["meta(stride+fcm)"] > point["fcm"]
+    print()
+    print(result.render())

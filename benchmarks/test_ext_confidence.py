@@ -1,0 +1,44 @@
+"""Extension: the confidence estimator the paper suggests (section 4.2).
+
+"These results suggest that the design of a confidence estimator for a
+(D)FCM predictor should include tagging the level-2 table with some
+information to track hash-aliasing [...] Some bits of a second hashing
+function, orthogonal to the main one, seems to be a good choice for
+the tag."  -- evaluated here, which the paper explicitly did not do.
+
+Checked:
+- every scheme's confident subset is more accurate than the overall
+  prediction stream;
+- the orthogonal-hash tag reaches far higher coverage than the
+  saturating counter (it only rejects provenance mismatches);
+- the counter reaches higher accuracy-when-confident (it demands a
+  track record, not just a matching context);
+- combining both is the strictest and most accurate gate.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_ext_confidence(benchmark, traces):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("ext_confidence", traces=traces, fast=True))
+    table = result.table("coverage")
+    rows = {row[0]: dict(zip(table.headers, row)) for row in table.rows}
+
+    for scheme in rows.values():
+        assert scheme["accuracy_when_confident"] > scheme["overall"]
+
+    counter = rows["counter(3b,thr=7)"]
+    tag4 = rows["tag(4b)"]
+    combined = rows["counter+tag(4b)"]
+    assert tag4["coverage"] > counter["coverage"]
+    assert counter["accuracy_when_confident"] > tag4["accuracy_when_confident"]
+    assert combined["coverage"] <= min(tag4["coverage"], counter["coverage"])
+    assert combined["accuracy_when_confident"] >= max(
+        tag4["accuracy_when_confident"],
+        counter["accuracy_when_confident"]) - 0.01
+
+    print()
+    print(result.render())

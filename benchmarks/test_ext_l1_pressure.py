@@ -1,0 +1,37 @@
+"""Extension: level-1 sensitivity with a SPEC-sized static working set.
+
+The MinC mini-kernels have a few hundred static instructions, which
+collapses the paper's Figure-3 level-1 family (its curves separate up
+to 2^14 entries).  A synthetic trace with thousands of static
+instructions restores the shape, checked here:
+
+- accuracy climbs monotonically with the level-1 size for both
+  predictors while the static working set doesn't fit;
+- it saturates once the table reaches the working-set size (the
+  paper: "the prediction accuracy starts to saturate for a first
+  level table with 2^14 entries");
+- the DFCM stays ahead of the FCM at every level-1 size.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_ext_l1_pressure(benchmark, traces):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("ext_l1_pressure", traces=[], fast=True))
+    table = result.table("accuracy vs level-1 size")
+    l1 = table.column("log2_l1")
+    fcm = table.column("fcm")
+    dfcm = table.column("dfcm")
+    assert l1 == sorted(l1)
+    assert all(a <= b + 1e-9 for a, b in zip(fcm, fcm[1:]))
+    assert all(a <= b + 1e-9 for a, b in zip(dfcm, dfcm[1:]))
+    # A starved level-1 table is crippling; growth is substantial.
+    assert fcm[-1] > fcm[0] * 1.5
+    assert dfcm[-1] > dfcm[0] * 1.5
+    # The DFCM advantage holds across the whole family.
+    assert all(d > f for f, d in zip(fcm, dfcm))
+    print()
+    print(result.render())

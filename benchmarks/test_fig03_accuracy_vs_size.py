@@ -1,0 +1,40 @@
+"""Regenerates Figure 3: LVP / stride / FCM accuracy vs predictor size.
+
+Paper claims checked:
+- FCM is the most accurate method once its tables are large;
+- the stride predictor beats the last value predictor;
+- growing the FCM level-2 table keeps helping.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_fig3(benchmark, traces):
+    result = run_once(
+        benchmark, lambda: run_experiment("fig3", traces=traces, fast=True))
+
+    simple = result.table("LVP and stride")
+    lvp_best = max(acc for kind, acc in zip(simple.column("predictor"),
+                                            simple.column("accuracy"))
+                   if kind == "lvp")
+    stride_best = max(acc for kind, acc in zip(simple.column("predictor"),
+                                               simple.column("accuracy"))
+                      if kind == "stride")
+    assert stride_best > lvp_best
+
+    fcm = result.table("FCM grid")
+    fcm_best = max(fcm.column("accuracy"))
+    assert fcm_best > stride_best  # FCM wins at large sizes
+
+    # Within the largest level-1 curve, accuracy grows with level-2.
+    largest_l1 = max(fcm.column("l1_entries"))
+    curve = [(l2, acc) for l1, l2, acc in zip(fcm.column("l1_entries"),
+                                              fcm.column("l2_entries"),
+                                              fcm.column("accuracy"))
+             if l1 == largest_l1]
+    curve.sort()
+    assert curve[-1][1] > curve[0][1]
+
+    print()
+    print(result.render())

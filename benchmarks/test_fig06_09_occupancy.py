@@ -1,0 +1,32 @@
+"""Regenerates Figures 6 and 9: stride occupancy of the level-2 table.
+
+Paper claims checked (on norm and li, as in the paper):
+- the FCM spreads stride accesses over a large fraction of the level-2
+  table, the DFCM over a small number of hot entries;
+- the DFCM's top entries absorb almost all stride accesses.
+"""
+
+from benchmarks.conftest import bench_trace_length, run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_fig6_and_fig9(benchmark, traces):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("fig6_9", traces=traces, fast=True))
+    # norm is a handful of strides (huge concentration factor); li has
+    # "many different strides" (paper), so its factor is smaller.
+    min_factor = {"norm": 5.0, "li": 1.5}
+    for bench in ("norm", "li"):
+        table = result.table(f"occupancy summary for {bench}")
+        fcm_row, dfcm_row = table.rows
+        headers = table.headers
+        fcm = dict(zip(headers, fcm_row))
+        dfcm = dict(zip(headers, dfcm_row))
+        # Same stride-access stream, radically different concentration.
+        assert fcm["stride_accesses"] == dfcm["stride_accesses"]
+        assert dfcm["entries_used"] * min_factor[bench] < fcm["entries_used"]
+        assert dfcm["top16_share"] > 0.85
+        assert dfcm["top16_share"] > fcm["top16_share"]
+    print()
+    print(result.render())

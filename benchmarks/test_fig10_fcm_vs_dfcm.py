@@ -1,0 +1,33 @@
+"""Regenerates Figure 10: FCM vs DFCM accuracy.
+
+Paper claims checked:
+- DFCM beats FCM at every level-2 size;
+- the relative gain is larger for smaller (more aliased) tables than
+  for very large ones (paper: up to +33% small, +8% huge);
+- at L2 = 2^12, every individual benchmark improves (paper Figure
+  10(b): +8% .. +46%).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_fig10(benchmark, traces):
+    result = run_once(
+        benchmark, lambda: run_experiment("fig10", traces=traces, fast=True))
+
+    sweep = result.table("accuracy vs level-2 size")
+    for fcm_acc, dfcm_acc in zip(sweep.column("fcm"), sweep.column("dfcm")):
+        assert dfcm_acc > fcm_acc
+    gains = sweep.column("relative_gain")
+    assert gains[0] > gains[-1]      # smaller table, bigger relative win
+    assert gains[0] > 0.10           # a sizeable improvement when aliased
+
+    per_bench = result.table("per-benchmark")
+    for name, fcm_acc, dfcm_acc in zip(per_bench.column("benchmark"),
+                                       per_bench.column("fcm"),
+                                       per_bench.column("dfcm")):
+        assert dfcm_acc > fcm_acc, f"{name}: DFCM did not improve"
+
+    print()
+    print(result.render())

@@ -1,0 +1,53 @@
+"""Regenerates Figures 12-14: the aliasing taxonomy.
+
+Paper claims checked:
+- predictions with no detected aliasing, and those sharing entries
+  between identical patterns (l2_pc), are highly accurate, while l1 and
+  hash aliasing are destructive (Figure 12);
+- DFCM shifts predictions from the quasi-random ``hash`` category into
+  the benign ``l2_pc`` category (Figure 13, FCM vs DFCM);
+- ``hash`` aliasing remains the dominant source of mispredictions, and
+  the DFCM's total misprediction mass shrinks (Figure 14).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def _avg_row(table):
+    headers = table.headers
+    for row in table.rows:
+        if row[0] == "avg":
+            return dict(zip(headers, row))
+    raise AssertionError("no avg row")
+
+
+def test_fig12_13_14(benchmark, traces):
+    result = run_once(
+        benchmark,
+        lambda: run_experiment("fig12_14", traces=traces, fast=True))
+
+    fig12 = result.table("Figure 12")
+    accuracy = {cat: acc for cat, _, acc in fig12.rows}
+    assert accuracy["none"] > 0.75
+    assert accuracy["l2_pc"] > 0.75
+    assert accuracy["hash"] < accuracy["none"]
+    assert accuracy["l1"] < accuracy["none"]
+
+    fcm_mix = _avg_row(result.table("Figure 13 (fcm)"))
+    dfcm_mix = _avg_row(result.table("Figure 13 (dfcm)"))
+    assert dfcm_mix["l2_pc"] > fcm_mix["l2_pc"]
+    assert dfcm_mix["hash"] < fcm_mix["hash"]
+
+    fcm_wrong = _avg_row(result.table("Figure 14 (fcm)"))
+    dfcm_wrong = _avg_row(result.table("Figure 14 (dfcm)"))
+    categories = ("l1", "hash", "l2_priv", "l2_pc", "none")
+    fcm_total = sum(fcm_wrong[c] for c in categories)
+    dfcm_total = sum(dfcm_wrong[c] for c in categories)
+    assert dfcm_total < fcm_total          # fewer mispredictions overall
+    assert dfcm_wrong["hash"] < fcm_wrong["hash"]
+    # hash is the dominant misprediction source for the FCM.
+    assert fcm_wrong["hash"] == max(fcm_wrong[c] for c in categories)
+
+    print()
+    print(result.render())

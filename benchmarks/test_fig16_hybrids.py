@@ -1,0 +1,28 @@
+"""Regenerates Figure 16: DFCM vs perfect hybrid predictors.
+
+Paper claims checked:
+- the difference between DFCM and a perfect STRIDE+FCM hybrid is small
+  (the paper has DFCM marginally ahead; on these -O0-style traces the
+  hybrid can be marginally ahead instead -- see EXPERIMENTS.md);
+- a perfect STRIDE+DFCM hybrid adds only a few hundredths over plain
+  DFCM: the DFCM already captures practically all stride patterns;
+- both hybrids dominate the plain FCM.
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_fig16(benchmark, traces):
+    result = run_once(
+        benchmark, lambda: run_experiment("fig16", traces=traces, fast=True))
+    table = result.table("accuracy vs level-2 size")
+    for row in table.rows:
+        point = dict(zip(table.headers, row))
+        assert abs(point["dfcm"] - point["stride+fcm"]) < 0.05
+        gain = point["stride+dfcm"] - point["dfcm"]
+        assert 0.0 <= gain <= 0.06
+        assert point["stride+fcm"] > point["fcm"]
+        assert point["stride+dfcm"] > point["fcm"]
+    print()
+    print(result.render())

@@ -1,0 +1,28 @@
+"""Regenerates Figure 17: prediction accuracy under delayed update.
+
+Paper claims checked:
+- both FCM and DFCM degrade monotonically as the update delay grows;
+- the degradation is significant (not a few percent);
+- DFCM keeps its advantage at delay 0 and suffers at least as much as
+  the FCM (the paper: "DFCM slightly more").
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_fig17(benchmark, traces):
+    result = run_once(
+        benchmark, lambda: run_experiment("fig17", traces=traces, fast=True))
+    table = result.table("accuracy vs update delay")
+    delays = table.column("delay")
+    fcm = table.column("fcm")
+    dfcm = table.column("dfcm")
+    assert delays == sorted(delays)
+    assert all(a >= b for a, b in zip(fcm, fcm[1:]))
+    assert all(a >= b for a, b in zip(dfcm, dfcm[1:]))
+    assert fcm[0] - fcm[-1] > 0.05          # significant impact
+    assert dfcm[0] > fcm[0]                 # DFCM advantage at delay 0
+    assert dfcm[0] - dfcm[-1] >= fcm[0] - fcm[-1]  # DFCM suffers >= FCM
+    print()
+    print(result.render())

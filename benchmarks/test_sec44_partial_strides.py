@@ -1,0 +1,39 @@
+"""Regenerates Section 4.4: partial (8/16-bit) strides in level 2.
+
+Paper claims checked:
+- 16-bit strides cost little accuracy (paper: .01-.03), 8-bit strides
+  cost more (paper: .05-.08), and the narrower the entries the smaller
+  the table;
+- for small level-2 tables the saving is marginal because the level-1
+  table dominates total storage (the paper's argument against the
+  technique).
+"""
+
+from benchmarks.conftest import run_once
+from repro.harness.experiments import run_experiment
+
+
+def test_sec4_4(benchmark, traces):
+    result = run_once(
+        benchmark, lambda: run_experiment("sec4_4", traces=traces, fast=True))
+    table = result.table("accuracy and size")
+    by_width = {}
+    for row in table.rows:
+        point = dict(zip(table.headers, row))
+        by_width[point["stride_bits"]] = point
+
+    assert by_width[32]["accuracy_drop_vs_32"] == 0.0
+    drop16 = by_width[16]["accuracy_drop_vs_32"]
+    drop8 = by_width[8]["accuracy_drop_vs_32"]
+    assert 0.0 <= drop16 <= 0.06
+    assert drop16 < drop8 <= 0.12
+
+    assert (by_width[8]["size_kbit"] < by_width[16]["size_kbit"]
+            < by_width[32]["size_kbit"])
+    # Level-1 dominance at this size: halving the stride width saves
+    # far less than half the predictor.
+    saving16 = 1 - by_width[16]["size_kbit"] / by_width[32]["size_kbit"]
+    assert saving16 < 0.25
+
+    print()
+    print(result.render())

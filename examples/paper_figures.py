@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's tables and figures.
+
+Runs experiments from the registry and prints their tables (plus ASCII
+renderings of the headline curves); optionally writes CSVs.
+
+Usage:
+    python examples/paper_figures.py                 # list experiments
+    python examples/paper_figures.py fig10           # one experiment
+    python examples/paper_figures.py all             # everything (slow)
+    python examples/paper_figures.py fig10 --fast    # reduced sweep
+    python examples/paper_figures.py fig10 --csv out/  # also write CSVs
+
+Trace length per benchmark comes from REPRO_TRACE_LEN (default 100k).
+"""
+
+import sys
+from pathlib import Path
+
+from repro.harness.ascii_plot import render_series
+from repro.harness.config import default_trace_length, suite_traces
+from repro.harness.experiments import experiment_ids, run_experiment
+from repro.harness.report import ExperimentResult
+
+
+def plot_headline(result: ExperimentResult) -> str:
+    """ASCII rendering for experiments with a natural headline curve."""
+    if result.experiment_id == "fig10":
+        table = result.table("accuracy vs level-2 size")
+        xs = [2 ** b for b in table.column("log2_l2")]
+        return render_series(
+            {"FCM": (xs, table.column("fcm")),
+             "DFCM": (xs, table.column("dfcm"))},
+            logx=True, title="Figure 10(a): accuracy vs level-2 entries")
+    if result.experiment_id == "fig11":
+        table = result.table("Pareto fronts")
+        series = {}
+        for kind in ("fcm", "dfcm"):
+            points = [(s, a) for p, s, a in zip(table.column("predictor"),
+                                                table.column("size_kbit"),
+                                                table.column("accuracy"))
+                      if p == kind]
+            series[kind.upper()] = ([s for s, _ in points],
+                                    [a for _, a in points])
+        return render_series(series, logx=True,
+                             title="Figure 11(b): Pareto fronts")
+    if result.experiment_id == "fig17":
+        table = result.table("accuracy vs update delay")
+        xs = [d + 1 for d in table.column("delay")]  # log-friendly
+        return render_series(
+            {"FCM": (xs, table.column("fcm")),
+             "DFCM": (xs, table.column("dfcm"))},
+            logx=True, title="Figure 17: accuracy vs update delay (+1)")
+    return ""
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    fast = "--fast" in argv
+    csv_dir = None
+    if "--csv" in argv:
+        index = argv.index("--csv")
+        try:
+            csv_dir = Path(argv[index + 1])
+        except IndexError:
+            print("--csv needs a directory argument", file=sys.stderr)
+            return 2
+        del argv[index:index + 2]
+    args = [a for a in argv if not a.startswith("--")]
+
+    if not args:
+        print("experiments:")
+        for experiment_id in experiment_ids():
+            print(f"  {experiment_id}")
+        print("\nusage: python examples/paper_figures.py "
+              "<id|all> [--fast] [--csv DIR]")
+        return 0
+
+    requested = experiment_ids() if args[0] == "all" else args
+    print(f"trace length per benchmark: {default_trace_length()} "
+          "(override with REPRO_TRACE_LEN)")
+    traces = suite_traces()
+
+    for experiment_id in requested:
+        result = run_experiment(experiment_id, traces=traces, fast=fast)
+        print()
+        print(result.render())
+        plot = plot_headline(result)
+        if plot:
+            print(plot)
+        if csv_dir:
+            csv_dir.mkdir(parents=True, exist_ok=True)
+            for table_index, table in enumerate(result.tables):
+                path = csv_dir / f"{experiment_id}_{table_index}.csv"
+                path.write_text(table.to_csv())
+                print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

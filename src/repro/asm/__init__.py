@@ -1,0 +1,9 @@
+"""Two-pass assembler for R32 assembly (the gas stand-in).
+
+Turns ``.text``/``.data`` source with labels, directives and
+pseudo-instructions into a loadable :class:`~repro.asm.assembler.Program`.
+"""
+
+from repro.asm.assembler import AssemblyError, Program, assemble
+
+__all__ = ["AssemblyError", "Program", "assemble"]

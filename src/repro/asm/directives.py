@@ -1,0 +1,86 @@
+"""Assembler directives: segment control and data emission.
+
+Supported: ``.text``, ``.data``, ``.globl``/``.global``, ``.word``,
+``.half``, ``.byte``, ``.asciiz``, ``.ascii``, ``.space``, ``.align``.
+
+``.word`` operands may be labels (resolved in pass 2); the other data
+directives take literals only.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.asm.operands import OperandError, parse_immediate
+
+__all__ = ["DIRECTIVES", "data_directive_size", "decode_string_literal"]
+
+DIRECTIVES = frozenset(
+    {".text", ".data", ".globl", ".global", ".word", ".half", ".byte",
+     ".asciiz", ".ascii", ".space", ".align"})
+
+_STRING_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0",
+                   "\\": "\\", '"': '"', "'": "'"}
+
+
+def decode_string_literal(token: str) -> str:
+    """Decode a double-quoted string literal with C-style escapes."""
+    token = token.strip()
+    if len(token) < 2 or token[0] != '"' or token[-1] != '"':
+        raise OperandError(f"expected a string literal, got {token!r}")
+    body = token[1:-1]
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        ch = body[i]
+        if ch == "\\":
+            if i + 1 >= len(body):
+                raise OperandError(f"dangling escape in {token!r}")
+            escape = body[i + 1]
+            try:
+                out.append(_STRING_ESCAPES[escape])
+            except KeyError:
+                raise OperandError(f"unknown escape \\{escape}") from None
+            i += 2
+        else:
+            out.append(ch)
+            i += 1
+    return "".join(out)
+
+
+def data_directive_size(name: str, operands: List[str],
+                        current_offset: int) -> int:
+    """Bytes the directive will emit at *current_offset* (pass 1).
+
+    ``.align n`` pads to a ``2**n`` boundary, so its size depends on the
+    current offset.
+    """
+    if name == ".word":
+        return 4 * len(operands)
+    if name == ".half":
+        return 2 * len(operands)
+    if name == ".byte":
+        return len(operands)
+    if name in (".asciiz", ".ascii"):
+        total = 0
+        for op in operands:
+            total += len(decode_string_literal(op).encode("latin-1"))
+            if name == ".asciiz":
+                total += 1
+        return total
+    if name == ".space":
+        if len(operands) != 1:
+            raise OperandError(".space expects one operand")
+        size = parse_immediate(operands[0])
+        if size is None or size < 0:
+            raise OperandError(f"bad .space size {operands[0]!r}")
+        return size
+    if name == ".align":
+        if len(operands) != 1:
+            raise OperandError(".align expects one operand")
+        power = parse_immediate(operands[0])
+        if power is None or not 0 <= power <= 16:
+            raise OperandError(f"bad .align power {operands[0]!r}")
+        alignment = 1 << power
+        return (-current_offset) % alignment
+    raise OperandError(f"{name} emits no data")

@@ -1,0 +1,128 @@
+"""Line-level lexical analysis for R32 assembly.
+
+The assembly grammar is line oriented::
+
+    [label:]... [mnemonic-or-directive [operand, operand, ...]] [# comment]
+
+The lexer splits one physical line into leading labels, an optional
+opcode token, and a list of comma-separated operand strings.  String
+literals (for ``.asciiz``) may contain commas, ``#`` and colons; the
+splitter respects double quotes and character literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = ["LexedLine", "LexError", "lex_line"]
+
+_LABEL_CHARS = set("abcdefghijklmnopqrstuvwxyz"
+                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_.$")
+
+
+class LexError(ValueError):
+    """Malformed assembly line."""
+
+    def __init__(self, message: str, line_number: int):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+@dataclass
+class LexedLine:
+    """One tokenised source line."""
+
+    number: int
+    labels: List[str] = field(default_factory=list)
+    opcode: Optional[str] = None
+    operands: List[str] = field(default_factory=list)
+
+    @property
+    def empty(self) -> bool:
+        return self.opcode is None and not self.labels
+
+
+def _strip_comment(text: str) -> str:
+    """Remove a trailing comment, respecting quoted strings."""
+    in_string = False
+    quote = ""
+    for i, ch in enumerate(text):
+        if in_string:
+            if ch == "\\":
+                continue
+            if ch == quote and (i == 0 or text[i - 1] != "\\"):
+                in_string = False
+        elif ch in "\"'":
+            in_string = True
+            quote = ch
+        elif ch == "#" or (ch == "/" and text[i:i + 2] == "//"):
+            return text[:i]
+    return text
+
+
+def _split_operands(text: str, line_number: int) -> List[str]:
+    """Split an operand field on top-level commas."""
+    operands: List[str] = []
+    current: List[str] = []
+    in_string = False
+    quote = ""
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_string:
+            current.append(ch)
+            if ch == "\\" and i + 1 < len(text):
+                current.append(text[i + 1])
+                i += 2
+                continue
+            if ch == quote:
+                in_string = False
+        elif ch in "\"'":
+            in_string = True
+            quote = ch
+            current.append(ch)
+        elif ch == ",":
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    if in_string:
+        raise LexError("unterminated string literal", line_number)
+    tail = "".join(current).strip()
+    if tail or operands:
+        operands.append(tail)
+    if any(not op for op in operands):
+        raise LexError("empty operand", line_number)
+    return operands
+
+
+def lex_line(raw: str, line_number: int) -> LexedLine:
+    """Tokenise one physical source line."""
+    line = LexedLine(number=line_number)
+    text = _strip_comment(raw).strip()
+
+    # Peel off leading labels.  A colon inside a string cannot occur
+    # here because labels precede the opcode.
+    while text:
+        colon = text.find(":")
+        if colon < 0:
+            break
+        candidate = text[:colon].strip()
+        if not candidate or not set(candidate) <= _LABEL_CHARS:
+            break
+        if candidate[0].isdigit():
+            raise LexError(f"label {candidate!r} starts with a digit",
+                           line_number)
+        line.labels.append(candidate)
+        text = text[colon + 1:].strip()
+
+    if not text:
+        return line
+
+    parts = text.split(None, 1)
+    line.opcode = parts[0].lower()
+    if len(parts) > 1:
+        line.operands = _split_operands(parts[1], line_number)
+    return line

@@ -1,0 +1,98 @@
+"""Operand parsing: immediates, registers, memory references, labels.
+
+Immediate syntax: decimal (optionally negative), hex (``0x``), binary
+(``0b``), character literals (``'a'``, ``'\\n'``), and -- internally,
+emitted by pseudo-instruction expansion -- ``%hi(label)`` / ``%lo(label)``
+relocations resolved against the symbol table in pass 2.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional, Tuple
+
+from repro.isa.registers import register_number
+
+__all__ = ["OperandError", "parse_immediate", "parse_register",
+           "parse_memory_operand", "resolve_value"]
+
+_ESCAPES = {"n": 10, "t": 9, "0": 0, "r": 13, "\\": 92, "'": 39, '"': 34}
+
+_MEM_RE = re.compile(r"^(?P<offset>[^()]*)\(\s*(?P<base>[^()]+)\s*\)$")
+_RELOC_RE = re.compile(r"^%(?P<kind>hi|lo)\(\s*(?P<sym>[^()]+)\s*\)$")
+
+
+class OperandError(ValueError):
+    """Malformed or unresolvable operand."""
+
+
+def parse_register(token: str) -> int:
+    try:
+        return register_number(token.strip())
+    except ValueError as exc:
+        raise OperandError(str(exc)) from None
+
+
+def _char_literal(token: str) -> Optional[int]:
+    if len(token) >= 3 and token[0] == "'" and token[-1] == "'":
+        body = token[1:-1]
+        if len(body) == 1:
+            return ord(body)
+        if len(body) == 2 and body[0] == "\\":
+            try:
+                return _ESCAPES[body[1]]
+            except KeyError:
+                raise OperandError(f"unknown escape {body!r}") from None
+        raise OperandError(f"bad character literal {token!r}")
+    return None
+
+
+def parse_immediate(token: str) -> Optional[int]:
+    """Parse a numeric literal; None when the token is symbolic."""
+    token = token.strip()
+    char = _char_literal(token)
+    if char is not None:
+        return char
+    try:
+        return int(token, 0)
+    except ValueError:
+        return None
+
+
+def resolve_value(token: str, symbols: Dict[str, int]) -> int:
+    """Resolve a literal, a label, or a %hi/%lo relocation to an int."""
+    token = token.strip()
+    literal = parse_immediate(token)
+    if literal is not None:
+        return literal
+    reloc = _RELOC_RE.match(token)
+    if reloc:
+        address = resolve_value(reloc.group("sym"), symbols)
+        if reloc.group("kind") == "hi":
+            # Plain (non-adjusted) %hi: pairs with ori, not addi.
+            return (address >> 16) & 0xFFFF
+        return address & 0xFFFF
+    if token in symbols:
+        return symbols[token]
+    # label+offset / label-offset arithmetic
+    for op in ("+", "-"):
+        head, sep, tail = token.rpartition(op)
+        if sep and head.strip() in symbols:
+            offset = parse_immediate(tail)
+            if offset is None:
+                break
+            base = symbols[head.strip()]
+            return base + offset if op == "+" else base - offset
+    raise OperandError(f"cannot resolve operand {token!r}")
+
+
+def parse_memory_operand(token: str,
+                         symbols: Dict[str, int]) -> Tuple[int, int]:
+    """Parse ``offset(base)`` into (offset, base register number)."""
+    match = _MEM_RE.match(token.strip())
+    if not match:
+        raise OperandError(f"expected offset(base), got {token!r}")
+    base = parse_register(match.group("base"))
+    offset_text = match.group("offset").strip()
+    offset = resolve_value(offset_text, symbols) if offset_text else 0
+    return offset, base

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``workloads`` — list the benchmark suite (Table 1 style).
+- ``trace NAME`` — capture a value trace, print stats, optionally save.
+- ``run EXPERIMENT`` — run a registered paper experiment and print it.
+- ``predict NAME`` — measure one predictor configuration on a benchmark.
+- ``compare NAME`` — measure every predictor class on a benchmark.
+- ``compile FILE`` — compile a MinC source file to R32 assembly.
+- ``exec FILE`` — compile and execute a MinC source file on the VM.
+- ``disasm NAME`` — disassemble a workload's compiled text segment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DFCM value prediction reproduction (HPCA 2001)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("workloads", help="list the benchmark suite")
+
+    trace = sub.add_parser("trace", help="capture a value trace")
+    trace.add_argument("name", help="workload name (see 'workloads')")
+    trace.add_argument("--limit", type=int, default=100_000,
+                       help="predictions to capture (default 100000)")
+    trace.add_argument("--out", help="write the trace to this .npz file")
+    trace.add_argument("--head", type=int, default=0,
+                       help="print the first N (pc, value) records")
+    trace.add_argument("-O", "--optimize", type=int, default=0,
+                       choices=[0, 1, 2], help="compiler optimisation level")
+
+    run = sub.add_parser("run", help="run a paper experiment")
+    run.add_argument("experiment", help="experiment id, or 'list'")
+    run.add_argument("--fast", action="store_true",
+                     help="reduced sweep (for a quick look)")
+    run.add_argument("--limit", type=int, default=None,
+                     help="trace length per benchmark")
+
+    predict = sub.add_parser("predict",
+                             help="measure one predictor on one benchmark")
+    predict.add_argument("name", help="workload name")
+    predict.add_argument("--predictor", default="dfcm",
+                         choices=["lvp", "lastn", "stride", "stride2d",
+                                  "fcm", "dfcm"])
+    predict.add_argument("--l1", type=int, default=16,
+                         help="log2 level-1 entries (context predictors) "
+                              "or log2 table entries (simple predictors)")
+    predict.add_argument("--l2", type=int, default=12,
+                         help="log2 level-2 entries (context predictors)")
+    predict.add_argument("--limit", type=int, default=100_000)
+
+    compare = sub.add_parser("compare",
+                             help="measure every predictor on one benchmark")
+    compare.add_argument("name", help="workload name")
+    compare.add_argument("--limit", type=int, default=50_000)
+
+    compile_cmd = sub.add_parser("compile",
+                                 help="compile MinC to R32 assembly")
+    compile_cmd.add_argument("file", help="MinC source file ('-' = stdin)")
+    compile_cmd.add_argument("-O", "--optimize", type=int, default=0,
+                             choices=[0, 1, 2],
+                             help="compiler optimisation level")
+
+    exec_cmd = sub.add_parser("exec", help="compile and run MinC on the VM")
+    exec_cmd.add_argument("file", help="MinC source file ('-' = stdin)")
+    exec_cmd.add_argument("--max-instructions", type=int,
+                          default=100_000_000)
+    exec_cmd.add_argument("-O", "--optimize", type=int, default=0,
+                          choices=[0, 1, 2],
+                          help="compiler optimisation level")
+
+    disasm = sub.add_parser("disasm",
+                            help="disassemble a workload's text segment")
+    disasm.add_argument("name", help="workload name")
+    disasm.add_argument("--head", type=int, default=40,
+                        help="lines to print (0 = all)")
+    return parser
+
+
+def _cmd_workloads(args, out) -> int:
+    from repro.harness.report import format_table
+    from repro.workloads.registry import WORKLOADS, workload_names
+    rows = []
+    for name in workload_names():
+        workload = WORKLOADS[name]
+        rows.append([name, workload.paper_options, workload.description])
+    out.write(format_table(["benchmark", "paper input", "mini-kernel"],
+                           rows) + "\n")
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    from repro.trace.capture import capture_trace
+    trace = capture_trace(args.name, limit=args.limit,
+                          optimize=args.optimize)
+    stats = trace.stats()
+    out.write(f"{trace.name}: {stats.predictions} predictions, "
+              f"{stats.static_instructions} static instructions, "
+              f"{stats.distinct_values} distinct values\n")
+    for pc, value in trace.records()[:args.head]:
+        out.write(f"  {pc:#010x} {value}\n")
+    if args.out:
+        trace.save(args.out)
+        out.write(f"saved to {args.out}\n")
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    from repro.harness.experiments import experiment_ids, run_experiment
+    if args.experiment == "list":
+        for experiment_id in experiment_ids():
+            out.write(experiment_id + "\n")
+        return 0
+    result = run_experiment(args.experiment, fast=args.fast,
+                            limit=args.limit)
+    out.write(result.render())
+    return 0
+
+
+def _cmd_predict(args, out) -> int:
+    from repro.core.dfcm import DFCMPredictor
+    from repro.core.fcm import FCMPredictor
+    from repro.core.last_n import LastNValuePredictor
+    from repro.core.last_value import LastValuePredictor
+    from repro.core.stride import StridePredictor, TwoDeltaStridePredictor
+    from repro.harness.simulate import measure_accuracy
+    from repro.trace.cache import cached_trace
+
+    factories = {
+        "lvp": lambda: LastValuePredictor(1 << args.l1),
+        "lastn": lambda: LastNValuePredictor(1 << args.l1),
+        "stride": lambda: StridePredictor(1 << args.l1),
+        "stride2d": lambda: TwoDeltaStridePredictor(1 << args.l1),
+        "fcm": lambda: FCMPredictor(1 << args.l1, 1 << args.l2),
+        "dfcm": lambda: DFCMPredictor(1 << args.l1, 1 << args.l2),
+    }
+    predictor = factories[args.predictor]()
+    trace = cached_trace(args.name, args.limit)
+    result = measure_accuracy(predictor, trace)
+    out.write(f"{predictor.name} on {trace.name}: "
+              f"accuracy {result.accuracy:.4f} "
+              f"({result.correct}/{result.total}), "
+              f"{predictor.storage_kbit():.0f} Kbit\n")
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    from repro.core.dfcm import DFCMPredictor
+    from repro.core.fcm import FCMPredictor
+    from repro.core.last_n import LastNValuePredictor
+    from repro.core.last_value import LastValuePredictor
+    from repro.core.stride import StridePredictor, TwoDeltaStridePredictor
+    from repro.harness.report import format_table
+    from repro.harness.simulate import measure_accuracy
+    from repro.trace.cache import cached_trace
+
+    trace = cached_trace(args.name, args.limit)
+    rows = []
+    for predictor in [LastValuePredictor(1 << 12),
+                      LastNValuePredictor(1 << 12),
+                      StridePredictor(1 << 12),
+                      TwoDeltaStridePredictor(1 << 12),
+                      FCMPredictor(1 << 16, 1 << 12),
+                      DFCMPredictor(1 << 16, 1 << 12)]:
+        result = measure_accuracy(predictor, trace)
+        rows.append([predictor.name, f"{predictor.storage_kbit():.0f}",
+                     f"{result.accuracy:.4f}"])
+    out.write(format_table(["predictor", "Kbit", "accuracy"], rows,
+                           title=f"{trace.name} ({len(trace)} predictions)")
+              + "\n")
+    return 0
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _cmd_compile(args, out) -> int:
+    from repro.lang import compile_source
+    out.write(compile_source(_read_source(args.file),
+                             optimize=args.optimize))
+    return 0
+
+
+def _cmd_exec(args, out) -> int:
+    from repro.lang import compile_to_program
+    from repro.vm import Machine
+    machine = Machine(compile_to_program(_read_source(args.file),
+                                          optimize=args.optimize))
+    exit_code = machine.run(args.max_instructions)
+    out.write(machine.stdout)
+    out.write(f"[exit {exit_code}, {machine.instructions_executed} "
+              "instructions]\n")
+    return exit_code
+
+
+def _cmd_disasm(args, out) -> int:
+    from repro.lang import compile_to_program
+    from repro.workloads.registry import get_workload
+    program = compile_to_program(get_workload(args.name).source)
+    listing = program.disassemble().splitlines()
+    shown = listing if args.head == 0 else listing[:args.head]
+    out.write("\n".join(shown) + "\n")
+    if args.head and len(listing) > args.head:
+        out.write(f"... ({len(listing)} instructions total)\n")
+    return 0
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "trace": _cmd_trace,
+    "run": _cmd_run,
+    "predict": _cmd_predict,
+    "compare": _cmd_compare,
+    "compile": _cmd_compile,
+    "exec": _cmd_exec,
+    "disasm": _cmd_disasm,
+}
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args, out or sys.stdout)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

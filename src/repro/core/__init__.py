@@ -1,0 +1,32 @@
+"""Value predictors and measurement instrumentation (the paper's core)."""
+
+from repro.core.base import ValuePredictor
+from repro.core.last_value import LastValuePredictor
+from repro.core.last_n import LastNValuePredictor
+from repro.core.stride import StridePredictor, TwoDeltaStridePredictor
+from repro.core.fcm import FCMPredictor
+from repro.core.dfcm import DFCMPredictor
+from repro.core.hybrid import OracleHybridPredictor, MetaHybridPredictor
+from repro.core.delayed import DelayedUpdatePredictor
+from repro.core.estimator import (ConfidentPredictor,
+                                  CounterConfidencePredictor,
+                                  TaggedFCMPredictor, TaggedDFCMPredictor,
+                                  measure_confidence)
+
+__all__ = [
+    "ValuePredictor",
+    "LastValuePredictor",
+    "LastNValuePredictor",
+    "StridePredictor",
+    "TwoDeltaStridePredictor",
+    "FCMPredictor",
+    "DFCMPredictor",
+    "OracleHybridPredictor",
+    "MetaHybridPredictor",
+    "DelayedUpdatePredictor",
+    "ConfidentPredictor",
+    "CounterConfidencePredictor",
+    "TaggedFCMPredictor",
+    "TaggedDFCMPredictor",
+    "measure_confidence",
+]

@@ -1,0 +1,65 @@
+"""The common interface of all value predictors.
+
+A value predictor sees the dynamic stream of (PC, produced value) pairs
+of the predicted instructions, in program order.  For each instruction
+it first issues a prediction from its current tables (:meth:`predict`),
+then -- once the actual outcome is known -- trains on it
+(:meth:`update`).  :meth:`step` fuses the two and reports whether the
+prediction was correct; the measurement harness drives predictors
+exclusively through ``step`` so that oracle predictors (the paper's
+perfect-meta hybrids) can override it.
+
+PC indexing: instructions are 4-byte aligned, so table indices are taken
+from ``pc >> 2`` (dropping the always-zero low bits), masked to the
+table size.  This mirrors how a hardware table would be wired and
+matches SimpleScalar's word-aligned PCs.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.types import MASK32
+
+__all__ = ["ValuePredictor"]
+
+
+class ValuePredictor(ABC):
+    """Abstract base class for value predictors.
+
+    Subclasses implement :meth:`predict`, :meth:`update` and
+    :meth:`storage_bits`; they should also set :attr:`name` to a short
+    identifier used in reports.
+    """
+
+    name: str = "predictor"
+
+    @abstractmethod
+    def predict(self, pc: int) -> int:
+        """Predicted 32-bit value for the instruction at *pc*."""
+
+    @abstractmethod
+    def update(self, pc: int, value: int) -> None:
+        """Train on the actual *value* produced by the instruction at *pc*."""
+
+    @abstractmethod
+    def storage_bits(self) -> int:
+        """Total predictor state in bits (the Kbit axis of Figures 3/11)."""
+
+    def step(self, pc: int, value: int) -> bool:
+        """Predict, then update; True when the prediction was correct."""
+        correct = self.predict(pc) == (value & MASK32)
+        self.update(pc, value)
+        return correct
+
+    def storage_kbit(self) -> float:
+        """Storage in Kbit (1 Kbit = 1024 bits), the unit of the paper."""
+        return self.storage_bits() / 1024.0
+
+    @staticmethod
+    def _pc_index(pc: int, mask: int) -> int:
+        """Direct-mapped table index for a 4-byte-aligned PC."""
+        return (pc >> 2) & mask
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,91 @@
+"""Saturating confidence counters.
+
+The paper's stride predictor uses a 3-bit saturating counter "which is
+increased by 1 on a correct prediction and decreased by 2 on a wrong
+prediction", and replaces the stored stride whenever the counter is
+below its maximum value (7).  The same counter shape is reused by the
+realisable meta-predictor in :mod:`repro.core.hybrid`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SaturatingCounter", "CounterBank"]
+
+
+class SaturatingCounter:
+    """A single saturating counter in ``[0, 2**bits - 1]``."""
+
+    __slots__ = ("bits", "maximum", "inc", "dec", "value")
+
+    def __init__(self, bits: int = 3, inc: int = 1, dec: int = 2, initial: int = 0):
+        if bits < 1:
+            raise ValueError(f"counter width must be >= 1 bit, got {bits}")
+        if inc < 0 or dec < 0:
+            raise ValueError("inc and dec must be non-negative")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        if not 0 <= initial <= self.maximum:
+            raise ValueError(
+                f"initial value {initial} outside [0, {self.maximum}]"
+            )
+        self.inc = inc
+        self.dec = dec
+        self.value = initial
+
+    def record(self, correct: bool) -> int:
+        """Advance the counter for one outcome; returns the new value."""
+        if correct:
+            self.value = min(self.maximum, self.value + self.inc)
+        else:
+            self.value = max(0, self.value - self.dec)
+        return self.value
+
+    @property
+    def saturated(self) -> bool:
+        """True when the counter sits at its maximum."""
+        return self.value == self.maximum
+
+
+class CounterBank:
+    """A direct-mapped table of saturating counters (one per entry).
+
+    Stored as a flat list of ints for speed; the update rule matches
+    :class:`SaturatingCounter` (+inc on correct, -dec on wrong,
+    saturating at 0 and ``2**bits - 1``).
+    """
+
+    __slots__ = ("bits", "maximum", "inc", "dec", "values")
+
+    def __init__(self, entries: int, bits: int = 3, inc: int = 1, dec: int = 2,
+                 initial: int = 0):
+        if entries < 1:
+            raise ValueError(f"need at least one counter, got {entries}")
+        proto = SaturatingCounter(bits, inc, dec, initial)  # validates args
+        self.bits = bits
+        self.maximum = proto.maximum
+        self.inc = inc
+        self.dec = dec
+        self.values = [initial] * entries
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> int:
+        return self.values[index]
+
+    def record(self, index: int, correct: bool) -> int:
+        """Advance counter *index* for one outcome; returns the new value."""
+        if correct:
+            value = self.values[index] + self.inc
+            if value > self.maximum:
+                value = self.maximum
+        else:
+            value = self.values[index] - self.dec
+            if value < 0:
+                value = 0
+        self.values[index] = value
+        return value
+
+    def saturated(self, index: int) -> bool:
+        """True when counter *index* sits at its maximum."""
+        return self.values[index] == self.maximum

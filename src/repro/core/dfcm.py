@@ -1,0 +1,132 @@
+"""The differential finite context method (DFCM) -- the paper's contribution.
+
+DFCM is an FCM over *differences* (strides) between successive values
+instead of the values themselves (paper section 3):
+
+- level-1 entry: the instruction's last value plus a hashed history of
+  the differences between its recent values;
+- level-2 entry: the difference most likely to follow a given history
+  of differences;
+- prediction: ``last_value + L2[hash(stride history)]``;
+- update: the new difference ``value - last`` is written to the level-2
+  entry the prediction was read from, the hash is advanced with that
+  difference, and the last value is replaced.
+
+A stride pattern's difference history is constant, so the whole pattern
+collapses onto a *single* level-2 entry (and all patterns with the same
+stride share it), which is what frees level-2 capacity and cuts hash
+aliasing -- the effect sections 2.4 and 4.2 of the paper quantify.
+
+Section 4.4 variant: the level-2 table may store only the low
+``stride_bits`` bits of each difference (sign-extended on use), trading
+accuracy for table width.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import ValuePredictor
+from repro.core.hashing import FoldShiftHash, HistoryHash
+from repro.core.types import MASK32, WORD_BITS, require_power_of_two
+
+__all__ = ["DFCMPredictor"]
+
+
+class DFCMPredictor(ValuePredictor):
+    """Differential FCM predictor.
+
+    Parameters
+    ----------
+    l1_entries, l2_entries:
+        Table sizes (powers of two).
+    hash_fn:
+        Difference-history hash; defaults to the same FS(R-5) /
+        coupled-order setup the paper uses for FCM ("we did not try to
+        optimize the order and the hashing function for DFCM").
+    stride_bits:
+        Width of the stored level-2 differences, 1..32 (default 32).
+        Narrower strides are sign-extended when predicting; paper
+        section 4.4 measures 16 and 8 bits.
+    """
+
+    def __init__(self, l1_entries: int, l2_entries: int,
+                 hash_fn: HistoryHash | None = None, stride_bits: int = 32):
+        require_power_of_two(l1_entries, "DFCM level-1 size")
+        require_power_of_two(l2_entries, "DFCM level-2 size")
+        if not 1 <= stride_bits <= 32:
+            raise ValueError(f"stride_bits must be in [1, 32], got {stride_bits}")
+        index_bits = l2_entries.bit_length() - 1
+        if hash_fn is None:
+            hash_fn = FoldShiftHash(index_bits)
+        elif hash_fn.index_bits != index_bits:
+            raise ValueError(
+                f"hash produces {hash_fn.index_bits}-bit indices but the "
+                f"level-2 table needs {index_bits}-bit indices"
+            )
+        self.l1_entries = l1_entries
+        self.l2_entries = l2_entries
+        self.hash_fn = hash_fn
+        self.order = hash_fn.order
+        self.stride_bits = stride_bits
+        self._l1_mask = l1_entries - 1
+        self._last = [0] * l1_entries
+        self._hist = [hash_fn.initial_state] * l1_entries
+        self._l2 = [0] * l2_entries  # sign-extended 32-bit differences
+        self._stride_mask = (1 << stride_bits) - 1
+        self._stride_sign = 1 << (stride_bits - 1)
+        self.name = f"dfcm_l1={l1_entries}_l2={l2_entries}"
+        if stride_bits != 32:
+            self.name += f"_s{stride_bits}"
+
+    def _store_stride(self, stride: int) -> int:
+        """Truncate a 32-bit difference to stride_bits and sign-extend back.
+
+        This models a narrow level-2 entry: what is added back at
+        prediction time is the sign-extension of the stored low bits.
+        """
+        if self.stride_bits == 32:
+            return stride & MASK32
+        low = stride & self._stride_mask
+        if low & self._stride_sign:
+            low |= MASK32 ^ self._stride_mask
+        return low
+
+    def predict(self, pc: int) -> int:
+        l1_index = (pc >> 2) & self._l1_mask
+        stride = self._l2[self.hash_fn.index(self._hist[l1_index])]
+        return (self._last[l1_index] + stride) & MASK32
+
+    def update(self, pc: int, value: int) -> None:
+        value &= MASK32
+        l1_index = (pc >> 2) & self._l1_mask
+        state = self._hist[l1_index]
+        stride = (value - self._last[l1_index]) & MASK32
+        self._l2[self.hash_fn.index(state)] = self._store_stride(stride)
+        # The history hash is fed the *full* difference; only the stored
+        # level-2 payload is truncated (section 4.4 varies storage, not
+        # the context).
+        self._hist[l1_index] = self.hash_fn.step(state, stride)
+        self._last[l1_index] = value
+
+    def storage_bits(self) -> int:
+        """L1: last value (32) + hashed history per entry; L2: stride_bits.
+
+        The extra 32-bit last value per level-1 entry is the storage
+        penalty the paper's Pareto comparison (Figure 11(b)) charges
+        DFCM for.
+        """
+        return (self.l1_entries * (WORD_BITS + self.hash_fn.index_bits)
+                + self.l2_entries * self.stride_bits)
+
+    # -- introspection used by the occupancy/aliasing instrumentation --
+
+    def l2_index(self, pc: int) -> int:
+        """Level-2 index the next prediction for *pc* would use."""
+        return self.hash_fn.index(self._hist[(pc >> 2) & self._l1_mask])
+
+    def l1_index(self, pc: int) -> int:
+        """Level-1 entry index for *pc*."""
+        return (pc >> 2) & self._l1_mask
+
+    def last_value(self, pc: int) -> int:
+        """Last value currently recorded for *pc*'s level-1 entry."""
+        return self._last[(pc >> 2) & self._l1_mask]

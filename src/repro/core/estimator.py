@@ -1,0 +1,251 @@
+"""Confidence estimation for value predictors (paper section 4.2 outlook).
+
+The paper ends its aliasing analysis with a design suggestion it does
+not evaluate:
+
+    "These results suggest that the design of a confidence estimator
+    for a (D)FCM predictor should include tagging the level-2 table
+    with some information to track hash-aliasing [...] Some bits of a
+    second hashing function, orthogonal to the main one, seems to be a
+    good choice for the tag."
+
+This module builds that estimator and the classic alternative:
+
+- :class:`CounterConfidencePredictor` -- the standard scheme: a
+  PC-indexed bank of saturating counters; a prediction is *confident*
+  when its counter sits at/above a threshold.
+
+- :class:`TaggedDFCMPredictor` / :class:`TaggedFCMPredictor` -- the
+  paper's suggestion: every level-2 entry carries a small tag computed
+  by a second fold-and-shift hash (different shift constant, hence
+  "orthogonal") of the same history.  A prediction is confident only
+  when the stored tag matches the current history's tag, i.e. when the
+  level-2 entry was (very likely) trained by the same context rather
+  than a hash-alias.
+
+- both can be combined; :func:`measure_confidence` reports coverage
+  (fraction of predictions deemed confident) and the accuracy within
+  the confident subset, the two numbers a confidence mechanism trades
+  against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.base import ValuePredictor
+from repro.core.confidence import CounterBank
+from repro.core.dfcm import DFCMPredictor
+from repro.core.fcm import FCMPredictor
+from repro.core.hashing import FoldShiftHash
+from repro.core.types import MASK32, require_power_of_two
+from repro.trace.trace import ValueTrace
+
+__all__ = [
+    "ConfidentPredictor",
+    "CounterConfidencePredictor",
+    "TaggedFCMPredictor",
+    "TaggedDFCMPredictor",
+    "CoverageResult",
+    "measure_confidence",
+]
+
+
+class ConfidentPredictor(ValuePredictor):
+    """A predictor that can also say how sure it is.
+
+    Subclasses implement :meth:`predict_confident`; ``predict`` is the
+    unconditional prediction so confident predictors still compose with
+    the rest of the harness.
+    """
+
+    def predict_confident(self, pc: int) -> Tuple[int, bool]:
+        """(predicted value, is the prediction confident)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CoverageResult:
+    """Coverage / accuracy split of a confidence-gated predictor.
+
+    In a processor, only confident predictions would be used for
+    speculation; ``accuracy_when_confident`` bounds the misspeculation
+    rate and ``coverage`` the fraction of instructions that benefit.
+    """
+
+    predictor_name: str
+    trace_name: str
+    total: int
+    confident: int
+    confident_correct: int
+    overall_correct: int
+
+    @property
+    def coverage(self) -> float:
+        return self.confident / self.total if self.total else 0.0
+
+    @property
+    def accuracy_when_confident(self) -> float:
+        return (self.confident_correct / self.confident
+                if self.confident else 0.0)
+
+    @property
+    def overall_accuracy(self) -> float:
+        return self.overall_correct / self.total if self.total else 0.0
+
+
+class CounterConfidencePredictor(ConfidentPredictor):
+    """Classic confidence: PC-indexed saturating counters over any inner
+    predictor.
+
+    Parameters follow the paper's stride-predictor counter (3 bits,
+    +1/-2); ``threshold`` is the minimum counter value for confidence.
+    """
+
+    def __init__(self, inner: ValuePredictor, entries: int,
+                 counter_bits: int = 3, threshold: int | None = None,
+                 inc: int = 1, dec: int = 2):
+        require_power_of_two(entries, "confidence table size")
+        self.inner = inner
+        self.entries = entries
+        self._mask = entries - 1
+        self._counters = CounterBank(entries, counter_bits, inc, dec)
+        self.threshold = (self._counters.maximum if threshold is None
+                          else threshold)
+        if not 0 <= self.threshold <= self._counters.maximum:
+            raise ValueError(
+                f"threshold {self.threshold} outside "
+                f"[0, {self._counters.maximum}]")
+        self.name = f"conf({inner.name})"
+
+    def predict(self, pc: int) -> int:
+        return self.inner.predict(pc)
+
+    def predict_confident(self, pc: int) -> Tuple[int, bool]:
+        confident = (self._counters[(pc >> 2) & self._mask]
+                     >= self.threshold)
+        if isinstance(self.inner, ConfidentPredictor):
+            # Composition: wrapping a tagged predictor requires both
+            # signals (the counter tracks the instruction's history,
+            # the tag the level-2 entry's provenance).
+            prediction, inner_confident = self.inner.predict_confident(pc)
+            return prediction, confident and inner_confident
+        return self.inner.predict(pc), confident
+
+    def update(self, pc: int, value: int) -> None:
+        correct = self.inner.predict(pc) == (value & MASK32)
+        self._counters.record((pc >> 2) & self._mask, correct)
+        self.inner.update(pc, value)
+
+    def storage_bits(self) -> int:
+        return (self.inner.storage_bits()
+                + self.entries * self._counters.bits)
+
+
+class _TagMixin:
+    """Shared level-2 tagging logic for the (D)FCM variants.
+
+    The tag hash is a second FoldShiftHash over the same history with a
+    different shift constant; its state is advanced in lockstep with
+    the primary hash, and ``tag_bits`` of its index are stored beside
+    every level-2 payload.
+    """
+
+    def _init_tags(self, tag_bits: int, tag_shift: int) -> None:
+        if not 1 <= tag_bits <= 16:
+            raise ValueError(f"tag_bits must be in [1, 16], got {tag_bits}")
+        index_bits = self.hash_fn.index_bits
+        if tag_shift == getattr(self.hash_fn, "shift", None):
+            raise ValueError(
+                "the tag hash must use a different shift than the primary "
+                "hash to be orthogonal")
+        self.tag_bits = tag_bits
+        self.tag_hash = FoldShiftHash(index_bits, shift=tag_shift)
+        self._tag_state = [0] * self.l1_entries
+        self._l2_tag = [-1] * self.l2_entries  # -1 = never written
+        self._tag_mask = (1 << tag_bits) - 1
+
+    def _current_tag(self, l1_index: int) -> int:
+        return self.tag_hash.index(self._tag_state[l1_index]) & self._tag_mask
+
+    def predict_confident(self, pc: int) -> Tuple[int, bool]:
+        l1_index = self.l1_index(pc)
+        l2_index = self.l2_index(pc)
+        confident = self._l2_tag[l2_index] == self._current_tag(l1_index)
+        return self.predict(pc), confident
+
+    def _tag_update(self, pc: int, element: int) -> None:
+        """Write the tag for the entry being trained, advance the state."""
+        l1_index = self.l1_index(pc)
+        self._l2_tag[self.l2_index(pc)] = self._current_tag(l1_index)
+        self._tag_state[l1_index] = self.tag_hash.step(
+            self._tag_state[l1_index], element)
+
+    def _tag_storage_bits(self) -> int:
+        """Tags in L2 plus the second hash state per L1 entry."""
+        return (self.l2_entries * self.tag_bits
+                + self.l1_entries * self.tag_hash.index_bits)
+
+
+class TaggedFCMPredictor(_TagMixin, FCMPredictor, ConfidentPredictor):
+    """FCM whose level-2 entries carry an orthogonal-hash tag."""
+
+    def __init__(self, l1_entries: int, l2_entries: int,
+                 tag_bits: int = 4, tag_shift: int = 3, **kwargs):
+        FCMPredictor.__init__(self, l1_entries, l2_entries, **kwargs)
+        self._init_tags(tag_bits, tag_shift)
+        self.name = f"tagfcm_l1={l1_entries}_l2={l2_entries}_t{tag_bits}"
+
+    def update(self, pc: int, value: int) -> None:
+        value &= MASK32
+        self._tag_update(pc, value)
+        FCMPredictor.update(self, pc, value)
+
+    def storage_bits(self) -> int:
+        return FCMPredictor.storage_bits(self) + self._tag_storage_bits()
+
+
+class TaggedDFCMPredictor(_TagMixin, DFCMPredictor, ConfidentPredictor):
+    """DFCM whose level-2 entries carry an orthogonal-hash tag.
+
+    The tag hash is fed the same difference stream as the primary hash.
+    """
+
+    def __init__(self, l1_entries: int, l2_entries: int,
+                 tag_bits: int = 4, tag_shift: int = 3, **kwargs):
+        DFCMPredictor.__init__(self, l1_entries, l2_entries, **kwargs)
+        self._init_tags(tag_bits, tag_shift)
+        self.name = f"tagdfcm_l1={l1_entries}_l2={l2_entries}_t{tag_bits}"
+
+    def update(self, pc: int, value: int) -> None:
+        value &= MASK32
+        stride = (value - self.last_value(pc)) & MASK32
+        self._tag_update(pc, stride)
+        DFCMPredictor.update(self, pc, value)
+
+    def storage_bits(self) -> int:
+        return DFCMPredictor.storage_bits(self) + self._tag_storage_bits()
+
+
+def measure_confidence(predictor: ConfidentPredictor,
+                       trace: ValueTrace) -> CoverageResult:
+    """Replay *trace*, splitting predictions by the confidence signal."""
+    total = confident = confident_correct = overall_correct = 0
+    for pc, value in trace.records():
+        predicted, is_confident = predictor.predict_confident(pc)
+        correct = predicted == value
+        total += 1
+        overall_correct += correct
+        if is_confident:
+            confident += 1
+            confident_correct += correct
+        predictor.update(pc, value)
+    return CoverageResult(
+        predictor_name=predictor.name,
+        trace_name=trace.name,
+        total=total,
+        confident=confident,
+        confident_correct=confident_correct,
+        overall_correct=overall_correct,
+    )

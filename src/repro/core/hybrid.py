@@ -1,0 +1,121 @@
+"""Hybrid predictors, paper section 4.3.
+
+Two meta-prediction strategies over a bank of component predictors:
+
+- :class:`OracleHybridPredictor` -- the paper's *perfect
+  meta-predictor*: it "always knows which predictor is right", so a
+  hybrid step counts as correct whenever *any* component predicted the
+  value.  This upper-bounds every realisable selection scheme and is
+  what Figure 16's STRIDE+FCM / STRIDE+DFCM curves use.
+
+- :class:`MetaHybridPredictor` -- a realisable hybrid: a PC-indexed
+  bank of saturating counters per component; the component with the
+  highest counter (ties to the earliest listed) provides the
+  prediction, and every component's counter is trained on whether that
+  component was right.
+
+Component predictors keep their own tables and are updated with every
+outcome, exactly as in Figure 15.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.base import ValuePredictor
+from repro.core.confidence import CounterBank
+from repro.core.types import MASK32, require_power_of_two
+
+__all__ = ["OracleHybridPredictor", "MetaHybridPredictor"]
+
+
+class OracleHybridPredictor(ValuePredictor):
+    """Hybrid with a perfect meta-predictor (paper Figure 16).
+
+    ``step`` is the primary interface: the oracle needs the actual
+    value to pick the right component.  ``predict`` (needed for the
+    generic interface, e.g. under a delayed-update wrapper) returns the
+    first component's prediction and is *not* what the accuracy
+    numbers are based on.
+    """
+
+    def __init__(self, components: Sequence[ValuePredictor], name: str | None = None):
+        if not components:
+            raise ValueError("a hybrid needs at least one component")
+        self.components = list(components)
+        self.name = name or "+".join(c.name for c in self.components)
+
+    def predict(self, pc: int) -> int:
+        return self.components[0].predict(pc)
+
+    def update(self, pc: int, value: int) -> None:
+        for component in self.components:
+            component.update(pc, value)
+
+    def step(self, pc: int, value: int) -> bool:
+        value &= MASK32
+        correct = False
+        for component in self.components:
+            if component.predict(pc) == value:
+                correct = True
+                break
+        self.update(pc, value)
+        return correct
+
+    def storage_bits(self) -> int:
+        """Sum of the components (the oracle itself is free, by definition)."""
+        return sum(c.storage_bits() for c in self.components)
+
+
+class MetaHybridPredictor(ValuePredictor):
+    """Hybrid with a realisable saturating-counter meta-predictor.
+
+    Parameters
+    ----------
+    components:
+        Component predictors; on a counter tie the earliest listed wins,
+        so list the preferred fallback first.
+    meta_entries:
+        Size of the PC-indexed meta table (power of two).
+    counter_bits, counter_inc, counter_dec:
+        Shape of the per-component selection counters.
+    """
+
+    def __init__(self, components: Sequence[ValuePredictor], meta_entries: int,
+                 counter_bits: int = 2, counter_inc: int = 1,
+                 counter_dec: int = 1, name: str | None = None):
+        if not components:
+            raise ValueError("a hybrid needs at least one component")
+        require_power_of_two(meta_entries, "meta-predictor table size")
+        self.components = list(components)
+        self.meta_entries = meta_entries
+        self._meta_mask = meta_entries - 1
+        self._meta = [
+            CounterBank(meta_entries, counter_bits, counter_inc, counter_dec)
+            for _ in self.components
+        ]
+        self.name = name or ("meta(" + "+".join(c.name for c in self.components) + ")")
+
+    def _select(self, pc: int) -> int:
+        index = (pc >> 2) & self._meta_mask
+        best, best_conf = 0, self._meta[0][index]
+        for i in range(1, len(self.components)):
+            conf = self._meta[i][index]
+            if conf > best_conf:
+                best, best_conf = i, conf
+        return best
+
+    def predict(self, pc: int) -> int:
+        return self.components[self._select(pc)].predict(pc)
+
+    def update(self, pc: int, value: int) -> None:
+        value &= MASK32
+        index = (pc >> 2) & self._meta_mask
+        for component, bank in zip(self.components, self._meta):
+            bank.record(index, component.predict(pc) == value)
+            component.update(pc, value)
+
+    def storage_bits(self) -> int:
+        """Components plus one counter per component per meta entry."""
+        meta_bits = sum(bank.bits for bank in self._meta) * self.meta_entries
+        return meta_bits + sum(c.storage_bits() for c in self.components)

@@ -1,0 +1,98 @@
+"""Last-n value predictor (Burtscher & Zorn, the paper's reference [2]).
+
+Keeps the last *n* distinct values per entry, each guarded by a small
+saturating counter; the prediction is the value with the highest
+counter (most recently reinforced wins ties).  On update, a matching
+slot's counter is bumped; otherwise the lowest-confidence slot is
+evicted for the new value.
+
+Included as an extra baseline: it covers alternating and small-set
+patterns a last value predictor misses, without the stride predictor's
+arithmetic -- useful context for where FCM/DFCM wins come from.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import ValuePredictor
+from repro.core.types import MASK32, WORD_BITS, require_power_of_two
+
+__all__ = ["LastNValuePredictor"]
+
+
+class LastNValuePredictor(ValuePredictor):
+    """Direct-mapped table of the last *n* values per entry.
+
+    Parameters
+    ----------
+    entries:
+        Table size (power of two).
+    n:
+        Values retained per entry (paper [2] explores up to 4).
+    counter_bits:
+        Width of the per-slot confidence counters.
+    """
+
+    def __init__(self, entries: int, n: int = 4, counter_bits: int = 2):
+        require_power_of_two(entries, "last-n table size")
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        if counter_bits < 1:
+            raise ValueError(f"counter_bits must be >= 1, got {counter_bits}")
+        self.entries = entries
+        self.n = n
+        self.counter_bits = counter_bits
+        self._counter_max = (1 << counter_bits) - 1
+        self._mask = entries - 1
+        self._values = [[0] * n for _ in range(entries)]
+        self._counters = [[0] * n for _ in range(entries)]
+        # Recency stamps break counter ties toward the newest value.
+        self._stamps = [[0] * n for _ in range(entries)]
+        self._clock = 0
+        self.name = f"last{n}_{entries}"
+
+    def _best_slot(self, index: int) -> int:
+        counters = self._counters[index]
+        stamps = self._stamps[index]
+        best = 0
+        for slot in range(1, self.n):
+            if (counters[slot], stamps[slot]) > (counters[best], stamps[best]):
+                best = slot
+        return best
+
+    def predict(self, pc: int) -> int:
+        index = (pc >> 2) & self._mask
+        return self._values[index][self._best_slot(index)]
+
+    def update(self, pc: int, value: int) -> None:
+        index = (pc >> 2) & self._mask
+        value &= MASK32
+        self._clock += 1
+        values = self._values[index]
+        counters = self._counters[index]
+        stamps = self._stamps[index]
+        for slot in range(self.n):
+            if values[slot] == value:
+                if counters[slot] < self._counter_max:
+                    counters[slot] += 1
+                stamps[slot] = self._clock
+                # Competing values decay, so a dominant value stays on
+                # top even after every counter has saturated once.
+                for other in range(self.n):
+                    if other != slot and counters[other] > 0:
+                        counters[other] -= 1
+                return
+        victim = 0
+        for slot in range(1, self.n):
+            if (counters[slot], stamps[slot]) < (counters[victim],
+                                                 stamps[victim]):
+                victim = slot
+        values[victim] = value
+        counters[victim] = 1
+        stamps[victim] = self._clock
+
+    def storage_bits(self) -> int:
+        """n values + n counters per entry (recency stamps modelled as
+        ceil(log2 n) bits each, the hardware equivalent of an LRU code)."""
+        lru_bits = max(1, (self.n - 1).bit_length())
+        return self.entries * self.n * (WORD_BITS + self.counter_bits
+                                        + lru_bits)

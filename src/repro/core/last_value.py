@@ -1,0 +1,41 @@
+"""The last value predictor (Lipasti), paper section 2.1.
+
+A direct-mapped, PC-indexed table of 32-bit last values; the prediction
+for an instruction is simply the previous value it (or an instruction
+aliasing with it) produced.  Best on constant patterns.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import ValuePredictor
+from repro.core.types import MASK32, WORD_BITS, require_power_of_two
+
+__all__ = ["LastValuePredictor"]
+
+
+class LastValuePredictor(ValuePredictor):
+    """PC-indexed table of last values (paper Figure 1(a)).
+
+    Parameters
+    ----------
+    entries:
+        Number of table entries; must be a power of two.  The paper
+        sweeps 2**6 .. 2**16 in Figure 3.
+    """
+
+    def __init__(self, entries: int):
+        require_power_of_two(entries, "last value table size")
+        self.entries = entries
+        self._mask = entries - 1
+        self._table = [0] * entries
+        self.name = f"lvp_{entries}"
+
+    def predict(self, pc: int) -> int:
+        return self._table[(pc >> 2) & self._mask]
+
+    def update(self, pc: int, value: int) -> None:
+        self._table[(pc >> 2) & self._mask] = value & MASK32
+
+    def storage_bits(self) -> int:
+        """One 32-bit value per entry."""
+        return self.entries * WORD_BITS

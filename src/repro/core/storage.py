@@ -1,0 +1,72 @@
+"""Predictor storage-cost model (the Kbit axis of Figures 3 and 11).
+
+Every predictor knows its own cost via ``storage_bits()``; this module
+adds the closed-form formulas (useful to build sweep grids without
+instantiating tables) and documents the accounting the paper implies:
+
+- last value predictor: 32 bits (the value) per entry;
+- stride predictor: last (32) + stride (32) + 3-bit confidence counter
+  per entry -- the paper remarks the counter "is usually already
+  present", so :func:`stride_bits` takes the counter width as a
+  parameter (pass 0 to reproduce the most charitable accounting);
+- FCM: level-1 stores only the hashed history (``log2(l2)`` bits per
+  entry, thanks to the incremental hash), level-2 stores 32-bit values;
+- DFCM: level-1 additionally stores a 32-bit last value per entry --
+  this is the "additional storage" the paper's 15 % Pareto figure
+  accounts for -- and level-2 stores ``stride_bits``-wide differences.
+
+No tags are charged anywhere: all tables are direct-mapped and tagless,
+as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import WORD_BITS, require_power_of_two
+
+__all__ = [
+    "lvp_bits",
+    "stride_bits",
+    "fcm_bits",
+    "dfcm_bits",
+    "kbit",
+]
+
+
+def _index_bits(entries: int, what: str) -> int:
+    require_power_of_two(entries, what)
+    return entries.bit_length() - 1
+
+
+def lvp_bits(entries: int) -> int:
+    """Storage of a last value predictor with *entries* entries."""
+    require_power_of_two(entries, "last value table size")
+    return entries * WORD_BITS
+
+
+def stride_bits(entries: int, counter_bits: int = 3) -> int:
+    """Storage of the confidence-gated stride predictor."""
+    require_power_of_two(entries, "stride table size")
+    if counter_bits < 0:
+        raise ValueError(f"counter_bits must be >= 0, got {counter_bits}")
+    return entries * (2 * WORD_BITS + counter_bits)
+
+
+def fcm_bits(l1_entries: int, l2_entries: int) -> int:
+    """Storage of an FCM: hashed histories in L1, 32-bit values in L2."""
+    n = _index_bits(l2_entries, "FCM level-2 size")
+    require_power_of_two(l1_entries, "FCM level-1 size")
+    return l1_entries * n + l2_entries * WORD_BITS
+
+
+def dfcm_bits(l1_entries: int, l2_entries: int, stride_width: int = 32) -> int:
+    """Storage of a DFCM: L1 holds hash + last value, L2 holds strides."""
+    n = _index_bits(l2_entries, "DFCM level-2 size")
+    require_power_of_two(l1_entries, "DFCM level-1 size")
+    if not 1 <= stride_width <= 32:
+        raise ValueError(f"stride_width must be in [1, 32], got {stride_width}")
+    return l1_entries * (WORD_BITS + n) + l2_entries * stride_width
+
+
+def kbit(bits: int) -> float:
+    """Bits -> Kbit (1 Kbit = 1024 bits), the paper's size unit."""
+    return bits / 1024.0

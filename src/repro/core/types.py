@@ -1,0 +1,38 @@
+"""Common constants and small helpers shared by all predictors.
+
+All predicted values are 32-bit machine words, matching the paper's
+SimpleScalar/MIPS setting ("Only integer instructions that produce an
+integer register value are predicted").  Words are handled as unsigned
+Python integers in ``[0, 2**32)``; differences (strides) are the same
+words interpreted modulo 2**32, so ``(last + stride) & MASK32``
+reproduces two's-complement wrap-around exactly.
+"""
+
+MASK32 = 0xFFFFFFFF
+WORD_BITS = 32
+
+
+def to_u32(value: int) -> int:
+    """Reduce an arbitrary Python integer to its 32-bit unsigned image."""
+    return value & MASK32
+
+
+def to_s32(value: int) -> int:
+    """Interpret a 32-bit unsigned word as a signed two's-complement int."""
+    value &= MASK32
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def is_power_of_two(n: int) -> bool:
+    """True for 1, 2, 4, 8, ...; False for zero, negatives and non-powers."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def require_power_of_two(n: int, what: str) -> None:
+    """Raise ``ValueError`` unless *n* is a power of two.
+
+    Table sizes must be powers of two so that masking replaces the
+    modulo in the hot prediction loop, exactly as in a hardware table.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"{what} must be a power of two, got {n}")

@@ -1,0 +1,8 @@
+"""Measurement harness: accuracy simulation, sweeps, experiment registry."""
+
+from repro.harness.simulate import measure_accuracy, measure_suite
+from repro.harness.experiments import experiment_ids, run_experiment
+from repro.harness.sweep import pareto_front, sweep
+
+__all__ = ["measure_accuracy", "measure_suite", "run_experiment",
+           "experiment_ids", "sweep", "pareto_front"]

@@ -1,0 +1,71 @@
+"""Terminal scatter/line rendering for experiment series.
+
+Enough to eyeball the shape of a paper figure from the harness output;
+the CSV emitters exist for anything more serious.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["render_series"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def render_series(series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+                  width: int = 72, height: int = 20,
+                  logx: bool = False, title: str = "") -> str:
+    """Plot named (xs, ys) series on a character grid.
+
+    Each series gets a marker from a fixed cycle; the legend maps
+    markers back to names.  ``logx`` plots x on a log10 axis (the
+    paper's size axes are logarithmic).
+    """
+    points: List[Tuple[float, float, str]] = []
+    legend = []
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        if len(xs) != len(ys):
+            raise ValueError(f"series {name!r}: xs and ys lengths differ")
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        for x, y in zip(xs, ys):
+            if logx:
+                if x <= 0:
+                    raise ValueError(f"series {name!r}: log axis needs x > 0")
+                x = math.log10(x)
+            points.append((float(x), float(y), marker))
+    if not points:
+        return "(no data)"
+
+    x_low = min(p[0] for p in points)
+    x_high = max(p[0] for p in points)
+    y_low = min(p[1] for p in points)
+    y_high = max(p[1] for p in points)
+    x_span = x_high - x_low or 1.0
+    y_span = y_high - y_low or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = round((x - x_low) / x_span * (width - 1))
+        row = height - 1 - round((y - y_low) / y_span * (height - 1))
+        grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    for row_index, row in enumerate(grid):
+        label = ""
+        if row_index == 0:
+            label = f"{y_high:.3f}"
+        elif row_index == height - 1:
+            label = f"{y_low:.3f}"
+        lines.append(f"{label:>8s} |" + "".join(row))
+    x_left = f"{10 ** x_low:.3g}" if logx else f"{x_low:.3g}"
+    x_right = f"{10 ** x_high:.3g}" if logx else f"{x_high:.3g}"
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(" " * 10 + x_left + " " * max(1, width - len(x_left)
+                                               - len(x_right)) + x_right)
+    lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,67 @@
+"""Configuration sweeps and Pareto fronts (Figures 3 and 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from repro.core.base import ValuePredictor
+from repro.harness.simulate import measure_suite
+from repro.trace.trace import ValueTrace
+
+__all__ = ["SweepPoint", "sweep", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured predictor configuration."""
+
+    label: str
+    size_kbit: float
+    accuracy: float
+    params: tuple = field(default_factory=tuple)  # sorted (key, value) pairs
+
+    def param(self, key: str):
+        return dict(self.params)[key]
+
+
+def sweep(factories: Iterable[Callable[[], ValuePredictor]],
+          traces: Sequence[ValueTrace],
+          params: Sequence[dict] = ()) -> List[SweepPoint]:
+    """Measure every factory over the suite; returns one point each.
+
+    ``params`` optionally supplies a metadata dict per factory (same
+    order) recorded on the points for later grouping.
+    """
+    factories = list(factories)
+    metadata: Sequence[dict] = list(params) or [{} for _ in factories]
+    if len(metadata) != len(factories):
+        raise ValueError("params must match factories in length")
+    points = []
+    for factory, meta in zip(factories, metadata):
+        probe = factory()  # for label/size; measurement uses fresh ones
+        result = measure_suite(factory, traces)
+        points.append(SweepPoint(
+            label=probe.name,
+            size_kbit=probe.storage_kbit(),
+            accuracy=result.accuracy,
+            params=tuple(sorted(meta.items())),
+        ))
+    return points
+
+
+def pareto_front(points: Iterable[SweepPoint]) -> List[SweepPoint]:
+    """Points with higher accuracy than every same-or-smaller point.
+
+    This is the paper's Pareto-graph construction (Figure 11(b)): keep
+    a configuration only if no configuration of the same or smaller
+    size reaches at least its accuracy.
+    """
+    ordered = sorted(points, key=lambda p: (p.size_kbit, -p.accuracy))
+    front: List[SweepPoint] = []
+    best = float("-inf")
+    for point in ordered:
+        if point.accuracy > best:
+            front.append(point)
+            best = point.accuracy
+    return front

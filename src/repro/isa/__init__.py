@@ -1,0 +1,25 @@
+"""R32: a 32-bit MIPS-like instruction set.
+
+The substrate ISA for the reproduction: the workloads are compiled to
+R32, executed by :mod:`repro.vm`, and the resulting register value
+traces feed the predictors.  R32 follows the classic MIPS R/I/J
+encoding with a reduced, integer-only instruction list (the paper
+predicts integer register values only).
+"""
+
+from repro.isa.registers import REGISTER_NAMES, REGISTER_NUMBERS, register_number
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import MNEMONICS, InstrFormat, spec_for
+from repro.isa.encoding import decode, encode
+
+__all__ = [
+    "REGISTER_NAMES",
+    "REGISTER_NUMBERS",
+    "register_number",
+    "Instruction",
+    "MNEMONICS",
+    "InstrFormat",
+    "spec_for",
+    "decode",
+    "encode",
+]

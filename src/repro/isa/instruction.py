@@ -1,0 +1,97 @@
+"""The decoded-instruction representation shared by assembler and VM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.opcodes import InstrFormat, InstrSpec, spec_for
+from repro.isa.registers import REGISTER_NAMES
+
+__all__ = ["Instruction"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded R32 instruction.
+
+    Field use by format:
+
+    - R: ``rd``, ``rs``, ``rt``, ``shamt``
+    - I: ``rs``, ``rt``, ``imm`` (16-bit two's complement, stored
+      *sign-extended* as a Python int in [-32768, 32767]; branch
+      displacements are in instructions relative to PC+4)
+    - J: ``target`` (26-bit word address field)
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs: int = 0
+    rt: int = 0
+    shamt: int = 0
+    imm: int = 0
+    target: int = 0
+
+    @property
+    def spec(self) -> InstrSpec:
+        return spec_for(self.mnemonic)
+
+    def __post_init__(self):
+        for field in ("rd", "rs", "rt"):
+            value = getattr(self, field)
+            if not 0 <= value < 32:
+                raise ValueError(
+                    f"{self.mnemonic}: register field {field}={value} "
+                    f"outside [0, 31]")
+        if not 0 <= self.shamt < 32:
+            raise ValueError(f"{self.mnemonic}: shamt {self.shamt} outside [0, 31]")
+        if not -0x8000 <= self.imm <= 0xFFFF:
+            raise ValueError(
+                f"{self.mnemonic}: immediate {self.imm} does not fit 16 bits")
+        if not 0 <= self.target < (1 << 26):
+            raise ValueError(
+                f"{self.mnemonic}: jump target field {self.target} "
+                f"outside 26 bits")
+
+    def text(self) -> str:
+        """Human-readable disassembly (canonical operand order)."""
+        spec = self.spec
+        r = REGISTER_NAMES
+        shape = spec.operands
+        if shape == "rd,rs,rt":
+            return f"{self.mnemonic} {r[self.rd]}, {r[self.rs]}, {r[self.rt]}"
+        if shape == "rd,rt,sh":
+            return f"{self.mnemonic} {r[self.rd]}, {r[self.rt]}, {self.shamt}"
+        if shape == "rt,rs,imm":
+            return f"{self.mnemonic} {r[self.rt]}, {r[self.rs]}, {self.imm}"
+        if shape == "rt,imm":
+            return f"{self.mnemonic} {r[self.rt]}, {self.imm}"
+        if shape == "rt,off(rs)":
+            return f"{self.mnemonic} {r[self.rt]}, {self.imm}({r[self.rs]})"
+        if shape == "rs,rt,label":
+            return f"{self.mnemonic} {r[self.rs]}, {r[self.rt]}, {self.imm}"
+        if shape == "rs,label":
+            return f"{self.mnemonic} {r[self.rs]}, {self.imm}"
+        if shape == "label":
+            return f"{self.mnemonic} {self.target:#x}"
+        if shape == "rs":
+            return f"{self.mnemonic} {r[self.rs]}"
+        if shape == "rd,rs":
+            return f"{self.mnemonic} {r[self.rd]}, {r[self.rs]}"
+        return self.mnemonic  # syscall
+
+    @property
+    def is_branch_or_jump(self) -> bool:
+        return self.spec.format is InstrFormat.J or self.mnemonic in (
+            "beq", "bne", "blez", "bgtz", "bltz", "bgez", "jr", "jalr")
+
+    @property
+    def dest_register(self) -> int | None:
+        """The traced destination register, or None for non-producers.
+
+        Writes to register 0 (hardwired zero) never produce a value.
+        """
+        spec = self.spec
+        if not spec.writes_register:
+            return None
+        dest = self.rd if spec.format is InstrFormat.R else self.rt
+        return dest or None

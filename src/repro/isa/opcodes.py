@@ -1,0 +1,150 @@
+"""R32 opcode table: formats, encodings and operand shapes.
+
+Every mnemonic has an :class:`InstrSpec` describing how it is encoded
+(R/I/J format, opcode and funct fields) and how its assembly operands
+map onto the instruction fields (``operands`` below).  The VM keys its
+handler table on the mnemonic, so this module is the single source of
+truth shared by the assembler, the encoder and the simulator.
+
+Operand shapes (the ``operands`` field):
+
+- ``"rd,rs,rt"``    three-register ALU (add rd, rs, rt)
+- ``"rd,rt,sh"``    shift by immediate (sll rd, rt, shamt)
+- ``"rt,rs,imm"``   immediate ALU (addi rt, rs, imm)
+- ``"rt,imm"``      lui
+- ``"rt,off(rs)"``  loads and stores
+- ``"rs,rt,label"`` compare-and-branch (beq/bne)
+- ``"rs,label"``    compare-with-zero branch (blez/bgtz/bltz/bgez)
+- ``"label"``       j/jal
+- ``"rs"``          jr
+- ``"rd,rs"``       jalr
+- ``""``            syscall
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["InstrFormat", "InstrSpec", "MNEMONICS", "spec_for",
+           "BRANCH_MNEMONICS", "JUMP_MNEMONICS", "LOAD_MNEMONICS",
+           "STORE_MNEMONICS"]
+
+
+class InstrFormat(enum.Enum):
+    """The three classic MIPS encoding formats."""
+
+    R = "R"
+    I = "I"
+    J = "J"
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one mnemonic."""
+
+    mnemonic: str
+    format: InstrFormat
+    opcode: int
+    funct: int  # R-format only; 0 otherwise
+    operands: str
+
+    @property
+    def writes_register(self) -> bool:
+        """True when the instruction architecturally writes a GPR that
+        value prediction targets (excludes branches, jumps, stores and
+        syscall, matching the paper's prediction set)."""
+        return self.mnemonic in _VALUE_PRODUCERS
+
+
+def _r(mnemonic: str, funct: int, operands: str = "rd,rs,rt") -> InstrSpec:
+    return InstrSpec(mnemonic, InstrFormat.R, 0, funct, operands)
+
+
+def _i(mnemonic: str, opcode: int, operands: str) -> InstrSpec:
+    return InstrSpec(mnemonic, InstrFormat.I, opcode, 0, operands)
+
+
+def _j(mnemonic: str, opcode: int) -> InstrSpec:
+    return InstrSpec(mnemonic, InstrFormat.J, opcode, 0, "label")
+
+
+_SPECS = [
+    # R-format ALU
+    _r("sll", 0x00, "rd,rt,sh"),
+    _r("srl", 0x02, "rd,rt,sh"),
+    _r("sra", 0x03, "rd,rt,sh"),
+    _r("sllv", 0x04),
+    _r("srlv", 0x06),
+    _r("srav", 0x07),
+    _r("jr", 0x08, "rs"),
+    _r("jalr", 0x09, "rd,rs"),
+    _r("syscall", 0x0C, ""),
+    _r("mul", 0x18),   # single-result multiply (low 32 bits)
+    _r("mulh", 0x19),  # high 32 bits of the signed product
+    _r("div", 0x1A),   # truncated quotient
+    _r("rem", 0x1B),   # remainder
+    _r("add", 0x20),
+    _r("sub", 0x22),
+    _r("and", 0x24),
+    _r("or", 0x25),
+    _r("xor", 0x26),
+    _r("nor", 0x27),
+    _r("slt", 0x2A),
+    _r("sltu", 0x2B),
+    # J-format
+    _j("j", 0x02),
+    _j("jal", 0x03),
+    # I-format branches
+    _i("beq", 0x04, "rs,rt,label"),
+    _i("bne", 0x05, "rs,rt,label"),
+    _i("blez", 0x06, "rs,label"),
+    _i("bgtz", 0x07, "rs,label"),
+    _i("bltz", 0x01, "rs,label"),   # rt field = 0
+    _i("bgez", 0x1D, "rs,label"),
+    # I-format ALU
+    _i("addi", 0x08, "rt,rs,imm"),
+    _i("slti", 0x0A, "rt,rs,imm"),
+    _i("sltiu", 0x0B, "rt,rs,imm"),
+    _i("andi", 0x0C, "rt,rs,imm"),
+    _i("ori", 0x0D, "rt,rs,imm"),
+    _i("xori", 0x0E, "rt,rs,imm"),
+    _i("lui", 0x0F, "rt,imm"),
+    # Loads / stores
+    _i("lb", 0x20, "rt,off(rs)"),
+    _i("lh", 0x21, "rt,off(rs)"),
+    _i("lw", 0x23, "rt,off(rs)"),
+    _i("lbu", 0x24, "rt,off(rs)"),
+    _i("lhu", 0x25, "rt,off(rs)"),
+    _i("sb", 0x28, "rt,off(rs)"),
+    _i("sh", 0x29, "rt,off(rs)"),
+    _i("sw", 0x2B, "rt,off(rs)"),
+]
+
+MNEMONICS: Dict[str, InstrSpec] = {spec.mnemonic: spec for spec in _SPECS}
+
+BRANCH_MNEMONICS = frozenset(
+    {"beq", "bne", "blez", "bgtz", "bltz", "bgez"})
+JUMP_MNEMONICS = frozenset({"j", "jal", "jr", "jalr"})
+LOAD_MNEMONICS = frozenset({"lb", "lh", "lw", "lbu", "lhu"})
+STORE_MNEMONICS = frozenset({"sb", "sh", "sw"})
+
+# Instructions whose result the paper's value predictor would predict:
+# integer register producers, loads included, branches/jumps/stores and
+# syscall excluded (jal/jalr write ra but are jump instructions, which
+# the paper explicitly does not predict).
+_VALUE_PRODUCERS = frozenset(
+    {"sll", "srl", "sra", "sllv", "srlv", "srav",
+     "mul", "mulh", "div", "rem",
+     "add", "sub", "and", "or", "xor", "nor", "slt", "sltu",
+     "addi", "slti", "sltiu", "andi", "ori", "xori", "lui"}
+    | LOAD_MNEMONICS)
+
+
+def spec_for(mnemonic: str) -> InstrSpec:
+    """Spec lookup with a helpful error for unknown mnemonics."""
+    try:
+        return MNEMONICS[mnemonic.lower()]
+    except KeyError:
+        raise ValueError(f"unknown mnemonic {mnemonic!r}") from None

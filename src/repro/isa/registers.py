@@ -1,0 +1,46 @@
+"""R32 register file: 32 general-purpose registers with MIPS ABI names.
+
+Register 0 is hardwired to zero: writes to it are discarded (and, in
+the tracing VM, never traced).
+"""
+
+from __future__ import annotations
+
+__all__ = ["REGISTER_NAMES", "REGISTER_NUMBERS", "register_number",
+           "ZERO", "AT", "V0", "V1", "A0", "A1", "A2", "A3",
+           "GP", "SP", "FP", "RA"]
+
+# Canonical ABI name for each register number.
+REGISTER_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+# Name -> number, accepting ABI names, bare numbers ("r4"/"$4") and the
+# "$name" spelling.
+REGISTER_NUMBERS = {}
+for _num, _name in enumerate(REGISTER_NAMES):
+    REGISTER_NUMBERS[_name] = _num
+    REGISTER_NUMBERS["$" + _name] = _num
+    REGISTER_NUMBERS[f"r{_num}"] = _num
+    REGISTER_NUMBERS[f"${_num}"] = _num
+REGISTER_NUMBERS["s8"] = 30  # fp alias
+REGISTER_NUMBERS["$s8"] = 30
+
+ZERO, AT, V0, V1 = 0, 1, 2, 3
+A0, A1, A2, A3 = 4, 5, 6, 7
+GP, SP, FP, RA = 28, 29, 30, 31
+
+
+def register_number(name: str) -> int:
+    """Resolve a register operand string to its number.
+
+    Raises ``KeyError``-derived :class:`ValueError` with a clear message
+    for unknown names.
+    """
+    try:
+        return REGISTER_NUMBERS[name.lower()]
+    except KeyError:
+        raise ValueError(f"unknown register {name!r}") from None

@@ -1,0 +1,14 @@
+"""MinC: a small C-subset compiler targeting R32 assembly.
+
+MinC stands in for the paper's gcc toolchain: the SPECint95-like
+workloads are written in MinC, compiled to R32 and executed by the VM
+to produce value traces.  The language is integer-only (``int`` scalars
+and one-dimensional ``int`` arrays) with functions, recursion, the
+usual C operators and control flow, and three builtins
+(``print_int``, ``print_char``, ``print_str``).
+"""
+
+from repro.lang.compiler import (CompileError, compile_source,
+                                 compile_to_program)
+
+__all__ = ["CompileError", "compile_source", "compile_to_program"]

@@ -1,0 +1,181 @@
+"""MinC abstract syntax tree.
+
+Plain dataclasses; every node carries the source line for diagnostics.
+Types in MinC are just ``int`` and ``int[]`` (one-dimensional arrays),
+so nodes don't carry type objects -- the semantic pass distinguishes
+scalars from arrays through the symbol table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+__all__ = [
+    "Program", "GlobalVar", "Function", "Param",
+    "Block", "DeclStmt", "AssignStmt", "ExprStmt", "IfStmt", "WhileStmt",
+    "ForStmt", "ReturnStmt", "BreakStmt", "ContinueStmt",
+    "IntLit", "StrLit", "VarRef", "Index", "Call", "Unary", "Binary",
+]
+
+
+# ---- expressions ----
+
+@dataclass
+class IntLit:
+    value: int
+    line: int
+
+
+@dataclass
+class StrLit:
+    """String literal; only valid as the argument of print_str."""
+
+    value: str
+    line: int
+
+
+@dataclass
+class VarRef:
+    name: str
+    line: int
+
+
+@dataclass
+class Index:
+    base: "Expr"
+    index: "Expr"
+    line: int
+
+
+@dataclass
+class Call:
+    name: str
+    args: List["Expr"]
+    line: int
+
+
+@dataclass
+class Unary:
+    op: str  # '-', '!', '~'
+    operand: "Expr"
+    line: int
+
+
+@dataclass
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int
+
+
+Expr = object  # union of the expression dataclasses above
+
+
+# ---- statements ----
+
+@dataclass
+class Block:
+    statements: List["Stmt"]
+    line: int
+
+
+@dataclass
+class DeclStmt:
+    """Local declaration: ``int x;``, ``int x = e;`` or ``int a[N];``."""
+
+    name: str
+    array_size: Optional[int]
+    initializer: Optional[Expr]
+    line: int
+
+
+@dataclass
+class AssignStmt:
+    """``lvalue = expr;`` where lvalue is a VarRef or Index."""
+
+    target: Expr
+    value: Expr
+    line: int
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+    line: int
+
+
+@dataclass
+class IfStmt:
+    condition: Expr
+    then_body: "Stmt"
+    else_body: Optional["Stmt"]
+    line: int
+
+
+@dataclass
+class WhileStmt:
+    condition: Expr
+    body: "Stmt"
+    line: int
+
+
+@dataclass
+class ForStmt:
+    init: Optional["Stmt"]       # AssignStmt or ExprStmt (no declarations)
+    condition: Optional[Expr]
+    step: Optional["Stmt"]
+    body: "Stmt"
+    line: int
+
+
+@dataclass
+class ReturnStmt:
+    value: Optional[Expr]
+    line: int
+
+
+@dataclass
+class BreakStmt:
+    line: int
+
+
+@dataclass
+class ContinueStmt:
+    line: int
+
+
+Stmt = object  # union of the statement dataclasses above
+
+
+# ---- top level ----
+
+@dataclass
+class Param:
+    name: str
+    is_array: bool
+    line: int
+
+
+@dataclass
+class GlobalVar:
+    name: str
+    array_size: Optional[int]
+    initializer: Optional[int]          # scalar initialiser (literal)
+    array_init: Optional[List[int]]     # array initialiser list
+    line: int
+
+
+@dataclass
+class Function:
+    name: str
+    params: List[Param]
+    body: Block
+    line: int
+
+
+@dataclass
+class Program:
+    globals: List[GlobalVar] = field(default_factory=list)
+    functions: List[Function] = field(default_factory=list)

@@ -1,0 +1,522 @@
+"""MinC code generation to R32 assembly.
+
+Strategy: a *virtual register stack*.  Expression results live in the
+temporary registers ``t0..t9``; the expression at nesting depth ``d``
+evaluates into ``t<d>``.  When an expression is deeper than the pool,
+the partial result is spilled to the real stack around the deeper
+operand (``$k0`` is the reload scratch; ``$k1``/``$at`` stay free for
+the assembler's own pseudo expansions).
+
+Frame layout (word-aligned, grows down)::
+
+    caller: ... [argN-1] ... [arg1] [arg0]   <- pushed left-to-right
+            jal f
+    callee: [saved ra] [saved fp] [locals...]  <- fp = sp after prologue
+
+    local  at  fp + offset                  (0 <= offset < locals_size)
+    saved fp   fp + locals_size
+    saved ra   fp + locals_size + 4
+    arg i  at  fp + frame_size + 4*(arity-1-i)
+
+Calls save the live prefix of the temp pool, push arguments
+left-to-right, ``jal``, pop arguments, restore temps and move ``$v0``
+into the result register.  Builtins lower to syscalls (which preserve
+all registers except ``$v0`` in this VM).
+
+The generated code keeps scalar locals in memory and re-loads them on
+every use -- like ``gcc -O0`` rather than the paper's ``-O2``.  The
+value-pattern taxonomy the paper relies on is unchanged (induction
+variables still produce stride patterns, ``slt`` results are still
+almost constant); only the pattern *mix* shifts towards loads, which
+EXPERIMENTS.md discusses.
+
+With ``regalloc=True`` (the compiler's -O2 mode) the most-used scalar
+locals and parameters of each function are promoted to the
+callee-saved registers ``s0..s5``: parameters are loaded once in the
+prologue, reads and writes become register moves, and the used
+s-registers are saved/restored in a frame extension.  This is sound
+because MinC has no address-of operator -- a promoted scalar can never
+be reached through memory -- and because every function preserves the
+s-registers it touches, so promoted values survive calls.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.sema import Analysis, FunctionLayout, Symbol
+
+__all__ = ["generate"]
+
+_POOL = ("t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7", "t8", "t9")
+_SCRATCH = "k0"
+_SAVED_REGS = ("s0", "s1", "s2", "s3", "s4", "s5")
+
+_SYSCALL_CODES = {"print_int": 1, "print_str": 4, "exit": 10,
+                  "print_char": 11}
+
+_SIMPLE_BINOPS = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+    "&": "and", "|": "or", "^": "xor", "<<": "sllv", ">>": "srav",
+}
+
+_STRING_ESCAPES = {"\\": "\\\\", '"': '\\"', "\n": "\\n", "\t": "\\t",
+                   "\r": "\\r", "\0": "\\0"}
+
+
+class _CodeGen:
+    def __init__(self, program: ast.Program, analysis: Analysis,
+                 regalloc: bool = False):
+        self.program = program
+        self.analysis = analysis
+        self.regalloc = regalloc
+        self.lines: List[str] = []
+        self.strings: Dict[str, str] = {}
+        self.label_counter = 0
+        self.layout: Optional[FunctionLayout] = None
+        self.exit_label = ""
+        self.loop_stack: List[tuple] = []  # (break_label, continue_label)
+        self._sregs: Dict[Symbol, str] = {}
+        self._frame = 0
+
+    # -- emission helpers --
+
+    def emit(self, text: str) -> None:
+        self.lines.append(f"    {text}")
+
+    def emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def new_label(self, hint: str) -> str:
+        self.label_counter += 1
+        return f".L{hint}{self.label_counter}"
+
+    def string_label(self, text: str) -> str:
+        if text not in self.strings:
+            self.strings[text] = f".Lstr{len(self.strings)}"
+        return self.strings[text]
+
+    def push(self, reg: str) -> None:
+        self.emit("addi sp, sp, -4")
+        self.emit(f"sw {reg}, 0(sp)")
+
+    def pop(self, reg: str) -> None:
+        self.emit(f"lw {reg}, 0(sp)")
+        self.emit("addi sp, sp, 4")
+
+    # -- top level --
+
+    def generate(self) -> str:
+        self.lines.append(".text")
+        self.emit_label("__start")
+        self.emit("jal main")
+        self.emit("move a0, v0")
+        self.emit("li v0, 10")
+        self.emit("syscall")
+        for function in self.program.functions:
+            self.gen_function(function)
+        self._emit_data()
+        return "\n".join(self.lines) + "\n"
+
+    def _emit_data(self) -> None:
+        self.lines.append("")
+        self.lines.append(".data")
+        for global_var in self.program.globals:
+            symbol = self.analysis.globals[global_var.name]
+            self.emit_label(symbol.label)
+            if global_var.array_size is None:
+                self.emit(f".word {global_var.initializer or 0}")
+            elif global_var.array_init:
+                values = ", ".join(str(v) for v in global_var.array_init)
+                self.emit(f".word {values}")
+                remaining = global_var.array_size - len(global_var.array_init)
+                if remaining:
+                    self.emit(f".space {4 * remaining}")
+            else:
+                self.emit(f".space {4 * global_var.array_size}")
+        for text, label in self.strings.items():
+            escaped = "".join(_STRING_ESCAPES.get(ch, ch) for ch in text)
+            self.emit_label(label)
+            self.emit(f'.asciiz "{escaped}"')
+
+    # -- functions --
+
+    def gen_function(self, function: ast.Function) -> None:
+        self.layout = self.analysis.functions[function.name]
+        self.exit_label = self.new_label("exit_")
+        self._sregs = (self._promote_scalars(function) if self.regalloc
+                       else {})
+        save_area = 4 * len(self._sregs)
+        frame = self.layout.frame_size + save_area
+        self._frame = frame
+        self.lines.append("")
+        self.emit_label(function.name)
+        self.emit(f"addi sp, sp, -{frame}")
+        self.emit(f"sw ra, {frame - 4}(sp)")
+        self.emit(f"sw fp, {frame - 8}(sp)")
+        self.emit("move fp, sp")
+        # Save-area slots sit between the locals and the saved fp/ra.
+        save_base = self.layout.locals_size
+        for index, reg in enumerate(sorted(set(self._sregs.values()))):
+            self.emit(f"sw {reg}, {save_base + 4 * index}(fp)")
+        # Promoted parameters are loaded from their stack slots once.
+        for symbol, reg in self._sregs.items():
+            if symbol.kind == "param":
+                self.emit(f"lw {reg}, {self._arg_offset(symbol.offset)}(fp)")
+        self.gen_block(function.body)
+        self.emit("li v0, 0")  # default return value on fall-through
+        self.emit_label(self.exit_label)
+        for index, reg in enumerate(sorted(set(self._sregs.values()))):
+            self.emit(f"lw {reg}, {save_base + 4 * index}(fp)")
+        self.emit(f"lw ra, {frame - 4}(sp)")
+        self.emit(f"lw fp, {frame - 8}(sp)")
+        self.emit(f"addi sp, sp, {frame}")
+        self.emit("jr ra")
+
+    def _promote_scalars(self, function: ast.Function) -> Dict[Symbol, str]:
+        """Pick the most-used scalar locals/params for ``s0..s5``.
+
+        Sound because MinC scalars cannot be address-taken, and every
+        function saves/restores the s-registers it uses (so promoted
+        values survive calls).  Array *parameters* qualify too -- their
+        slot holds an address that MinC cannot reassign.
+        """
+        counts: Dict[Symbol, int] = {}
+
+        def credit(symbol: Optional[Symbol], weight: int = 1) -> None:
+            if symbol is None or symbol.kind == "global":
+                return
+            if symbol.is_array and symbol.kind != "param":
+                return  # in-frame arrays stay addressable memory
+            counts[symbol] = counts.get(symbol, 0) + weight
+
+        def walk(node) -> None:
+            if isinstance(node, ast.VarRef):
+                credit(self.analysis.resolutions.get(id(node)))
+                return
+            if isinstance(node, ast.DeclStmt):
+                credit(self.analysis.declarations.get(id(node)))
+                if node.initializer is not None:
+                    walk(node.initializer)
+                return
+            for field in vars(node).values():
+                if isinstance(field, list):
+                    for item in field:
+                        if hasattr(item, "line"):
+                            walk(item)
+                elif hasattr(field, "line"):
+                    walk(field)
+
+        walk(function.body)
+        # Promotion must beat its own overhead (save + restore, plus
+        # the prologue load for parameters); below ~4 static uses the
+        # frame slot is cheaper, especially for small leaf functions.
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0].name))
+        return {symbol: _SAVED_REGS[i]
+                for i, (symbol, count) in enumerate(ranked[:len(_SAVED_REGS)])
+                if count >= 4}
+
+    def _arg_offset(self, index: int) -> int:
+        """fp-relative offset of argument *index* (left-to-right push)."""
+        return self._frame + 4 * (self.layout.arity - 1 - index)
+
+    # -- statements --
+
+    def gen_block(self, block: ast.Block) -> None:
+        for statement in block.statements:
+            self.gen_statement(statement)
+
+    def gen_statement(self, statement) -> None:
+        if isinstance(statement, ast.Block):
+            self.gen_block(statement)
+        elif isinstance(statement, ast.DeclStmt):
+            if statement.initializer is not None:
+                symbol = self.analysis.declarations[id(statement)]
+                self.gen_expr(statement.initializer, 0)
+                self._store_scalar(symbol, "t0")
+        elif isinstance(statement, ast.AssignStmt):
+            self.gen_assign(statement)
+        elif isinstance(statement, ast.ExprStmt):
+            self.gen_expr_statement(statement.expr)
+        elif isinstance(statement, ast.IfStmt):
+            self.gen_if(statement)
+        elif isinstance(statement, ast.WhileStmt):
+            self.gen_while(statement)
+        elif isinstance(statement, ast.ForStmt):
+            self.gen_for(statement)
+        elif isinstance(statement, ast.ReturnStmt):
+            if statement.value is not None:
+                self.gen_expr(statement.value, 0)
+                self.emit("move v0, t0")
+            self.emit(f"b {self.exit_label}")
+        elif isinstance(statement, ast.BreakStmt):
+            self.emit(f"b {self.loop_stack[-1][0]}")
+        elif isinstance(statement, ast.ContinueStmt):
+            self.emit(f"b {self.loop_stack[-1][1]}")
+        else:  # pragma: no cover - sema rejects everything else
+            raise CompileError(
+                f"cannot generate {type(statement).__name__}", 0)
+
+    def gen_assign(self, statement: ast.AssignStmt) -> None:
+        target = statement.target
+        if isinstance(target, ast.VarRef):
+            symbol = self.analysis.resolve(target)
+            self.gen_expr(statement.value, 0)
+            self._store_scalar(symbol, "t0")
+        else:  # Index
+            self.gen_expr(statement.value, 0)
+            self.gen_element_address(target, 1)
+            self.emit(f"sw t0, 0({_POOL[1]})")
+
+    def _store_scalar(self, symbol: Symbol, reg: str) -> None:
+        sreg = self._sregs.get(symbol)
+        if sreg is not None:
+            self.emit(f"move {sreg}, {reg}")
+        elif symbol.kind == "local":
+            self.emit(f"sw {reg}, {symbol.offset}(fp)")
+        elif symbol.kind == "param":
+            self.emit(f"sw {reg}, {self._arg_offset(symbol.offset)}(fp)")
+        else:
+            self.emit(f"la {_SCRATCH}, {symbol.label}")
+            self.emit(f"sw {reg}, 0({_SCRATCH})")
+
+    def gen_expr_statement(self, expr) -> None:
+        if isinstance(expr, ast.Call) and expr.name in _SYSCALL_CODES:
+            self.gen_builtin(expr)
+        else:
+            self.gen_expr(expr, 0)
+
+    def gen_builtin(self, call: ast.Call) -> None:
+        if call.name == "print_str":
+            label = self.string_label(call.args[0].value)
+            self.emit(f"la a0, {label}")
+        else:
+            self.gen_expr(call.args[0], 0)
+            self.emit("move a0, t0")
+        self.emit(f"li v0, {_SYSCALL_CODES[call.name]}")
+        self.emit("syscall")
+
+    def gen_if(self, statement: ast.IfStmt) -> None:
+        else_label = self.new_label("else")
+        end_label = self.new_label("endif")
+        self.gen_expr(statement.condition, 0)
+        self.emit(f"beqz t0, {else_label}")
+        self.gen_statement(statement.then_body)
+        if statement.else_body is not None:
+            self.emit(f"b {end_label}")
+            self.emit_label(else_label)
+            self.gen_statement(statement.else_body)
+            self.emit_label(end_label)
+        else:
+            self.emit_label(else_label)
+
+    def gen_while(self, statement: ast.WhileStmt) -> None:
+        cond_label = self.new_label("while")
+        end_label = self.new_label("endwhile")
+        self.emit_label(cond_label)
+        self.gen_expr(statement.condition, 0)
+        self.emit(f"beqz t0, {end_label}")
+        self.loop_stack.append((end_label, cond_label))
+        self.gen_statement(statement.body)
+        self.loop_stack.pop()
+        self.emit(f"b {cond_label}")
+        self.emit_label(end_label)
+
+    def gen_for(self, statement: ast.ForStmt) -> None:
+        cond_label = self.new_label("for")
+        step_label = self.new_label("forstep")
+        end_label = self.new_label("endfor")
+        if statement.init is not None:
+            self.gen_statement(statement.init)
+        self.emit_label(cond_label)
+        if statement.condition is not None:
+            self.gen_expr(statement.condition, 0)
+            self.emit(f"beqz t0, {end_label}")
+        self.loop_stack.append((end_label, step_label))
+        self.gen_statement(statement.body)
+        self.loop_stack.pop()
+        self.emit_label(step_label)
+        if statement.step is not None:
+            self.gen_statement(statement.step)
+        self.emit(f"b {cond_label}")
+        self.emit_label(end_label)
+
+    # -- expressions --
+
+    def gen_expr(self, node, depth: int) -> None:
+        """Evaluate *node* into ``_POOL[depth]``."""
+        reg = _POOL[depth]
+        if isinstance(node, ast.IntLit):
+            self.emit(f"li {reg}, {node.value & 0xFFFFFFFF}")
+        elif isinstance(node, ast.VarRef):
+            symbol = self.analysis.resolve(node)
+            sreg = self._sregs.get(symbol)
+            if sreg is not None:
+                self.emit(f"move {reg}, {sreg}")
+            elif symbol.kind == "local":
+                self.emit(f"lw {reg}, {symbol.offset}(fp)")
+            elif symbol.kind == "param":
+                self.emit(f"lw {reg}, {self._arg_offset(symbol.offset)}(fp)")
+            else:
+                self.emit(f"la {reg}, {symbol.label}")
+                self.emit(f"lw {reg}, 0({reg})")
+        elif isinstance(node, ast.Index):
+            self.gen_element_address(node, depth)
+            self.emit(f"lw {reg}, 0({reg})")
+        elif isinstance(node, ast.Unary):
+            self.gen_expr(node.operand, depth)
+            if node.op == "-":
+                self.emit(f"sub {reg}, zero, {reg}")
+            elif node.op == "!":
+                self.emit(f"sltiu {reg}, {reg}, 1")
+            else:  # '~'
+                self.emit(f"nor {reg}, {reg}, zero")
+        elif isinstance(node, ast.Binary):
+            self.gen_binary(node, depth)
+        elif isinstance(node, ast.Call):
+            self.gen_call(node, depth)
+        else:  # pragma: no cover - sema rejects StrLit here
+            raise CompileError(
+                f"cannot generate {type(node).__name__}", 0)
+
+    def gen_array_base(self, symbol: Symbol, depth: int) -> None:
+        """Address of an array's first element into ``_POOL[depth]``."""
+        reg = _POOL[depth]
+        if symbol.kind == "global":
+            self.emit(f"la {reg}, {symbol.label}")
+        elif symbol.kind == "local":
+            self.emit(f"addi {reg}, fp, {symbol.offset}")
+        else:  # array parameter: the argument slot holds the address
+            sreg = self._sregs.get(symbol)
+            if sreg is not None:
+                self.emit(f"move {reg}, {sreg}")
+            else:
+                self.emit(f"lw {reg}, {self._arg_offset(symbol.offset)}(fp)")
+
+    def gen_element_address(self, node: ast.Index, depth: int) -> None:
+        """Address of ``base[index]`` into ``_POOL[depth]``."""
+        reg = _POOL[depth]
+        symbol = self.analysis.resolve(node.base)
+        self.gen_array_base(symbol, depth)
+        if depth + 1 < len(_POOL):
+            index_reg = _POOL[depth + 1]
+            self.gen_expr(node.index, depth + 1)
+            self.emit(f"sll {_SCRATCH}, {index_reg}, 2")
+            self.emit(f"add {reg}, {reg}, {_SCRATCH}")
+        else:
+            self.push(reg)
+            self.gen_expr(node.index, depth)
+            self.emit(f"sll {_SCRATCH}, {reg}, 2")
+            self.pop(reg)
+            self.emit(f"add {reg}, {reg}, {_SCRATCH}")
+
+    def gen_binary(self, node: ast.Binary, depth: int) -> None:
+        reg = _POOL[depth]
+        if node.op in ("&&", "||"):
+            self._gen_short_circuit(node, depth)
+            return
+        # Immediate forms for the common induction-variable idioms.
+        if isinstance(node.right, ast.IntLit):
+            imm = node.right.value
+            if node.op == "+" and -0x8000 <= imm < 0x8000:
+                self.gen_expr(node.left, depth)
+                self.emit(f"addi {reg}, {reg}, {imm}")
+                return
+            if node.op == "-" and -0x7FFF <= imm < 0x8000:
+                self.gen_expr(node.left, depth)
+                self.emit(f"addi {reg}, {reg}, {-imm}")
+                return
+            if node.op in ("<<", ">>") and 0 <= imm < 32:
+                self.gen_expr(node.left, depth)
+                shift_op = "sll" if node.op == "<<" else "sra"
+                self.emit(f"{shift_op} {reg}, {reg}, {imm}")
+                return
+        self.gen_expr(node.left, depth)
+        if depth + 1 < len(_POOL):
+            right_reg = _POOL[depth + 1]
+            self.gen_expr(node.right, depth + 1)
+            self._emit_binop(node.op, reg, reg, right_reg)
+        else:
+            self.push(reg)
+            self.gen_expr(node.right, depth)
+            self.pop(_SCRATCH)
+            self._emit_binop(node.op, reg, _SCRATCH, reg)
+
+    def _emit_binop(self, op: str, dest: str, left: str, right: str) -> None:
+        if op in _SIMPLE_BINOPS:
+            self.emit(f"{_SIMPLE_BINOPS[op]} {dest}, {left}, {right}")
+        elif op == "<":
+            self.emit(f"slt {dest}, {left}, {right}")
+        elif op == ">":
+            self.emit(f"slt {dest}, {right}, {left}")
+        elif op == "<=":
+            self.emit(f"slt {dest}, {right}, {left}")
+            self.emit(f"xori {dest}, {dest}, 1")
+        elif op == ">=":
+            self.emit(f"slt {dest}, {left}, {right}")
+            self.emit(f"xori {dest}, {dest}, 1")
+        elif op == "==":
+            self.emit(f"sub {dest}, {left}, {right}")
+            self.emit(f"sltiu {dest}, {dest}, 1")
+        elif op == "!=":
+            self.emit(f"sub {dest}, {left}, {right}")
+            self.emit(f"sltu {dest}, zero, {dest}")
+        else:  # pragma: no cover - parser's operator set is closed
+            raise CompileError(f"unknown operator {op!r}", 0)
+
+    def _gen_short_circuit(self, node: ast.Binary, depth: int) -> None:
+        reg = _POOL[depth]
+        end_label = self.new_label("sc_end")
+        if node.op == "&&":
+            short_label = self.new_label("sc_false")
+            self.gen_expr(node.left, depth)
+            self.emit(f"beqz {reg}, {short_label}")
+            self.gen_expr(node.right, depth)
+            self.emit(f"beqz {reg}, {short_label}")
+            self.emit(f"li {reg}, 1")
+            self.emit(f"b {end_label}")
+            self.emit_label(short_label)
+            self.emit(f"li {reg}, 0")
+        else:
+            short_label = self.new_label("sc_true")
+            self.gen_expr(node.left, depth)
+            self.emit(f"bnez {reg}, {short_label}")
+            self.gen_expr(node.right, depth)
+            self.emit(f"bnez {reg}, {short_label}")
+            self.emit(f"li {reg}, 0")
+            self.emit(f"b {end_label}")
+            self.emit_label(short_label)
+            self.emit(f"li {reg}, 1")
+        self.emit_label(end_label)
+
+    def gen_call(self, node: ast.Call, depth: int) -> None:
+        layout = self.analysis.functions[node.name]
+        # Save the live prefix of the temp pool.
+        for live in range(depth):
+            self.push(_POOL[live])
+        # Arguments: evaluate left-to-right at depth 0 (live temps are
+        # saved, so the whole pool is free), pushing each immediately.
+        for arg, param in zip(node.args, layout.params):
+            if param.is_array:
+                self.gen_array_base(self.analysis.resolve(arg), 0)
+            else:
+                self.gen_expr(arg, 0)
+            self.push("t0")
+        self.emit(f"jal {node.name}")
+        if node.args:
+            self.emit(f"addi sp, sp, {4 * len(node.args)}")
+        for live in reversed(range(depth)):
+            self.pop(_POOL[live])
+        self.emit(f"move {_POOL[depth]}, v0")
+
+
+def generate(program: ast.Program, analysis: Analysis,
+             regalloc: bool = False) -> str:
+    """Generate R32 assembly for an analysed MinC program.
+
+    ``regalloc=True`` promotes hot scalars to ``s0..s5`` (the -O2
+    mode); the default keeps every scalar in its frame slot (-O0).
+    """
+    return _CodeGen(program, analysis, regalloc=regalloc).generate()

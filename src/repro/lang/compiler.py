@@ -1,0 +1,36 @@
+"""MinC compiler entry points."""
+
+from __future__ import annotations
+
+from repro.asm import Program, assemble
+from repro.lang.codegen import generate
+from repro.lang.errors import CompileError
+from repro.lang.optimizer import optimize_assembly
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+__all__ = ["CompileError", "compile_source", "compile_to_program"]
+
+
+def compile_source(source: str, optimize: int = 0) -> str:
+    """Compile MinC source to R32 assembly text.
+
+    Optimisation levels:
+
+    - ``0`` -- plain stack-discipline output (every scalar in memory);
+    - ``1`` -- plus the peephole pass (store-load forwarding, dead-code
+      elimination, immediate fusion -- :mod:`repro.lang.optimizer`);
+    - ``2`` -- plus register allocation: hot scalars promoted to the
+      callee-saved registers ``s0..s5`` (the gcc ``-O2``-like mode).
+    """
+    program = parse(source)
+    analysis = analyze(program)
+    assembly = generate(program, analysis, regalloc=optimize >= 2)
+    if optimize >= 1:
+        assembly, _ = optimize_assembly(assembly)
+    return assembly
+
+
+def compile_to_program(source: str, optimize: int = 0) -> Program:
+    """Compile MinC source all the way to a loadable program image."""
+    return assemble(compile_source(source, optimize=optimize))

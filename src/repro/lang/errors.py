@@ -1,0 +1,13 @@
+"""MinC compilation errors."""
+
+from __future__ import annotations
+
+__all__ = ["CompileError"]
+
+
+class CompileError(ValueError):
+    """Any lexical, syntactic or semantic MinC error, with line info."""
+
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+        self.line = line

@@ -1,0 +1,126 @@
+"""MinC lexical analysis."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.errors import CompileError
+from repro.lang.tokens import KEYWORDS, SYMBOLS, Token
+
+__all__ = ["tokenize"]
+
+_CHAR_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn MinC source into a token list ending with an 'eof' token."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end < 0 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise CompileError("unterminated block comment", line)
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            start = i
+            if source.startswith("0x", i) or source.startswith("0X", i):
+                i += 2
+                while i < n and source[i] in "0123456789abcdefABCDEF":
+                    i += 1
+                tokens.append(Token("int_lit", int(source[start:i], 16), line))
+            else:
+                while i < n and source[i].isdigit():
+                    i += 1
+                if i < n and (source[i].isalpha() or source[i] == "_"):
+                    raise CompileError(
+                        f"bad numeric literal {source[start:i + 1]!r}", line)
+                tokens.append(Token("int_lit", int(source[start:i]), line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            word = source[start:i]
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, line))
+            continue
+        if ch == "'":
+            value, i = _char_literal(source, i, line)
+            tokens.append(Token("int_lit", value, line))
+            continue
+        if ch == '"':
+            value, i, line = _string_literal(source, i, line)
+            tokens.append(Token("string_lit", value, line))
+            continue
+        for symbol in SYMBOLS:
+            if source.startswith(symbol, i):
+                tokens.append(Token("symbol", symbol, line))
+                i += len(symbol)
+                break
+        else:
+            raise CompileError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", None, line))
+    return tokens
+
+
+def _char_literal(source: str, i: int, line: int):
+    """Parse a character literal starting at source[i] == \"'\"."""
+    i += 1
+    if i >= len(source):
+        raise CompileError("unterminated character literal", line)
+    if source[i] == "\\":
+        if i + 1 >= len(source):
+            raise CompileError("dangling escape", line)
+        try:
+            value = _CHAR_ESCAPES[source[i + 1]]
+        except KeyError:
+            raise CompileError(f"unknown escape \\{source[i + 1]}", line) from None
+        i += 2
+    else:
+        value = ord(source[i])
+        i += 1
+    if i >= len(source) or source[i] != "'":
+        raise CompileError("unterminated character literal", line)
+    return value, i + 1
+
+
+def _string_literal(source: str, i: int, line: int):
+    """Parse a string literal starting at source[i] == '\"'."""
+    i += 1
+    chars: List[str] = []
+    while i < len(source):
+        ch = source[i]
+        if ch == '"':
+            return "".join(chars), i + 1, line
+        if ch == "\n":
+            raise CompileError("newline in string literal", line)
+        if ch == "\\":
+            if i + 1 >= len(source):
+                break
+            try:
+                chars.append(chr(_CHAR_ESCAPES[source[i + 1]]))
+            except KeyError:
+                raise CompileError(
+                    f"unknown escape \\{source[i + 1]}", line) from None
+            i += 2
+            continue
+        chars.append(ch)
+        i += 1
+    raise CompileError("unterminated string literal", line)

@@ -1,0 +1,497 @@
+"""Peephole optimizer for the code generator's output.
+
+The paper's traces come from gcc ``-O2``; MinC's stack-discipline code
+generator is closer to ``-O0``.  This pass narrows the gap with
+classic, conservative peepholes over the generated assembly:
+
+- **store-load forwarding**: ``sw tX, off(fp)`` immediately followed by
+  ``lw tY, off(fp)`` becomes ``sw`` + ``move tY, tX`` (dropped entirely
+  when X == Y);
+- **redundant reload**: ``lw tX, off(fp)`` immediately followed by
+  ``lw tY, off(fp)`` of the same slot becomes a ``move``;
+- **branch-to-next elimination**: an unconditional ``b L`` (or any
+  conditional branch) whose target is the textually next instruction
+  is dropped;
+- **self-move elimination**: ``move tX, tX`` is dropped;
+- **push-pop collapse**: the exact 4-line
+  ``addi sp,sp,-4 / sw tX,0(sp) / lw tY,0(sp) / addi sp,sp,4`` window
+  becomes ``move tY, tX``.
+
+- **dead code elimination**: instructions strictly between an
+  unconditional ``b``/``j``/``jr`` and the next label are unreachable
+  and dropped;
+- **immediate fusion**: ``li tN, C`` immediately followed by an ALU
+  instruction using ``tN`` as a source collapses into the immediate
+  form (``slt``→``slti``, ``add``→``addi``, ``and``→``andi``, ...)
+  when C fits the immediate field.  Sound for this code generator:
+  a temp register is always (re)written by the expression evaluation
+  that will read it, so dropping the now-dead ``li`` cannot expose a
+  stale read;
+- **frame-slot register caching** (basic-block local): within a basic
+  block, a ``lw tY, off(fp)`` whose slot value is already known to live
+  in register ``tX`` (from an earlier ``sw``/``lw`` in the same block)
+  becomes ``move tY, tX``.  Sound because MinC has no address-of
+  operator: scalar frame slots can never be written through a pointer,
+  so only a direct ``sw`` to the slot, a write to the caching register,
+  or a block boundary (label, branch, call, syscall) invalidates the
+  cache.
+
+All patterns respect basic-block boundaries, so they cannot change
+behaviour on any control-flow path.  The pass runs to a fixpoint.  It
+only understands the idioms this compiler emits -- it is an optimizer
+for MinC output, not a general assembly optimizer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+__all__ = ["optimize_assembly", "OptimizationStats"]
+
+_SW_FP = re.compile(r"^\s*sw\s+(\w+),\s*(-?\d+)\(fp\)\s*$")
+_LW_FP = re.compile(r"^\s*lw\s+(\w+),\s*(-?\d+)\(fp\)\s*$")
+_BRANCH = re.compile(
+    r"^\s*(?:b|beq|bne|beqz|bnez|blez|bgtz|bltz|bgez)\s+.*?([.\w$]+)\s*$")
+_MOVE = re.compile(r"^\s*move\s+(\w+),\s*(\w+)\s*$")
+_LABEL = re.compile(r"^([.\w$]+):\s*$")
+_PUSH1 = re.compile(r"^\s*addi\s+sp,\s*sp,\s*-4\s*$")
+_PUSH2 = re.compile(r"^\s*sw\s+(\w+),\s*0\(sp\)\s*$")
+_POP1 = re.compile(r"^\s*lw\s+(\w+),\s*0\(sp\)\s*$")
+_POP2 = re.compile(r"^\s*addi\s+sp,\s*sp,\s*4\s*$")
+
+
+_UNCONDITIONAL = re.compile(r"^\s*(?:b\s+[.\w$]+|j\s+[.\w$]+|jr\s+\w+)\s*$")
+_BLOCK_ENDERS = re.compile(
+    r"^\s*(?:b|beq|bne|beqz|bnez|blez|bgtz|bltz|bgez|j|jal|jalr|jr|syscall)\b")
+# First operand is the destination for these mnemonics (sw/sh/sb and
+# branches excluded on purpose).
+_DEST_FIRST = re.compile(
+    r"^\s*(?:add|addi|sub|mul|mulh|div|rem|and|andi|or|ori|xor|xori|nor|"
+    r"slt|slti|sltu|sltiu|sll|srl|sra|sllv|srlv|srav|lui|li|la|move|not|"
+    r"neg|lw|lb|lbu|lh|lhu)\s+(\w+)")
+
+
+@dataclass
+class OptimizationStats:
+    """What the peephole pass changed."""
+
+    store_load_forwards: int = 0
+    redundant_reloads: int = 0
+    branches_to_next: int = 0
+    self_moves: int = 0
+    push_pop_pairs: int = 0
+    dead_instructions: int = 0
+    cached_reloads: int = 0
+    immediates_fused: int = 0
+    copies_fused: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.store_load_forwards + self.redundant_reloads
+                + self.branches_to_next + self.self_moves
+                + self.push_pop_pairs + self.dead_instructions
+                + self.cached_reloads + self.immediates_fused
+                + self.copies_fused)
+
+
+def _label_of(line: str) -> Optional[str]:
+    match = _LABEL.match(line.strip())
+    return match.group(1) if match else None
+
+
+def _is_code(line: str) -> bool:
+    stripped = line.strip()
+    return bool(stripped) and not stripped.startswith((".", "#"))
+
+
+def _one_pass(lines: List[str], stats: OptimizationStats) -> List[str]:
+    out: List[str] = []
+    i = 0
+    n = len(lines)
+    while i < n:
+        line = lines[i]
+        stripped = line.strip()
+
+        # Data segment and directives pass through untouched.
+        if stripped == ".data":
+            out.extend(lines[i:])
+            break
+
+        # move tX, tX
+        move = _MOVE.match(stripped)
+        if move and move.group(1) == move.group(2):
+            stats.self_moves += 1
+            i += 1
+            continue
+
+        # push-pop collapse (4-line window)
+        if (i + 3 < n and _PUSH1.match(lines[i].strip())
+                and _PUSH2.match(lines[i + 1].strip())
+                and _POP1.match(lines[i + 2].strip())
+                and _POP2.match(lines[i + 3].strip())):
+            src = _PUSH2.match(lines[i + 1].strip()).group(1)
+            dst = _POP1.match(lines[i + 2].strip()).group(1)
+            stats.push_pop_pairs += 1
+            if src != dst:
+                out.append(f"    move {dst}, {src}")
+            i += 4
+            continue
+
+        # store-load forwarding / redundant reload
+        if i + 1 < n:
+            next_stripped = lines[i + 1].strip()
+            store = _SW_FP.match(stripped)
+            load_next = _LW_FP.match(next_stripped)
+            if store and load_next and store.group(2) == load_next.group(2):
+                out.append(line)
+                stats.store_load_forwards += 1
+                if store.group(1) != load_next.group(1):
+                    out.append(f"    move {load_next.group(1)}, "
+                               f"{store.group(1)}")
+                i += 2
+                continue
+            load = _LW_FP.match(stripped)
+            if (load and load_next
+                    and load.group(2) == load_next.group(2)
+                    and load.group(1) != load_next.group(1)):
+                out.append(line)
+                out.append(f"    move {load_next.group(1)}, "
+                           f"{load.group(1)}")
+                stats.redundant_reloads += 1
+                i += 2
+                continue
+
+        # branch to the immediately following label
+        branch = _BRANCH.match(stripped)
+        if branch:
+            j = i + 1
+            while j < n and not _is_code(lines[j]) and not _label_of(lines[j]):
+                j += 1
+            labels = []
+            while j < n and _label_of(lines[j]):
+                labels.append(_label_of(lines[j]))
+                j += 1
+            if branch.group(1) in labels:
+                stats.branches_to_next += 1
+                i += 1
+                continue
+
+        out.append(line)
+        i += 1
+    return out
+
+
+_LI = re.compile(r"^\s*li\s+(t[0-9]),\s*(-?\d+)\s*$")
+_ALU3 = re.compile(r"^\s*(add|sub|and|or|xor|slt|sltu)\s+"
+                   r"(\w+),\s*(\w+),\s*(\w+)\s*$")
+# Immediate forms: mnemonic -> (imm mnemonic, signed?)
+_IMM_FORMS = {"add": ("addi", True), "and": ("andi", False),
+              "or": ("ori", False), "xor": ("xori", False),
+              "slt": ("slti", True), "sltu": ("sltiu", True)}
+
+
+def _fits(value: int, signed: bool) -> bool:
+    if signed:
+        return -0x8000 <= value <= 0x7FFF
+    return 0 <= value <= 0xFFFF
+
+
+def _immediate_fusion_pass(lines: List[str],
+                           stats: OptimizationStats) -> List[str]:
+    """Fuse ``li tN, C`` + ALU-using-tN into the immediate instruction."""
+    out: List[str] = []
+    i = 0
+    in_data = False
+    while i < len(lines):
+        line = lines[i]
+        if line.strip() == ".data":
+            in_data = True
+        load_imm = None if in_data else _LI.match(line.strip())
+        if load_imm and i + 1 < len(lines):
+            temp, value = load_imm.group(1), int(load_imm.group(2))
+            alu = _ALU3.match(lines[i + 1].strip())
+            if alu:
+                op, dest, src1, src2 = alu.groups()
+                fused = None
+                if op in _IMM_FORMS:
+                    imm_op, signed = _IMM_FORMS[op]
+                    if src2 == temp and src1 != temp and _fits(value, signed):
+                        fused = f"    {imm_op} {dest}, {src1}, {value}"
+                    elif (op in ("add", "and", "or", "xor")
+                          and src1 == temp and src2 != temp
+                          and _fits(value, signed)):
+                        fused = f"    {imm_op} {dest}, {src2}, {value}"
+                elif (op == "sub" and src2 == temp and src1 != temp
+                        and _fits(-value, True)):
+                    fused = f"    addi {dest}, {src1}, {-value}"
+                if fused:
+                    out.append(fused)
+                    stats.immediates_fused += 1
+                    i += 2
+                    continue
+        out.append(line)
+        i += 1
+    return out
+
+
+_TEMP = re.compile(r"^t[0-9]$")
+_INSTR = re.compile(r"^\s*([a-z]+)\s*(.*)$")
+_MEM_OPERAND = re.compile(r"^(-?\w*)\((\w+)\)$")
+
+# Which operand positions are register *sources*, per mnemonic.
+# 'D' = dest register, 'S' = source register, 'M' = off(base) memory
+# operand (base is a source), 'X' = non-register (imm/label/shamt).
+_OPERAND_SHAPES = {
+    "add": "DSS", "sub": "DSS", "mul": "DSS", "mulh": "DSS", "div": "DSS",
+    "rem": "DSS", "and": "DSS", "or": "DSS", "xor": "DSS", "nor": "DSS",
+    "slt": "DSS", "sltu": "DSS", "sllv": "DSS", "srlv": "DSS",
+    "srav": "DSS",
+    "addi": "DSX", "slti": "DSX", "sltiu": "DSX", "andi": "DSX",
+    "ori": "DSX", "xori": "DSX",
+    "sll": "DSX", "srl": "DSX", "sra": "DSX",
+    "move": "DS", "neg": "DS", "not": "DS",
+    "li": "DX", "la": "DX", "lui": "DX",
+    "lw": "DM", "lb": "DM", "lbu": "DM", "lh": "DM", "lhu": "DM",
+    "sw": "SM", "sh": "SM", "sb": "SM",
+    "beq": "SSX", "bne": "SSX",
+    "beqz": "SX", "bnez": "SX", "blez": "SX", "bgtz": "SX", "bltz": "SX",
+    "bgez": "SX",
+    "b": "X", "j": "X", "jal": "X", "jr": "S", "syscall": "",
+}
+
+
+def _parse_instr(line: str):
+    """(mnemonic, [operand, ...]) or None for labels/directives."""
+    stripped = line.strip()
+    if not _is_code(stripped) or _label_of(stripped):
+        return None
+    match = _INSTR.match(stripped)
+    if not match:
+        return None
+    operands = [op.strip() for op in match.group(2).split(",")] \
+        if match.group(2).strip() else []
+    return match.group(1), operands
+
+
+def _subst_sources(mnemonic: str, operands: List[str], old: str,
+                   new: str):
+    """Replace register *old* with *new* in source positions.
+
+    Returns (new operands, read_count) or None when the mnemonic is
+    unknown (no transformation is safe then).
+    """
+    shape = _OPERAND_SHAPES.get(mnemonic)
+    if shape is None or len(shape) != len(operands):
+        return None
+    substituted = list(operands)
+    reads = 0
+    for position, kind in enumerate(shape):
+        operand = operands[position]
+        if kind == "S" and operand == old:
+            substituted[position] = new
+            reads += 1
+        elif kind == "M":
+            mem = _MEM_OPERAND.match(operand)
+            if mem and mem.group(2) == old:
+                substituted[position] = f"{mem.group(1)}({new})"
+                reads += 1
+    return substituted, reads
+
+
+def _copy_fusion_pass(lines: List[str],
+                      stats: OptimizationStats) -> List[str]:
+    """Fuse adjacent register copies into their producer or consumer.
+
+    Pattern A (consumer fusion): ``move tX, R`` + an instruction
+    reading ``tX`` becomes the instruction with ``R`` substituted; the
+    move is dropped.  Pattern B (producer fusion): a dest-first
+    instruction writing ``tX`` + ``move R, tX`` becomes the instruction
+    writing ``R`` directly.  Both rely on the code generator's
+    invariant that a temp register is always rewritten by the
+    expression that will next read it, so the dropped ``tX`` value can
+    have no other reader.
+    """
+    out: List[str] = []
+    i = 0
+    in_data = False
+    while i < len(lines):
+        line = lines[i]
+        if line.strip() == ".data":
+            in_data = True
+        if in_data or i + 1 >= len(lines):
+            out.append(line)
+            i += 1
+            continue
+        this = _parse_instr(line)
+        following = _parse_instr(lines[i + 1])
+
+        # Pattern A: move tX, R ; I(reads tX, dest tX).  The consumer
+        # must *redefine* tX: then every later reader of tX sees the
+        # consumer's result exactly as in the unfused code, even if
+        # another pass has stretched tX's live range (the store-load
+        # forwarding and register-cache passes do).
+        if (this and this[0] == "move" and len(this[1]) == 2
+                and _TEMP.match(this[1][0]) and following
+                and this[1][0] != this[1][1]):
+            temp, source = this[1]
+            shape = _OPERAND_SHAPES.get(following[0], "")
+            redefines = (shape.startswith("D") and following[1]
+                         and following[1][0] == temp)
+            if redefines:
+                substituted = _subst_sources(following[0], following[1],
+                                             temp, source)
+                if substituted and substituted[1] > 0:
+                    out.append(f"    {following[0]} "
+                               + ", ".join(substituted[0]))
+                    stats.copies_fused += 1
+                    i += 2
+                    continue
+
+        # Pattern B: I(dest tX) ; move R, tX -- only for codegen's
+        # *terminal* moves, whose destination is never a temp (s-regs,
+        # v0, a0).  A temp-to-temp move may come from the forwarding or
+        # cache passes, where tX still has readers, so redirecting I's
+        # destination would drop a live write.
+        if (this and following and following[0] == "move"
+                and len(following[1]) == 2
+                and _TEMP.match(following[1][1])
+                and not _TEMP.match(following[1][0])
+                and following[1][0] != following[1][1]):
+            dest_shape = _OPERAND_SHAPES.get(this[0], "")
+            if (dest_shape.startswith("D") and this[1]
+                    and this[1][0] == following[1][1]):
+                rewritten = [following[1][0]] + this[1][1:]
+                out.append(f"    {this[0]} " + ", ".join(rewritten))
+                stats.copies_fused += 1
+                i += 2
+                continue
+
+        out.append(line)
+        i += 1
+    return out
+
+
+def _dead_code_pass(lines: List[str], stats: OptimizationStats) -> List[str]:
+    """Drop instructions between an unconditional jump and the next label."""
+    out: List[str] = []
+    unreachable = False
+    in_data = False
+    for line in lines:
+        stripped = line.strip()
+        if stripped == ".data":
+            in_data = True
+        if in_data:
+            out.append(line)
+            continue
+        if _label_of(line):
+            unreachable = False
+        if unreachable and _is_code(line):
+            stats.dead_instructions += 1
+            continue
+        out.append(line)
+        if _UNCONDITIONAL.match(stripped):
+            unreachable = True
+    return out
+
+
+def _register_cache_pass(lines: List[str],
+                         stats: OptimizationStats) -> List[str]:
+    """Basic-block-local caching of fp slots in registers.
+
+    Tracks, inside one basic block, which register last held each
+    ``off(fp)`` slot; later reloads of the slot become register moves.
+    MinC scalars are never address-taken, so only direct writes can
+    alter a slot (see the module docstring for the soundness argument).
+    """
+    out: List[str] = []
+    slot_in_reg: dict = {}   # offset -> register
+    reg_slots: dict = {}     # register -> set of offsets it caches
+    in_data = False
+
+    def invalidate_register(reg: str) -> None:
+        for offset in reg_slots.pop(reg, ()):
+            if slot_in_reg.get(offset) == reg:
+                del slot_in_reg[offset]
+
+    def bind(offset: str, reg: str) -> None:
+        previous = slot_in_reg.get(offset)
+        if previous is not None:
+            reg_slots.get(previous, set()).discard(offset)
+        slot_in_reg[offset] = reg
+        reg_slots.setdefault(reg, set()).add(offset)
+
+    for line in lines:
+        stripped = line.strip()
+        if stripped == ".data":
+            in_data = True
+        if in_data:
+            out.append(line)
+            continue
+        if _label_of(line) or not _is_code(line):
+            slot_in_reg.clear()
+            reg_slots.clear()
+            out.append(line)
+            continue
+
+        load = _LW_FP.match(stripped)
+        store = _SW_FP.match(stripped)
+        if load:
+            reg, offset = load.group(1), load.group(2)
+            cached = slot_in_reg.get(offset)
+            if cached is not None and cached != reg:
+                out.append(f"    move {reg}, {cached}")
+                stats.cached_reloads += 1
+                invalidate_register(reg)
+                bind(offset, reg)
+                continue
+            if cached == reg:
+                stats.cached_reloads += 1
+                continue  # value already there: drop the reload
+            invalidate_register(reg)
+            bind(offset, reg)
+            out.append(line)
+            continue
+        if store:
+            reg, offset = store.group(1), store.group(2)
+            bind(offset, reg)
+            out.append(line)
+            continue
+
+        if _BLOCK_ENDERS.match(stripped):
+            slot_in_reg.clear()
+            reg_slots.clear()
+            out.append(line)
+            continue
+
+        dest = _DEST_FIRST.match(stripped)
+        if dest:
+            invalidate_register(dest.group(1))
+        out.append(line)
+    return out
+
+
+def optimize_assembly(text: str, max_passes: int = 8):
+    """Run the peephole passes to a fixpoint.
+
+    Returns ``(optimized_text, stats)``.
+    """
+    lines = text.splitlines()
+    stats = OptimizationStats()
+    for _ in range(max_passes):
+        before = len(lines)
+        before_total = stats.total
+        lines = _one_pass(lines, stats)
+        lines = _dead_code_pass(lines, stats)
+        lines = _copy_fusion_pass(lines, stats)
+        lines = _immediate_fusion_pass(lines, stats)
+        if len(lines) == before and stats.total == before_total:
+            break
+    # The register-cache pass runs exactly once, after the fusion
+    # passes have converged: it stretches temp live ranges (it drops a
+    # reload because the value is still in a register), which would
+    # invalidate the dead-temp assumption the fusion passes rely on if
+    # they ran on its output.
+    lines = _register_cache_pass(lines, stats)
+    return "\n".join(lines) + "\n", stats

@@ -1,0 +1,43 @@
+"""MinC token definitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Token", "KEYWORDS", "SYMBOLS"]
+
+KEYWORDS = frozenset(
+    {"int", "void", "if", "else", "while", "for", "return",
+     "break", "continue"})
+
+# Multi-character symbols first so the lexer can match greedily.
+SYMBOLS = (
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+    "<", ">", "=", "(", ")", "{", "}", "[", "]", ";", ",",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One MinC token.
+
+    ``kind`` is one of: ``'int_lit'``, ``'string_lit'``, ``'ident'``,
+    ``'keyword'``, ``'symbol'``, ``'eof'``.  ``value`` holds the decoded
+    literal value / identifier text / symbol spelling.
+    """
+
+    kind: str
+    value: object
+    line: int
+
+    def is_symbol(self, spelling: str) -> bool:
+        return self.kind == "symbol" and self.value == spelling
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "keyword" and self.value == word
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics only
+        if self.kind == "eof":
+            return "end of input"
+        return repr(self.value)

@@ -1,0 +1,5 @@
+"""Value traces: the (PC, produced value) streams predictors consume."""
+
+from repro.trace.trace import ValueTrace
+
+__all__ = ["ValueTrace"]

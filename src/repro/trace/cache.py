@@ -1,0 +1,65 @@
+"""On-disk trace cache.
+
+Capturing a 100k-prediction trace takes a couple of seconds of VM time;
+the experiment harness re-reads traces dozens of times, so traces are
+cached as ``.npz`` under a cache directory (default
+``<repo>/.trace_cache``, overridable via ``REPRO_TRACE_CACHE``).  The
+cache key hashes the workload source, so editing a workload invalidates
+its entries automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import Optional
+
+from repro.trace.capture import capture_source
+from repro.trace.trace import ValueTrace
+from repro.workloads.registry import get_workload
+
+__all__ = ["cached_trace", "default_cache_dir", "clear_cache"]
+
+
+def default_cache_dir() -> Path:
+    env = os.environ.get("REPRO_TRACE_CACHE")
+    if env:
+        return Path(env)
+    return Path(__file__).resolve().parents[3] / ".trace_cache"
+
+
+def _cache_key(name: str, source: str, limit: Optional[int],
+               optimize: int = 0) -> str:
+    digest = hashlib.sha256(source.encode()).hexdigest()[:16]
+    suffix = f"-O{optimize}" if optimize else ""
+    return f"{name}-{limit or 'full'}-{digest}{suffix}"
+
+
+def cached_trace(name: str, limit: Optional[int] = 100_000,
+                 cache_dir: Optional[Path] = None,
+                 optimize: int = 0) -> ValueTrace:
+    """Trace of a registered workload, loaded from or saved to the cache."""
+    workload = get_workload(name)
+    directory = Path(cache_dir) if cache_dir else default_cache_dir()
+    path = directory / (_cache_key(name, workload.source, limit,
+                                   optimize) + ".npz")
+    if path.exists():
+        return ValueTrace.load(path)
+    trace = capture_source(workload.name, workload.source, limit,
+                           optimize=optimize)
+    directory.mkdir(parents=True, exist_ok=True)
+    trace.save(path)
+    return trace
+
+
+def clear_cache(cache_dir: Optional[Path] = None) -> int:
+    """Delete every cached trace; returns the number removed."""
+    directory = Path(cache_dir) if cache_dir else default_cache_dir()
+    if not directory.exists():
+        return 0
+    removed = 0
+    for path in directory.glob("*.npz"):
+        path.unlink()
+        removed += 1
+    return removed

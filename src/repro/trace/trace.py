@@ -1,0 +1,104 @@
+"""The value trace container.
+
+A trace is the dynamic stream of predicted instructions: per retired
+integer-register-producing, non-branch instruction, its PC and the
+32-bit value it wrote.  Stored as parallel numpy arrays for compactness
+and fast disk round-trips; the measurement loops consume plain Python
+lists (scalar indexing on lists is considerably faster than on numpy
+arrays), produced once by :meth:`ValueTrace.records`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ValueTrace"]
+
+
+@dataclass
+class TraceStats:
+    """Summary statistics of a trace (the Table 1 style numbers)."""
+
+    predictions: int
+    static_instructions: int
+    distinct_values: int
+
+
+class ValueTrace:
+    """An immutable (pc, value) stream with a name.
+
+    Parameters
+    ----------
+    name:
+        Benchmark name ('li', 'compress', ...).
+    pcs, values:
+        Parallel sequences; PCs are 4-byte aligned instruction
+        addresses, values the produced 32-bit words.  Both are stored
+        as ``uint32``.
+    """
+
+    def __init__(self, name: str, pcs: Sequence[int], values: Sequence[int]):
+        pcs_arr = np.asarray(pcs, dtype=np.int64).astype(np.uint32)
+        values_arr = np.asarray(values, dtype=np.int64).astype(np.uint32)
+        if pcs_arr.shape != values_arr.shape:
+            raise ValueError(
+                f"pcs and values lengths differ: {pcs_arr.shape} vs "
+                f"{values_arr.shape}")
+        if pcs_arr.ndim != 1:
+            raise ValueError("a trace is one-dimensional")
+        self.name = name
+        self.pcs = pcs_arr
+        self.values = values_arr
+        self._records: List[Tuple[int, int]] | None = None
+
+    def __len__(self) -> int:
+        return int(self.pcs.shape[0])
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(self.records())
+
+    def records(self) -> List[Tuple[int, int]]:
+        """The trace as a list of (pc, value) int pairs (cached)."""
+        if self._records is None:
+            self._records = list(zip(self.pcs.tolist(), self.values.tolist()))
+        return self._records
+
+    def head(self, n: int) -> "ValueTrace":
+        """A trace of the first *n* records (shares the name)."""
+        return ValueTrace(self.name, self.pcs[:n], self.values[:n])
+
+    def stats(self) -> TraceStats:
+        """Prediction count, static instruction count, distinct values."""
+        return TraceStats(
+            predictions=len(self),
+            static_instructions=int(np.unique(self.pcs).shape[0]),
+            distinct_values=int(np.unique(self.values).shape[0]),
+        )
+
+    @classmethod
+    def from_records(cls, name: str,
+                     records: Iterable[Tuple[int, int]]) -> "ValueTrace":
+        """Build a trace from an iterable of (pc, value) pairs."""
+        pcs: List[int] = []
+        values: List[int] = []
+        for pc, value in records:
+            pcs.append(pc & 0xFFFFFFFF)
+            values.append(value & 0xFFFFFFFF)
+        return cls(name, pcs, values)
+
+    def save(self, path) -> None:
+        """Write the trace to an ``.npz`` file."""
+        np.savez_compressed(path, name=np.array(self.name),
+                            pcs=self.pcs, values=self.values)
+
+    @classmethod
+    def load(cls, path) -> "ValueTrace":
+        """Read a trace written by :meth:`save`."""
+        with np.load(path, allow_pickle=False) as data:
+            return cls(str(data["name"]), data["pcs"], data["values"])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ValueTrace({self.name!r}, {len(self)} predictions)"

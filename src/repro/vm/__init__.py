@@ -1,0 +1,19 @@
+"""The R32 functional simulator (the SimpleScalar ``sim-safe`` stand-in).
+
+Executes assembled programs instruction by instruction, with no timing
+model, and can capture the value trace (PC, produced register value)
+that feeds the predictors.
+"""
+
+from repro.vm.errors import VMError, MemoryFault, ExecutionLimitExceeded
+from repro.vm.memory import Memory
+from repro.vm.machine import Machine, HALT_ADDRESS
+
+__all__ = [
+    "VMError",
+    "MemoryFault",
+    "ExecutionLimitExceeded",
+    "Memory",
+    "Machine",
+    "HALT_ADDRESS",
+]

@@ -1,0 +1,32 @@
+"""Fault types raised by the R32 simulator."""
+
+from __future__ import annotations
+
+__all__ = ["VMError", "MemoryFault", "ExecutionLimitExceeded",
+           "ArithmeticFault", "BadSyscall"]
+
+
+class VMError(Exception):
+    """Base class for simulator faults."""
+
+
+class MemoryFault(VMError):
+    """Unaligned or out-of-segment memory access."""
+
+
+class ArithmeticFault(VMError):
+    """Integer division or remainder by zero."""
+
+
+class BadSyscall(VMError):
+    """Unknown or malformed syscall."""
+
+
+class ExecutionLimitExceeded(VMError):
+    """The instruction budget ran out before the program exited.
+
+    Deliberately *not* always an error condition for tracing: the trace
+    capture layer catches it to truncate long-running workloads, the
+    same way the paper simulates "only the first 200 million
+    instructions".
+    """

@@ -1,0 +1,117 @@
+"""Sparse paged byte-addressable memory, little-endian.
+
+Pages are allocated on first touch, so a 4 GiB address space costs only
+what the program actually uses.  Word and halfword accesses must be
+naturally aligned (the compiler only emits aligned accesses; a fault
+here indicates a codegen or workload bug, which is exactly when we want
+a loud failure).
+"""
+
+from __future__ import annotations
+
+from repro.vm.errors import MemoryFault
+
+__all__ = ["Memory", "PAGE_SIZE"]
+
+PAGE_SIZE = 1 << 12
+_PAGE_MASK = PAGE_SIZE - 1
+_ADDR_MASK = 0xFFFFFFFF
+
+
+class Memory:
+    """Sparse 32-bit address space."""
+
+    def __init__(self):
+        self._pages: dict = {}
+
+    def _page(self, addr: int) -> bytearray:
+        page_id = addr >> 12
+        page = self._pages.get(page_id)
+        if page is None:
+            page = bytearray(PAGE_SIZE)
+            self._pages[page_id] = page
+        return page
+
+    # -- byte accessors --
+
+    def read_u8(self, addr: int) -> int:
+        addr &= _ADDR_MASK
+        page = self._pages.get(addr >> 12)
+        if page is None:
+            return 0
+        return page[addr & _PAGE_MASK]
+
+    def write_u8(self, addr: int, value: int) -> None:
+        addr &= _ADDR_MASK
+        self._page(addr)[addr & _PAGE_MASK] = value & 0xFF
+
+    # -- halfword accessors --
+
+    def read_u16(self, addr: int) -> int:
+        addr &= _ADDR_MASK
+        if addr & 1:
+            raise MemoryFault(f"unaligned halfword read at {addr:#010x}")
+        page = self._pages.get(addr >> 12)
+        if page is None:
+            return 0
+        offset = addr & _PAGE_MASK
+        return page[offset] | (page[offset + 1] << 8)
+
+    def write_u16(self, addr: int, value: int) -> None:
+        addr &= _ADDR_MASK
+        if addr & 1:
+            raise MemoryFault(f"unaligned halfword write at {addr:#010x}")
+        page = self._page(addr)
+        offset = addr & _PAGE_MASK
+        page[offset] = value & 0xFF
+        page[offset + 1] = (value >> 8) & 0xFF
+
+    # -- word accessors --
+
+    def read_u32(self, addr: int) -> int:
+        addr &= _ADDR_MASK
+        if addr & 3:
+            raise MemoryFault(f"unaligned word read at {addr:#010x}")
+        page = self._pages.get(addr >> 12)
+        if page is None:
+            return 0
+        offset = addr & _PAGE_MASK
+        return (page[offset] | (page[offset + 1] << 8)
+                | (page[offset + 2] << 16) | (page[offset + 3] << 24))
+
+    def write_u32(self, addr: int, value: int) -> None:
+        addr &= _ADDR_MASK
+        if addr & 3:
+            raise MemoryFault(f"unaligned word write at {addr:#010x}")
+        page = self._page(addr)
+        offset = addr & _PAGE_MASK
+        page[offset] = value & 0xFF
+        page[offset + 1] = (value >> 8) & 0xFF
+        page[offset + 2] = (value >> 16) & 0xFF
+        page[offset + 3] = (value >> 24) & 0xFF
+
+    # -- bulk helpers --
+
+    def write_bytes(self, addr: int, data: bytes) -> None:
+        """Copy a blob into memory (used by the loader)."""
+        for i, byte in enumerate(data):
+            self.write_u8(addr + i, byte)
+
+    def read_bytes(self, addr: int, length: int) -> bytes:
+        return bytes(self.read_u8(addr + i) for i in range(length))
+
+    def read_cstring(self, addr: int, limit: int = 1 << 16) -> str:
+        """Read a NUL-terminated string (for the print_string syscall)."""
+        chars = []
+        for i in range(limit):
+            byte = self.read_u8(addr + i)
+            if byte == 0:
+                return bytes(chars).decode("latin-1")
+            chars.append(byte)
+        raise MemoryFault(
+            f"unterminated string at {addr:#010x} (> {limit} bytes)")
+
+    @property
+    def resident_bytes(self) -> int:
+        """Touched memory in bytes (one page granularity)."""
+        return len(self._pages) * PAGE_SIZE

@@ -1,0 +1,52 @@
+"""R32 syscall interface (a small subset of the SPIM conventions).
+
+The syscall number is taken from ``$v0``; arguments from ``$a0``.
+
+====  =============  ======================================
+code  name           behaviour
+====  =============  ======================================
+1     print_int      append str($a0 as signed) to output
+4     print_string   append NUL-terminated string at $a0
+9     sbrk           grow the heap by $a0 bytes, old break -> $v0
+10    exit           stop execution, exit code in $a0
+11    print_char     append chr($a0 & 0xFF)
+====  =============  ======================================
+
+Syscall results (sbrk's ``$v0``) are *not* part of the value trace: the
+paper predicts ordinary integer instructions, not OS effects.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import to_s32
+from repro.vm.errors import BadSyscall
+
+__all__ = ["SYS_PRINT_INT", "SYS_PRINT_STRING", "SYS_SBRK", "SYS_EXIT",
+           "SYS_PRINT_CHAR", "do_syscall"]
+
+SYS_PRINT_INT = 1
+SYS_PRINT_STRING = 4
+SYS_SBRK = 9
+SYS_EXIT = 10
+SYS_PRINT_CHAR = 11
+
+
+def do_syscall(machine) -> bool:
+    """Execute one syscall on *machine*; True when the program exited."""
+    code = machine.regs[2]  # $v0
+    arg = machine.regs[4]   # $a0
+    if code == SYS_PRINT_INT:
+        machine.output.append(str(to_s32(arg)))
+    elif code == SYS_PRINT_STRING:
+        machine.output.append(machine.memory.read_cstring(arg))
+    elif code == SYS_SBRK:
+        machine.regs[2] = machine.brk
+        machine.brk = (machine.brk + arg) & 0xFFFFFFFF
+    elif code == SYS_EXIT:
+        machine.exit_code = to_s32(arg)
+        return True
+    elif code == SYS_PRINT_CHAR:
+        machine.output.append(chr(arg & 0xFF))
+    else:
+        raise BadSyscall(f"unknown syscall {code} at pc={machine.pc:#010x}")
+    return False

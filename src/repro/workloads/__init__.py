@@ -1,0 +1,13 @@
+"""Benchmark workloads: MinC mini-SPECint95 programs and synthetic traces.
+
+The paper evaluates on eight SPECint95 benchmarks (Table 1).  Each
+``spec_mini`` module is a MinC program mimicking the corresponding
+benchmark's kernel; :mod:`repro.workloads.registry` maps names to
+programs and :func:`repro.trace.capture.capture_trace` runs them on the
+VM to produce value traces.
+"""
+
+from repro.workloads.registry import (WORKLOADS, Workload, get_workload,
+                                      workload_names)
+
+__all__ = ["WORKLOADS", "Workload", "get_workload", "workload_names"]

@@ -1,0 +1,31 @@
+"""Shared MinC helper routines prepended to every workload.
+
+The PRNG is a classic 32-bit LCG (the constants of glibc's rand); the
+low-entropy low bits never leave the generator because only bits 16..30
+are returned.  Everything is deterministic: the same workload source
+always produces the same trace.
+"""
+
+PRELUDE = r"""
+int __rand_state = 123456789;
+
+int rand() {
+    __rand_state = __rand_state * 1103515245 + 12345;
+    return (__rand_state >> 16) & 32767;
+}
+
+int iabs(int x) {
+    if (x < 0) return -x;
+    return x;
+}
+
+int imin(int a, int b) {
+    if (a < b) return a;
+    return b;
+}
+
+int imax(int a, int b) {
+    if (a > b) return a;
+    return b;
+}
+"""

@@ -1,0 +1,62 @@
+"""Workload registry: the Table 1 of this reproduction.
+
+``SPEC_NAMES`` lists the eight benchmarks of the paper's Table 1 in the
+paper's order; ``WORKLOADS`` additionally carries ``norm`` (the
+Figure 5 microbenchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.workloads.spec_mini import (cc1, compress, go, ijpeg, li,
+                                       m88ksim, norm, perl, vortex)
+
+__all__ = ["Workload", "WORKLOADS", "SPEC_NAMES", "get_workload",
+           "workload_names"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark program."""
+
+    name: str
+    description: str
+    paper_options: str
+    source: str
+
+
+def _from_module(module) -> Workload:
+    return Workload(
+        name=module.NAME,
+        description=module.DESCRIPTION,
+        paper_options=module.PAPER_OPTIONS,
+        source=module.SOURCE,
+    )
+
+
+_MODULES = (compress, cc1, go, ijpeg, li, m88ksim, perl, vortex, norm)
+
+WORKLOADS: Dict[str, Workload] = {
+    module.NAME: _from_module(module) for module in _MODULES
+}
+
+# Paper Table 1 order.
+SPEC_NAMES: List[str] = [
+    "compress", "cc1", "go", "ijpeg", "li", "m88ksim", "perl", "vortex",
+]
+
+
+def get_workload(name: str) -> Workload:
+    """Lookup with a helpful error listing the known workloads."""
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+
+
+def workload_names() -> List[str]:
+    """All workload names: the SPEC suite plus 'norm'."""
+    return SPEC_NAMES + ["norm"]

@@ -1,0 +1,2 @@
+"""MinC mini-versions of the paper's eight SPECint95 benchmarks,
+plus the ``norm()`` kernel of Figure 5."""

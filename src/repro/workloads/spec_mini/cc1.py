@@ -1,0 +1,106 @@
+"""cc1_mini: expression tokenizer and recursive-descent evaluator
+(for 126.gcc / cc1).
+
+cc1 spends its time walking token streams and trees; this kernel
+synthesises arithmetic expressions as token arrays, then tokenizes and
+evaluates them with a recursive-descent parser over and over.  Pattern
+mix: recursion (deep call/return), token-stream scans, dispatch
+comparisons.
+"""
+
+from repro.workloads.prelude import PRELUDE
+
+NAME = "cc1"
+DESCRIPTION = "tokenize + recursively evaluate generated arithmetic expressions"
+PAPER_OPTIONS = "cccp.i"
+
+# Token encoding inside `toks`: 0..9999 literal value, 10000 '+',
+# 10001 '-', 10002 '*', 10003 '(', 10004 ')', 10005 end.
+SOURCE = PRELUDE + r"""
+int toks[2048];
+int ntoks = 0;
+int cursor = 0;
+
+int emit(int t) {
+    toks[ntoks] = t;
+    ntoks = ntoks + 1;
+    return t;
+}
+
+int gen_atom(int depth) {
+    if (depth > 0 && rand() % 3 == 0) {
+        emit(10003);
+        gen_expr(depth - 1);
+        emit(10004);
+        return 0;
+    }
+    emit(rand() % 100);
+    return 0;
+}
+
+int gen_expr(int depth) {
+    int terms = 1 + rand() % 4;
+    int t;
+    gen_atom(depth);
+    for (t = 1; t < terms; t = t + 1) {
+        int op = rand() % 3;
+        if (op == 0) emit(10000);
+        if (op == 1) emit(10001);
+        if (op == 2) emit(10002);
+        gen_atom(depth);
+    }
+    return 0;
+}
+
+int parse_atom() {
+    int t = toks[cursor];
+    if (t == 10003) {
+        int v;
+        cursor = cursor + 1;
+        v = parse_expr();
+        cursor = cursor + 1;
+        return v;
+    }
+    cursor = cursor + 1;
+    return t;
+}
+
+int parse_term() {
+    int v = parse_atom();
+    while (toks[cursor] == 10002) {
+        cursor = cursor + 1;
+        v = v * parse_atom();
+    }
+    return v;
+}
+
+int parse_expr() {
+    int v = parse_term();
+    while (toks[cursor] == 10000 || toks[cursor] == 10001) {
+        int op = toks[cursor];
+        cursor = cursor + 1;
+        if (op == 10000) v = v + parse_term();
+        else v = v - parse_term();
+    }
+    return v;
+}
+
+int main() {
+    int round;
+    int checksum = 0;
+    for (round = 0; round < 3000; round = round + 1) {
+        int pass;
+        ntoks = 0;
+        gen_expr(3);
+        emit(10005);
+        for (pass = 0; pass < 4; pass = pass + 1) {
+            cursor = 0;
+            checksum = checksum + parse_expr();
+        }
+    }
+    print_str("cc1: checksum=");
+    print_int(checksum);
+    print_char('\n');
+    return 0;
+}
+"""

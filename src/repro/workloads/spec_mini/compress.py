@@ -1,0 +1,98 @@
+"""compress_mini: run-length + dictionary compression (for 129.compress).
+
+SPEC's compress is LZW over a synthetic buffer; this kernel generates a
+run-structured byte buffer and compresses it with RLE plus a small
+hash-probed dictionary of recent byte pairs, then "decompresses" to
+verify.  Pattern mix: buffer-scan strides, run counters (small almost
+constant values), hash-table probes.
+"""
+
+from repro.workloads.prelude import PRELUDE
+
+NAME = "compress"
+DESCRIPTION = "RLE + pair-dictionary compression of a run-structured buffer"
+PAPER_OPTIONS = "80000 e 2131"
+
+SOURCE = PRELUDE + r"""
+int data[4096];
+int packed[8192];
+int dict_key[512];
+int dict_hits[512];
+
+int generate(int n) {
+    int i = 0;
+    while (i < n) {
+        int value = rand() % 256;
+        int run = 1 + rand() % 9;
+        int j;
+        for (j = 0; j < run && i < n; j = j + 1) {
+            data[i] = value;
+            i = i + 1;
+        }
+    }
+    return n;
+}
+
+int compress_buf(int n) {
+    int out = 0;
+    int i = 0;
+    while (i < n) {
+        int value = data[i];
+        int run = 1;
+        while (i + run < n && data[i + run] == value && run < 255) {
+            run = run + 1;
+        }
+        packed[out] = value;
+        packed[out + 1] = run;
+        out = out + 2;
+        if (i + 1 < n) {
+            int pair = data[i] * 256 + data[i + 1];
+            int slot = pair % 512;
+            if (dict_key[slot] == pair) {
+                dict_hits[slot] = dict_hits[slot] + 1;
+            } else {
+                dict_key[slot] = pair;
+                dict_hits[slot] = 1;
+            }
+        }
+        i = i + run;
+    }
+    return out;
+}
+
+int expand_check(int out, int n) {
+    int i = 0;
+    int pos = 0;
+    int bad = 0;
+    while (i < out) {
+        int value = packed[i];
+        int run = packed[i + 1];
+        int j;
+        for (j = 0; j < run; j = j + 1) {
+            if (data[pos + j] != value) bad = bad + 1;
+        }
+        pos = pos + run;
+        i = i + 2;
+    }
+    if (pos != n) bad = bad + 1;
+    return bad;
+}
+
+int main() {
+    int round;
+    int errors = 0;
+    int total_out = 0;
+    for (round = 0; round < 400; round = round + 1) {
+        int n = generate(4096);
+        int out = compress_buf(n);
+        errors = errors + expand_check(out, n);
+        total_out = total_out + out;
+    }
+    print_str("compress: packed_words=");
+    print_int(total_out);
+    print_str(" errors=");
+    print_int(errors);
+    print_char('\n');
+    return errors;
+}
+"""

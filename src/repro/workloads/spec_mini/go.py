@@ -1,0 +1,101 @@
+"""go_mini: board evaluation on a 19x19 Go board (for 099.go).
+
+SPEC's go interleaves move selection with whole-board influence and
+liberty analysis.  This kernel plays deterministic pseudo-random stones
+for both colours and, after every move, recomputes per-point influence
+(distance-weighted neighbour sums) and group liberties with
+flood-fill-free local scans.  Pattern mix: 2-D neighbour offsets
+(constant strides), bounded counters, many compare-branch results.
+"""
+
+from repro.workloads.prelude import PRELUDE
+
+NAME = "go"
+DESCRIPTION = "Go board influence + liberty scans while stones are played"
+PAPER_OPTIONS = "30 8"
+
+SOURCE = PRELUDE + r"""
+int board[361];
+int influence[361];
+int liberties[361];
+
+int at(int row, int col) {
+    if (row < 0 || row > 18 || col < 0 || col > 18) return -1;
+    return board[row * 19 + col];
+}
+
+int count_liberties(int row, int col) {
+    int libs = 0;
+    if (at(row - 1, col) == 0) libs = libs + 1;
+    if (at(row + 1, col) == 0) libs = libs + 1;
+    if (at(row, col - 1) == 0) libs = libs + 1;
+    if (at(row, col + 1) == 0) libs = libs + 1;
+    return libs;
+}
+
+int influence_of(int row, int col) {
+    int total = 0;
+    int dr;
+    for (dr = -2; dr <= 2; dr = dr + 1) {
+        int dc;
+        for (dc = -2; dc <= 2; dc = dc + 1) {
+            int stone = at(row + dr, col + dc);
+            if (stone > 0) {
+                int weight = 4 - iabs(dr) - iabs(dc);
+                if (weight > 0) {
+                    if (stone == 1) total = total + weight;
+                    else total = total - weight;
+                }
+            }
+        }
+    }
+    return total;
+}
+
+int sweep() {
+    int row;
+    int score = 0;
+    for (row = 0; row < 19; row = row + 1) {
+        int col;
+        for (col = 0; col < 19; col = col + 1) {
+            int point = row * 19 + col;
+            influence[point] = influence_of(row, col);
+            if (board[point] > 0) {
+                liberties[point] = count_liberties(row, col);
+                if (liberties[point] == 0) board[point] = 0;  /* capture */
+            }
+            score = score + influence[point];
+        }
+    }
+    return score;
+}
+
+int main() {
+    int move;
+    int colour = 1;
+    int score = 0;
+    int games;
+    for (games = 0; games < 6; games = games + 1) {
+        int p;
+        for (p = 0; p < 361; p = p + 1) board[p] = 0;
+        for (move = 0; move < 180; move = move + 1) {
+            int tries = 0;
+            while (tries < 16) {
+                int point = rand() % 361;
+                if (board[point] == 0) {
+                    board[point] = colour;
+                    tries = 99;
+                } else {
+                    tries = tries + 1;
+                }
+            }
+            colour = 3 - colour;
+            score = score + sweep();
+        }
+    }
+    print_str("go: score=");
+    print_int(score);
+    print_char('\n');
+    return 0;
+}
+"""

@@ -1,0 +1,115 @@
+"""ijpeg_mini: 8x8 integer DCT + quantisation (for 132.ijpeg).
+
+ijpeg's hot loops are blockwise forward DCTs and quantisation over
+image rasters.  This kernel fills a 64x64 image with a smooth synthetic
+gradient plus noise and repeatedly runs a separable integer DCT
+(AAN-style shifts/adds scaled by small constants), quantises, and
+accumulates the coded size.  Pattern mix: dense regular strides (row
+and column walks, block offsets), multiply-accumulate chains.
+"""
+
+from repro.workloads.prelude import PRELUDE
+
+NAME = "ijpeg"
+DESCRIPTION = "blockwise integer DCT + quantisation over a synthetic image"
+PAPER_OPTIONS = "-image_file vigo.ppm -GO"
+
+SOURCE = PRELUDE + r"""
+int image[4096];
+int block[64];
+int coeffs[64];
+int quant[64];
+
+int load_block(int bx, int by) {
+    int row;
+    for (row = 0; row < 8; row = row + 1) {
+        int col;
+        for (col = 0; col < 8; col = col + 1) {
+            block[row * 8 + col] = image[(by * 8 + row) * 64 + bx * 8 + col];
+        }
+    }
+    return 0;
+}
+
+int dct_rows() {
+    int row;
+    for (row = 0; row < 8; row = row + 1) {
+        int base = row * 8;
+        int k;
+        for (k = 0; k < 8; k = k + 1) {
+            int sum = 0;
+            int x;
+            for (x = 0; x < 8; x = x + 1) {
+                /* integer cosine table folded to shifts/adds */
+                int c = 64 - ((k * (2 * x + 1) * 7) % 128);
+                sum = sum + block[base + x] * c;
+            }
+            coeffs[base + k] = sum >> 6;
+        }
+    }
+    return 0;
+}
+
+int dct_cols() {
+    int col;
+    for (col = 0; col < 8; col = col + 1) {
+        int k;
+        for (k = 0; k < 8; k = k + 1) {
+            int sum = 0;
+            int y;
+            for (y = 0; y < 8; y = y + 1) {
+                int c = 64 - ((k * (2 * y + 1) * 7) % 128);
+                sum = sum + coeffs[y * 8 + col] * c;
+            }
+            block[k * 8 + col] = sum >> 6;
+        }
+    }
+    return 0;
+}
+
+int quantise() {
+    int bits = 0;
+    int i;
+    for (i = 0; i < 64; i = i + 1) {
+        int q = block[i] / quant[i];
+        block[i] = q;
+        if (q != 0) bits = bits + 8;
+        else bits = bits + 1;
+    }
+    return bits;
+}
+
+int main() {
+    int x;
+    int y;
+    int frame;
+    int coded = 0;
+    for (y = 0; y < 8; y = y + 1) {
+        for (x = 0; x < 8; x = x + 1) {
+            quant[y * 8 + x] = 1 + x + y * 2;
+        }
+    }
+    for (frame = 0; frame < 60; frame = frame + 1) {
+        int bx;
+        int by;
+        for (y = 0; y < 64; y = y + 1) {
+            for (x = 0; x < 64; x = x + 1) {
+                image[y * 64 + x] = ((x * 3 + y * 5 + frame * 11) % 256)
+                                  + rand() % 16;
+            }
+        }
+        for (by = 0; by < 8; by = by + 1) {
+            for (bx = 0; bx < 8; bx = bx + 1) {
+                load_block(bx, by);
+                dct_rows();
+                dct_cols();
+                coded = coded + quantise();
+            }
+        }
+    }
+    print_str("ijpeg: coded_bits=");
+    print_int(coded);
+    print_char('\n');
+    return 0;
+}
+"""

@@ -1,0 +1,64 @@
+"""li_mini: N-queens backtracking (for 130.li).
+
+The paper's li input is ``7queens.lsp`` -- xlisp solving 7-queens.  We
+keep the actual computation (the lisp interpreter's job reduces to the
+solver's recursion) as a MinC backtracking search, run for several
+board sizes repeatedly.  Pattern mix: recursion, column/diagonal array
+probes, induction variables over shrinking ranges.
+"""
+
+from repro.workloads.prelude import PRELUDE
+
+NAME = "li"
+DESCRIPTION = "N-queens backtracking search (the paper's 7queens.lsp input)"
+PAPER_OPTIONS = "7queens.lsp"
+
+SOURCE = PRELUDE + r"""
+int cols[16];
+int diag1[32];
+int diag2[32];
+int solutions = 0;
+int nodes = 0;
+
+int place(int row, int n) {
+    int col;
+    nodes = nodes + 1;
+    if (row == n) {
+        solutions = solutions + 1;
+        return 1;
+    }
+    for (col = 0; col < n; col = col + 1) {
+        if (cols[col] == 0
+                && diag1[row + col] == 0
+                && diag2[row - col + n] == 0) {
+            cols[col] = 1;
+            diag1[row + col] = 1;
+            diag2[row - col + n] = 1;
+            place(row + 1, n);
+            cols[col] = 0;
+            diag1[row + col] = 0;
+            diag2[row - col + n] = 0;
+        }
+    }
+    return 0;
+}
+
+int main() {
+    int round;
+    for (round = 0; round < 40; round = round + 1) {
+        int n;
+        for (n = 5; n <= 8; n = n + 1) {
+            int i;
+            for (i = 0; i < 16; i = i + 1) cols[i] = 0;
+            for (i = 0; i < 32; i = i + 1) { diag1[i] = 0; diag2[i] = 0; }
+            place(0, n);
+        }
+    }
+    print_str("li: solutions=");
+    print_int(solutions);
+    print_str(" nodes=");
+    print_int(nodes);
+    print_char('\n');
+    return 0;
+}
+"""

@@ -1,0 +1,112 @@
+"""m88ksim_mini: an instruction-set simulator simulating itself one
+level down (for 124.m88ksim).
+
+m88ksim is a Motorola 88100 simulator: a fetch-decode-dispatch loop
+over guest instructions.  This kernel interprets a tiny 8-register
+guest machine whose program -- a nested counting loop with memory
+traffic -- is itself data.  Pattern mix: the dispatch loop's opcode
+loads (small repeating values -> context patterns), the guest PC
+(stride 1 with resets), guest register values.
+"""
+
+from repro.workloads.prelude import PRELUDE
+
+NAME = "m88ksim"
+DESCRIPTION = "fetch/decode/execute loop of a tiny guest CPU"
+PAPER_OPTIONS = "-c < ctl.raw.lit"
+
+# Guest instruction encoding: op*1000000 + a*10000 + b*100 + c
+# ops: 0 halt, 1 li(a, bc), 2 add(a,b,c), 3 sub, 4 load(a, b+c),
+#      5 store(a, b+c), 6 jnz(a, target bc), 7 addi(a, b, signed c-50)
+SOURCE = PRELUDE + r"""
+int prog[64];
+int gregs[8];
+int gmem[256];
+int nprog = 0;
+
+int emit(int op, int a, int b, int c) {
+    prog[nprog] = op * 1000000 + a * 10000 + b * 100 + c;
+    nprog = nprog + 1;
+    return nprog;
+}
+
+int build_guest() {
+    /* r0=0 const; r1 outer counter; r2 inner counter; r3 sum;
+       r4 scratch; r5 memory cursor */
+    emit(1, 1, 0, 40);      /* 0: li r1, 40       */
+    emit(1, 3, 0, 0);       /* 1: li r3, 0        */
+    emit(1, 2, 0, 25);      /* 2: li r2, 25       outer: */
+    emit(1, 5, 0, 0);       /* 3: li r5, 0        */
+    emit(2, 3, 3, 2);       /* 4: add r3, r3, r2  inner: */
+    emit(5, 3, 5, 0);       /* 5: store r3 -> [r5]  */
+    emit(4, 4, 5, 0);       /* 6: load r4 <- [r5] */
+    emit(7, 5, 5, 51);      /* 7: addi r5, r5, 1  */
+    emit(7, 2, 2, 49);      /* 8: addi r2, r2, -1 */
+    emit(6, 2, 0, 4);       /* 9: jnz r2, inner   */
+    emit(7, 1, 1, 49);      /* 10: addi r1, r1, -1 */
+    emit(6, 1, 0, 2);       /* 11: jnz r1, outer  */
+    emit(0, 0, 0, 0);       /* 12: halt           */
+    return nprog;
+}
+
+int run_guest(int fuel) {
+    int pc = 0;
+    int executed = 0;
+    while (executed < fuel) {
+        int word = prog[pc];
+        int op = word / 1000000;
+        int a = (word / 10000) % 100;
+        int b = (word / 100) % 100;
+        int c = word % 100;
+        executed = executed + 1;
+        if (op == 0) {
+            return executed;
+        } else if (op == 1) {
+            gregs[a] = b * 100 + c;
+            pc = pc + 1;
+        } else if (op == 2) {
+            gregs[a] = gregs[b] + gregs[c];
+            pc = pc + 1;
+        } else if (op == 3) {
+            gregs[a] = gregs[b] - gregs[c];
+            pc = pc + 1;
+        } else if (op == 4) {
+            gmem_guard(b, c);
+            gregs[a] = gmem[(gregs[b] + c) % 256];
+            pc = pc + 1;
+        } else if (op == 5) {
+            gmem[(gregs[b] + c) % 256] = gregs[a];
+            pc = pc + 1;
+        } else if (op == 6) {
+            if (gregs[a] != 0) pc = b * 100 + c;
+            else pc = pc + 1;
+        } else {
+            gregs[a] = gregs[b] + c - 50;
+            pc = pc + 1;
+        }
+    }
+    return executed;
+}
+
+int gmem_guard(int b, int c) {
+    /* bookkeeping the real simulator does per memory access */
+    return (b + c) & 255;
+}
+
+int main() {
+    int total = 0;
+    int session;
+    build_guest();
+    for (session = 0; session < 500; session = session + 1) {
+        int r;
+        for (r = 0; r < 8; r = r + 1) gregs[r] = 0;
+        total = total + run_guest(100000);
+    }
+    print_str("m88ksim: guest_instructions=");
+    print_int(total);
+    print_str(" checksum=");
+    print_int(gregs[3]);
+    print_char('\n');
+    return 0;
+}
+"""

@@ -1,0 +1,60 @@
+"""norm: the paper's Figure 5 function, in fixed point.
+
+The paper uses this small routine -- scaling every matrix row by its
+maximum absolute value -- to demonstrate how stride patterns crowd the
+FCM level-2 table (Figure 6).  The original uses ``double``; MinC is
+integer-only, so values are fixed-point with a scale of 1000.  All the
+value patterns the paper highlights survive the substitution: the
+iteration variables i and j, the compiler-generated ``j*4`` and
+``&matrix[i][j]`` strides, and the almost-constant ``slt`` results from
+the comparisons.
+"""
+
+from repro.workloads.prelude import PRELUDE
+
+NAME = "norm"
+DESCRIPTION = "Figure 5: scale each matrix row by its max (fixed point)"
+PAPER_OPTIONS = "(paper section 2.4 microbenchmark)"
+
+SOURCE = PRELUDE + r"""
+int matrix[20000];   /* 200 x 100, row-major */
+
+int refill() {
+    int i;
+    for (i = 0; i < 200; i = i + 1) {
+        int j;
+        for (j = 0; j < 100; j = j + 1) {
+            matrix[i * 100 + j] = (rand() % 2001) - 1000;
+        }
+    }
+    return 0;
+}
+
+int norm() {
+    int i;
+    for (i = 0; i < 200; i = i + 1) {
+        int max = iabs(matrix[i * 100 + 99]);
+        int j;
+        for (j = 0; j < 99; j = j + 1) {
+            if (iabs(matrix[i * 100 + j]) > max) {
+                max = iabs(matrix[i * 100 + j]);
+            }
+        }
+        if (max == 0) max = 1;
+        for (j = 0; j < 100; j = j + 1) {
+            matrix[i * 100 + j] = matrix[i * 100 + j] * 1000 / max;
+        }
+    }
+    return 0;
+}
+
+int main() {
+    int round;
+    for (round = 0; round < 30; round = round + 1) {
+        refill();
+        norm();
+    }
+    print_str("norm: done\n");
+    return 0;
+}
+"""

@@ -1,0 +1,96 @@
+"""perl_mini: word scoring and hashing (for 134.perl).
+
+The paper's perl input is a scrabble solver script; its time goes into
+string traversal, hashing and associative lookups.  This kernel builds
+pseudo-random lowercase words, scores them with scrabble letter values,
+and counts occurrences in an open-addressing hash table.  Pattern mix:
+character loads (small values), per-word loop trip counts, hash-probe
+sequences.
+"""
+
+from repro.workloads.prelude import PRELUDE
+
+NAME = "perl"
+DESCRIPTION = "scrabble-scoring + hash counting of generated words"
+PAPER_OPTIONS = "scrabbl.pl < scrabbl7.in"
+
+SOURCE = PRELUDE + r"""
+int word[16];
+int letter_score[26] = {1, 3, 3, 2, 1, 4, 2, 4, 1, 8, 5, 1, 3,
+                        1, 1, 3, 10, 1, 1, 1, 1, 4, 4, 8, 4, 10};
+int table_key[1024];
+int table_count[1024];
+
+int make_word() {
+    int length = 3 + rand() % 7;
+    int i;
+    for (i = 0; i < length; i = i + 1) {
+        /* skew toward common letters, like English text */
+        int r = rand() % 100;
+        if (r < 40) word[i] = rand() % 6;            /* a..f-ish bucket */
+        else word[i] = rand() % 26;
+    }
+    return length;
+}
+
+int score_word(int length) {
+    int score = 0;
+    int i;
+    for (i = 0; i < length; i = i + 1) {
+        score = score + letter_score[word[i]];
+    }
+    if (length >= 7) score = score + 50;   /* bingo bonus */
+    return score;
+}
+
+int hash_word(int length) {
+    int h = 5381;
+    int i;
+    for (i = 0; i < length; i = i + 1) {
+        h = h * 33 + word[i];
+    }
+    return h & 1023;
+}
+
+int tally(int length) {
+    int key = 0;
+    int slot;
+    int probes = 0;
+    int i;
+    for (i = 0; i < length; i = i + 1) key = key * 26 + word[i];
+    key = key | 1;             /* 0 marks an empty slot */
+    slot = hash_word(length);
+    while (probes < 1024) {
+        if (table_key[slot] == key) {
+            table_count[slot] = table_count[slot] + 1;
+            return probes;
+        }
+        if (table_key[slot] == 0) {
+            table_key[slot] = key;
+            table_count[slot] = 1;
+            return probes;
+        }
+        slot = (slot + 1) & 1023;
+        probes = probes + 1;
+    }
+    return probes;
+}
+
+int main() {
+    int words;
+    int best = 0;
+    int total_probes = 0;
+    for (words = 0; words < 60000; words = words + 1) {
+        int length = make_word();
+        int score = score_word(length);
+        if (score > best) best = score;
+        total_probes = total_probes + tally(length);
+    }
+    print_str("perl: best=");
+    print_int(best);
+    print_str(" probes=");
+    print_int(total_probes);
+    print_char('\n');
+    return 0;
+}
+"""

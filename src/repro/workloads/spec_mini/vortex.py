@@ -1,0 +1,104 @@
+"""vortex_mini: an in-memory object store (for 147.vortex).
+
+vortex is an OO database doing inserts, lookups and deletes over
+linked record structures.  This kernel implements a record heap with a
+free list and a chained hash index (links as array indices), and runs
+a deterministic transaction mix.  Pattern mix: pointer(index)-chasing
+loads, allocation counters, key comparisons.
+"""
+
+from repro.workloads.prelude import PRELUDE
+
+NAME = "vortex"
+DESCRIPTION = "insert/lookup/delete transactions on a chained-hash object store"
+PAPER_OPTIONS = "vortex.ref.lit"
+
+SOURCE = PRELUDE + r"""
+int rec_key[2048];
+int rec_val[2048];
+int rec_next[2048];
+int buckets[256];
+int free_head = 0;
+int live = 0;
+
+int init_store() {
+    int i;
+    for (i = 0; i < 2048; i = i + 1) rec_next[i] = i + 1;
+    rec_next[2047] = -1;
+    for (i = 0; i < 256; i = i + 1) buckets[i] = -1;
+    free_head = 0;
+    live = 0;
+    return 0;
+}
+
+int insert(int key, int value) {
+    int slot = key & 255;
+    int node = free_head;
+    if (node == -1) return -1;
+    free_head = rec_next[node];
+    rec_key[node] = key;
+    rec_val[node] = value;
+    rec_next[node] = buckets[slot];
+    buckets[slot] = node;
+    live = live + 1;
+    return node;
+}
+
+int lookup(int key) {
+    int node = buckets[key & 255];
+    while (node != -1) {
+        if (rec_key[node] == key) return rec_val[node];
+        node = rec_next[node];
+    }
+    return -1;
+}
+
+int remove(int key) {
+    int slot = key & 255;
+    int node = buckets[slot];
+    int prev = -1;
+    while (node != -1) {
+        if (rec_key[node] == key) {
+            if (prev == -1) buckets[slot] = rec_next[node];
+            else rec_next[prev] = rec_next[node];
+            rec_next[node] = free_head;
+            free_head = node;
+            live = live - 1;
+            return 1;
+        }
+        prev = node;
+        node = rec_next[node];
+    }
+    return 0;
+}
+
+int main() {
+    int txn;
+    int hits = 0;
+    int misses = 0;
+    int removed = 0;
+    init_store();
+    for (txn = 0; txn < 120000; txn = txn + 1) {
+        int action = rand() % 10;
+        int key = rand() % 4096;
+        if (action < 4) {
+            if (lookup(key) == -1 && live < 2000) {
+                insert(key, txn);
+            }
+        } else if (action < 8) {
+            if (lookup(key) != -1) hits = hits + 1;
+            else misses = misses + 1;
+        } else {
+            removed = removed + remove(key);
+        }
+    }
+    print_str("vortex: live=");
+    print_int(live);
+    print_str(" hits=");
+    print_int(hits);
+    print_str(" removed=");
+    print_int(removed);
+    print_char('\n');
+    return 0;
+}
+"""

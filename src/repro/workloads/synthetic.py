@@ -1,0 +1,131 @@
+"""Synthetic value-trace generators with controlled pattern mixes.
+
+Real benchmark traces fix the proportion of constant, stride,
+context-repeating and random value patterns; these generators let
+experiments (and tests) dial the proportions explicitly.  Each
+generator produces the value stream of one synthetic static
+instruction; :func:`mixed_trace` interleaves a population of
+instructions drawn from a :class:`PatternMix`.
+
+All generators are deterministic given their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.core.types import MASK32
+from repro.trace.trace import ValueTrace
+
+__all__ = ["PatternMix", "constant_stream", "stride_stream",
+           "context_stream", "random_stream", "mixed_trace"]
+
+
+def constant_stream(value: int) -> Iterator[int]:
+    """The same value forever (a flag, a base pointer, an slt result)."""
+    value &= MASK32
+    while True:
+        yield value
+
+
+def stride_stream(start: int, stride: int,
+                  reset_period: int = 0) -> Iterator[int]:
+    """An arithmetic ramp; with ``reset_period`` n it restarts every n
+    values (a loop induction variable with a bounded trip count)."""
+    current = start & MASK32
+    emitted = 0
+    while True:
+        yield current
+        emitted += 1
+        if reset_period and emitted % reset_period == 0:
+            current = start & MASK32
+        else:
+            current = (current + stride) & MASK32
+
+
+def context_stream(pattern: List[int]) -> Iterator[int]:
+    """A repeating non-arithmetic pattern (FCM's home turf)."""
+    if not pattern:
+        raise ValueError("context pattern must be non-empty")
+    index = 0
+    while True:
+        yield pattern[index % len(pattern)] & MASK32
+        index += 1
+
+
+def random_stream(seed: int) -> Iterator[int]:
+    """Unpredictable 32-bit values (hash results, fresh pointers)."""
+    rng = random.Random(seed)
+    while True:
+        yield rng.getrandbits(32)
+
+
+@dataclass(frozen=True)
+class PatternMix:
+    """Proportions of synthetic instructions per pattern class.
+
+    The weights need not sum to one; they are normalised.  ``seed``
+    makes the whole population (and every stream in it) deterministic.
+    """
+
+    constant: float = 0.25
+    stride: float = 0.25
+    context: float = 0.25
+    random: float = 0.25
+    seed: int = 1
+
+    def __post_init__(self):
+        weights = (self.constant, self.stride, self.context, self.random)
+        if any(w < 0 for w in weights):
+            raise ValueError("mix weights must be non-negative")
+        if sum(weights) <= 0:
+            raise ValueError("at least one mix weight must be positive")
+
+    def _population(self, instructions: int):
+        """One (kind, stream) per synthetic static instruction."""
+        rng = random.Random(self.seed)
+        weights = [self.constant, self.stride, self.context, self.random]
+        kinds = rng.choices(["constant", "stride", "context", "random"],
+                            weights=weights, k=instructions)
+        streams = []
+        for index, kind in enumerate(kinds):
+            if kind == "constant":
+                streams.append(constant_stream(rng.getrandbits(32)))
+            elif kind == "stride":
+                streams.append(stride_stream(
+                    start=rng.getrandbits(32),
+                    stride=rng.choice([1, 2, 4, 8, -1, -4,
+                                       rng.randrange(1, 4096)]),
+                    reset_period=rng.choice([0, 0, 10, 100])))
+            elif kind == "context":
+                length = rng.randrange(3, 9)
+                pattern = [rng.getrandbits(16) for _ in range(length)]
+                streams.append(context_stream(pattern))
+            else:
+                streams.append(random_stream(rng.getrandbits(31) + index))
+        return kinds, streams
+
+
+def mixed_trace(mix: PatternMix, instructions: int = 64,
+                length: int = 10_000, name: str = "synthetic") -> ValueTrace:
+    """A trace interleaving *instructions* synthetic static PCs.
+
+    Instructions fire round-robin with per-instruction frequencies
+    drawn from a Zipf-ish distribution, mimicking the skewed execution
+    counts of real static instructions.
+    """
+    if instructions < 1:
+        raise ValueError("need at least one synthetic instruction")
+    if length < 1:
+        raise ValueError("trace length must be positive")
+    kinds, streams = mix._population(instructions)
+    rng = random.Random(mix.seed ^ 0x5DEECE66D)
+    # Zipf-ish instruction frequencies: weight 1/rank.
+    weights = [1.0 / (rank + 1) for rank in range(instructions)]
+    choices = rng.choices(range(instructions), weights=weights, k=length)
+    base_pc = 0x0040_0000
+    pcs = [base_pc + 4 * index for index in choices]
+    values = [next(streams[index]) for index in choices]
+    return ValueTrace(name, pcs, values)

@@ -1,0 +1,181 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.asm.assembler import (DATA_BASE, TEXT_BASE, AssemblyError,
+                                 Program, assemble)
+from repro.isa.instruction import Instruction
+
+
+class TestBasicAssembly:
+    def test_single_instruction(self):
+        program = assemble("add t0, t1, t2")
+        assert program.instructions == [Instruction("add", rd=8, rs=9, rt=10)]
+        assert program.text_base == TEXT_BASE
+
+    def test_labels_get_addresses(self):
+        program = assemble("""
+        .text
+        main:
+            nop
+        loop:
+            nop
+        """)
+        assert program.symbols["main"] == TEXT_BASE
+        assert program.symbols["loop"] == TEXT_BASE + 4
+
+    def test_entry_prefers_start_then_main(self):
+        assert assemble("main: nop").entry == TEXT_BASE
+        program = assemble("""
+        pad: nop
+        __start: nop
+        main: nop
+        """)
+        assert program.entry == program.symbols["__start"]
+
+    def test_forward_branch_resolves(self):
+        program = assemble("""
+        main:
+            beq t0, t1, done
+            nop
+        done:
+            nop
+        """)
+        # Displacement from main+4 to done = 1 instruction.
+        assert program.instructions[0].imm == 1
+
+    def test_backward_branch_resolves(self):
+        program = assemble("""
+        loop:
+            nop
+            bne t0, t1, loop
+        """)
+        assert program.instructions[1].imm == -2
+
+    def test_jump_target_field(self):
+        program = assemble("""
+        main:
+            j main
+        """)
+        assert program.instructions[0].target == TEXT_BASE >> 2
+
+    def test_pseudo_expansion_inline(self):
+        program = assemble("li t0, 0x12345678")
+        assert [i.mnemonic for i in program.instructions] == ["lui", "ori"]
+
+    def test_la_resolves_data_address(self):
+        program = assemble("""
+        .data
+        x: .word 7
+        .text
+        main: la t0, x
+        """)
+        lui, ori = program.instructions
+        address = (lui.imm << 16) | (ori.imm & 0xFFFF)
+        assert address == program.symbols["x"] == DATA_BASE
+
+
+class TestDataSegment:
+    def test_word_values(self):
+        program = assemble("""
+        .data
+        v: .word 1, -1, 0x10
+        """)
+        assert program.data[0:4] == (1).to_bytes(4, "little")
+        assert program.data[4:8] == (0xFFFFFFFF).to_bytes(4, "little")
+        assert program.data[8:12] == (16).to_bytes(4, "little")
+
+    def test_word_of_label(self):
+        program = assemble("""
+        .data
+        a: .word 7
+        p: .word a
+        """)
+        assert int.from_bytes(program.data[4:8], "little") == DATA_BASE
+
+    def test_asciiz(self):
+        program = assemble('.data\ns: .asciiz "hi"')
+        assert bytes(program.data[:3]) == b"hi\x00"
+
+    def test_ascii_no_terminator(self):
+        program = assemble('.data\ns: .ascii "hi"')
+        assert len(program.data) == 2
+
+    def test_escapes_in_strings(self):
+        program = assemble('.data\ns: .asciiz "a\\n\\t\\0"')
+        assert bytes(program.data[:5]) == b"a\n\t\x00\x00"
+
+    def test_space_reserves_zeroed(self):
+        program = assemble(".data\nbuf: .space 8\nx: .word 1")
+        assert program.symbols["x"] == DATA_BASE + 8
+        assert bytes(program.data[:8]) == bytes(8)
+
+    def test_align(self):
+        program = assemble("""
+        .data
+        b: .byte 1
+        .align 2
+        w: .word 2
+        """)
+        assert program.symbols["w"] == DATA_BASE + 4
+
+    def test_word_auto_aligns_after_string(self):
+        program = assemble("""
+        .data
+        s: .asciiz "abc"
+        w: .word 5
+        """)
+        assert program.symbols["w"] % 4 == 0
+        offset = program.symbols["w"] - DATA_BASE
+        assert int.from_bytes(program.data[offset:offset + 4], "little") == 5
+
+    def test_half_and_byte(self):
+        program = assemble(".data\nh: .half 0x1234\nb: .byte 0xFF")
+        assert program.data[0:2] == (0x1234).to_bytes(2, "little")
+        assert program.data[2] == 0xFF
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblyError, match="unknown instruction"):
+            assemble("frobnicate t0")
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblyError, match="unknown directive"):
+            assemble(".fnord 1")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("x: nop\nx: nop")
+
+    def test_unresolved_branch_target(self):
+        with pytest.raises(AssemblyError, match="cannot resolve"):
+            assemble("beq t0, t1, nowhere")
+
+    def test_line_number_in_error(self):
+        with pytest.raises(AssemblyError, match="line 3"):
+            assemble("nop\nnop\nbadop t0")
+
+    def test_data_directive_in_text(self):
+        with pytest.raises(AssemblyError, match="outside the .data"):
+            assemble(".text\n.word 5")
+
+    def test_instruction_in_data(self):
+        with pytest.raises(AssemblyError, match="outside the .text"):
+            assemble(".data\nadd t0, t1, t2")
+
+    def test_immediate_overflow(self):
+        with pytest.raises(AssemblyError, match="does not fit"):
+            assemble("addi t0, t0, 40000")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add t0, t1")
+
+
+class TestDisassembly:
+    def test_listing(self):
+        program = assemble("main: add t0, t1, t2\nnop")
+        listing = program.disassemble().splitlines()
+        assert listing[0] == f"{TEXT_BASE:#010x}: add t0, t1, t2"
+        assert "sll zero, zero, 0" in listing[1]

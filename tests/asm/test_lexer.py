@@ -1,0 +1,70 @@
+"""Tests for the assembly lexer."""
+
+import pytest
+
+from repro.asm.lexer import LexError, lex_line
+
+
+class TestLexLine:
+    def test_plain_instruction(self):
+        line = lex_line("add t0, t1, t2", 1)
+        assert line.opcode == "add"
+        assert line.operands == ["t0", "t1", "t2"]
+        assert line.labels == []
+
+    def test_label_and_instruction(self):
+        line = lex_line("loop: addi t0, t0, 1", 1)
+        assert line.labels == ["loop"]
+        assert line.opcode == "addi"
+
+    def test_multiple_labels(self):
+        line = lex_line("a: b: nop", 1)
+        assert line.labels == ["a", "b"]
+        assert line.opcode == "nop"
+
+    def test_label_only(self):
+        line = lex_line("done:", 1)
+        assert line.labels == ["done"] and line.opcode is None
+
+    def test_comments_stripped(self):
+        assert lex_line("  # just a comment", 1).empty
+        line = lex_line("add t0, t1, t2 # sum", 1)
+        assert line.operands == ["t0", "t1", "t2"]
+        line = lex_line("nop // c-style", 1)
+        assert line.opcode == "nop" and line.operands == []
+
+    def test_hash_inside_string_preserved(self):
+        line = lex_line('.asciiz "a#b"', 1)
+        assert line.operands == ['"a#b"']
+
+    def test_comma_inside_string_preserved(self):
+        line = lex_line('.asciiz "a,b", "c"', 1)
+        assert line.operands == ['"a,b"', '"c"']
+
+    def test_memory_operand_kept_whole(self):
+        line = lex_line("lw t0, 4(sp)", 1)
+        assert line.operands == ["t0", "4(sp)"]
+
+    def test_empty_line(self):
+        assert lex_line("", 1).empty
+        assert lex_line("   \t ", 1).empty
+
+    def test_opcode_lowercased(self):
+        assert lex_line("ADD t0, t1, t2", 1).opcode == "add"
+
+    def test_empty_operand_rejected(self):
+        with pytest.raises(LexError, match="empty operand"):
+            lex_line("add t0,, t2", 1)
+
+    def test_digit_label_rejected(self):
+        with pytest.raises(LexError, match="starts with a digit"):
+            lex_line("1loop: nop", 1)
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            lex_line('.asciiz "oops', 3)
+
+    def test_directive_is_opcode(self):
+        line = lex_line(".word 1, 2, 3", 1)
+        assert line.opcode == ".word"
+        assert line.operands == ["1", "2", "3"]

@@ -1,0 +1,82 @@
+"""Tests for operand parsing and symbol resolution."""
+
+import pytest
+
+from repro.asm.operands import (OperandError, parse_immediate,
+                                parse_memory_operand, parse_register,
+                                resolve_value)
+
+
+class TestParseImmediate:
+    def test_decimal(self):
+        assert parse_immediate("42") == 42
+        assert parse_immediate("-7") == -7
+
+    def test_hex_and_binary(self):
+        assert parse_immediate("0x10") == 16
+        assert parse_immediate("0b101") == 5
+
+    def test_char_literals(self):
+        assert parse_immediate("'a'") == 97
+        assert parse_immediate("'\\n'") == 10
+        assert parse_immediate("'\\0'") == 0
+
+    def test_symbolic_returns_none(self):
+        assert parse_immediate("loop") is None
+
+    def test_bad_char_literal(self):
+        with pytest.raises(OperandError):
+            parse_immediate("'ab'")
+        with pytest.raises(OperandError):
+            parse_immediate("'\\q'")
+
+
+class TestResolveValue:
+    SYMBOLS = {"arr": 0x10000010, "main": 0x400000}
+
+    def test_literal_passthrough(self):
+        assert resolve_value("5", self.SYMBOLS) == 5
+
+    def test_label(self):
+        assert resolve_value("arr", self.SYMBOLS) == 0x10000010
+
+    def test_label_arithmetic(self):
+        assert resolve_value("arr+8", self.SYMBOLS) == 0x10000018
+        assert resolve_value("arr-4", self.SYMBOLS) == 0x1000000C
+
+    def test_hi_lo_relocations(self):
+        assert resolve_value("%hi(arr)", self.SYMBOLS) == 0x1000
+        assert resolve_value("%lo(arr)", self.SYMBOLS) == 0x0010
+
+    def test_unknown_symbol(self):
+        with pytest.raises(OperandError, match="cannot resolve"):
+            resolve_value("nope", self.SYMBOLS)
+
+
+class TestParseMemoryOperand:
+    def test_plain(self):
+        assert parse_memory_operand("4(sp)", {}) == (4, 29)
+
+    def test_no_offset(self):
+        assert parse_memory_operand("(t0)", {}) == (0, 8)
+
+    def test_negative_offset(self):
+        assert parse_memory_operand("-8(fp)", {}) == (-8, 30)
+
+    def test_symbolic_offset(self):
+        assert parse_memory_operand("off(t1)", {"off": 12}) == (12, 9)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(OperandError):
+            parse_memory_operand("t0", {})
+        with pytest.raises(OperandError):
+            parse_memory_operand("4(nope)", {})
+
+
+class TestParseRegister:
+    def test_ok(self):
+        assert parse_register(" t0 ") == 8
+
+    def test_error_type(self):
+        with pytest.raises(OperandError):
+            parse_register("x19")

@@ -1,0 +1,87 @@
+"""Tests for pseudo-instruction expansion."""
+
+import pytest
+
+from repro.asm.operands import OperandError
+from repro.asm.pseudo import expand_pseudo
+
+
+class TestExpandPseudo:
+    def test_nop(self):
+        assert expand_pseudo("nop", []) == [("sll", ["zero", "zero", "0"])]
+
+    def test_move(self):
+        assert expand_pseudo("move", ["t0", "t1"]) == [("add", ["t0", "t1", "zero"])]
+
+    def test_li_small_positive(self):
+        assert expand_pseudo("li", ["t0", "5"]) == [("addi", ["t0", "zero", "5"])]
+
+    def test_li_small_negative(self):
+        assert expand_pseudo("li", ["t0", "-3"]) == [("addi", ["t0", "zero", "-3"])]
+
+    def test_li_unsigned_16bit(self):
+        # 0x9000 doesn't fit signed 16-bit but does fit ori.
+        assert expand_pseudo("li", ["t0", "0x9000"]) == [("ori", ["t0", "zero", "36864"])]
+
+    def test_li_wide(self):
+        expansion = expand_pseudo("li", ["t0", "0x12345678"])
+        assert expansion == [("lui", ["t0", str(0x1234)]),
+                             ("ori", ["t0", "t0", str(0x5678)])]
+
+    def test_li_wide_zero_low_half_is_single_lui(self):
+        assert expand_pseudo("li", ["t0", "0x10000"]) == [("lui", ["t0", "1"])]
+
+    def test_li_wraps_negative_wide(self):
+        expansion = expand_pseudo("li", ["t0", str(-0x12345678)])
+        assert expansion[0][0] == "lui"
+
+    def test_la(self):
+        expansion = expand_pseudo("la", ["t0", "arr"])
+        assert expansion == [("lui", ["t0", "%hi(arr)"]),
+                             ("ori", ["t0", "t0", "%lo(arr)"])]
+
+    def test_branch_zero_forms(self):
+        assert expand_pseudo("beqz", ["t0", "done"]) == [("beq", ["t0", "zero", "done"])]
+        assert expand_pseudo("bnez", ["t0", "loop"]) == [("bne", ["t0", "zero", "loop"])]
+        assert expand_pseudo("b", ["out"]) == [("beq", ["zero", "zero", "out"])]
+
+    def test_blt_registers(self):
+        assert expand_pseudo("blt", ["t0", "t1", "l"]) == [
+            ("slt", ["at", "t0", "t1"]), ("bne", ["at", "zero", "l"])]
+
+    def test_bge_registers(self):
+        assert expand_pseudo("bge", ["t0", "t1", "l"]) == [
+            ("slt", ["at", "t0", "t1"]), ("beq", ["at", "zero", "l"])]
+
+    def test_bgt_swaps_operands(self):
+        assert expand_pseudo("bgt", ["t0", "t1", "l"]) == [
+            ("slt", ["at", "t1", "t0"]), ("bne", ["at", "zero", "l"])]
+
+    def test_blt_with_immediate(self):
+        expansion = expand_pseudo("blt", ["t0", "4", "l"])
+        assert expansion == [
+            ("addi", ["at", "zero", "4"]),
+            ("slt", ["at", "t0", "at"]),
+            ("bne", ["at", "zero", "l"]),
+        ]
+
+    def test_subi(self):
+        assert expand_pseudo("subi", ["t0", "t1", "4"]) == [("addi", ["t0", "t1", "-4"])]
+
+    def test_not_and_neg(self):
+        assert expand_pseudo("not", ["t0", "t1"]) == [("nor", ["t0", "t1", "zero"])]
+        assert expand_pseudo("neg", ["t0", "t1"]) == [("sub", ["t0", "zero", "t1"])]
+
+    def test_arity_errors(self):
+        with pytest.raises(OperandError):
+            expand_pseudo("move", ["t0"])
+        with pytest.raises(OperandError):
+            expand_pseudo("li", ["t0", "1", "2"])
+
+    def test_li_requires_literal(self):
+        with pytest.raises(OperandError):
+            expand_pseudo("li", ["t0", "some_label"])
+
+    def test_unknown_pseudo(self):
+        with pytest.raises(OperandError):
+            expand_pseudo("frobnicate", [])

@@ -1,0 +1,49 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+import pytest
+
+from repro.trace.trace import ValueTrace
+
+
+def repeating_trace(name: str, pc: int, pattern: List[int],
+                    repetitions: int) -> ValueTrace:
+    """A single static instruction producing *pattern* repeatedly."""
+    values = list(itertools.islice(itertools.cycle(pattern),
+                                   len(pattern) * repetitions))
+    return ValueTrace(name, [pc] * len(values), values)
+
+
+def stride_trace(name: str, pc: int, start: int, stride: int,
+                 length: int) -> ValueTrace:
+    """A single static instruction counting with a fixed stride."""
+    values = [(start + i * stride) & 0xFFFFFFFF for i in range(length)]
+    return ValueTrace(name, [pc] * length, values)
+
+
+def interleaved(*traces: ValueTrace) -> ValueTrace:
+    """Round-robin interleave several traces (simulates a loop body)."""
+    records: List[Tuple[int, int]] = []
+    iterators = [iter(t.records()) for t in traces]
+    live = list(iterators)
+    while live:
+        nxt = []
+        for it in live:
+            try:
+                records.append(next(it))
+                nxt.append(it)
+            except StopIteration:
+                pass
+        live = nxt
+    return ValueTrace("+".join(t.name for t in traces),
+                      [pc for pc, _ in records], [v for _, v in records])
+
+
+@pytest.fixture
+def sawtooth():
+    """The paper's running example: 0 1 2 3 4 5 6 repeated (section 2.4)."""
+    return repeating_trace("sawtooth", 0x400000, list(range(7)), 40)

@@ -1,0 +1,76 @@
+"""Tests for saturating counters (repro.core.confidence)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.confidence import CounterBank, SaturatingCounter
+
+
+class TestSaturatingCounter:
+    def test_paper_shape(self):
+        # 3-bit, +1 correct, -2 wrong (paper section 4).
+        c = SaturatingCounter()
+        assert c.maximum == 7
+        for _ in range(10):
+            c.record(True)
+        assert c.value == 7 and c.saturated
+        c.record(False)
+        assert c.value == 5 and not c.saturated
+
+    def test_saturates_at_zero(self):
+        c = SaturatingCounter(initial=1)
+        c.record(False)
+        assert c.value == 0
+        c.record(False)
+        assert c.value == 0
+
+    def test_reaching_max_needs_max_corrects(self):
+        c = SaturatingCounter()
+        for i in range(7):
+            assert not c.saturated
+            c.record(True)
+        assert c.saturated
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaturatingCounter(bits=0)
+        with pytest.raises(ValueError):
+            SaturatingCounter(initial=8)
+        with pytest.raises(ValueError):
+            SaturatingCounter(inc=-1)
+
+    @given(st.lists(st.booleans(), max_size=50),
+           st.integers(min_value=1, max_value=6))
+    def test_always_in_range(self, outcomes, bits):
+        c = SaturatingCounter(bits=bits)
+        for outcome in outcomes:
+            c.record(outcome)
+            assert 0 <= c.value <= c.maximum
+
+
+class TestCounterBank:
+    def test_independent_entries(self):
+        bank = CounterBank(4)
+        bank.record(0, True)
+        bank.record(0, True)
+        assert bank[0] == 2 and bank[1] == 0
+
+    def test_matches_scalar_counter(self):
+        bank = CounterBank(1)
+        scalar = SaturatingCounter()
+        outcomes = [True, True, False, True, False, False, True] * 3
+        for outcome in outcomes:
+            bank.record(0, outcome)
+            scalar.record(outcome)
+            assert bank[0] == scalar.value
+
+    def test_saturated_query(self):
+        bank = CounterBank(2, bits=2)
+        for _ in range(3):
+            bank.record(1, True)
+        assert bank.saturated(1) and not bank.saturated(0)
+
+    def test_len_and_validation(self):
+        assert len(CounterBank(8)) == 8
+        with pytest.raises(ValueError):
+            CounterBank(0)

@@ -1,0 +1,70 @@
+"""Tests for the delayed-update wrapper (paper section 4.5)."""
+
+import pytest
+
+from repro.core.delayed import DelayedUpdatePredictor
+from repro.core.dfcm import DFCMPredictor
+from repro.core.fcm import FCMPredictor
+from repro.core.last_value import LastValuePredictor
+from repro.core.stride import StridePredictor
+from repro.harness.simulate import measure_accuracy
+from tests.conftest import repeating_trace, stride_trace
+
+
+class TestDelayedUpdate:
+    def test_zero_delay_is_transparent(self):
+        trace = stride_trace("s", 0x1000, 0, 3, 100)
+        plain = measure_accuracy(StridePredictor(64), trace)
+        wrapped = measure_accuracy(
+            DelayedUpdatePredictor(StridePredictor(64), 0), trace)
+        assert wrapped.correct == plain.correct
+
+    def test_updates_lag_by_delay(self):
+        inner = LastValuePredictor(16)
+        delayed = DelayedUpdatePredictor(inner, delay=2)
+        delayed.update(0x100, 1)
+        delayed.update(0x100, 2)
+        assert inner.predict(0x100) == 0  # nothing applied yet
+        delayed.update(0x100, 3)
+        assert inner.predict(0x100) == 1  # first update drained
+
+    def test_pending_window_bounded_by_delay(self):
+        delayed = DelayedUpdatePredictor(LastValuePredictor(16), delay=5)
+        for i in range(20):
+            delayed.update(i * 4, i)
+        assert delayed.pending_updates() == 5
+
+    def test_stale_history_hurts_tight_loop(self):
+        # A static instruction recurring within the delay window
+        # predicts from stale tables (the paper's Figure 17 effect).
+        trace = stride_trace("s", 0x1000, 0, 1, 200)
+        sharp = measure_accuracy(FCMPredictor(64, 1 << 10), trace)
+        # delay larger than the recurrence distance (1) is harmful
+        blurred = measure_accuracy(
+            DelayedUpdatePredictor(FCMPredictor(64, 1 << 10), 16), trace)
+        assert blurred.correct <= sharp.correct
+
+    def test_accuracy_monotone_degrades_for_dfcm_ramp(self):
+        trace = stride_trace("s", 0x1000, 0, 1, 300)
+        accs = []
+        for delay in [0, 4, 64]:
+            result = measure_accuracy(
+                DelayedUpdatePredictor(DFCMPredictor(64, 1 << 10), delay),
+                trace)
+            accs.append(result.accuracy)
+        assert accs[0] >= accs[1] >= accs[2]
+
+    def test_constant_pattern_immune_to_delay(self):
+        # Stale history of a constant instruction is still correct.
+        trace = repeating_trace("c", 0x1000, [99], 300)
+        delayed = measure_accuracy(
+            DelayedUpdatePredictor(LastValuePredictor(64), 32), trace)
+        assert delayed.correct >= 300 - 33  # only the window warms up
+
+    def test_storage_is_inner_storage(self):
+        inner = FCMPredictor(64, 1 << 10)
+        assert DelayedUpdatePredictor(inner, 8).storage_bits() == inner.storage_bits()
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            DelayedUpdatePredictor(LastValuePredictor(16), -1)

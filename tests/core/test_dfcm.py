@@ -1,0 +1,139 @@
+"""Tests for the DFCM predictor (the paper's contribution)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.dfcm import DFCMPredictor
+from repro.core.fcm import FCMPredictor
+from repro.core.hashing import ConcatHash
+from repro.harness.simulate import measure_accuracy
+from tests.conftest import repeating_trace, stride_trace
+
+
+class TestDFCMPredictor:
+    def test_predicts_stride_pattern_without_repetition(self):
+        # Section 3: "the DFCM can correctly predict stride patterns,
+        # even if they have not been repeated yet" -- a fresh linear
+        # ramp is predicted almost immediately.
+        trace = stride_trace("ramp", 0x1000, 1000, 4, 60)
+        result = measure_accuracy(DFCMPredictor(64, 1 << 12), trace)
+        # Cold mispredictions only while the order-3 difference history
+        # fills (~5 records); after that the ramp is predicted exactly.
+        assert result.correct >= 54
+
+    def test_fcm_needs_repetition_dfcm_does_not(self):
+        trace = stride_trace("ramp", 0x1000, 7, 1, 50)  # never repeats
+        fcm = measure_accuracy(FCMPredictor(64, 1 << 12), trace)
+        dfcm = measure_accuracy(DFCMPredictor(64, 1 << 12), trace)
+        assert fcm.correct == 0
+        assert dfcm.correct >= 44
+
+    def test_stride_pattern_occupies_one_l2_entry_in_steady_state(self):
+        # Section 3 / Figure 8: once the stride history is constant,
+        # every access uses the same level-2 entry.
+        p = DFCMPredictor(64, 1 << 12)
+        pc = 0x1000
+        for i in range(10):  # warm up the difference history
+            p.update(pc, i * 3)
+        touched = set()
+        for i in range(10, 30):
+            touched.add(p.l2_index(pc))
+            p.update(pc, i * 3)
+        assert len(touched) == 1
+
+    def test_same_stride_different_ranges_share_entries(self):
+        # Two instructions counting with the same stride but disjoint
+        # ranges collapse onto the same level-2 entries.
+        p = DFCMPredictor(1 << 10, 1 << 12)
+        pc_a, pc_b = 0x1000, 0x1004
+        for i in range(10):
+            p.update(pc_a, i)
+            p.update(pc_b, 1_000_000 + i)
+        assert p.l2_index(pc_a) == p.l2_index(pc_b)
+
+    def test_prediction_is_last_plus_predicted_stride(self):
+        p = DFCMPredictor(64, 1 << 10)
+        pc = 0x1000
+        for value in [100, 110, 120, 130]:
+            p.update(pc, value)
+        assert p.predict(pc) == 140
+
+    def test_non_stride_repeating_pattern_still_learned(self):
+        pattern = [9, 2, 14, 5, 11]
+        trace = repeating_trace("ctx", 0x1000, pattern, 40)
+        result = measure_accuracy(DFCMPredictor(64, 1 << 14), trace)
+        assert result.accuracy > 0.85
+
+    def test_wraparound_arithmetic(self):
+        p = DFCMPredictor(64, 1 << 10)
+        pc = 0
+        for i in range(6):
+            p.update(pc, (0xFFFFFFFD + i) & 0xFFFFFFFF)
+        # Counting through the wrap: next value continues past zero.
+        assert p.predict(pc) == (0xFFFFFFFD + 6) & 0xFFFFFFFF
+
+    def test_storage_charges_last_value(self):
+        p = DFCMPredictor(1 << 10, 1 << 12)
+        fcm_bits = (1 << 10) * 12 + (1 << 12) * 32
+        assert p.storage_bits() == fcm_bits + (1 << 10) * 32
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            DFCMPredictor(100, 1 << 10)
+        with pytest.raises(ValueError):
+            DFCMPredictor(64, 1 << 10, stride_bits=0)
+        with pytest.raises(ValueError):
+            DFCMPredictor(64, 1 << 10, stride_bits=33)
+
+
+class TestPartialStrides:
+    """Section 4.4: narrow level-2 stride storage."""
+
+    def test_small_strides_unaffected_by_16_bit_storage(self):
+        trace = stride_trace("ramp", 0x1000, 0, 100, 80)
+        full = measure_accuracy(DFCMPredictor(64, 1 << 12), trace)
+        narrow = measure_accuracy(
+            DFCMPredictor(64, 1 << 12, stride_bits=16), trace)
+        assert narrow.correct == full.correct
+
+    def test_negative_strides_survive_truncation(self):
+        # -3 fits 8 bits after sign extension.
+        trace = stride_trace("down", 0x1000, 10_000, -3, 80)
+        narrow = measure_accuracy(
+            DFCMPredictor(64, 1 << 12, stride_bits=8), trace)
+        assert narrow.accuracy > 0.9
+
+    def test_large_strides_break_under_8_bits(self):
+        # Stride 1000 does not fit 8 signed bits: every prediction
+        # adds a wrong (sign-extended) difference.
+        trace = stride_trace("big", 0x1000, 1, 1000, 80)
+        narrow = measure_accuracy(
+            DFCMPredictor(64, 1 << 12, stride_bits=8), trace)
+        full = measure_accuracy(DFCMPredictor(64, 1 << 12), trace)
+        assert narrow.correct == 0
+        assert full.accuracy > 0.9
+
+    def test_truncation_boundaries(self):
+        p = DFCMPredictor(64, 1 << 10, stride_bits=8)
+        assert p._store_stride(127) == 127
+        assert p._store_stride((-128) & 0xFFFFFFFF) == (-128) & 0xFFFFFFFF
+        # 128 wraps to -128 in 8-bit two's complement.
+        assert p._store_stride(128) == (-128) & 0xFFFFFFFF
+
+    def test_storage_shrinks_with_stride_bits(self):
+        wide = DFCMPredictor(64, 1 << 12).storage_bits()
+        narrow = DFCMPredictor(64, 1 << 12, stride_bits=8).storage_bits()
+        assert wide - narrow == (1 << 12) * 24
+
+    @given(st.integers(-127, 127), st.integers(0, 2**32 - 1))
+    def test_8_bit_strides_roundtrip(self, stride, start):
+        # Any stride representable in 8 bits predicts exactly like the
+        # full-width predictor on a pure ramp.
+        narrow = DFCMPredictor(16, 1 << 10, stride_bits=8)
+        full = DFCMPredictor(16, 1 << 10)
+        pc = 0x4000
+        for i in range(8):
+            value = (start + i * stride) & 0xFFFFFFFF
+            narrow.update(pc, value)
+            full.update(pc, value)
+        assert narrow.predict(pc) == full.predict(pc)

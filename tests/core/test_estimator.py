@@ -1,0 +1,145 @@
+"""Tests for confidence estimation (paper section 4.2 outlook)."""
+
+import pytest
+
+from repro.core.dfcm import DFCMPredictor
+from repro.core.estimator import (CounterConfidencePredictor, CoverageResult,
+                                  TaggedDFCMPredictor, TaggedFCMPredictor,
+                                  measure_confidence)
+from repro.core.last_value import LastValuePredictor
+from tests.conftest import interleaved, repeating_trace, stride_trace
+
+
+def mixed_trace():
+    return interleaved(
+        stride_trace("ramp", 0x1000, 0, 3, 400),
+        repeating_trace("ctx", 0x1004, [9, 2, 14, 5], 100),
+    )
+
+
+class TestCoverageResult:
+    def test_ratios(self):
+        result = CoverageResult("p", "t", total=10, confident=4,
+                                confident_correct=3, overall_correct=6)
+        assert result.coverage == 0.4
+        assert result.accuracy_when_confident == 0.75
+        assert result.overall_accuracy == 0.6
+
+    def test_empty_safe(self):
+        result = CoverageResult("p", "t", 0, 0, 0, 0)
+        assert result.coverage == 0.0
+        assert result.accuracy_when_confident == 0.0
+
+
+class TestCounterConfidence:
+    def test_confident_subset_is_more_accurate(self):
+        predictor = CounterConfidencePredictor(
+            DFCMPredictor(1 << 10, 1 << 10), 1 << 10)
+        result = measure_confidence(predictor, mixed_trace())
+        assert 0 < result.coverage < 1
+        assert result.accuracy_when_confident > result.overall_accuracy
+
+    def test_threshold_trades_coverage_for_accuracy(self):
+        loose = measure_confidence(
+            CounterConfidencePredictor(
+                DFCMPredictor(1 << 10, 1 << 10), 1 << 10, threshold=1),
+            mixed_trace())
+        strict = measure_confidence(
+            CounterConfidencePredictor(
+                DFCMPredictor(1 << 10, 1 << 10), 1 << 10, threshold=7),
+            mixed_trace())
+        assert strict.coverage < loose.coverage
+        assert strict.accuracy_when_confident >= loose.accuracy_when_confident
+
+    def test_never_confident_on_random_inner(self):
+        # An always-wrong inner predictor should get no confidence.
+        import random
+        rng = random.Random(1)
+        from repro.trace.trace import ValueTrace
+        trace = ValueTrace("rand", [0x100] * 500,
+                           [rng.randrange(2**32) for _ in range(500)])
+        result = measure_confidence(
+            CounterConfidencePredictor(LastValuePredictor(16), 16), trace)
+        assert result.coverage < 0.05
+
+    def test_wrapping_preserves_overall_accuracy(self):
+        from repro.harness.simulate import measure_accuracy
+        plain = measure_accuracy(DFCMPredictor(1 << 10, 1 << 10),
+                                 mixed_trace())
+        gated = measure_confidence(
+            CounterConfidencePredictor(DFCMPredictor(1 << 10, 1 << 10),
+                                       1 << 10),
+            mixed_trace())
+        assert gated.overall_accuracy == pytest.approx(
+            plain.correct / plain.total)
+
+    def test_storage_charges_counters(self):
+        inner = DFCMPredictor(1 << 10, 1 << 10)
+        wrapped = CounterConfidencePredictor(
+            DFCMPredictor(1 << 10, 1 << 10), 1 << 8, counter_bits=3)
+        assert wrapped.storage_bits() == inner.storage_bits() + (1 << 8) * 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CounterConfidencePredictor(LastValuePredictor(16), 100)
+        with pytest.raises(ValueError):
+            CounterConfidencePredictor(LastValuePredictor(16), 16,
+                                       threshold=99)
+
+
+class TestTaggedPredictors:
+    def test_tag_match_filters_hash_aliasing(self):
+        tagged = TaggedDFCMPredictor(1 << 10, 1 << 8, tag_bits=6)
+        result = measure_confidence(tagged, mixed_trace())
+        assert result.accuracy_when_confident > result.overall_accuracy
+        assert result.coverage > 0.5  # tags reject aliases, not everything
+
+    def test_steady_stride_is_always_tag_confident(self):
+        tagged = TaggedDFCMPredictor(1 << 8, 1 << 10, tag_bits=8)
+        trace = stride_trace("ramp", 0x1000, 10, 5, 200)
+        result = measure_confidence(tagged, trace)
+        # After warmup the difference history is constant: same entry,
+        # same tag, every time.
+        assert result.coverage > 0.9
+
+    def test_tagged_fcm_variant(self):
+        tagged = TaggedFCMPredictor(1 << 10, 1 << 8, tag_bits=6)
+        result = measure_confidence(tagged, mixed_trace())
+        assert result.accuracy_when_confident >= result.overall_accuracy
+
+    def test_prediction_equals_untagged(self):
+        # Tagging adds a confidence signal; predictions are unchanged.
+        plain = DFCMPredictor(1 << 8, 1 << 8)
+        tagged = TaggedDFCMPredictor(1 << 8, 1 << 8)
+        for pc, value in mixed_trace().records():
+            assert tagged.predict(pc) == plain.predict(pc)
+            plain.update(pc, value)
+            tagged.update(pc, value)
+
+    def test_storage_charges_tags_and_second_hash(self):
+        plain = DFCMPredictor(1 << 10, 1 << 8)
+        tagged = TaggedDFCMPredictor(1 << 10, 1 << 8, tag_bits=4)
+        extra = (1 << 8) * 4 + (1 << 10) * tagged.tag_hash.index_bits
+        assert tagged.storage_bits() == plain.storage_bits() + extra
+
+    def test_orthogonality_enforced(self):
+        with pytest.raises(ValueError, match="different shift"):
+            TaggedDFCMPredictor(1 << 8, 1 << 8, tag_shift=5)
+
+    def test_tag_bits_validated(self):
+        with pytest.raises(ValueError):
+            TaggedDFCMPredictor(1 << 8, 1 << 8, tag_bits=0)
+
+
+class TestComposition:
+    def test_counter_over_tagged_requires_both(self):
+        trace = mixed_trace()
+        tag_only = measure_confidence(
+            TaggedDFCMPredictor(1 << 10, 1 << 8, tag_bits=6), trace)
+        combined = measure_confidence(
+            CounterConfidencePredictor(
+                TaggedDFCMPredictor(1 << 10, 1 << 8, tag_bits=6), 1 << 10),
+            trace)
+        assert combined.coverage <= tag_only.coverage
+        assert (combined.accuracy_when_confident
+                >= tag_only.accuracy_when_confident)

@@ -1,0 +1,99 @@
+"""Tests for the FCM predictor."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.fcm import FCMPredictor
+from repro.core.hashing import ConcatHash, FoldShiftHash
+from repro.harness.simulate import measure_accuracy
+from tests.conftest import interleaved, repeating_trace, stride_trace
+
+
+class TestFCMPredictor:
+    def test_order_follows_paper_coupling(self):
+        assert FCMPredictor(64, 1 << 8).order == 2
+        assert FCMPredictor(64, 1 << 12).order == 3
+        assert FCMPredictor(64, 1 << 20).order == 4
+
+    def test_learns_repeating_context_pattern(self):
+        # A non-stride repeating pattern is FCM's home turf: after one
+        # full repetition every context has been seen.
+        pattern = [7, 3, 9, 2, 15, 4]
+        trace = repeating_trace("ctx", 0x1000, pattern, 30)
+        result = measure_accuracy(FCMPredictor(64, 1 << 12), trace)
+        # Perfect after the warmup repetitions.
+        assert result.accuracy > 0.9
+
+    def test_predicts_pattern_invisible_to_stride(self):
+        pattern = [1, 5, 2, 8, 3]  # no constant stride
+        trace = repeating_trace("ctx", 0x1000, pattern, 40)
+        result = measure_accuracy(FCMPredictor(64, 1 << 12), trace)
+        assert result.correct > 0.85 * len(trace)
+
+    def test_update_writes_entry_prediction_was_read_from(self):
+        p = FCMPredictor(64, 1 << 10)
+        pc = 0x1000
+        index_before = p.l2_index(pc)
+        p.update(pc, 1234)
+        assert p._l2[index_before] == 1234
+
+    def test_history_advances_on_update(self):
+        p = FCMPredictor(64, 1 << 10)
+        pc = 0x1000
+        before = p.l2_index(pc)
+        p.update(pc, 0xABCD)
+        assert p.l2_index(pc) != before  # hash state moved
+
+    def test_storage_model(self):
+        p = FCMPredictor(1 << 10, 1 << 12)
+        assert p.storage_bits() == (1 << 10) * 12 + (1 << 12) * 32
+
+    def test_l1_aliasing_mixes_histories(self):
+        # Two PCs colliding in a 1-entry L1 share one history.
+        p = FCMPredictor(1, 1 << 10)
+        pc_a, pc_b = 0x1000, 0x2000
+        p.update(pc_a, 5)
+        assert p.l2_index(pc_b) == p.l2_index(pc_a)
+
+    def test_custom_hash_accepted(self):
+        h = ConcatHash(10, order=2)
+        p = FCMPredictor(64, 1 << 10, hash_fn=h)
+        assert p.order == 2
+
+    def test_mismatched_hash_rejected(self):
+        with pytest.raises(ValueError):
+            FCMPredictor(64, 1 << 10, hash_fn=FoldShiftHash(12))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            FCMPredictor(100, 1 << 10)
+        with pytest.raises(ValueError):
+            FCMPredictor(64, 1000)
+
+    def test_scatters_stride_pattern_over_many_l2_entries(self):
+        # Paper Figure 4: a length-7 stride pattern occupies as many
+        # L2 entries as it has distinct contexts.
+        p = FCMPredictor(64, 1 << 12)
+        pc = 0x1000
+        touched = set()
+        for i in range(7 * 10):
+            touched.add(p.l2_index(pc))
+            p.update(pc, i % 7)
+        assert len(touched) >= 7
+
+    @given(st.lists(st.integers(0, 255), min_size=2, max_size=8,
+                    unique=True),
+           st.integers(10, 25))
+    def test_eventually_learns_any_repeating_pattern(self, pattern, reps):
+        # With a collision-free hash and all-distinct pattern elements,
+        # every order-2 context uniquely determines the next value, so
+        # the last repetition must be predicted perfectly.
+        trace = repeating_trace("any", 0x1000, pattern, reps)
+        p = FCMPredictor(64, 1 << 16, hash_fn=ConcatHash(16, order=2))
+        records = trace.records()
+        warmup = len(pattern) * (reps - 1)
+        for pc, value in records[:warmup]:
+            p.step(pc, value)
+        last_rep = records[warmup:]
+        correct = sum(p.step(pc, value) for pc, value in last_rep)
+        assert correct == len(last_rep)

@@ -1,0 +1,175 @@
+"""Tests for the history hash family (repro.core.hashing)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.hashing import (
+    ConcatHash,
+    FoldShiftHash,
+    XorFoldHash,
+    fold,
+    make_hash,
+    order_for_index_bits,
+)
+
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestFold:
+    def test_identity_at_32_bits(self):
+        assert fold(0xDEADBEEF, 32) == 0xDEADBEEF
+
+    def test_parity_at_1_bit(self):
+        assert fold(0b1011, 1) == 1
+        assert fold(0b1001, 1) == 0
+
+    def test_known_16_bit_fold(self):
+        # 0x12345678 -> 0x1234 ^ 0x5678
+        assert fold(0x12345678, 16) == 0x1234 ^ 0x5678
+
+    def test_known_8_bit_fold(self):
+        assert fold(0x12345678, 8) == 0x12 ^ 0x34 ^ 0x56 ^ 0x78
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            fold(1, 0)
+        with pytest.raises(ValueError):
+            fold(1, 33)
+
+    @given(u32, st.integers(min_value=1, max_value=32))
+    def test_result_fits_width(self, value, n):
+        assert 0 <= fold(value, n) < (1 << n)
+
+    @given(u32, u32, st.integers(min_value=1, max_value=32))
+    def test_fold_is_xor_homomorphic(self, a, b, n):
+        # Folding distributes over XOR: chunks XOR independently.
+        assert fold(a ^ b, n) == fold(a, n) ^ fold(b, n)
+
+
+class TestOrderCoupling:
+    def test_paper_table(self):
+        # L2 size  2^8 2^10 2^12 2^14 2^16 2^18 2^20
+        # order     2    2    3    3    4    4    4
+        expected = {8: 2, 10: 2, 12: 3, 14: 3, 16: 4, 18: 4, 20: 4}
+        for bits, order in expected.items():
+            assert order_for_index_bits(bits) == order
+
+    def test_other_shift(self):
+        assert order_for_index_bits(12, shift=3) == 4
+        assert order_for_index_bits(12, shift=12) == 1
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            order_for_index_bits(0)
+        with pytest.raises(ValueError):
+            order_for_index_bits(8, shift=0)
+
+
+class TestFoldShiftHash:
+    def test_default_order_follows_paper(self):
+        assert FoldShiftHash(12).order == 3
+        assert FoldShiftHash(20).order == 4
+
+    def test_incremental_equals_explicit(self):
+        # Advancing the state value-by-value must equal hashing the
+        # last `order` values of the stream from scratch.
+        h = FoldShiftHash(10)  # order 2
+        stream = [7, 13, 0xFFFF, 42, 0x12345678, 9, 9, 1 << 31]
+        state = h.initial_state
+        for i, value in enumerate(stream):
+            state = h.step(state, value)
+            window = stream[max(0, i + 1 - h.order): i + 1]
+            # Explicit hash of the window, oldest first, assuming the
+            # pre-window contribution has shifted out.
+            expected = 0
+            for age, v in enumerate(reversed(window)):
+                expected ^= fold(v, h.index_bits) << (h.shift * age)
+            expected &= h.mask
+            if len(window) == h.order:
+                assert h.index(state) == expected
+
+    def test_oldest_value_shifts_out(self):
+        # After `order` further insertions a value no longer affects
+        # the index (this is what makes the hash incremental).
+        h = FoldShiftHash(8)  # order 2, shift 5
+        a = h.step(h.initial_state, 0xABCDEF01)
+        b = h.step(h.initial_state, 0x12345678)
+        tail = [3, 4]
+        for v in tail:
+            a = h.step(a, v)
+            b = h.step(b, v)
+        assert h.index(a) == h.index(b)
+
+    def test_rejects_non_incremental_order(self):
+        with pytest.raises(ValueError):
+            FoldShiftHash(12, order=2)  # 5*2 < 12
+
+    def test_distinguishes_recency(self):
+        # FS(R-5) is position-sensitive: [a, b] and [b, a] differ
+        # (unlike a plain XOR fold).
+        h = FoldShiftHash(10, order=2)
+        assert h.of_history([1, 2]) != h.of_history([2, 1])
+
+    @given(st.lists(u32, min_size=1, max_size=8))
+    def test_index_in_range(self, history):
+        h = FoldShiftHash(12)
+        assert 0 <= h.of_history(history) < (1 << 12)
+
+
+class TestXorFoldHash:
+    def test_order_insensitive_within_window(self):
+        h = XorFoldHash(8, order=2)
+        assert h.of_history([1, 2]) == h.of_history([2, 1])
+
+    def test_window_limited(self):
+        h = XorFoldHash(8, order=2)
+        assert h.of_history([99, 1, 2]) == h.of_history([1, 2])
+
+    @given(st.lists(u32, min_size=1, max_size=6))
+    def test_index_in_range(self, history):
+        h = XorFoldHash(6, order=3)
+        assert 0 <= h.of_history(history) < (1 << 6)
+
+
+class TestConcatHash:
+    def test_small_values_are_collision_free(self):
+        # With 12 index bits and order 3, values < 16 concatenate
+        # exactly -- the assumption behind Figures 4 and 8.
+        h = ConcatHash(12, order=3)
+        seen = {}
+        for a in range(8):
+            for b in range(8):
+                for c in range(8):
+                    idx = h.of_history([a, b, c])
+                    assert seen.setdefault(idx, (a, b, c)) == (a, b, c)
+
+    def test_paper_figure4_contexts(self):
+        # The seven order-3 contexts of the repeating 0..6 pattern all
+        # map to distinct entries (FCM scatters the stride pattern).
+        h = ConcatHash(12, order=3)
+        pattern = [0, 1, 2, 3, 4, 5, 6]
+        contexts = [
+            [pattern[i % 7], pattern[(i + 1) % 7], pattern[(i + 2) % 7]]
+            for i in range(7)
+        ]
+        indices = {h.of_history(c) for c in contexts}
+        assert len(indices) == 7
+
+
+class TestMakeHash:
+    def test_factory_kinds(self):
+        assert isinstance(make_hash("fs", 12), FoldShiftHash)
+        assert isinstance(make_hash("xor", 12, order=2), XorFoldHash)
+        assert isinstance(make_hash("concat", 12, order=3), ConcatHash)
+
+    def test_fs_shift_kwarg(self):
+        h = make_hash("fs", 12, shift=3)
+        assert h.shift == 3 and h.order == 4
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_hash("md5", 12)
+
+    def test_order_required_for_non_fs(self):
+        with pytest.raises(ValueError):
+            make_hash("xor", 12)

@@ -1,0 +1,107 @@
+"""Tests for hybrid predictors (paper section 4.3)."""
+
+import pytest
+
+from repro.core.dfcm import DFCMPredictor
+from repro.core.fcm import FCMPredictor
+from repro.core.hybrid import MetaHybridPredictor, OracleHybridPredictor
+from repro.core.last_value import LastValuePredictor
+from repro.core.stride import StridePredictor
+from repro.harness.simulate import measure_accuracy
+from tests.conftest import interleaved, repeating_trace, stride_trace
+
+
+def mixed_workload():
+    """Strides plus a context pattern: each component predictor is
+    strong on one half only."""
+    strides = stride_trace("s", 0x1000, 0, 7, 150)
+    context = repeating_trace("c", 0x1004, [9, 2, 14, 5, 11, 3], 25)
+    return interleaved(strides, context)
+
+
+class TestOracleHybrid:
+    def test_correct_when_any_component_correct(self):
+        trace = mixed_workload()
+        stride = measure_accuracy(StridePredictor(64), trace)
+        fcm = measure_accuracy(FCMPredictor(64, 1 << 12), trace)
+        hybrid = measure_accuracy(
+            OracleHybridPredictor([StridePredictor(64),
+                                   FCMPredictor(64, 1 << 12)]), trace)
+        assert hybrid.correct >= max(stride.correct, fcm.correct)
+
+    def test_upper_bounds_each_component_everywhere(self):
+        for trace in [stride_trace("s", 0, 5, 3, 100),
+                      repeating_trace("c", 0, [4, 9, 1], 40)]:
+            solo = measure_accuracy(FCMPredictor(64, 1 << 10), trace)
+            hybrid = measure_accuracy(
+                OracleHybridPredictor([FCMPredictor(64, 1 << 10)]), trace)
+            assert hybrid.correct == solo.correct
+
+    def test_all_components_train_on_every_outcome(self):
+        a, b = LastValuePredictor(16), StridePredictor(16)
+        hybrid = OracleHybridPredictor([a, b])
+        hybrid.step(0x100, 42)
+        assert a.predict(0x100) == 42
+        # The stride component trained too (last value written).
+        assert b._last[(0x100 >> 2) & 15] == 42
+
+    def test_storage_is_component_sum(self):
+        a, b = LastValuePredictor(16), StridePredictor(16)
+        hybrid = OracleHybridPredictor([a, b])
+        assert hybrid.storage_bits() == a.storage_bits() + b.storage_bits()
+
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            OracleHybridPredictor([])
+
+    def test_paper_claim_dfcm_close_to_oracle_stride_dfcm(self):
+        # Section 4.3: STRIDE+DFCM (perfect meta) is only slightly
+        # better than plain DFCM -- DFCM already catches the strides.
+        trace = mixed_workload()
+        dfcm = measure_accuracy(DFCMPredictor(1 << 10, 1 << 12), trace)
+        hybrid = measure_accuracy(
+            OracleHybridPredictor([StridePredictor(1 << 10),
+                                   DFCMPredictor(1 << 10, 1 << 12)]), trace)
+        gain = hybrid.accuracy - dfcm.accuracy
+        assert 0.0 <= gain <= 0.1
+
+
+class TestMetaHybrid:
+    def test_beats_both_components_on_mixed_workload(self):
+        trace = mixed_workload()
+        stride = measure_accuracy(StridePredictor(64), trace)
+        fcm = measure_accuracy(FCMPredictor(64, 1 << 12), trace)
+        meta = measure_accuracy(
+            MetaHybridPredictor([StridePredictor(64),
+                                 FCMPredictor(64, 1 << 12)], 1 << 10), trace)
+        assert meta.correct >= max(stride.correct, fcm.correct) - len(trace) // 20
+
+    def test_oracle_upper_bounds_meta(self):
+        trace = mixed_workload()
+        meta = measure_accuracy(
+            MetaHybridPredictor([StridePredictor(64),
+                                 FCMPredictor(64, 1 << 12)], 1 << 10), trace)
+        oracle = measure_accuracy(
+            OracleHybridPredictor([StridePredictor(64),
+                                   FCMPredictor(64, 1 << 12)]), trace)
+        assert oracle.correct >= meta.correct
+
+    def test_selection_follows_counters(self):
+        lvp, stride = LastValuePredictor(16), StridePredictor(16)
+        meta = MetaHybridPredictor([lvp, stride], 16)
+        pc = 0x100
+        for i in range(20):  # pure stride: stride component wins
+            meta.update(pc, i * 5)
+        assert meta.predict(pc) == stride.predict(pc)
+
+    def test_storage_charges_meta_counters(self):
+        lvp, stride = LastValuePredictor(16), StridePredictor(16)
+        meta = MetaHybridPredictor([lvp, stride], 64, counter_bits=2)
+        expected = lvp.storage_bits() + stride.storage_bits() + 64 * 2 * 2
+        assert meta.storage_bits() == expected
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetaHybridPredictor([], 64)
+        with pytest.raises(ValueError):
+            MetaHybridPredictor([LastValuePredictor(16)], 100)

@@ -1,0 +1,52 @@
+"""Tests for the last value predictor."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.last_value import LastValuePredictor
+from repro.harness.simulate import measure_accuracy
+from tests.conftest import repeating_trace, stride_trace
+
+
+class TestLastValuePredictor:
+    def test_perfect_on_constants(self):
+        trace = repeating_trace("const", 0x1000, [42], 100)
+        result = measure_accuracy(LastValuePredictor(64), trace)
+        # Only the very first (cold) prediction misses.
+        assert result.correct == 99
+
+    def test_useless_on_strides(self):
+        trace = stride_trace("count", 0x1000, 5, 1, 100)
+        result = measure_accuracy(LastValuePredictor(64), trace)
+        assert result.correct == 0
+
+    def test_aliasing_between_pcs(self):
+        # Two PCs mapping to the same entry destroy each other's value.
+        p = LastValuePredictor(2)
+        pc_a, pc_b = 0x1000, 0x1000 + 2 * 4  # same index mod 2
+        p.update(pc_a, 7)
+        assert p.predict(pc_b) == 7
+
+    def test_values_wrap_to_32_bits(self):
+        p = LastValuePredictor(4)
+        p.update(0, 2**40 + 5)
+        assert p.predict(0) == 5
+
+    def test_storage(self):
+        assert LastValuePredictor(64).storage_bits() == 64 * 32
+        assert LastValuePredictor(1 << 16).storage_kbit() == 2048.0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            LastValuePredictor(100)
+
+    @given(st.lists(st.tuples(st.integers(0, 2**20), st.integers(0, 2**32 - 1)),
+                    min_size=1, max_size=60))
+    def test_predicts_last_seen_value(self, records):
+        p = LastValuePredictor(1 << 12)
+        last_by_index = {}
+        for pc, value in records:
+            index = (pc >> 2) & (p.entries - 1)
+            assert p.predict(pc) == last_by_index.get(index, 0)
+            p.update(pc, value)
+            last_by_index[index] = value

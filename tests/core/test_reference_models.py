@@ -1,0 +1,167 @@
+"""Model-based testing: fast predictors vs naive reference models.
+
+Each reference model re-implements a predictor in the most direct way
+possible (explicit histories in dicts, no incremental hashing, no flat
+tables) and must agree with the optimised implementation on every
+prediction of every hypothesis-generated trace.  Divergence localises
+bugs in the table indexing, the incremental hash, or the wrap-around
+arithmetic.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dfcm import DFCMPredictor
+from repro.core.fcm import FCMPredictor
+from repro.core.hashing import FoldShiftHash, fold
+from repro.core.last_value import LastValuePredictor
+from repro.core.stride import StridePredictor
+
+MASK = 0xFFFFFFFF
+
+
+class ReferenceFCM:
+    """Order-k FCM with explicit (non-incremental) hashing."""
+
+    def __init__(self, l1_entries: int, l2_entries: int):
+        self.l1_mask = l1_entries - 1
+        self.index_bits = l2_entries.bit_length() - 1
+        self.order = FoldShiftHash(self.index_bits).order
+        self.histories = defaultdict(lambda: deque(maxlen=self.order))
+        self.l2 = defaultdict(int)
+
+    def _index(self, l1_index: int) -> int:
+        # Explicit FS(R-5): fold each history value, shift by 5*age
+        # (age 0 = newest), XOR.  Must equal the incremental form.
+        index = 0
+        history = self.histories[l1_index]
+        for age, value in enumerate(reversed(history)):
+            index ^= fold(value, self.index_bits) << (5 * age)
+        return index & ((1 << self.index_bits) - 1)
+
+    def predict(self, pc: int) -> int:
+        return self.l2[self._index((pc >> 2) & self.l1_mask)]
+
+    def update(self, pc: int, value: int) -> None:
+        value &= MASK
+        l1_index = (pc >> 2) & self.l1_mask
+        self.l2[self._index(l1_index)] = value
+        self.histories[l1_index].append(value)
+
+
+class ReferenceDFCM:
+    """DFCM with explicit difference histories."""
+
+    def __init__(self, l1_entries: int, l2_entries: int):
+        self.fcm = ReferenceFCM(l1_entries, l2_entries)
+        self.last = defaultdict(int)
+        self.l1_mask = l1_entries - 1
+
+    def predict(self, pc: int) -> int:
+        l1_index = (pc >> 2) & self.l1_mask
+        stride = self.fcm.l2[self.fcm._index(l1_index)]
+        return (self.last[l1_index] + stride) & MASK
+
+    def update(self, pc: int, value: int) -> None:
+        value &= MASK
+        l1_index = (pc >> 2) & self.l1_mask
+        stride = (value - self.last[l1_index]) & MASK
+        self.fcm.l2[self.fcm._index(l1_index)] = stride
+        self.fcm.histories[l1_index].append(stride)
+        self.last[l1_index] = value
+
+
+class ReferenceStride:
+    """Stride predictor with the paper's confidence gate, dict-based."""
+
+    def __init__(self, entries: int):
+        self.mask = entries - 1
+        self.last = defaultdict(int)
+        self.stride = defaultdict(int)
+        self.conf = defaultdict(int)
+
+    def predict(self, pc: int) -> int:
+        index = (pc >> 2) & self.mask
+        return (self.last[index] + self.stride[index]) & MASK
+
+    def update(self, pc: int, value: int) -> None:
+        value &= MASK
+        index = (pc >> 2) & self.mask
+        correct = self.predict(pc) == value
+        replace = self.conf[index] < 7
+        self.conf[index] = (min(7, self.conf[index] + 1) if correct
+                            else max(0, self.conf[index] - 2))
+        if replace:
+            self.stride[index] = (value - self.last[index]) & MASK
+        self.last[index] = value
+
+
+# Traces: bursts of per-PC structure (constants/strides/noise) over a
+# handful of PCs, so table sharing and history mixing actually happen.
+def trace_strategy():
+    pc = st.sampled_from([0x1000, 0x1004, 0x1008, 0x2000])
+    value = st.one_of(
+        st.integers(0, 20),
+        st.integers(0, MASK),
+        st.just(0xFFFFFFF0),
+    )
+    return st.lists(st.tuples(pc, value), min_size=1, max_size=120)
+
+
+@settings(max_examples=80, deadline=None)
+@given(records=trace_strategy())
+def test_fcm_matches_reference(records):
+    fast = FCMPredictor(4, 1 << 8)
+    model = ReferenceFCM(4, 1 << 8)
+    for pc, value in records:
+        assert fast.predict(pc) == model.predict(pc)
+        fast.update(pc, value)
+        model.update(pc, value)
+
+
+@settings(max_examples=80, deadline=None)
+@given(records=trace_strategy())
+def test_dfcm_matches_reference(records):
+    fast = DFCMPredictor(4, 1 << 8)
+    model = ReferenceDFCM(4, 1 << 8)
+    for pc, value in records:
+        assert fast.predict(pc) == model.predict(pc)
+        fast.update(pc, value)
+        model.update(pc, value)
+
+
+@settings(max_examples=80, deadline=None)
+@given(records=trace_strategy())
+def test_stride_matches_reference(records):
+    fast = StridePredictor(4)
+    model = ReferenceStride(4)
+    for pc, value in records:
+        assert fast.predict(pc) == model.predict(pc)
+        fast.update(pc, value)
+        model.update(pc, value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(records=trace_strategy(),
+       l2_bits=st.sampled_from([8, 10, 12]))
+def test_fcm_reference_across_table_sizes(records, l2_bits):
+    fast = FCMPredictor(4, 1 << l2_bits)
+    model = ReferenceFCM(4, 1 << l2_bits)
+    for pc, value in records:
+        assert fast.predict(pc) == model.predict(pc)
+        fast.update(pc, value)
+        model.update(pc, value)
+
+
+@settings(max_examples=60, deadline=None)
+@given(records=trace_strategy())
+def test_lvp_trivially_matches_dict_model(records):
+    fast = LastValuePredictor(4)
+    model = defaultdict(int)
+    for pc, value in records:
+        assert fast.predict(pc) == model[(pc >> 2) & 3]
+        fast.update(pc, value)
+        model[(pc >> 2) & 3] = value & MASK

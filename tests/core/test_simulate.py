@@ -1,0 +1,76 @@
+"""Tests for the measurement harness (repro.harness.simulate)."""
+
+import pytest
+
+from repro.core.fcm import FCMPredictor
+from repro.core.hybrid import OracleHybridPredictor
+from repro.core.last_value import LastValuePredictor
+from repro.core.stride import StridePredictor
+from repro.harness.simulate import measure_accuracy, measure_suite
+from repro.trace.trace import ValueTrace
+from tests.conftest import repeating_trace, stride_trace
+
+
+class TestMeasureAccuracy:
+    def test_counts_match_manual_stepping(self):
+        trace = stride_trace("s", 0x1000, 0, 2, 50)
+        manual = StridePredictor(64)
+        expected = sum(manual.step(pc, v) for pc, v in trace.records())
+        result = measure_accuracy(StridePredictor(64), trace)
+        assert result.correct == expected
+        assert result.total == 50
+
+    def test_uses_overridden_step_for_oracles(self):
+        # The oracle hybrid's correctness is defined by its step();
+        # the harness must not fall back to predict/update.
+        trace = stride_trace("s", 0x1000, 5, 3, 60)
+        oracle = OracleHybridPredictor(
+            [LastValuePredictor(64), StridePredictor(64)])
+        result = measure_accuracy(oracle, trace)
+        stride_alone = measure_accuracy(StridePredictor(64), trace)
+        assert result.correct >= stride_alone.correct
+
+    def test_empty_trace(self):
+        trace = ValueTrace("empty", [], [])
+        result = measure_accuracy(LastValuePredictor(16), trace)
+        assert result.total == 0 and result.accuracy == 0.0
+
+    def test_result_metadata(self):
+        trace = repeating_trace("c", 0, [1], 10)
+        result = measure_accuracy(LastValuePredictor(16), trace)
+        assert result.trace_name == "c"
+        assert result.predictor_name == "lvp_16"
+
+
+class TestMeasureSuite:
+    def test_weighted_mean_is_pooled_ratio(self):
+        # Paper metric: weighted by number of predicted instructions.
+        long_easy = repeating_trace("easy", 0x1000, [1], 300)
+        short_hard = ValueTrace("hard", [0x2000] * 30,
+                                [(i * 17 + i * i) % 2**32 for i in range(30)])
+        suite = measure_suite(lambda: LastValuePredictor(64),
+                              [long_easy, short_hard])
+        pooled = suite.correct / suite.total
+        assert suite.accuracy == pytest.approx(pooled)
+        # The long benchmark dominates the weighted mean.
+        unweighted = (suite.accuracy_of("easy") + suite.accuracy_of("hard")) / 2
+        assert suite.accuracy > unweighted
+
+    def test_fresh_predictor_per_trace(self):
+        # Training must not leak across benchmarks: measuring the same
+        # trace twice gives identical results.
+        trace = stride_trace("s", 0x1000, 0, 1, 80)
+        suite = measure_suite(
+            lambda: FCMPredictor(64, 1 << 10),
+            [trace, ValueTrace("s2", trace.pcs, trace.values)])
+        assert (suite.per_trace["s"].correct
+                == suite.per_trace["s2"].correct)
+
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            measure_suite(lambda: LastValuePredictor(16), [])
+
+    def test_per_trace_results_keyed_by_name(self):
+        traces = [repeating_trace(n, 0x1000, [3], 20) for n in ("a", "b")]
+        suite = measure_suite(lambda: LastValuePredictor(16), traces)
+        assert set(suite.per_trace) == {"a", "b"}

@@ -1,0 +1,70 @@
+"""Tests for the storage-cost model."""
+
+import pytest
+
+from repro.core import storage
+from repro.core.dfcm import DFCMPredictor
+from repro.core.fcm import FCMPredictor
+from repro.core.last_value import LastValuePredictor
+from repro.core.stride import StridePredictor
+
+
+class TestClosedForms:
+    def test_lvp(self):
+        assert storage.lvp_bits(1 << 6) == (1 << 6) * 32
+
+    def test_stride_default_counter(self):
+        assert storage.stride_bits(1 << 6) == (1 << 6) * 67
+
+    def test_stride_free_counter_accounting(self):
+        assert storage.stride_bits(1 << 6, counter_bits=0) == (1 << 6) * 64
+
+    def test_fcm(self):
+        assert storage.fcm_bits(1 << 16, 1 << 12) == (1 << 16) * 12 + (1 << 12) * 32
+
+    def test_dfcm_charges_last_value(self):
+        fcm = storage.fcm_bits(1 << 16, 1 << 12)
+        dfcm = storage.dfcm_bits(1 << 16, 1 << 12)
+        assert dfcm - fcm == (1 << 16) * 32
+
+    def test_dfcm_partial_strides(self):
+        full = storage.dfcm_bits(1 << 10, 1 << 12)
+        narrow = storage.dfcm_bits(1 << 10, 1 << 12, stride_width=16)
+        assert full - narrow == (1 << 12) * 16
+
+    def test_kbit(self):
+        assert storage.kbit(2048) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            storage.lvp_bits(100)
+        with pytest.raises(ValueError):
+            storage.stride_bits(64, counter_bits=-1)
+        with pytest.raises(ValueError):
+            storage.fcm_bits(64, 100)
+        with pytest.raises(ValueError):
+            storage.dfcm_bits(64, 64, stride_width=0)
+
+
+class TestFormulasMatchPredictors:
+    """The closed forms must agree with the instances' own accounting."""
+
+    def test_lvp(self):
+        assert LastValuePredictor(256).storage_bits() == storage.lvp_bits(256)
+
+    def test_stride(self):
+        assert StridePredictor(256).storage_bits() == storage.stride_bits(256)
+
+    def test_fcm(self):
+        p = FCMPredictor(1 << 10, 1 << 14)
+        assert p.storage_bits() == storage.fcm_bits(1 << 10, 1 << 14)
+
+    def test_dfcm(self):
+        p = DFCMPredictor(1 << 10, 1 << 14, stride_bits=16)
+        assert p.storage_bits() == storage.dfcm_bits(1 << 10, 1 << 14, 16)
+
+    def test_paper_realistic_size_is_about_200_kbit(self):
+        # Figure 11(b): the paper calls ~200 Kbit a realistic size;
+        # check one plausible DFCM config lands in that ballpark.
+        bits = storage.dfcm_bits(1 << 12, 1 << 10)
+        assert 150 < storage.kbit(bits) < 300

@@ -1,0 +1,63 @@
+"""Tests for the ValueTrace container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace.trace import ValueTrace
+
+
+class TestValueTrace:
+    def test_length_and_iteration(self):
+        t = ValueTrace("t", [4, 8, 4], [1, 2, 3])
+        assert len(t) == 3
+        assert list(t) == [(4, 1), (8, 2), (4, 3)]
+
+    def test_values_coerced_to_u32(self):
+        t = ValueTrace("t", [0], [2**32 + 7])
+        assert t.records() == [(0, 7)]
+
+    def test_negative_values_wrap(self):
+        t = ValueTrace.from_records("t", [(4, -1)])
+        assert t.records() == [(4, 0xFFFFFFFF)]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            ValueTrace("t", [1, 2], [1])
+
+    def test_head(self):
+        t = ValueTrace("t", [0, 4, 8, 12], [9, 8, 7, 6])
+        h = t.head(2)
+        assert len(h) == 2 and h.records() == [(0, 9), (4, 8)]
+        assert h.name == "t"
+
+    def test_stats(self):
+        t = ValueTrace("t", [0, 4, 0, 4], [1, 1, 2, 1])
+        s = t.stats()
+        assert s.predictions == 4
+        assert s.static_instructions == 2
+        assert s.distinct_values == 2
+
+    def test_save_load_roundtrip(self, tmp_path):
+        t = ValueTrace("bench", list(range(0, 400, 4)),
+                       [i * i % 2**32 for i in range(100)])
+        path = tmp_path / "trace.npz"
+        t.save(path)
+        loaded = ValueTrace.load(path)
+        assert loaded.name == "bench"
+        assert np.array_equal(loaded.pcs, t.pcs)
+        assert np.array_equal(loaded.values, t.values)
+
+    def test_records_cached(self):
+        t = ValueTrace("t", [0, 4], [1, 2])
+        assert t.records() is t.records()
+
+    @given(st.lists(st.tuples(st.integers(0, 2**32 - 1),
+                              st.integers(-2**31, 2**32 - 1)),
+                    max_size=40))
+    def test_from_records_roundtrip(self, pairs):
+        t = ValueTrace.from_records("t", pairs)
+        assert len(t) == len(pairs)
+        for (pc, value), (rpc, rvalue) in zip(pairs, t.records()):
+            assert rpc == pc & 0xFFFFFFFF
+            assert rvalue == value & 0xFFFFFFFF

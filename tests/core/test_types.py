@@ -1,0 +1,47 @@
+"""Tests for the shared 32-bit word helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.types import (MASK32, is_power_of_two, require_power_of_two,
+                              to_s32, to_u32)
+
+
+class TestWordHelpers:
+    def test_to_u32(self):
+        assert to_u32(-1) == 0xFFFFFFFF
+        assert to_u32(2**32) == 0
+        assert to_u32(5) == 5
+
+    def test_to_s32(self):
+        assert to_s32(0xFFFFFFFF) == -1
+        assert to_s32(0x7FFFFFFF) == 2**31 - 1
+        assert to_s32(0x80000000) == -(2**31)
+        assert to_s32(7) == 7
+
+    @given(st.integers(-2**40, 2**40))
+    def test_roundtrip(self, value):
+        assert to_u32(to_s32(value)) == value & MASK32
+        assert to_s32(to_u32(value)) == to_s32(value)
+
+    @given(st.integers(-2**40, 2**40))
+    def test_s32_range(self, value):
+        assert -(2**31) <= to_s32(value) < 2**31
+
+
+class TestPowerOfTwo:
+    def test_classification(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(1 << 20)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(24)
+
+    def test_require_raises_with_context(self):
+        with pytest.raises(ValueError, match="widget count"):
+            require_power_of_two(3, "widget count")
+        require_power_of_two(8, "fine")  # no raise
+
+    @given(st.integers(min_value=0, max_value=30))
+    def test_all_powers_pass(self, exponent):
+        assert is_power_of_two(1 << exponent)

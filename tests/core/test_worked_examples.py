@@ -1,0 +1,82 @@
+"""The paper's worked examples, asserted exactly.
+
+Figure 4: a third-order FCM with a concatenating hash scatters the
+repeating pattern 0 1 2 3 4 5 6 over seven level-2 entries, one per
+context, each accessed once per iteration.
+
+Figure 8: the DFCM sees the same pattern as difference history; the
+context (1, 1, 1) is accessed four times per iteration and the three
+reset-related contexts ((1, 1, -6), (1, -6, 1), (-6, 1, 1)) once each.
+"""
+
+from collections import Counter
+
+from repro.core.dfcm import DFCMPredictor
+from repro.core.fcm import FCMPredictor
+from repro.core.hashing import ConcatHash
+
+
+PATTERN = [0, 1, 2, 3, 4, 5, 6]
+
+
+def drive(predictor, iterations, warmup_iterations):
+    """Run the repeating pattern; returns Counter of L2 accesses after
+    the warmup (steady state)."""
+    pc = 0x1000
+    accesses = Counter()
+    total = len(PATTERN) * (warmup_iterations + iterations)
+    for i in range(total):
+        if i >= len(PATTERN) * warmup_iterations:
+            accesses[predictor.l2_index(pc)] += 1
+        predictor.update(pc, PATTERN[i % len(PATTERN)])
+    return accesses
+
+
+class TestFigure4:
+    def test_fcm_uses_seven_entries_equally(self):
+        p = FCMPredictor(64, 1 << 12, hash_fn=ConcatHash(12, order=3))
+        accesses = drive(p, iterations=10, warmup_iterations=2)
+        assert len(accesses) == 7
+        assert all(count == 10 for count in accesses.values())
+
+    def test_contexts_match_papers_table(self):
+        # The paper's Figure 4 lists the seven contexts explicitly.
+        h = ConcatHash(12, order=3)
+        p = FCMPredictor(64, 1 << 12, hash_fn=h)
+        pc = 0x1000
+        for i in range(21):  # three warmup iterations
+            p.update(pc, PATTERN[i % 7])
+        # History is now (5, 6, 0) (oldest first after 21 values ...
+        # last three were 4 5 6 -> next context)
+        expected_context = [4, 5, 6]
+        assert p.l2_index(pc) == h.of_history(expected_context)
+
+
+class TestFigure8:
+    def test_dfcm_access_distribution(self):
+        # Contexts of the difference history (order 3, differences of
+        # the repeating 0..6 pattern: 1 1 1 1 1 1 -6):
+        #   (1,1,1)  -> 4 accesses per iteration
+        #   (1,1,-6), (1,-6,1), (-6,1,1) -> 1 access each
+        p = DFCMPredictor(64, 1 << 12, hash_fn=ConcatHash(12, order=3))
+        accesses = drive(p, iterations=10, warmup_iterations=2)
+        assert len(accesses) == 4
+        counts = sorted(accesses.values(), reverse=True)
+        assert counts == [40, 10, 10, 10]
+
+    def test_dfcm_uses_strictly_fewer_entries_than_fcm(self):
+        fcm = FCMPredictor(64, 1 << 12, hash_fn=ConcatHash(12, order=3))
+        dfcm = DFCMPredictor(64, 1 << 12, hash_fn=ConcatHash(12, order=3))
+        fcm_accesses = drive(fcm, 10, 2)
+        dfcm_accesses = drive(dfcm, 10, 2)
+        assert len(dfcm_accesses) < len(fcm_accesses)
+
+    def test_all_same_stride_patterns_map_to_one_entry(self):
+        # "all stride patterns with the same stride map to the same
+        # entries" -- two different PCs with different ranges.
+        p = DFCMPredictor(1 << 6, 1 << 12, hash_fn=ConcatHash(12, order=3))
+        pc_a, pc_b = 0x1000, 0x1004
+        for i in range(20):
+            p.update(pc_a, i)
+            p.update(pc_b, 1_000 + i)
+        assert p.l2_index(pc_a) == p.l2_index(pc_b)

@@ -1,0 +1,44 @@
+"""Tests for the terminal plot renderer."""
+
+import pytest
+
+from repro.harness.ascii_plot import render_series
+
+
+class TestRenderSeries:
+    def test_markers_and_legend(self):
+        text = render_series({"up": ([1, 2, 3], [1, 2, 3]),
+                              "down": ([1, 2, 3], [3, 2, 1])},
+                             width=30, height=10)
+        assert "o = up" in text
+        assert "x = down" in text
+        assert "o" in text and "x" in text
+
+    def test_axis_labels(self):
+        text = render_series({"s": ([1, 10], [0.0, 1.0])},
+                             width=20, height=5)
+        assert "1.000" in text and "0.000" in text
+
+    def test_log_axis(self):
+        text = render_series({"s": ([10, 10000], [0, 1])},
+                             width=20, height=5, logx=True)
+        assert "10" in text and "1e+04" in text
+
+    def test_log_axis_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="log axis"):
+            render_series({"s": ([0, 1], [0, 1])}, logx=True)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            render_series({"s": ([1, 2], [1])})
+
+    def test_empty(self):
+        assert render_series({}) == "(no data)"
+
+    def test_title(self):
+        text = render_series({"s": ([1, 2], [1, 2])}, title="my plot")
+        assert text.splitlines()[0] == "my plot"
+
+    def test_constant_series_does_not_crash(self):
+        text = render_series({"s": ([1, 2, 3], [5, 5, 5])})
+        assert "o" in text

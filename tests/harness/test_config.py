@@ -1,0 +1,28 @@
+"""Tests for harness configuration."""
+
+import pytest
+
+from repro.harness.config import default_trace_length, suite_traces
+from repro.workloads.registry import SPEC_NAMES
+
+
+class TestTraceLength:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_LEN", raising=False)
+        assert default_trace_length() == 100_000
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LEN", "12345")
+        assert default_trace_length() == 12345
+
+    def test_rejects_nonpositive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_LEN", "0")
+        with pytest.raises(ValueError):
+            default_trace_length()
+
+
+class TestSuiteTraces:
+    def test_suite_in_paper_order(self):
+        traces = suite_traces(1000)
+        assert [t.name for t in traces] == SPEC_NAMES
+        assert all(len(t) == 1000 for t in traces)

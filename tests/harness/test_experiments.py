@@ -1,0 +1,83 @@
+"""Tests for the experiment registry (on tiny synthetic traces).
+
+The paper-claim assertions live in benchmarks/; these tests check the
+*machinery*: every experiment runs, produces its tables, and the tables
+have the expected structure.
+"""
+
+import pytest
+
+from repro.harness.experiments import (EXPERIMENTS, experiment_ids,
+                                       run_experiment)
+from tests.conftest import interleaved, repeating_trace, stride_trace
+
+
+@pytest.fixture(scope="module")
+def tiny_traces():
+    """Small mixed traces standing in for the benchmark suite."""
+    traces = []
+    for index, name in enumerate(["alpha", "beta"]):
+        base = 0x1000 + index * 0x40
+        traces.append(interleaved(
+            stride_trace(f"{name}", base, index, 3 + index, 400),
+            repeating_trace(f"{name}_ctx", base + 4,
+                            [7, 2, 9, 4, 1][index:], 80),
+        ))
+        traces[-1].name = name
+    return traces
+
+
+class TestRegistry:
+    def test_known_ids(self):
+        expected = {"table1", "fig3", "fig6_9", "fig10", "fig11",
+                    "fig12_14", "fig16", "sec4_4", "fig17",
+                    "ablation_hash", "ablation_order",
+                    "ablation_confidence"}
+        assert expected <= set(experiment_ids())
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError, match="unknown experiment"):
+            run_experiment("fig99", traces=[])
+
+
+# table1, fig6_9, ext_optlevel and ext_seeds resolve trace names against
+# the real workload registry, so they cannot run on synthetic traces.
+@pytest.mark.parametrize("experiment_id", sorted(
+    set(experiment_ids()) - {"table1", "fig6_9", "ext_optlevel",
+                             "ext_seeds"}))
+def test_experiment_runs_on_tiny_traces(experiment_id, tiny_traces):
+    result = run_experiment(experiment_id, traces=tiny_traces, fast=True)
+    assert result.experiment_id == experiment_id
+    assert result.tables
+    text = result.render()
+    assert experiment_id in text
+    for table in result.tables:
+        assert table.rows, f"{table.title} is empty"
+
+
+class TestStructure:
+    def test_fig10_columns(self, tiny_traces):
+        result = run_experiment("fig10", traces=tiny_traces, fast=True)
+        sweep = result.table("accuracy vs level-2 size")
+        assert sweep.headers == ["log2_l2", "fcm", "dfcm", "relative_gain"]
+        per_bench = result.table("per-benchmark")
+        names = per_bench.column("benchmark")
+        assert names[:-1] == [t.name for t in tiny_traces]
+        assert names[-1] == "weighted_avg"
+
+    def test_fig12_14_fractions_sum_to_one(self, tiny_traces):
+        result = run_experiment("fig12_14", traces=tiny_traces, fast=True)
+        for kind in ("fcm", "dfcm"):
+            table = result.table(f"Figure 13 ({kind})")
+            for row in table.rows:
+                assert sum(row[1:]) == pytest.approx(1.0)
+
+    def test_fig17_has_requested_delays(self, tiny_traces):
+        result = run_experiment("fig17", traces=tiny_traces, fast=True)
+        table = result.table("accuracy vs update delay")
+        assert table.column("delay") == [0, 16, 64]
+
+    def test_sec4_4_all_widths(self, tiny_traces):
+        result = run_experiment("sec4_4", traces=tiny_traces, fast=True)
+        table = result.table("accuracy and size")
+        assert sorted(set(table.column("stride_bits"))) == [8, 16, 32]

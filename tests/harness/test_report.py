@@ -1,0 +1,70 @@
+"""Tests for result tables and rendering."""
+
+import pytest
+
+from repro.harness.report import ExperimentResult, Table, format_table
+
+
+class TestTable:
+    def test_add_and_column(self):
+        table = Table("t", ["a", "b"])
+        table.add(1, 2)
+        table.add(3, 4)
+        assert table.column("a") == [1, 3]
+        assert table.column("b") == [2, 4]
+
+    def test_add_wrong_arity(self):
+        table = Table("t", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_lookup(self):
+        table = Table("t", ["name", "value"])
+        table.add("x", 10)
+        table.add("y", 20)
+        assert table.lookup("name", "y", "value") == 20
+        with pytest.raises(KeyError):
+            table.lookup("name", "z", "value")
+
+    def test_render_aligns(self):
+        table = Table("title", ["col", "value"])
+        table.add("aaa", 0.123456)
+        text = table.render()
+        assert "title" in text
+        assert "0.1235" in text  # floats rendered with 4 decimals
+
+    def test_csv(self):
+        table = Table("t", ["a", "b"])
+        table.add("x,y", 1.5)
+        csv = table.to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert '"x,y"' in csv and "1.5" in csv
+
+
+class TestExperimentResult:
+    def test_table_lookup_by_fragment(self):
+        result = ExperimentResult("e1", "title")
+        result.tables.append(Table("alpha metrics", ["x"]))
+        result.tables.append(Table("beta metrics", ["x"]))
+        assert result.table("beta").title == "beta metrics"
+        with pytest.raises(KeyError):
+            result.table("gamma")
+
+    def test_render_includes_everything(self):
+        result = ExperimentResult("e1", "my experiment")
+        table = Table("numbers", ["n"])
+        table.add(7)
+        result.tables.append(table)
+        result.notes.append("a note")
+        text = result.render()
+        assert "e1" in text and "my experiment" in text
+        assert "numbers" in text and "7" in text
+        assert "note: a note" in text
+
+
+class TestFormatTable:
+    def test_right_aligned_cells(self):
+        text = format_table(["x"], [[1], [100]])
+        lines = text.splitlines()
+        assert lines[-1] == "100"
+        assert lines[-2] == "  1"

@@ -1,0 +1,63 @@
+"""Tests for sweeps and Pareto fronts."""
+
+import pytest
+
+from repro.core.last_value import LastValuePredictor
+from repro.core.stride import StridePredictor
+from repro.harness.sweep import SweepPoint, pareto_front, sweep
+from tests.conftest import stride_trace
+
+
+def point(size, accuracy, label="p"):
+    return SweepPoint(label=label, size_kbit=size, accuracy=accuracy)
+
+
+class TestParetoFront:
+    def test_keeps_only_improvements(self):
+        points = [point(1, 0.5), point(2, 0.4), point(3, 0.7), point(4, 0.6)]
+        front = pareto_front(points)
+        assert [(p.size_kbit, p.accuracy) for p in front] == [(1, 0.5), (3, 0.7)]
+
+    def test_equal_size_keeps_best(self):
+        points = [point(1, 0.5), point(1, 0.8), point(2, 0.6)]
+        front = pareto_front(points)
+        assert [(p.size_kbit, p.accuracy) for p in front] == [(1, 0.8)]
+
+    def test_equal_accuracy_not_kept_twice(self):
+        points = [point(1, 0.5), point(2, 0.5)]
+        front = pareto_front(points)
+        assert len(front) == 1 and front[0].size_kbit == 1
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    def test_monotone_output(self):
+        import random
+        rng = random.Random(3)
+        points = [point(rng.uniform(1, 100), rng.random()) for _ in range(50)]
+        front = pareto_front(points)
+        sizes = [p.size_kbit for p in front]
+        accs = [p.accuracy for p in front]
+        assert sizes == sorted(sizes)
+        assert accs == sorted(accs)
+
+
+class TestSweep:
+    def test_points_carry_size_and_label(self):
+        traces = [stride_trace("s", 0x1000, 0, 1, 200)]
+        points = sweep([lambda: StridePredictor(64),
+                        lambda: LastValuePredictor(64)], traces)
+        assert points[0].label == "stride_64"
+        assert points[0].size_kbit == StridePredictor(64).storage_kbit()
+        assert points[0].accuracy > points[1].accuracy
+
+    def test_params_metadata(self):
+        traces = [stride_trace("s", 0x1000, 0, 1, 50)]
+        points = sweep([lambda: LastValuePredictor(64)], traces,
+                       params=[{"l1": 64}])
+        assert points[0].param("l1") == 64
+
+    def test_params_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sweep([lambda: LastValuePredictor(64)],
+                  [stride_trace("s", 0, 0, 1, 10)], params=[{}, {}])

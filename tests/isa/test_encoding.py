@@ -1,0 +1,128 @@
+"""Tests for binary instruction encode/decode."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import DecodeError, decode, encode
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import MNEMONICS, InstrFormat
+
+reg = st.integers(min_value=0, max_value=31)
+shamt = st.integers(min_value=0, max_value=31)
+imm16 = st.integers(min_value=-0x8000, max_value=0x7FFF)
+target26 = st.integers(min_value=0, max_value=(1 << 26) - 1)
+
+_R_MNEMS = sorted(m for m, s in MNEMONICS.items() if s.format is InstrFormat.R)
+_I_MNEMS = sorted(m for m, s in MNEMONICS.items() if s.format is InstrFormat.I)
+_J_MNEMS = sorted(m for m, s in MNEMONICS.items() if s.format is InstrFormat.J)
+
+
+class TestKnownEncodings:
+    def test_add(self):
+        # add t0, t1, t2: op 0, rs=9, rt=10, rd=8, funct 0x20
+        word = encode(Instruction("add", rd=8, rs=9, rt=10))
+        assert word == (9 << 21) | (10 << 16) | (8 << 11) | 0x20
+
+    def test_addi_negative_imm(self):
+        word = encode(Instruction("addi", rt=8, rs=8, imm=-1))
+        assert word & 0xFFFF == 0xFFFF
+
+    def test_j(self):
+        word = encode(Instruction("j", target=0x100000))
+        assert word >> 26 == 0x02
+        assert word & 0x3FFFFFF == 0x100000
+
+    def test_syscall(self):
+        assert encode(Instruction("syscall")) == 0x0C
+
+
+class TestDecodeErrors:
+    def test_word_out_of_range(self):
+        with pytest.raises(DecodeError):
+            decode(1 << 32)
+        with pytest.raises(DecodeError):
+            decode(-1)
+
+    def test_unknown_funct(self):
+        with pytest.raises(DecodeError, match="funct"):
+            decode(0x3F)  # R-format funct 0x3F unused
+
+    def test_unknown_opcode(self):
+        with pytest.raises(DecodeError, match="opcode"):
+            decode(0x3F << 26)
+
+
+class TestRoundTrip:
+    @given(st.sampled_from(_R_MNEMS), reg, reg, reg, shamt)
+    def test_r_format(self, mnemonic, rd, rs, rt, sh):
+        instr = Instruction(mnemonic, rd=rd, rs=rs, rt=rt, shamt=sh)
+        assert decode(encode(instr)) == instr
+
+    @given(st.sampled_from(_I_MNEMS), reg, reg, imm16)
+    def test_i_format(self, mnemonic, rs, rt, imm):
+        instr = Instruction(mnemonic, rs=rs, rt=rt, imm=imm)
+        assert decode(encode(instr)) == instr
+
+    @given(st.sampled_from(_J_MNEMS), target26)
+    def test_j_format(self, mnemonic, target):
+        instr = Instruction(mnemonic, target=target)
+        assert decode(encode(instr)) == instr
+
+    @given(st.sampled_from(sorted(MNEMONICS)), reg, reg, reg, shamt, imm16,
+           target26)
+    def test_encode_always_32_bits(self, mnemonic, rd, rs, rt, sh, imm, tgt):
+        instr = Instruction(mnemonic, rd=rd, rs=rs, rt=rt, shamt=sh,
+                            imm=imm, target=tgt)
+        assert 0 <= encode(instr) < (1 << 32)
+
+
+class TestInstructionValidation:
+    def test_register_fields_bounded(self):
+        with pytest.raises(ValueError):
+            Instruction("add", rd=32)
+        with pytest.raises(ValueError):
+            Instruction("add", rs=-1)
+
+    def test_imm_bounded(self):
+        with pytest.raises(ValueError):
+            Instruction("addi", imm=0x10000)
+        with pytest.raises(ValueError):
+            Instruction("addi", imm=-0x8001)
+
+    def test_target_bounded(self):
+        with pytest.raises(ValueError):
+            Instruction("j", target=1 << 26)
+
+
+class TestDestRegister:
+    def test_alu_dest_is_rd(self):
+        assert Instruction("add", rd=8, rs=9, rt=10).dest_register == 8
+
+    def test_load_dest_is_rt(self):
+        assert Instruction("lw", rt=5, rs=29, imm=4).dest_register == 5
+
+    def test_zero_dest_is_none(self):
+        assert Instruction("add", rd=0, rs=9, rt=10).dest_register is None
+
+    def test_branches_and_jumps_produce_nothing(self):
+        for mnemonic in ("beq", "bne", "j", "jal", "jr", "syscall"):
+            instr = Instruction(mnemonic)
+            assert instr.dest_register is None
+
+    def test_stores_produce_nothing(self):
+        assert Instruction("sw", rt=5, rs=29).dest_register is None
+
+    def test_is_branch_or_jump(self):
+        assert Instruction("beq").is_branch_or_jump
+        assert Instruction("jal").is_branch_or_jump
+        assert Instruction("jr").is_branch_or_jump
+        assert not Instruction("add").is_branch_or_jump
+        assert not Instruction("lw").is_branch_or_jump
+
+
+class TestDisassembly:
+    def test_text_forms(self):
+        assert Instruction("add", rd=8, rs=9, rt=10).text() == "add t0, t1, t2"
+        assert Instruction("addi", rt=8, rs=0, imm=5).text() == "addi t0, zero, 5"
+        assert Instruction("lw", rt=4, rs=29, imm=8).text() == "lw a0, 8(sp)"
+        assert Instruction("syscall").text() == "syscall"

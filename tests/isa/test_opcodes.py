@@ -1,0 +1,63 @@
+"""Tests for the opcode table metadata."""
+
+import pytest
+
+from repro.isa.opcodes import (BRANCH_MNEMONICS, JUMP_MNEMONICS,
+                               LOAD_MNEMONICS, MNEMONICS, STORE_MNEMONICS,
+                               InstrFormat, spec_for)
+
+
+class TestTableConsistency:
+    def test_encodings_are_unique(self):
+        r_functs = [s.funct for s in MNEMONICS.values()
+                    if s.format is InstrFormat.R]
+        assert len(r_functs) == len(set(r_functs))
+        other_opcodes = [s.opcode for s in MNEMONICS.values()
+                        if s.format is not InstrFormat.R]
+        assert len(other_opcodes) == len(set(other_opcodes))
+        assert all(op != 0 for op in other_opcodes)  # 0 is the R space
+
+    def test_fields_fit_their_widths(self):
+        for spec in MNEMONICS.values():
+            assert 0 <= spec.opcode < 64
+            assert 0 <= spec.funct < 64
+
+    def test_category_sets_are_disjoint(self):
+        assert not (BRANCH_MNEMONICS & JUMP_MNEMONICS)
+        assert not (LOAD_MNEMONICS & STORE_MNEMONICS)
+        for name in BRANCH_MNEMONICS | JUMP_MNEMONICS | LOAD_MNEMONICS | STORE_MNEMONICS:
+            assert name in MNEMONICS
+
+    def test_every_spec_has_known_operand_shape(self):
+        known = {"rd,rs,rt", "rd,rt,sh", "rt,rs,imm", "rt,imm",
+                 "rt,off(rs)", "rs,rt,label", "rs,label", "label",
+                 "rs", "rd,rs", ""}
+        for spec in MNEMONICS.values():
+            assert spec.operands in known, spec.mnemonic
+
+
+class TestPredictionSet:
+    """The writes_register flag defines what the paper predicts."""
+
+    def test_alu_and_loads_are_producers(self):
+        for name in ("add", "addi", "mul", "slt", "lui", "lw", "lbu"):
+            assert spec_for(name).writes_register
+
+    def test_control_flow_and_stores_are_not(self):
+        for name in ("beq", "bne", "j", "jal", "jr", "jalr", "sw", "sb",
+                     "syscall"):
+            assert not spec_for(name).writes_register
+
+    def test_jal_excluded_despite_writing_ra(self):
+        # The paper: "value prediction was not performed for branch and
+        # jump instructions" -- jal writes $ra but is a jump.
+        assert not spec_for("jal").writes_register
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert spec_for("ADD") is spec_for("add")
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown mnemonic"):
+            spec_for("vfmadd231ps")

@@ -1,0 +1,40 @@
+"""Tests for the R32 register file naming."""
+
+import pytest
+
+from repro.isa.registers import (REGISTER_NAMES, REGISTER_NUMBERS,
+                                 register_number)
+
+
+class TestRegisters:
+    def test_thirty_two_names(self):
+        assert len(REGISTER_NAMES) == 32
+        assert len(set(REGISTER_NAMES)) == 32
+
+    def test_abi_positions(self):
+        assert REGISTER_NAMES[0] == "zero"
+        assert REGISTER_NAMES[2] == "v0"
+        assert REGISTER_NAMES[4] == "a0"
+        assert REGISTER_NAMES[29] == "sp"
+        assert REGISTER_NAMES[31] == "ra"
+
+    def test_lookup_spellings(self):
+        assert register_number("t0") == 8
+        assert register_number("$t0") == 8
+        assert register_number("r8") == 8
+        assert register_number("$8") == 8
+        assert register_number("T0") == 8  # case-insensitive
+
+    def test_fp_aliases(self):
+        assert register_number("fp") == 30
+        assert register_number("s8") == 30
+
+    def test_unknown_register(self):
+        with pytest.raises(ValueError, match="unknown register"):
+            register_number("t99")
+
+    def test_every_number_spelling_roundtrips(self):
+        for num in range(32):
+            assert register_number(f"r{num}") == num
+            assert register_number(f"${num}") == num
+            assert REGISTER_NUMBERS[REGISTER_NAMES[num]] == num

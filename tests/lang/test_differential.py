@@ -1,0 +1,222 @@
+"""Differential testing: MinC-on-VM vs a Python model of C semantics.
+
+Hypothesis generates random expression trees; each is rendered to MinC,
+compiled, assembled and executed on the R32 VM, and the printed result
+is compared against an independent Python evaluator implementing
+32-bit two's-complement C semantics (wrap-around arithmetic, truncating
+division, arithmetic right shift, signed comparisons, short-circuit
+logic).  Any divergence pinpoints a bug in the compiler, assembler or
+VM -- three subsystems checked at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.lang import compile_to_program
+from repro.vm import Machine
+
+MASK = 0xFFFFFFFF
+INT_MIN, INT_MAX = -(1 << 31), (1 << 31) - 1
+
+
+def to_signed(value: int) -> int:
+    value &= MASK
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+# ---- expression trees ----
+# Nodes: ("lit", v) | ("var", name) | ("un", op, node)
+#      | ("bin", op, left, right) | ("shift", op, node, amount)
+#      | ("divmod", op, node, divisor)
+
+_VARS = ("a", "b", "c")
+_WRAP_OPS = ("+", "-", "*", "&", "|", "^")
+_CMP_OPS = ("<", "<=", ">", ">=", "==", "!=")
+_LOGIC_OPS = ("&&", "||")
+
+
+def _exprs():
+    literals = st.builds(lambda v: ("lit", v),
+                         st.integers(INT_MIN, INT_MAX))
+    variables = st.builds(lambda n: ("var", n), st.sampled_from(_VARS))
+    leaves = literals | variables
+
+    def extend(children):
+        unary = st.builds(lambda op, e: ("un", op, e),
+                          st.sampled_from(("-", "!", "~")), children)
+        binary = st.builds(lambda op, l, r: ("bin", op, l, r),
+                           st.sampled_from(_WRAP_OPS + _CMP_OPS + _LOGIC_OPS),
+                           children, children)
+        shift = st.builds(lambda op, e, n: ("shift", op, e, n),
+                          st.sampled_from(("<<", ">>")), children,
+                          st.integers(0, 31))
+        # Divisor: nonzero literal, excluding -1 (INT_MIN / -1 is UB
+        # in C; both implementations would wrap, but staying inside
+        # defined behaviour keeps the oracle honest).
+        divisor = st.integers(-1000, 1000).filter(lambda d: d not in (0, -1))
+        divmod_ = st.builds(lambda op, e, d: ("divmod", op, e, d),
+                            st.sampled_from(("/", "%")), children, divisor)
+        return unary | binary | shift | divmod_
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+def render(node) -> str:
+    kind = node[0]
+    if kind == "lit":
+        # Large negatives render via unary minus on the positive image;
+        # the parser folds it back into a literal.
+        return f"({node[1]})"
+    if kind == "var":
+        return node[1]
+    if kind == "un":
+        return f"({node[1]}{render(node[2])})"
+    if kind == "bin":
+        return f"({render(node[2])} {node[1]} {render(node[3])})"
+    if kind == "shift":
+        return f"({render(node[2])} {node[1]} {node[3]})"
+    if kind == "divmod":
+        return f"({render(node[2])} {node[1]} ({node[3]}))"
+    raise AssertionError(kind)
+
+
+def evaluate(node, env) -> int:
+    """The oracle: C-on-int32 semantics, values kept as signed ints."""
+    kind = node[0]
+    if kind == "lit":
+        return to_signed(node[1])
+    if kind == "var":
+        return env[node[1]]
+    if kind == "un":
+        value = evaluate(node[2], env)
+        if node[1] == "-":
+            return to_signed(-value)
+        if node[1] == "!":
+            return 0 if value else 1
+        return to_signed(~value)
+    if kind == "bin":
+        op = node[1]
+        if op in _LOGIC_OPS:
+            left = evaluate(node[2], env)
+            if op == "&&":
+                return 1 if (left and evaluate(node[3], env)) else 0
+            return 1 if (left or evaluate(node[3], env)) else 0
+        left = evaluate(node[2], env)
+        right = evaluate(node[3], env)
+        if op == "+":
+            return to_signed(left + right)
+        if op == "-":
+            return to_signed(left - right)
+        if op == "*":
+            return to_signed(left * right)
+        if op == "&":
+            return to_signed(left & right)
+        if op == "|":
+            return to_signed(left | right)
+        if op == "^":
+            return to_signed(left ^ right)
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        if op == "==":
+            return 1 if left == right else 0
+        return 1 if left != right else 0
+    if kind == "shift":
+        value = evaluate(node[2], env)
+        if node[1] == "<<":
+            return to_signed(value << node[3])
+        return to_signed(value >> node[3])  # arithmetic: python on signed
+    if kind == "divmod":
+        dividend = evaluate(node[2], env)
+        divisor = node[3]
+        quotient = abs(dividend) // abs(divisor)
+        if (dividend < 0) != (divisor < 0):
+            quotient = -quotient
+        if node[1] == "/":
+            return to_signed(quotient)
+        return to_signed(dividend - quotient * divisor)
+    raise AssertionError(kind)
+
+
+def run_minc_expression(expression: str, env, optimize: int = 0) -> int:
+    source = f"""
+    int main() {{
+        int a = {env['a']};
+        int b = {env['b']};
+        int c = {env['c']};
+        print_int({expression});
+        return 0;
+    }}
+    """
+    machine = Machine(compile_to_program(source, optimize=optimize))
+    machine.run(2_000_000)
+    return int(machine.stdout)
+
+
+@pytest.mark.parametrize("optimize", [0, 1, 2])
+@settings(max_examples=120, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(tree=_exprs(),
+       a=st.integers(INT_MIN, INT_MAX),
+       b=st.integers(INT_MIN, INT_MAX),
+       c=st.integers(-100, 100))
+def test_expression_semantics_match_c_model(optimize, tree, a, b, c):
+    env = {"a": to_signed(a), "b": to_signed(b), "c": to_signed(c)}
+    expected = evaluate(tree, env)
+    actual = run_minc_expression(render(tree), env, optimize)
+    assert actual == expected, f"{render(tree)} with {env} at O{optimize}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=st.lists(st.integers(INT_MIN, INT_MAX), min_size=1,
+                       max_size=8))
+def test_array_roundtrip_semantics(values):
+    """Writing then summing an array matches Python's wrapped sum."""
+    stores = "\n".join(
+        f"data[{i}] = {to_signed(v)};" for i, v in enumerate(values))
+    source = f"""
+    int data[8];
+    int main() {{
+        int i;
+        int sum = 0;
+        {stores}
+        for (i = 0; i < {len(values)}; i = i + 1) sum = sum + data[i];
+        print_int(sum);
+        return 0;
+    }}
+    """
+    machine = Machine(compile_to_program(source))
+    machine.run(1_000_000)
+    expected = 0
+    for value in values:
+        expected = to_signed(expected + to_signed(value))
+    assert int(machine.stdout) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(start=st.integers(-1000, 1000), step=st.integers(1, 50),
+       trips=st.integers(0, 60))
+def test_loop_semantics(start, step, trips):
+    """A counted while loop terminates with the exact iteration count."""
+    source = f"""
+    int main() {{
+        int i = {start};
+        int count = 0;
+        while (i < {start + step * trips}) {{
+            i = i + {step};
+            count = count + 1;
+        }}
+        print_int(count);
+        return 0;
+    }}
+    """
+    machine = Machine(compile_to_program(source))
+    machine.run(1_000_000)
+    assert int(machine.stdout) == trips

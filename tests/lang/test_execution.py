@@ -1,0 +1,344 @@
+"""End-to-end MinC tests: compile, assemble, run, check output.
+
+These are the compiler's conformance suite -- each test pins down the
+observable behaviour of one language feature on the real VM.
+"""
+
+import pytest
+
+from repro.lang import compile_to_program
+from repro.vm import Machine
+
+
+def run(source: str, max_instructions: int = 2_000_000) -> Machine:
+    machine = Machine(compile_to_program(source))
+    machine.run(max_instructions)
+    return machine
+
+
+def output_of(source: str) -> str:
+    return run(source).stdout
+
+
+class TestBasics:
+    def test_exit_code_is_mains_return(self):
+        assert run("int main() { return 42; }").exit_code == 42
+
+    def test_fall_through_returns_zero(self):
+        assert run("int main() { }").exit_code == 0
+
+    def test_print_builtins(self):
+        source = """
+        int main() {
+            print_str("x=");
+            print_int(7);
+            print_char('!');
+            return 0;
+        }
+        """
+        assert output_of(source) == "x=7!"
+
+    def test_exit_builtin(self):
+        machine = run("int main() { exit(3); return 9; }")
+        assert machine.exit_code == 3
+
+    def test_negative_numbers_print_signed(self):
+        assert output_of("int main() { print_int(0 - 5); return 0; }") == "-5"
+
+
+class TestArithmetic:
+    CASES = [
+        ("1 + 2 * 3", 7),
+        ("(1 + 2) * 3", 9),
+        ("10 - 4 - 3", 3),
+        ("17 / 5", 3),
+        ("-17 / 5", -3),       # C-style truncation toward zero
+        ("17 % 5", 2),
+        ("-17 % 5", -2),
+        ("5 << 3", 40),
+        ("-40 >> 3", -5),      # arithmetic right shift
+        ("12 & 10", 8),
+        ("12 | 10", 14),
+        ("12 ^ 10", 6),
+        ("~0", -1),
+        ("-(3 + 4)", -7),
+        ("!0", 1),
+        ("!7", 0),
+        ("3 < 4", 1),
+        ("4 < 3", 0),
+        ("3 <= 3", 1),
+        ("3 >= 4", 0),
+        ("4 > 3", 1),
+        ("5 == 5", 1),
+        ("5 != 5", 0),
+        ("1 && 2", 1),
+        ("1 && 0", 0),
+        ("0 || 3", 1),
+        ("0 || 0", 0),
+    ]
+
+    @pytest.mark.parametrize("expr,expected", CASES)
+    def test_expression(self, expr, expected):
+        source = f"int main() {{ print_int({expr}); return 0; }}"
+        assert output_of(source) == str(expected)
+
+    def test_wraparound(self):
+        source = """
+        int main() {
+            int x = 2147483647;
+            print_int(x + 1);
+            return 0;
+        }
+        """
+        assert output_of(source) == "-2147483648"
+
+    def test_short_circuit_skips_side_effects(self):
+        source = """
+        int hit = 0;
+        int touch() { hit = 1; return 1; }
+        int main() {
+            int r = 0 && touch();
+            print_int(hit);
+            r = 1 || touch();
+            print_int(hit);
+            return 0;
+        }
+        """
+        assert output_of(source) == "00"
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        source = """
+        int main() {
+            if (3 > 2) print_int(1); else print_int(2);
+            if (3 < 2) print_int(3); else print_int(4);
+            return 0;
+        }
+        """
+        assert output_of(source) == "14"
+
+    def test_while_loop(self):
+        source = """
+        int main() {
+            int i = 0;
+            int s = 0;
+            while (i < 5) { s = s + i; i = i + 1; }
+            print_int(s);
+            return 0;
+        }
+        """
+        assert output_of(source) == "10"
+
+    def test_for_loop(self):
+        source = """
+        int main() {
+            int s = 0;
+            int i;
+            for (i = 1; i <= 10; i = i + 1) s = s + i;
+            print_int(s);
+            return 0;
+        }
+        """
+        assert output_of(source) == "55"
+
+    def test_break_and_continue(self):
+        source = """
+        int main() {
+            int i;
+            for (i = 0; i < 10; i = i + 1) {
+                if (i == 3) continue;
+                if (i == 6) break;
+                print_int(i);
+            }
+            return 0;
+        }
+        """
+        assert output_of(source) == "01245"
+
+    def test_nested_loops_with_break(self):
+        source = """
+        int main() {
+            int i; int j;
+            for (i = 0; i < 3; i = i + 1) {
+                for (j = 0; j < 3; j = j + 1) {
+                    if (j > i) break;
+                    print_int(j);
+                }
+            }
+            return 0;
+        }
+        """
+        assert output_of(source) == "001012"
+
+
+class TestFunctions:
+    def test_recursion(self):
+        source = """
+        int fact(int n) { if (n < 2) return 1; return n * fact(n - 1); }
+        int main() { print_int(fact(6)); return 0; }
+        """
+        assert output_of(source) == "720"
+
+    def test_mutual_recursion(self):
+        source = """
+        int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+        int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+        int main() { print_int(even(9)); print_int(odd(9)); return 0; }
+        """
+        assert output_of(source) == "01"
+
+    def test_many_arguments(self):
+        source = """
+        int f(int a, int b, int c, int d, int e, int g) {
+            return a + 10*b + 100*c + 1000*d + 10000*e + 100000*g;
+        }
+        int main() { print_int(f(1, 2, 3, 4, 5, 6)); return 0; }
+        """
+        assert output_of(source) == "654321"
+
+    def test_call_in_expression_preserves_temps(self):
+        # The live temp prefix must survive the call.
+        source = """
+        int five() { int t = 2 + 3; return t; }
+        int main() { print_int(10 * (1 + five())); return 0; }
+        """
+        assert output_of(source) == "60"
+
+    def test_nested_calls(self):
+        source = """
+        int add(int a, int b) { return a + b; }
+        int main() { print_int(add(add(1, 2), add(3, add(4, 5)))); return 0; }
+        """
+        assert output_of(source) == "15"
+
+
+class TestVariables:
+    def test_global_scalar_updates(self):
+        source = """
+        int g = 7;
+        int bump() { g = g + 1; return g; }
+        int main() { bump(); bump(); print_int(g); return 0; }
+        """
+        assert output_of(source) == "9"
+
+    def test_global_array_init(self):
+        source = """
+        int a[5] = {10, 20, 30};
+        int main() {
+            print_int(a[0] + a[1] + a[2] + a[3] + a[4]);
+            return 0;
+        }
+        """
+        assert output_of(source) == "60"
+
+    def test_local_arrays(self):
+        source = """
+        int main() {
+            int a[4];
+            int i;
+            for (i = 0; i < 4; i = i + 1) a[i] = i * 2;
+            print_int(a[3]);
+            return 0;
+        }
+        """
+        assert output_of(source) == "6"
+
+    def test_array_passed_by_reference(self):
+        source = """
+        int fill(int a[], int n) {
+            int i;
+            for (i = 0; i < n; i = i + 1) a[i] = i + 1;
+            return 0;
+        }
+        int main() {
+            int buf[3];
+            fill(buf, 3);
+            print_int(buf[0] + buf[1] + buf[2]);
+            return 0;
+        }
+        """
+        assert output_of(source) == "6"
+
+    def test_shadowing(self):
+        source = """
+        int x = 1;
+        int main() {
+            int x = 2;
+            { int x = 3; print_int(x); }
+            print_int(x);
+            return 0;
+        }
+        """
+        assert output_of(source) == "32"
+
+    def test_array_index_expressions(self):
+        source = """
+        int a[10];
+        int main() {
+            int i;
+            for (i = 0; i < 10; i = i + 1) a[i] = i;
+            print_int(a[a[3] + a[4]]);
+            return 0;
+        }
+        """
+        assert output_of(source) == "7"
+
+
+class TestDeepExpressions:
+    def test_expression_deeper_than_temp_pool(self):
+        # Depth > 10 forces the spill path in the code generator.
+        expr = "(1+(2+(3+(4+(5+(6+(7+(8+(9+(10+(11+(12+13))))))))))))"
+        source = f"int main() {{ print_int({expr}); return 0; }}"
+        assert output_of(source) == str(sum(range(1, 14)))
+
+    def test_deep_expression_with_nonassociative_op(self):
+        expr = "(100-(1-(2-(3-(4-(5-(6-(7-(8-(9-(10-(11-12))))))))))))"
+        value = eval(expr)
+        source = f"int main() {{ print_int({expr}); return 0; }}"
+        assert output_of(source) == str(value)
+
+    def test_deep_index_spill(self):
+        source = """
+        int a[3] = {5, 6, 7};
+        int main() {
+            print_int(a[(1+(1+(1+(1+(1+(1+(1+(1+(1+(1+(1+(1-10))))))))))))]);
+            return 0;
+        }
+        """
+        assert output_of(source) == "7"
+
+    def test_call_inside_deep_expression(self):
+        source = """
+        int one() { return 1; }
+        int main() {
+            print_int((1+(2+(3+(4+(5+(6+(7+(8+(9+(10+one())))))))))));
+            return 0;
+        }
+        """
+        assert output_of(source) == "56"
+
+
+class TestTracing:
+    def test_loop_produces_stride_pattern(self):
+        source = """
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < 50; i = i + 1) s = s + i;
+            return s;
+        }
+        """
+        machine = Machine(compile_to_program(source), collect_trace=True)
+        machine.run()
+        # The addi incrementing i produces the stride pattern 1..50:
+        # find a PC whose values form a stride-1 ramp of length 50.
+        by_pc = {}
+        for pc, value in machine.trace:
+            by_pc.setdefault(pc, []).append(value)
+        ramps = [
+            values for values in by_pc.values()
+            if len(values) == 50 and all(
+                b - a == 1 for a, b in zip(values, values[1:]))
+        ]
+        assert ramps, "no stride-1 induction pattern found in the trace"

@@ -1,0 +1,58 @@
+"""Tests for the MinC lexer."""
+
+import pytest
+
+from repro.lang.errors import CompileError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_vs_identifiers(self):
+        assert kinds("int x while whilex") == [
+            ("keyword", "int"), ("ident", "x"),
+            ("keyword", "while"), ("ident", "whilex")]
+
+    def test_numbers(self):
+        assert kinds("0 42 0x1F") == [
+            ("int_lit", 0), ("int_lit", 42), ("int_lit", 31)]
+
+    def test_char_literals(self):
+        assert kinds(r"'a' '\n' '\0' '\\'") == [
+            ("int_lit", 97), ("int_lit", 10), ("int_lit", 0),
+            ("int_lit", 92)]
+
+    def test_string_literals(self):
+        assert kinds(r'"hi\n"') == [("string_lit", "hi\n")]
+
+    def test_multichar_symbols_greedy(self):
+        assert kinds("a<<=b") == [
+            ("ident", "a"), ("symbol", "<<"), ("symbol", "="), ("ident", "b")]
+        assert kinds("x<=y") == [
+            ("ident", "x"), ("symbol", "<="), ("ident", "y")]
+
+    def test_comments(self):
+        assert kinds("a // c\nb") == [("ident", "a"), ("ident", "b")]
+        assert kinds("a /* x\ny */ b") == [("ident", "a"), ("ident", "b")]
+
+    def test_line_numbers_cross_comments(self):
+        tokens = tokenize("a /* x\ny */ b")
+        assert tokens[0].line == 1 and tokens[1].line == 2
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"
+
+    def test_errors(self):
+        with pytest.raises(CompileError, match="unterminated block"):
+            tokenize("/* oops")
+        with pytest.raises(CompileError, match="unexpected character"):
+            tokenize("@")
+        with pytest.raises(CompileError, match="bad numeric"):
+            tokenize("12ab")
+        with pytest.raises(CompileError, match="unterminated string"):
+            tokenize('"oops')
+        with pytest.raises(CompileError, match="unknown escape"):
+            tokenize(r"'\q'")

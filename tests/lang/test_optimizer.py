@@ -1,0 +1,180 @@
+"""Tests for the peephole optimizer."""
+
+import pytest
+
+from repro.lang.compiler import compile_source, compile_to_program
+from repro.lang.optimizer import optimize_assembly
+from repro.vm import Machine
+from repro.workloads.registry import WORKLOADS
+
+
+def optimize_lines(text):
+    optimized, stats = optimize_assembly(text)
+    return [l.strip() for l in optimized.splitlines() if l.strip()], stats
+
+
+class TestPatterns:
+    def test_store_load_forwarding_same_register(self):
+        lines, stats = optimize_lines(
+            "    sw t0, 4(fp)\n    lw t0, 4(fp)\n    jr ra\n")
+        assert "lw t0, 4(fp)" not in lines
+        assert "sw t0, 4(fp)" in lines
+        assert stats.store_load_forwards == 1
+
+    def test_store_load_forwarding_different_register(self):
+        lines, _ = optimize_lines(
+            "    sw t0, 4(fp)\n    lw t1, 4(fp)\n    jr ra\n")
+        assert "move t1, t0" in lines
+        assert "lw t1, 4(fp)" not in lines
+
+    def test_store_load_different_slot_untouched(self):
+        lines, stats = optimize_lines(
+            "    sw t0, 4(fp)\n    lw t1, 8(fp)\n    jr ra\n")
+        assert "lw t1, 8(fp)" in lines
+        assert stats.store_load_forwards == 0
+
+    def test_label_blocks_forwarding(self):
+        lines, stats = optimize_lines(
+            "    sw t0, 4(fp)\nL:\n    lw t1, 4(fp)\n    jr ra\n")
+        assert "lw t1, 4(fp)" in lines
+        assert stats.store_load_forwards == 0
+
+    def test_self_move_dropped(self):
+        lines, stats = optimize_lines("    move t0, t0\n    jr ra\n")
+        assert "move t0, t0" not in lines
+        assert stats.self_moves == 1
+
+    def test_branch_to_next_dropped(self):
+        lines, stats = optimize_lines(
+            "    b .L1\n.L1:\n    jr ra\n")
+        assert "b .L1" not in lines
+        assert stats.branches_to_next == 1
+
+    def test_branch_elsewhere_kept(self):
+        lines, _ = optimize_lines(
+            "    b .L2\n.L1:\n    nop\n.L2:\n    jr ra\n")
+        assert "b .L2" in lines
+
+    def test_dead_code_after_unconditional_branch(self):
+        lines, stats = optimize_lines(
+            "    b .Lx\n    li v0, 0\n    li v0, 1\n.Lx:\n    jr ra\n")
+        assert "li v0, 0" not in lines and "li v0, 1" not in lines
+        assert stats.dead_instructions == 2
+
+    def test_code_after_label_is_live(self):
+        lines, _ = optimize_lines(
+            "    b .Lx\n.Lx:\n    li v0, 0\n    jr ra\n")
+        assert "li v0, 0" in lines
+
+    def test_push_pop_collapse(self):
+        text = ("    addi sp, sp, -4\n    sw t0, 0(sp)\n"
+                "    lw t1, 0(sp)\n    addi sp, sp, 4\n    jr ra\n")
+        lines, stats = optimize_lines(text)
+        assert "move t1, t0" in lines
+        assert stats.push_pop_pairs == 1
+        assert not any("sp, -4" in l for l in lines)
+
+    def test_immediate_fusion_slt(self):
+        lines, stats = optimize_lines(
+            "    li t1, 50\n    slt t0, t0, t1\n    jr ra\n")
+        assert "slti t0, t0, 50" in lines
+        assert stats.immediates_fused == 1
+
+    def test_immediate_fusion_commutative_add(self):
+        lines, _ = optimize_lines(
+            "    li t1, 7\n    add t0, t1, t2\n    jr ra\n")
+        assert "addi t0, t2, 7" in lines
+
+    def test_immediate_fusion_sub(self):
+        lines, _ = optimize_lines(
+            "    li t1, 3\n    sub t0, t0, t1\n    jr ra\n")
+        assert "addi t0, t0, -3" in lines
+
+    def test_no_fusion_when_too_wide(self):
+        lines, stats = optimize_lines(
+            "    li t1, 100000\n    slt t0, t0, t1\n    jr ra\n")
+        assert "li t1, 100000" in lines
+        assert stats.immediates_fused == 0
+
+    def test_no_fusion_for_noncommutative_first_operand(self):
+        lines, stats = optimize_lines(
+            "    li t1, 5\n    slt t0, t1, t2\n    jr ra\n")
+        assert "slt t0, t1, t2" in lines
+        assert stats.immediates_fused == 0
+
+    def test_register_cache_drops_reload(self):
+        text = ("    lw t0, 4(fp)\n    sw t0, 8(fp)\n"
+                "    lw t1, 4(fp)\n    jr ra\n")
+        lines, stats = optimize_lines(text)
+        assert "move t1, t0" in lines
+        assert stats.cached_reloads == 1
+
+    def test_register_cache_invalidated_by_write(self):
+        text = ("    lw t0, 4(fp)\n    addi t0, t0, 1\n"
+                "    lw t1, 4(fp)\n    jr ra\n")
+        lines, stats = optimize_lines(text)
+        assert "lw t1, 4(fp)" in lines
+        assert stats.cached_reloads == 0
+
+    def test_data_segment_untouched(self):
+        text = "    jr ra\n.data\nx:\n    .word 5\n"
+        optimized, _ = optimize_assembly(text)
+        assert ".word 5" in optimized
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("optimize", [1, 2])
+    @pytest.mark.parametrize("name", ["li", "norm", "cc1", "perl",
+                                      "compress", "vortex"])
+    def test_optimized_workload_behaves_identically(self, name, optimize):
+        source = (WORKLOADS[name].source
+                  .replace("round < 40", "round < 1")
+                  .replace("round < 30", "round < 1")
+                  .replace("round < 400", "round < 2")
+                  .replace("round < 3000", "round < 50")
+                  .replace("words < 60000", "words < 500")
+                  .replace("txn < 120000", "txn < 4000"))
+        plain = Machine(compile_to_program(source))
+        plain.run(80_000_000)
+        optimized = Machine(compile_to_program(source, optimize=optimize))
+        optimized.run(80_000_000)
+        assert optimized.stdout == plain.stdout
+        assert optimized.exit_code == plain.exit_code
+        assert (optimized.instructions_executed
+                < plain.instructions_executed)
+
+    @pytest.mark.parametrize("optimize", [1, 2])
+    def test_optimizer_reduces_static_code_size(self, optimize):
+        source = WORKLOADS["norm"].source
+        plain = compile_to_program(source)
+        optimized = compile_to_program(source, optimize=optimize)
+        assert len(optimized.instructions) < len(plain.instructions)
+
+    def test_o2_promotes_induction_variable_to_register(self):
+        # The flagship -O2 effect: a hot loop counter lives in an
+        # s-register and is bumped with a single addi, no loads/stores.
+        source = """
+        int main() {
+            int i;
+            int s = 0;
+            for (i = 0; i < 100; i = i + 1) s = s + i;
+            return s;
+        }
+        """
+        from repro.lang.compiler import compile_source
+        assembly = compile_source(source, optimize=2)
+        body = [l.strip() for l in assembly.splitlines()]
+        assert any(l.startswith("addi s") for l in body)
+        # No frame traffic inside the loop: between the for-label and
+        # the back-branch there are no lw/sw at all.
+        start = next(i for i, l in enumerate(body) if l.startswith(".Lfor"))
+        end = next(i for i, l in enumerate(body)
+                   if i > start and l.startswith("b .Lfor"))
+        loop_body = body[start:end]
+        assert not any(l.startswith(("lw", "sw")) for l in loop_body)
+
+    def test_fixpoint_is_idempotent(self):
+        assembly = compile_source(WORKLOADS["li"].source, optimize=1)
+        again, stats = optimize_assembly(assembly)
+        assert stats.total == 0
+        assert again.strip() == assembly.strip()

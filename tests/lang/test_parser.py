@@ -1,0 +1,131 @@
+"""Tests for the MinC parser."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.errors import CompileError
+from repro.lang.parser import parse
+
+
+def parse_expr(text):
+    """Parse `text` as the returned expression of a tiny main()."""
+    program = parse(f"int main() {{ return {text}; }}")
+    return program.functions[0].body.statements[0].value
+
+
+class TestTopLevel:
+    def test_globals_and_functions(self):
+        program = parse("""
+        int g;
+        int arr[10];
+        int init = 5;
+        int vals[3] = {1, 2, 3};
+        int f(int a) { return a; }
+        int main() { return 0; }
+        """)
+        assert [g.name for g in program.globals] == ["g", "arr", "init", "vals"]
+        assert program.globals[1].array_size == 10
+        assert program.globals[2].initializer == 5
+        assert program.globals[3].array_init == [1, 2, 3]
+        assert [f.name for f in program.functions] == ["f", "main"]
+
+    def test_negative_global_initializer(self):
+        program = parse("int g = -7; int main() { return 0; }")
+        assert program.globals[0].initializer == -7
+
+    def test_array_params(self):
+        program = parse("int f(int a[], int n) { return n; } int main() { return 0; }")
+        params = program.functions[0].params
+        assert params[0].is_array and not params[1].is_array
+
+    def test_void_function_and_void_params(self):
+        program = parse("void f(void) { } int main() { return 0; }")
+        assert program.functions[0].params == []
+
+    def test_too_many_array_initializers(self):
+        with pytest.raises(CompileError, match="too many"):
+            parse("int a[2] = {1,2,3}; int main() { return 0; }")
+
+    def test_zero_size_array_rejected(self):
+        with pytest.raises(CompileError, match="positive size"):
+            parse("int a[0]; int main() { return 0; }")
+
+
+class TestStatements:
+    def test_if_else_binding(self):
+        program = parse("""
+        int main() {
+            if (1) if (2) return 1; else return 2;
+            return 0;
+        }
+        """)
+        outer = program.functions[0].body.statements[0]
+        assert outer.else_body is None        # else binds to inner if
+        assert outer.then_body.else_body is not None
+
+    def test_for_with_empty_slots(self):
+        program = parse("int main() { for (;;) break; return 0; }")
+        loop = program.functions[0].body.statements[0]
+        assert loop.init is None and loop.condition is None and loop.step is None
+
+    def test_assignment_requires_lvalue(self):
+        with pytest.raises(CompileError, match="lvalue"):
+            parse("int main() { 1 = 2; }")
+
+    def test_local_array_initializer_rejected(self):
+        with pytest.raises(CompileError, match="not supported"):
+            parse("int main() { int a[3] = 1; }")
+
+    def test_declaration_with_initializer(self):
+        program = parse("int main() { int x = 5; return x; }")
+        decl = program.functions[0].body.statements[0]
+        assert isinstance(decl, ast.DeclStmt)
+        assert decl.initializer.value == 5
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert expr.op == "+" and expr.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<" and expr.right.op == "+"
+
+    def test_precedence_comparison_below_shift(self):
+        expr = parse_expr("1 < 2 << 3")
+        assert expr.op == "<" and expr.right.op == "<<"
+
+    def test_logical_lowest(self):
+        expr = parse_expr("1 == 2 && 3 | 4")
+        assert expr.op == "&&"
+        assert expr.left.op == "==" and expr.right.op == "|"
+
+    def test_left_associativity(self):
+        expr = parse_expr("10 - 4 - 3")
+        assert expr.op == "-" and expr.left.op == "-"
+
+    def test_unary_negation_folds_literals(self):
+        expr = parse_expr("-5")
+        assert isinstance(expr, ast.IntLit) and expr.value == -5
+
+    def test_unary_chains(self):
+        expr = parse_expr("!!x")
+        assert expr.op == "!" and expr.operand.op == "!"
+
+    def test_parentheses(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*" and expr.left.op == "+"
+
+    def test_call_and_index_postfix(self):
+        expr = parse_expr("f(a[1], 2)")
+        assert isinstance(expr, ast.Call)
+        assert isinstance(expr.args[0], ast.Index)
+
+    def test_missing_paren_error(self):
+        with pytest.raises(CompileError, match="expected"):
+            parse("int main() { return (1 + 2; }")
+
+    def test_expected_expression_error(self):
+        with pytest.raises(CompileError, match="expected an expression"):
+            parse("int main() { return *; }")

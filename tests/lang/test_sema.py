@@ -1,0 +1,163 @@
+"""Tests for MinC semantic analysis."""
+
+import pytest
+
+from repro.lang.errors import CompileError
+from repro.lang.parser import parse
+from repro.lang.sema import analyze
+
+
+def check(source):
+    return analyze(parse(source))
+
+
+class TestDeclarations:
+    def test_main_required(self):
+        with pytest.raises(CompileError, match="no main"):
+            check("int f() { return 0; }")
+
+    def test_main_arity(self):
+        with pytest.raises(CompileError, match="no parameters"):
+            check("int main(int x) { return 0; }")
+
+    def test_duplicate_global(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            check("int x; int x; int main() { return 0; }")
+
+    def test_global_function_collision(self):
+        with pytest.raises(CompileError, match="duplicate"):
+            check("int f; int f() { return 0; } int main() { return 0; }")
+
+    def test_duplicate_param(self):
+        with pytest.raises(CompileError, match="duplicate parameter"):
+            check("int f(int a, int a) { return 0; } int main() { return 0; }")
+
+    def test_duplicate_local_same_scope(self):
+        with pytest.raises(CompileError, match="duplicate declaration"):
+            check("int main() { int x; int x; return 0; }")
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        analysis = check("""
+        int x;
+        int main() { int x; { int x; x = 1; } return x; }
+        """)
+        assert analysis.functions["main"].locals_size == 8
+
+    def test_reserved_names(self):
+        with pytest.raises(CompileError, match="reserved"):
+            check("int print_int() { return 0; } int main() { return 0; }")
+
+
+class TestNameResolution:
+    def test_undeclared_variable(self):
+        with pytest.raises(CompileError, match="undeclared variable"):
+            check("int main() { return nope; }")
+
+    def test_undeclared_function(self):
+        with pytest.raises(CompileError, match="undeclared function"):
+            check("int main() { return nope(); }")
+
+    def test_forward_and_recursive_calls_allowed(self):
+        check("""
+        int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+        int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+        int main() { return even(10); }
+        """)
+
+    def test_block_scope_expires(self):
+        with pytest.raises(CompileError, match="undeclared"):
+            check("int main() { { int x; } return x; }")
+
+
+class TestArrayRules:
+    def test_array_as_value_rejected(self):
+        with pytest.raises(CompileError, match="used as a value"):
+            check("int a[4]; int main() { return a; }")
+
+    def test_assign_to_array_name_rejected(self):
+        with pytest.raises(CompileError, match="cannot assign to array"):
+            check("int a[4]; int main() { a = 1; return 0; }")
+
+    def test_indexing_scalar_rejected(self):
+        with pytest.raises(CompileError, match="is not an array"):
+            check("int x; int main() { return x[0]; }")
+
+    def test_array_param_requires_array_argument(self):
+        with pytest.raises(CompileError, match="must be an array name"):
+            check("""
+            int f(int a[]) { return a[0]; }
+            int main() { return f(5); }
+            """)
+
+    def test_scalar_param_rejects_array_argument(self):
+        with pytest.raises(CompileError, match="used as a value"):
+            check("""
+            int a[4];
+            int f(int x) { return x; }
+            int main() { return f(a); }
+            """)
+
+    def test_array_flows_through_param(self):
+        check("""
+        int a[4];
+        int g(int b[]) { return b[1]; }
+        int f(int b[]) { return g(b); }
+        int main() { return f(a); }
+        """)
+
+
+class TestCallRules:
+    def test_arity_mismatch(self):
+        with pytest.raises(CompileError, match="expects 2 argument"):
+            check("""
+            int f(int a, int b) { return a; }
+            int main() { return f(1); }
+            """)
+
+    def test_builtin_arity(self):
+        with pytest.raises(CompileError, match="expects 1 argument"):
+            check("int main() { print_int(1, 2); return 0; }")
+
+    def test_builtin_not_a_value(self):
+        with pytest.raises(CompileError, match="returns no value"):
+            check("int main() { return print_int(1); }")
+
+    def test_print_str_needs_literal(self):
+        with pytest.raises(CompileError, match="string literal"):
+            check("int x; int main() { print_str(x); return 0; }")
+
+    def test_string_literal_only_in_print_str(self):
+        with pytest.raises(CompileError, match="only valid in print_str"):
+            check('int main() { return "hi"; }')
+
+
+class TestControlRules:
+    def test_break_outside_loop(self):
+        with pytest.raises(CompileError, match="break outside"):
+            check("int main() { break; }")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(CompileError, match="continue outside"):
+            check("int main() { continue; }")
+
+    def test_break_in_loop_ok(self):
+        check("int main() { while (1) break; return 0; }")
+
+
+class TestFrameLayout:
+    def test_locals_get_distinct_offsets(self):
+        analysis = check("""
+        int main() { int a; int b; int c[3]; int d; return 0; }
+        """)
+        layout = analysis.functions["main"]
+        # a@0 b@4 c@8..16 d@20 -> 24 bytes of locals
+        assert layout.locals_size == 24
+        assert layout.frame_size == 32
+
+    def test_param_indices(self):
+        analysis = check("""
+        int f(int a, int b, int c) { return b; }
+        int main() { return f(1, 2, 3); }
+        """)
+        params = analysis.functions["f"].params
+        assert [p.offset for p in params] == [0, 1, 2]

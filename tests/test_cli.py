@@ -1,0 +1,121 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestWorkloadsCommand:
+    def test_lists_suite(self):
+        code, text = run_cli("workloads")
+        assert code == 0
+        for name in ("compress", "li", "vortex", "norm"):
+            assert name in text
+
+
+class TestTraceCommand:
+    def test_stats_and_head(self):
+        code, text = run_cli("trace", "li", "--limit", "500", "--head", "3")
+        assert code == 0
+        assert "500 predictions" in text
+        assert text.count("0x0040") >= 3  # three records printed
+
+    def test_save(self, tmp_path):
+        path = tmp_path / "li.npz"
+        code, text = run_cli("trace", "li", "--limit", "100",
+                             "--out", str(path))
+        assert code == 0 and path.exists()
+        from repro.trace.trace import ValueTrace
+        assert len(ValueTrace.load(path)) == 100
+
+
+class TestRunCommand:
+    def test_list(self):
+        code, text = run_cli("run", "list")
+        assert code == 0
+        assert "fig10" in text and "table1" in text
+
+    def test_run_experiment(self):
+        code, text = run_cli("run", "table1", "--limit", "500")
+        assert code == 0
+        assert "Benchmarks" in text and "compress" in text
+
+
+class TestPredictCommand:
+    def test_dfcm_default(self):
+        code, text = run_cli("predict", "li", "--limit", "2000")
+        assert code == 0
+        assert "dfcm" in text and "accuracy" in text
+
+    @pytest.mark.parametrize("kind", ["lvp", "stride", "stride2d", "fcm"])
+    def test_other_predictors(self, kind):
+        code, text = run_cli("predict", "li", "--predictor", kind,
+                             "--l1", "8", "--l2", "10", "--limit", "1000")
+        assert code == 0
+        assert "accuracy" in text
+
+
+class TestCompareCommand:
+    def test_lists_all_predictor_classes(self):
+        code, text = run_cli("compare", "li", "--limit", "2000")
+        assert code == 0
+        for fragment in ("lvp_", "last4_", "stride_", "stride2d_",
+                         "fcm_l1=", "dfcm_l1="):
+            assert fragment in text
+        assert "2000 predictions" in text
+
+
+class TestCompileAndExec:
+    SOURCE = """
+    int main() {
+        print_str("hi ");
+        print_int(6 * 7);
+        return 3;
+    }
+    """
+
+    def test_compile(self, tmp_path):
+        source = tmp_path / "prog.mc"
+        source.write_text(self.SOURCE)
+        code, text = run_cli("compile", str(source))
+        assert code == 0
+        assert ".text" in text and "jal main" in text
+
+    def test_exec(self, tmp_path):
+        source = tmp_path / "prog.mc"
+        source.write_text(self.SOURCE)
+        code, text = run_cli("exec", str(source))
+        assert code == 3  # main's return value is the exit code
+        assert "hi 42" in text
+        assert "[exit 3" in text
+
+
+class TestDisasmCommand:
+    def test_head_limit(self):
+        code, text = run_cli("disasm", "norm", "--head", "5")
+        assert code == 0
+        assert len([l for l in text.splitlines() if l.startswith("0x")]) == 5
+        assert "instructions total" in text
+
+    def test_full_listing(self):
+        code, text = run_cli("disasm", "norm", "--head", "0")
+        assert code == 0
+        assert "instructions total" not in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

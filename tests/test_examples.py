@@ -1,0 +1,61 @@
+"""Smoke tests: every example script runs end to end.
+
+Each example is executed in-process (imported as __main__-style run via
+subprocess) with small arguments so the whole set stays fast.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name, *args, timeout=300):
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+
+
+class TestExamples:
+    def test_quickstart(self):
+        result = run_example("quickstart.py", "li", "3000")
+        assert result.returncode == 0, result.stderr
+        assert "dfcm" in result.stdout
+        assert "accuracy" in result.stdout
+
+    def test_custom_workload(self):
+        result = run_example("custom_workload.py")
+        assert result.returncode == 0, result.stderr
+        assert "checksum total" in result.stdout
+        assert "predictor accuracy" in result.stdout
+
+    def test_custom_predictor(self):
+        result = run_example("custom_predictor.py", "2000")
+        assert result.returncode == 0, result.stderr
+        assert "last2_4096" in result.stdout
+
+    def test_alias_analysis(self):
+        result = run_example("alias_analysis.py", "norm", "5000")
+        assert result.returncode == 0, result.stderr
+        assert "alias taxonomy" in result.stdout
+        assert "stride accesses per level-2 entry" in result.stdout
+
+    def test_paper_figures_lists_experiments(self):
+        result = run_example("paper_figures.py")
+        assert result.returncode == 0, result.stderr
+        assert "fig10" in result.stdout and "table1" in result.stdout
+
+    def test_paper_figures_runs_one(self, tmp_path, monkeypatch):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES / "paper_figures.py"),
+             "table1", "--fast", "--csv", str(tmp_path)],
+            capture_output=True, text=True, timeout=300,
+            env={"REPRO_TRACE_LEN": "2000", "PATH": "/usr/bin:/bin",
+                 "HOME": "/root"},
+        )
+        assert result.returncode == 0, result.stderr
+        assert "Benchmarks" in result.stdout
+        assert list(tmp_path.glob("table1_*.csv"))

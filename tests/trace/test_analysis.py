@@ -1,0 +1,98 @@
+"""Tests for the value-pattern taxonomy."""
+
+import pytest
+
+from repro.trace.analysis import analyze_trace
+from repro.trace.trace import ValueTrace
+from tests.conftest import interleaved, repeating_trace, stride_trace
+
+
+class TestAnalyzeTrace:
+    def test_constant_stream(self):
+        trace = repeating_trace("c", 0x1000, [9], 100)
+        profiles, summary = analyze_trace(trace)
+        assert summary.constant_rate == pytest.approx(0.99)  # cold miss
+        assert profiles[0].dominant_class == "constant"
+
+    def test_stride_stream(self):
+        trace = stride_trace("s", 0x1000, 0, 4, 100)
+        profiles, summary = analyze_trace(trace)
+        assert summary.constant_rate == 0.0
+        # Two cold records before the first difference is known.
+        assert summary.stride_rate == pytest.approx(0.98)
+        assert profiles[0].dominant_class == "stride"
+
+    def test_context_stream(self):
+        # A repeating non-stride pattern: context-predictable only.
+        pattern = [7, 3, 9, 2, 15]
+        trace = repeating_trace("ctx", 0x1000, pattern, 40)
+        profiles, summary = analyze_trace(trace, order=3)
+        assert summary.constant_rate < 0.05
+        assert summary.stride_rate < 0.05
+        assert summary.context_rate > 0.9
+        assert profiles[0].dominant_class == "context"
+
+    def test_random_stream_is_residual(self):
+        import random
+        rng = random.Random(5)
+        trace = ValueTrace("r", [0x1000] * 300,
+                           [rng.randrange(2**32) for _ in range(300)])
+        profiles, summary = analyze_trace(trace)
+        assert summary.residual_rate > 0.95
+        assert profiles[0].dominant_class == "residual"
+
+    def test_disjoint_priority_constant_over_stride(self):
+        # A constant stream is stride-predictable too (stride 0), but
+        # disjoint attribution must credit 'constant'.
+        trace = repeating_trace("c", 0x1000, [5], 50)
+        _, summary = analyze_trace(trace)
+        assert summary.disjoint_constant > 0
+        assert summary.disjoint_stride == 0
+
+    def test_disjoint_classes_partition_with_residual(self):
+        trace = interleaved(
+            stride_trace("s", 0x1000, 0, 2, 100),
+            repeating_trace("ctx", 0x1004, [3, 8, 1, 9], 25),
+        )
+        _, summary = analyze_trace(trace)
+        covered = (summary.disjoint_constant + summary.disjoint_stride
+                   + summary.disjoint_context)
+        assert covered <= summary.total
+        assert summary.residual_rate == pytest.approx(
+            (summary.total - covered) / summary.total)
+
+    def test_per_pc_isolation(self):
+        # Two interleaved streams must be analysed independently.
+        trace = interleaved(
+            repeating_trace("c", 0x1000, [7], 60),
+            stride_trace("s", 0x1004, 0, 3, 60),
+        )
+        profiles, _ = analyze_trace(trace)
+        by_pc = {p.pc: p for p in profiles}
+        assert by_pc[0x1000].dominant_class == "constant"
+        assert by_pc[0x1004].dominant_class == "stride"
+
+    def test_min_occurrences_filter(self):
+        trace = ValueTrace("t", [0x1000] * 50 + [0x2000], [1] * 51)
+        profiles, _ = analyze_trace(trace, min_occurrences=10)
+        assert [p.pc for p in profiles] == [0x1000]
+
+    def test_profiles_sorted_by_dynamic_count(self):
+        trace = interleaved(
+            repeating_trace("a", 0x1000, [1], 10),
+            repeating_trace("b", 0x1004, [2], 90),
+        )
+        profiles, _ = analyze_trace(trace)
+        counts = [p.breakdown.total for p in profiles]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            analyze_trace(repeating_trace("c", 0, [1], 5), order=0)
+
+    def test_context_needs_full_history(self):
+        # With order 3, a stream shorter than 4 values can never score
+        # a context hit.
+        trace = repeating_trace("c", 0x1000, [1, 2, 3], 1)
+        _, summary = analyze_trace(trace, order=3)
+        assert summary.context_hits == 0

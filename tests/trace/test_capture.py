@@ -1,0 +1,80 @@
+"""Tests for trace capture and the on-disk cache."""
+
+import pytest
+
+from repro.trace.cache import cached_trace, clear_cache, default_cache_dir
+from repro.trace.capture import capture_source, capture_trace
+
+
+SIMPLE = """
+int main() {
+    int i;
+    int s = 0;
+    for (i = 0; i < 1000; i = i + 1) s = s + i;
+    return 0;
+}
+"""
+
+
+class TestCaptureSource:
+    def test_captures_limit_predictions(self):
+        trace = capture_source("t", SIMPLE, limit=500)
+        assert len(trace) == 500
+        assert trace.name == "t"
+
+    def test_runs_to_completion_without_limit(self):
+        trace = capture_source("t", SIMPLE, limit=None)
+        assert len(trace) > 4000  # the loop body produces several per trip
+
+    def test_values_are_u32(self):
+        trace = capture_source("t", SIMPLE, limit=100)
+        assert all(0 <= v < 2**32 for v in trace.values.tolist())
+
+    def test_truncated_on_instruction_budget(self):
+        # A budget too small to finish still yields a partial trace.
+        trace = capture_source("t", SIMPLE, limit=None,
+                               max_instructions=1000)
+        assert 0 < len(trace) < 1500
+
+    def test_empty_trace_budget_raises(self):
+        from repro.vm.errors import ExecutionLimitExceeded
+        with pytest.raises(ExecutionLimitExceeded):
+            capture_source("t", SIMPLE, limit=None, max_instructions=1)
+
+
+class TestCaptureTrace:
+    def test_known_workload(self):
+        trace = capture_trace("norm", limit=1000)
+        assert trace.name == "norm" and len(trace) == 1000
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            capture_trace("doom", limit=10)
+
+
+class TestCache:
+    def test_cache_roundtrip(self, tmp_path):
+        first = cached_trace("li", limit=1500, cache_dir=tmp_path)
+        files = list(tmp_path.glob("*.npz"))
+        assert len(files) == 1
+        second = cached_trace("li", limit=1500, cache_dir=tmp_path)
+        assert first.records() == second.records()
+        assert len(list(tmp_path.glob("*.npz"))) == 1  # no re-capture
+
+    def test_different_limits_are_different_entries(self, tmp_path):
+        cached_trace("li", limit=100, cache_dir=tmp_path)
+        cached_trace("li", limit=200, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.npz"))) == 2
+
+    def test_clear_cache(self, tmp_path):
+        cached_trace("li", limit=100, cache_dir=tmp_path)
+        assert clear_cache(tmp_path) == 1
+        assert list(tmp_path.glob("*.npz")) == []
+        assert clear_cache(tmp_path) == 0
+
+    def test_clear_missing_dir(self, tmp_path):
+        assert clear_cache(tmp_path / "nope") == 0
+
+    def test_default_cache_dir_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+        assert default_cache_dir() == tmp_path / "cache"

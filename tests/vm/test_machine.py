@@ -1,0 +1,330 @@
+"""Tests for the R32 functional simulator."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.vm import HALT_ADDRESS, Machine
+from repro.vm.errors import (ArithmeticFault, ExecutionLimitExceeded,
+                             MemoryFault)
+
+
+def run(source: str, max_instructions: int = 1_000_000, **kwargs) -> Machine:
+    machine = Machine(assemble(source), **kwargs)
+    machine.run(max_instructions)
+    return machine
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        m = run("main: li t0, 7\nli t1, 5\nadd t2, t0, t1\nsub t3, t0, t1\njr ra")
+        assert m.register("t2") == 12 and m.register("t3") == 2
+
+    def test_wraparound(self):
+        m = run("main: li t0, 0x7FFFFFFF\naddi t0, t0, 1\njr ra")
+        assert m.register("t0") == 0x80000000
+
+    def test_mul_and_mulh(self):
+        m = run("""
+        main:
+            li t0, 100000
+            li t1, 100000
+            mul t2, t0, t1
+            mulh t3, t0, t1
+            jr ra
+        """)
+        product = 100000 * 100000
+        assert m.register("t2") == product & 0xFFFFFFFF
+        assert m.register("t3") == product >> 32
+
+    def test_div_truncates_toward_zero(self):
+        m = run("""
+        main:
+            li t0, -7
+            li t1, 2
+            div t2, t0, t1
+            rem t3, t0, t1
+            jr ra
+        """)
+        assert m.register("t2") == (-3) & 0xFFFFFFFF  # C semantics, not floor
+        assert m.register("t3") == (-1) & 0xFFFFFFFF
+
+    def test_division_by_zero_faults(self):
+        with pytest.raises(ArithmeticFault):
+            run("main: li t0, 1\ndiv t1, t0, zero\njr ra")
+
+    def test_logic_ops(self):
+        m = run("""
+        main:
+            li t0, 0xF0F0
+            li t1, 0x0FF0
+            and t2, t0, t1
+            or  t3, t0, t1
+            xor t4, t0, t1
+            nor t5, t0, t1
+            jr ra
+        """)
+        assert m.register("t2") == 0x00F0
+        assert m.register("t3") == 0xFFF0
+        assert m.register("t4") == 0xFF00
+        assert m.register("t5") == 0xFFFF000F
+
+    def test_shifts(self):
+        m = run("""
+        main:
+            li t0, -8
+            sra t1, t0, 1
+            srl t2, t0, 1
+            sll t3, t0, 1
+            li t4, 2
+            srav t5, t0, t4
+            jr ra
+        """)
+        assert m.register("t1") == (-4) & 0xFFFFFFFF
+        assert m.register("t2") == 0x7FFFFFFC
+        assert m.register("t3") == (-16) & 0xFFFFFFFF
+        assert m.register("t5") == (-2) & 0xFFFFFFFF
+
+    def test_slt_signed_vs_unsigned(self):
+        m = run("""
+        main:
+            li t0, -1
+            li t1, 1
+            slt t2, t0, t1
+            sltu t3, t0, t1
+            jr ra
+        """)
+        assert m.register("t2") == 1   # -1 < 1 signed
+        assert m.register("t3") == 0   # 0xFFFFFFFF > 1 unsigned
+
+    def test_zero_register_is_immutable(self):
+        m = run("main: li t0, 5\nadd zero, t0, t0\nmove t1, zero\njr ra")
+        assert m.register("zero") == 0 and m.register("t1") == 0
+
+
+class TestMemoryOps:
+    def test_word_store_load(self):
+        m = run("""
+        .data
+        buf: .space 16
+        .text
+        main:
+            la t0, buf
+            li t1, 0xDEAD
+            sw t1, 4(t0)
+            lw t2, 4(t0)
+            jr ra
+        """)
+        assert m.register("t2") == 0xDEAD
+
+    def test_byte_sign_extension(self):
+        m = run("""
+        .data
+        b: .byte 0xFF
+        .text
+        main:
+            la t0, b
+            lb t1, 0(t0)
+            lbu t2, 0(t0)
+            jr ra
+        """)
+        assert m.register("t1") == 0xFFFFFFFF
+        assert m.register("t2") == 0xFF
+
+    def test_half_sign_extension(self):
+        m = run("""
+        .data
+        h: .half 0x8000
+        .text
+        main:
+            la t0, h
+            lh t1, 0(t0)
+            lhu t2, 0(t0)
+            jr ra
+        """)
+        assert m.register("t1") == 0xFFFF8000
+        assert m.register("t2") == 0x8000
+
+    def test_data_segment_loaded(self):
+        m = run("""
+        .data
+        arr: .word 11, 22, 33
+        .text
+        main:
+            la t0, arr
+            lw t1, 8(t0)
+            jr ra
+        """)
+        assert m.register("t1") == 33
+
+
+class TestControlFlow:
+    def test_loop_counts(self):
+        m = run("""
+        main:
+            li t0, 0
+            li t1, 10
+        loop:
+            addi t0, t0, 1
+            bne t0, t1, loop
+            jr ra
+        """)
+        assert m.register("t0") == 10
+
+    def test_function_call_and_return(self):
+        m = run("""
+        main:
+            addi sp, sp, -4
+            sw ra, 0(sp)
+            li a0, 20
+            jal double
+            move t0, v0
+            lw ra, 0(sp)
+            addi sp, sp, 4
+            jr ra
+        double:
+            add v0, a0, a0
+            jr ra
+        """)
+        assert m.register("t0") == 40
+
+    def test_conditional_branches(self):
+        m = run("""
+        main:
+            li t0, -5
+            li t1, 0
+            bltz t0, neg
+            li t1, 1
+        neg:
+            bgez t0, done
+            li t2, 42
+        done:
+            jr ra
+        """)
+        assert m.register("t1") == 0 and m.register("t2") == 42
+
+    def test_return_from_main_halts(self):
+        m = run("main: li v0, 3\njr ra")
+        assert m.exit_code == 3
+        assert m.pc == HALT_ADDRESS
+
+    def test_pc_outside_text_faults(self):
+        with pytest.raises(MemoryFault, match="outside the text"):
+            run("main: jr zero")
+
+    def test_instruction_budget(self):
+        with pytest.raises(ExecutionLimitExceeded):
+            run("main: j main", max_instructions=100)
+
+
+class TestSyscalls:
+    def test_print_int_and_char(self):
+        m = run("""
+        main:
+            li a0, -42
+            li v0, 1
+            syscall
+            li a0, '\\n'
+            li v0, 11
+            syscall
+            li v0, 0
+            jr ra
+        """)
+        assert m.stdout == "-42\n"
+
+    def test_print_string(self):
+        m = run("""
+        .data
+        s: .asciiz "hello"
+        .text
+        main:
+            la a0, s
+            li v0, 4
+            syscall
+            jr ra
+        """)
+        assert m.stdout == "hello"
+
+    def test_exit_syscall(self):
+        m = run("""
+        main:
+            li a0, 7
+            li v0, 10
+            syscall
+            li t0, 99
+        """)
+        assert m.exit_code == 7
+        assert m.register("t0") == 0  # never reached
+
+    def test_sbrk_grows_heap(self):
+        m = run("""
+        main:
+            li a0, 64
+            li v0, 9
+            syscall
+            move t0, v0
+            li a0, 64
+            li v0, 9
+            syscall
+            sub t1, v0, t0
+            jr ra
+        """)
+        assert m.register("t1") == 64
+
+
+class TestTracing:
+    def test_producers_traced(self):
+        m = Machine(assemble("""
+        main:
+            li t0, 5
+            li t1, 7
+            add t2, t0, t1
+            sw t2, 0(sp)
+            lw t3, 0(sp)
+            beq t2, t3, skip
+        skip:
+            jr ra
+        """), collect_trace=True)
+        m.run()
+        values = [value for _, value in m.trace]
+        # li(x2), add, lw are traced; sw, beq, jr are not.
+        assert values == [5, 7, 12, 12]
+
+    def test_trace_pcs_are_instruction_addresses(self):
+        program = assemble("main: li t0, 1\nli t1, 2\njr ra")
+        m = Machine(program, collect_trace=True)
+        m.run()
+        assert [pc for pc, _ in m.trace] == [program.text_base,
+                                             program.text_base + 4]
+
+    def test_writes_to_zero_not_traced(self):
+        m = Machine(assemble("main: add zero, sp, sp\nli t0, 1\njr ra"),
+                    collect_trace=True)
+        m.run()
+        assert [value for _, value in m.trace] == [1]
+
+    def test_trace_limit_truncates_cleanly(self):
+        m = Machine(assemble("""
+        main:
+            li t0, 0
+        loop:
+            addi t0, t0, 1
+            j loop
+        """), collect_trace=True, trace_limit=50)
+        m.run()
+        assert len(m.trace) == 50
+        assert m.truncated
+
+    def test_no_trace_when_disabled(self):
+        m = run("main: li t0, 1\njr ra")
+        assert m.trace == []
+
+
+class TestStartupState:
+    def test_stack_pointer_initialised(self):
+        m = run("main: move t0, sp\njr ra")
+        assert m.register("t0") != 0
+        assert m.register("t0") % 8 == 0
+
+    def test_entry_is_main(self):
+        m = run("helper: li t0, 1\njr ra\nmain: li t1, 2\njr ra")
+        assert m.register("t0") == 0 and m.register("t1") == 2

@@ -1,0 +1,83 @@
+"""Tests for the sparse paged memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm.errors import MemoryFault
+from repro.vm.memory import PAGE_SIZE, Memory
+
+addr32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+
+
+class TestMemory:
+    def test_uninitialised_reads_zero(self):
+        memory = Memory()
+        assert memory.read_u8(0x1234) == 0
+        assert memory.read_u32(0x1000) == 0
+
+    def test_byte_roundtrip(self):
+        memory = Memory()
+        memory.write_u8(5, 0xAB)
+        assert memory.read_u8(5) == 0xAB
+
+    def test_word_is_little_endian(self):
+        memory = Memory()
+        memory.write_u32(0x100, 0x11223344)
+        assert memory.read_u8(0x100) == 0x44
+        assert memory.read_u8(0x103) == 0x11
+
+    def test_halfword_roundtrip(self):
+        memory = Memory()
+        memory.write_u16(0x200, 0xBEEF)
+        assert memory.read_u16(0x200) == 0xBEEF
+
+    def test_alignment_enforced(self):
+        memory = Memory()
+        with pytest.raises(MemoryFault):
+            memory.read_u32(0x101)
+        with pytest.raises(MemoryFault):
+            memory.write_u32(0x102, 0)
+        with pytest.raises(MemoryFault):
+            memory.read_u16(0x101)
+
+    def test_values_masked(self):
+        memory = Memory()
+        memory.write_u8(0, 0x1FF)
+        assert memory.read_u8(0) == 0xFF
+        memory.write_u32(4, 0x1_0000_0001)
+        assert memory.read_u32(4) == 1
+
+    def test_cross_page_bytes(self):
+        memory = Memory()
+        blob = bytes(range(10))
+        memory.write_bytes(PAGE_SIZE - 5, blob)
+        assert memory.read_bytes(PAGE_SIZE - 5, 10) == blob
+
+    def test_cstring(self):
+        memory = Memory()
+        memory.write_bytes(0x300, b"hello\x00world")
+        assert memory.read_cstring(0x300) == "hello"
+
+    def test_unterminated_cstring_faults(self):
+        memory = Memory()
+        memory.write_bytes(0x400, b"abcdef")  # no NUL within the limit
+        with pytest.raises(MemoryFault, match="unterminated"):
+            memory.read_cstring(0x400, limit=4)
+
+    def test_sparseness(self):
+        memory = Memory()
+        memory.write_u8(0, 1)
+        memory.write_u8(0xF000_0000, 1)
+        assert memory.resident_bytes == 2 * PAGE_SIZE
+
+    def test_address_wraps_32_bits(self):
+        memory = Memory()
+        memory.write_u8(0x1_0000_0004, 7)
+        assert memory.read_u8(4) == 7
+
+    @given(st.integers(0, (1 << 30) - 1), st.integers(0, 0xFFFFFFFF))
+    def test_word_roundtrip_property(self, word_index, value):
+        memory = Memory()
+        addr = word_index * 4
+        memory.write_u32(addr, value)
+        assert memory.read_u32(addr) == value

@@ -1,0 +1,71 @@
+"""Every workload compiles, runs, and produces a well-formed trace.
+
+These are integration tests of the whole substrate stack: MinC
+compiler -> assembler -> VM -> trace capture.
+"""
+
+import pytest
+
+from repro.lang import compile_to_program
+from repro.trace.capture import capture_trace
+from repro.vm import Machine
+from repro.workloads.registry import WORKLOADS, workload_names
+
+
+@pytest.mark.parametrize("name", workload_names())
+class TestWorkload:
+    def test_compiles(self, name):
+        program = compile_to_program(WORKLOADS[name].source)
+        assert len(program.instructions) > 50
+
+    def test_produces_trace(self, name):
+        trace = capture_trace(name, limit=5000)
+        assert len(trace) == 5000
+        stats = trace.stats()
+        # A real program: several static instructions, varied values.
+        assert stats.static_instructions >= 20
+        assert stats.distinct_values >= 10
+
+    def test_trace_is_deterministic(self, name):
+        first = capture_trace(name, limit=2000)
+        second = capture_trace(name, limit=2000)
+        assert first.records() == second.records()
+
+
+class TestWorkloadSemantics:
+    """Spot-check each program's printed output for correctness."""
+
+    def run_to_completion(self, name, max_instructions=80_000_000):
+        program = compile_to_program(WORKLOADS[name].source)
+        machine = Machine(program)
+        machine.run(max_instructions)
+        return machine
+
+    def test_li_counts_queens_solutions(self):
+        # Shrink the round count so the solver finishes quickly; the
+        # 5/6/7/8-queens solution counts are 10, 4, 40 and 92.
+        source = WORKLOADS["li"].source.replace("round < 40", "round < 1")
+        machine = Machine(compile_to_program(source))
+        machine.run(20_000_000)
+        assert "solutions=146" in machine.stdout  # 10 + 4 + 40 + 92
+
+    def test_compress_roundtrips(self):
+        source = WORKLOADS["compress"].source.replace(
+            "round < 400", "round < 2")
+        machine = Machine(compile_to_program(source))
+        machine.run(20_000_000)
+        assert "errors=0" in machine.stdout
+
+    def test_m88ksim_guest_runs(self):
+        source = WORKLOADS["m88ksim"].source.replace(
+            "session < 500", "session < 2")
+        machine = Machine(compile_to_program(source))
+        machine.run(40_000_000)
+        # Guest program: 40 outer x 25 inner; halts by itself.
+        assert "m88ksim: guest_instructions=" in machine.stdout
+
+    def test_norm_completes(self):
+        source = WORKLOADS["norm"].source.replace("round < 30", "round < 1")
+        machine = Machine(compile_to_program(source))
+        machine.run(20_000_000)
+        assert "norm: done" in machine.stdout

@@ -1,0 +1,33 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.workloads.registry import (SPEC_NAMES, WORKLOADS, get_workload,
+                                      workload_names)
+
+
+class TestRegistry:
+    def test_paper_suite_complete(self):
+        # The eight benchmarks of Table 1, in the paper's order.
+        assert SPEC_NAMES == ["compress", "cc1", "go", "ijpeg", "li",
+                              "m88ksim", "perl", "vortex"]
+        for name in SPEC_NAMES:
+            assert name in WORKLOADS
+
+    def test_norm_microbenchmark_present(self):
+        assert "norm" in WORKLOADS
+        assert workload_names() == SPEC_NAMES + ["norm"]
+
+    def test_workload_fields(self):
+        for workload in WORKLOADS.values():
+            assert workload.description
+            assert workload.paper_options
+            assert "int main()" in workload.source
+
+    def test_get_workload_error(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            get_workload("gcc176")
+
+    def test_sources_are_distinct(self):
+        sources = [w.source for w in WORKLOADS.values()]
+        assert len(set(sources)) == len(sources)

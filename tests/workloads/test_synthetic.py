@@ -1,0 +1,118 @@
+"""Tests for the synthetic trace generators."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.dfcm import DFCMPredictor
+from repro.core.fcm import FCMPredictor
+from repro.core.last_value import LastValuePredictor
+from repro.core.stride import StridePredictor
+from repro.harness.simulate import measure_accuracy
+from repro.workloads.synthetic import (PatternMix, constant_stream,
+                                       context_stream, mixed_trace,
+                                       random_stream, stride_stream)
+
+
+def take(stream, n):
+    return list(itertools.islice(stream, n))
+
+
+class TestStreams:
+    def test_constant(self):
+        assert take(constant_stream(7), 5) == [7] * 5
+
+    def test_stride(self):
+        assert take(stride_stream(10, 3), 4) == [10, 13, 16, 19]
+
+    def test_stride_wraps(self):
+        values = take(stride_stream(0xFFFFFFFE, 1), 4)
+        assert values == [0xFFFFFFFE, 0xFFFFFFFF, 0, 1]
+
+    def test_stride_reset(self):
+        values = take(stride_stream(0, 1, reset_period=3), 7)
+        assert values == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_context(self):
+        assert take(context_stream([4, 9, 1]), 7) == [4, 9, 1, 4, 9, 1, 4]
+
+    def test_context_rejects_empty(self):
+        with pytest.raises(ValueError):
+            next(context_stream([]))
+
+    def test_random_deterministic(self):
+        assert take(random_stream(5), 10) == take(random_stream(5), 10)
+        assert take(random_stream(5), 10) != take(random_stream(6), 10)
+
+
+class TestPatternMix:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PatternMix(constant=-1)
+        with pytest.raises(ValueError):
+            PatternMix(0, 0, 0, 0)
+
+    def test_trace_shape(self):
+        trace = mixed_trace(PatternMix(), instructions=16, length=2000)
+        assert len(trace) == 2000
+        assert trace.stats().static_instructions <= 16
+
+    def test_deterministic(self):
+        a = mixed_trace(PatternMix(seed=3), length=1500)
+        b = mixed_trace(PatternMix(seed=3), length=1500)
+        assert a.records() == b.records()
+
+    def test_seed_changes_trace(self):
+        a = mixed_trace(PatternMix(seed=3), length=1500)
+        b = mixed_trace(PatternMix(seed=4), length=1500)
+        assert a.records() != b.records()
+
+    def test_argument_validation(self):
+        with pytest.raises(ValueError):
+            mixed_trace(PatternMix(), instructions=0)
+        with pytest.raises(ValueError):
+            mixed_trace(PatternMix(), length=0)
+
+
+class TestMixesDriveTheExpectedPredictors:
+    """Each pure mix is the home turf of exactly one predictor class."""
+
+    def test_pure_constant_mix(self):
+        trace = mixed_trace(PatternMix(1, 0, 0, 0), length=4000)
+        lvp = measure_accuracy(LastValuePredictor(1 << 10), trace)
+        assert lvp.accuracy > 0.95
+
+    def test_pure_stride_mix(self):
+        trace = mixed_trace(PatternMix(0, 1, 0, 0), length=4000)
+        stride = measure_accuracy(StridePredictor(1 << 10), trace)
+        lvp = measure_accuracy(LastValuePredictor(1 << 10), trace)
+        assert stride.accuracy > 0.8
+        assert stride.accuracy > lvp.accuracy + 0.3
+
+    def test_pure_context_mix(self):
+        trace = mixed_trace(PatternMix(0, 0, 1, 0), length=6000)
+        fcm = measure_accuracy(FCMPredictor(1 << 10, 1 << 14), trace)
+        stride = measure_accuracy(StridePredictor(1 << 10), trace)
+        assert fcm.accuracy > 0.8
+        assert fcm.accuracy > stride.accuracy + 0.2
+
+    def test_pure_random_mix_defeats_everyone(self):
+        trace = mixed_trace(PatternMix(0, 0, 0, 1), length=4000)
+        for predictor in (LastValuePredictor(1 << 10),
+                          StridePredictor(1 << 10),
+                          DFCMPredictor(1 << 10, 1 << 12)):
+            assert measure_accuracy(predictor, trace).accuracy < 0.05
+
+    def test_dfcm_strong_on_stride_context_blend(self):
+        trace = mixed_trace(PatternMix(0.1, 0.5, 0.4, 0.0), length=6000)
+        dfcm = measure_accuracy(DFCMPredictor(1 << 10, 1 << 12), trace)
+        fcm = measure_accuracy(FCMPredictor(1 << 10, 1 << 12), trace)
+        assert dfcm.accuracy > fcm.accuracy
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2**31))
+    def test_any_seed_produces_valid_trace(self, seed):
+        trace = mixed_trace(PatternMix(seed=seed), length=500)
+        assert len(trace) == 500
+        assert all(0 <= v < 2**32 for v in trace.values.tolist())
