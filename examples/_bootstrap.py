@@ -1,0 +1,15 @@
+"""Make ``repro`` importable when examples run from a source checkout.
+
+The example scripts are run directly (``python examples/quickstart.py``),
+often without ``pip install -e .`` and sometimes with a stripped
+environment (no ``PYTHONPATH``).  Importing this module inserts
+``<repo>/src`` at the front of ``sys.path`` when ``repro`` is not
+already importable; it is a no-op in an installed environment.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+if importlib.util.find_spec("repro") is None:
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))

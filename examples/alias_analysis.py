@@ -16,6 +16,7 @@ Usage:
 
 import sys
 
+import _bootstrap  # noqa: F401  (inserts <repo>/src on sys.path if needed)
 from repro.core.aliasing import ALIAS_CATEGORIES, AliasingAnalyzer
 from repro.core.dfcm import DFCMPredictor
 from repro.core.fcm import FCMPredictor

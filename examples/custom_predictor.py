@@ -16,6 +16,7 @@ Usage:
 
 import sys
 
+import _bootstrap  # noqa: F401  (inserts <repo>/src on sys.path if needed)
 from repro import (DFCMPredictor, LastValuePredictor, OracleHybridPredictor,
                    StridePredictor, ValuePredictor, measure_suite)
 from repro.core.types import MASK32, WORD_BITS, require_power_of_two

@@ -11,6 +11,7 @@ Usage:
     python examples/custom_workload.py
 """
 
+import _bootstrap  # noqa: F401  (inserts <repo>/src on sys.path if needed)
 from repro import DFCMPredictor, FCMPredictor, StridePredictor, measure_accuracy
 from repro.lang import compile_source, compile_to_program
 from repro.trace.capture import capture_source

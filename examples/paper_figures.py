@@ -17,6 +17,7 @@ Trace length per benchmark comes from REPRO_TRACE_LEN (default 100k).
 import sys
 from pathlib import Path
 
+import _bootstrap  # noqa: F401  (inserts <repo>/src on sys.path if needed)
 from repro.harness.ascii_plot import render_series
 from repro.harness.config import default_trace_length, suite_traces
 from repro.harness.experiments import experiment_ids, run_experiment

@@ -11,6 +11,7 @@ Usage:
 
 import sys
 
+import _bootstrap  # noqa: F401  (inserts <repo>/src on sys.path if needed)
 from repro import (DFCMPredictor, FCMPredictor, LastValuePredictor,
                    StridePredictor, measure_accuracy)
 from repro.trace.cache import cached_trace

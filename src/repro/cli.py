@@ -10,6 +10,7 @@ Commands
 - ``compile FILE`` — compile a MinC source file to R32 assembly.
 - ``exec FILE`` — compile and execute a MinC source file on the VM.
 - ``disasm NAME`` — disassemble a workload's compiled text segment.
+- ``cache ls|verify|clear|warm`` — inspect and manage the trace cache.
 """
 
 from __future__ import annotations
@@ -84,6 +85,29 @@ def build_parser() -> argparse.ArgumentParser:
     disasm.add_argument("name", help="workload name")
     disasm.add_argument("--head", type=int, default=40,
                         help="lines to print (0 = all)")
+
+    cache = sub.add_parser("cache", help="inspect/manage the trace cache")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_ls = cache_sub.add_parser("ls", help="list cache entries")
+    cache_verify = cache_sub.add_parser(
+        "verify", help="integrity-check every entry (exit 1 on defects)")
+    cache_verify.add_argument(
+        "--repair", action="store_true",
+        help="quarantine defective entries and recapture them")
+    cache_clear = cache_sub.add_parser(
+        "clear", help="delete all entries (and tmp/quarantine files)")
+    cache_warm = cache_sub.add_parser(
+        "warm", help="pre-capture entries for a benchmark (or 'all')")
+    cache_warm.add_argument("name", help="workload name, or 'all'")
+    cache_warm.add_argument("limit", type=int,
+                            help="predictions per benchmark")
+    cache_warm.add_argument("-O", "--optimize", type=int, default=0,
+                            choices=[0, 1, 2],
+                            help="compiler optimisation level")
+    for sub_parser in (cache_ls, cache_verify, cache_clear, cache_warm):
+        sub_parser.add_argument("--dir", default=None,
+                                help="cache directory (default "
+                                     ".trace_cache / REPRO_TRACE_CACHE)")
     return parser
 
 
@@ -219,6 +243,63 @@ def _cmd_disasm(args, out) -> int:
     return 0
 
 
+def _cmd_cache(args, out) -> int:
+    from pathlib import Path
+
+    from repro.harness.report import format_table
+    from repro.trace.cache import (CacheStats, cache_entries, clear_cache,
+                                   default_cache_dir, verify_cache,
+                                   warm_cache)
+    from repro.workloads.registry import SPEC_NAMES
+
+    directory = Path(args.dir) if args.dir else default_cache_dir()
+
+    if args.cache_command == "ls":
+        entries = cache_entries(directory)
+        rows = [[e.benchmark,
+                 "full" if e.limit is None else str(e.limit),
+                 f"O{e.optimize}",
+                 str(e.size), e.path.name] for e in entries]
+        out.write(format_table(["benchmark", "limit", "opt", "bytes",
+                                "file"], rows,
+                               title=f"{directory} ({len(entries)} entries)")
+                  + "\n")
+        return 0
+
+    if args.cache_command == "verify":
+        stats = CacheStats()
+        result = verify_cache(directory, repair=args.repair, stats=stats)
+        for path, reason in result.defects:
+            out.write(f"BAD  {path.name}: {reason}\n")
+        out.write(f"checked {result.checked} entries, "
+                  f"{len(result.defects)} defective")
+        if args.repair:
+            out.write(f", {len(result.repaired)} recaptured, "
+                      f"{len(result.defects) - len(result.repaired)} "
+                      "quarantined only")
+        out.write("\n")
+        if result.defects:
+            out.write(f"cache stats: {stats.render()}\n")
+        return 0 if (result.ok or args.repair) else 1
+
+    if args.cache_command == "clear":
+        removed = clear_cache(directory)
+        out.write(f"removed {removed} entries from {directory}\n")
+        return 0
+
+    # warm
+    if args.limit <= 0:
+        out.write(f"limit must be positive, got {args.limit}\n")
+        return 2
+    names = SPEC_NAMES if args.name == "all" else [args.name]
+    stats = CacheStats()
+    warm_cache(names, args.limit, cache_dir=directory,
+               optimize=args.optimize, stats=stats)
+    out.write(f"warmed {len(names)} benchmark(s) at {args.limit} "
+              f"predictions\ncache stats: {stats.render()}\n")
+    return 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "trace": _cmd_trace,
@@ -228,6 +309,7 @@ _COMMANDS = {
     "compile": _cmd_compile,
     "exec": _cmd_exec,
     "disasm": _cmd_disasm,
+    "cache": _cmd_cache,
 }
 
 

@@ -1,5 +1,7 @@
 """Value traces: the (PC, produced value) streams predictors consume."""
 
-from repro.trace.trace import ValueTrace
+from repro.trace.stats import CacheStats, cache_stats, reset_cache_stats
+from repro.trace.trace import TraceCacheError, ValueTrace
 
-__all__ = ["ValueTrace"]
+__all__ = ["ValueTrace", "TraceCacheError", "CacheStats", "cache_stats",
+           "reset_cache_stats"]

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import time
 from typing import Optional
 
 from repro.lang import compile_to_program
+from repro.trace.stats import CacheStats
 from repro.trace.trace import ValueTrace
 from repro.vm import Machine
 from repro.vm.errors import ExecutionLimitExceeded
@@ -15,13 +17,16 @@ __all__ = ["capture_trace", "capture_source"]
 
 def capture_source(name: str, source: str, limit: Optional[int],
                    max_instructions: int = 500_000_000,
-                   optimize: int = 0) -> ValueTrace:
+                   optimize: int = 0,
+                   stats: Optional[CacheStats] = None) -> ValueTrace:
     """Compile MinC *source*, run it, return the value trace.
 
     ``limit`` bounds the number of captured predictions (the stand-in
     for the paper's 200M-instruction cut-off); None runs to completion.
     ``optimize`` selects the compiler's peephole level (0 or 1).
+    ``stats``, when given, accumulates the capture wall-clock time.
     """
+    started = time.perf_counter()
     program = compile_to_program(source, optimize=optimize)
     machine = Machine(program, collect_trace=True, trace_limit=limit)
     try:
@@ -33,6 +38,8 @@ def capture_source(name: str, source: str, limit: Optional[int],
             raise
     pcs = [pc for pc, _ in machine.trace]
     values = [value for _, value in machine.trace]
+    if stats is not None:
+        stats.capture_seconds += time.perf_counter() - started
     return ValueTrace(name, pcs, values)
 
 

@@ -1,0 +1,81 @@
+"""Cache observability: the counter set behind the trace cache.
+
+Every cache interaction (``cached_trace``, ``suite_traces``, the
+``repro cache`` CLI) is accounted against a :class:`CacheStats`
+instance, so an experiment run can report how much of its input came
+from disk, how much was recaptured, and whether any entries had to be
+quarantined.  A process-global instance aggregates across all call
+sites; callers that want per-run numbers pass their own instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+__all__ = ["CacheStats", "cache_stats", "reset_cache_stats"]
+
+
+@dataclass
+class CacheStats:
+    """Counters for one or more trace-cache interactions.
+
+    Attributes
+    ----------
+    hits:
+        Entries served from a valid on-disk ``.npz``.
+    misses:
+        Entries absent from the cache (captured fresh).
+    recaptures:
+        Entries recaptured because the on-disk copy was unreadable.
+    corrupt_quarantined:
+        Unreadable entries moved aside to ``*.corrupt``.
+    bytes_read / bytes_written:
+        Payload traffic between the cache and disk.
+    capture_seconds:
+        Wall-clock time spent running workloads on the VM.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    recaptures: int = 0
+    corrupt_quarantined: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    capture_seconds: float = 0.0
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Add *other*'s counters into this instance (returns self)."""
+        for f in fields(self):
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def reset(self) -> None:
+        for f in fields(self):
+            setattr(self, f.name, f.default)
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def render(self) -> str:
+        """One-line human-readable summary."""
+        return (f"hits={self.hits} misses={self.misses} "
+                f"recaptures={self.recaptures} "
+                f"corrupt_quarantined={self.corrupt_quarantined} "
+                f"bytes_read={self.bytes_read} "
+                f"bytes_written={self.bytes_written} "
+                f"capture_seconds={self.capture_seconds:.2f}")
+
+
+#: Process-wide aggregate, updated by every cache interaction.
+_GLOBAL_STATS = CacheStats()
+
+
+def cache_stats() -> CacheStats:
+    """The process-global cache counters."""
+    return _GLOBAL_STATS
+
+
+def reset_cache_stats() -> None:
+    """Zero the process-global cache counters."""
+    _GLOBAL_STATS.reset()

@@ -10,12 +10,35 @@ arrays), produced once by :meth:`ValueTrace.records`.
 
 from __future__ import annotations
 
+import os
+import zipfile
+import zlib
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["ValueTrace"]
+__all__ = ["ValueTrace", "TraceCacheError", "FORMAT_VERSION"]
+
+#: On-disk ``.npz`` format version.  Bump when the member set or their
+#: semantics change; loaders reject any other version so stale entries
+#: invalidate cleanly instead of being silently misread.
+FORMAT_VERSION = 2
+
+
+class TraceCacheError(Exception):
+    """A stored trace is unreadable: corrupt, truncated, or stale.
+
+    Raised by :meth:`ValueTrace.load` instead of leaking ``zipfile``/
+    ``KeyError``/numpy internals; the cache layer treats it as a miss
+    and recaptures.
+    """
+
+
+def payload_checksum(pcs: np.ndarray, values: np.ndarray) -> int:
+    """CRC-32 over both payload arrays (order: pcs, then values)."""
+    return zlib.crc32(values.tobytes(), zlib.crc32(pcs.tobytes())) & 0xFFFFFFFF
 
 
 @dataclass
@@ -90,15 +113,83 @@ class ValueTrace:
         return cls(name, pcs, values)
 
     def save(self, path) -> None:
-        """Write the trace to an ``.npz`` file."""
-        np.savez_compressed(path, name=np.array(self.name),
-                            pcs=self.pcs, values=self.values)
+        """Write the trace to an ``.npz`` file, atomically.
+
+        The payload goes to a ``*.tmp`` sibling first and is
+        ``os.replace``d into place, so an interrupted write leaves at
+        worst a stray temp file, never a truncated ``.npz``.  Entries
+        carry a format version and a CRC-32 payload checksum (see
+        :meth:`load`).
+        """
+        path = Path(path)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(
+                    handle,
+                    name=np.array(self.name),
+                    pcs=self.pcs,
+                    values=self.values,
+                    version=np.array(FORMAT_VERSION, dtype=np.uint32),
+                    checksum=np.array(payload_checksum(self.pcs, self.values),
+                                      dtype=np.uint32))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     @classmethod
     def load(cls, path) -> "ValueTrace":
-        """Read a trace written by :meth:`save`."""
-        with np.load(path, allow_pickle=False) as data:
-            return cls(str(data["name"]), data["pcs"], data["values"])
+        """Read a trace written by :meth:`save`, validating it.
+
+        Raises :class:`TraceCacheError` on any defect — unreadable zip,
+        missing members, wrong format version, bad array shape/dtype,
+        or checksum mismatch — so callers never see ``zipfile``/numpy
+        internals.
+        """
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                members = set(data.files)
+                missing = ({"name", "pcs", "values", "version", "checksum"}
+                           - members)
+                if missing:
+                    if {"name", "pcs", "values"} <= members:
+                        raise TraceCacheError(
+                            f"{path}: unversioned (pre-v{FORMAT_VERSION}) "
+                            "trace entry")
+                    raise TraceCacheError(
+                        f"{path}: missing members {sorted(missing)}")
+                version = int(data["version"])
+                if version != FORMAT_VERSION:
+                    raise TraceCacheError(
+                        f"{path}: format v{version}, "
+                        f"expected v{FORMAT_VERSION}")
+                name, pcs, values = data["name"], data["pcs"], data["values"]
+                if pcs.ndim != 1 or values.ndim != 1:
+                    raise TraceCacheError(
+                        f"{path}: trace arrays must be one-dimensional")
+                if pcs.shape != values.shape:
+                    raise TraceCacheError(
+                        f"{path}: pcs/values length mismatch "
+                        f"({pcs.shape[0]} vs {values.shape[0]})")
+                if pcs.dtype != np.uint32 or values.dtype != np.uint32:
+                    raise TraceCacheError(
+                        f"{path}: trace arrays must be uint32, got "
+                        f"{pcs.dtype}/{values.dtype}")
+                stored = int(data["checksum"])
+                actual = payload_checksum(pcs, values)
+                if stored != actual:
+                    raise TraceCacheError(
+                        f"{path}: payload checksum mismatch "
+                        f"(stored {stored:#010x}, actual {actual:#010x})")
+                return cls(str(name), pcs, values)
+        except TraceCacheError:
+            raise
+        except (zipfile.BadZipFile, KeyError, ValueError, OSError,
+                EOFError, zlib.error) as exc:
+            raise TraceCacheError(f"{path}: unreadable trace "
+                                  f"({type(exc).__name__}: {exc})") from exc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ValueTrace({self.name!r}, {len(self)} predictions)"
