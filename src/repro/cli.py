@@ -11,15 +11,41 @@ Commands
 - ``exec FILE`` — compile and execute a MinC source file on the VM.
 - ``disasm NAME`` — disassemble a workload's compiled text segment.
 - ``cache ls|verify|clear|warm`` — inspect and manage the trace cache.
+- ``telemetry summary|export|tail`` — inspect recorded telemetry runs.
+
+``run``, ``predict`` and ``compare`` accept ``--telemetry DIR`` to
+record the invocation as a telemetry run (manifest + JSONL spans/probes
++ metrics) under DIR; ``predict`` and ``compare`` accept ``--json`` for
+machine-readable output carrying the telemetry run id.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
+import os
 import sys
 from typing import List, Optional
 
 __all__ = ["main", "build_parser"]
+
+
+def default_telemetry_dir() -> str:
+    """Where ``repro telemetry`` looks for runs
+    (``REPRO_TELEMETRY_DIR``, default ``.telemetry``)."""
+    return os.environ.get("REPRO_TELEMETRY_DIR", ".telemetry")
+
+
+def _maybe_telemetry(args):
+    """Context manager yielding the active TelemetryRun (or None) for
+    commands carrying a ``--telemetry DIR`` flag."""
+    directory = getattr(args, "telemetry", None)
+    if not directory:
+        return contextlib.nullcontext(None)
+    from repro.telemetry import telemetry_run
+    return telemetry_run(directory, command=args.command,
+                         argv=getattr(args, "_argv", None))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -46,6 +72,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="reduced sweep (for a quick look)")
     run.add_argument("--limit", type=int, default=None,
                      help="trace length per benchmark")
+    run.add_argument("--telemetry", metavar="DIR", default=None,
+                     help="record this invocation as a telemetry run "
+                          "under DIR")
 
     predict = sub.add_parser("predict",
                              help="measure one predictor on one benchmark")
@@ -59,11 +88,21 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--l2", type=int, default=12,
                          help="log2 level-2 entries (context predictors)")
     predict.add_argument("--limit", type=int, default=100_000)
+    predict.add_argument("--json", action="store_true",
+                         help="machine-readable JSON output")
+    predict.add_argument("--telemetry", metavar="DIR", default=None,
+                         help="record this invocation as a telemetry run "
+                              "under DIR")
 
     compare = sub.add_parser("compare",
                              help="measure every predictor on one benchmark")
     compare.add_argument("name", help="workload name")
     compare.add_argument("--limit", type=int, default=50_000)
+    compare.add_argument("--json", action="store_true",
+                         help="machine-readable JSON output")
+    compare.add_argument("--telemetry", metavar="DIR", default=None,
+                         help="record this invocation as a telemetry run "
+                              "under DIR")
 
     compile_cmd = sub.add_parser("compile",
                                  help="compile MinC to R32 assembly")
@@ -108,6 +147,29 @@ def build_parser() -> argparse.ArgumentParser:
         sub_parser.add_argument("--dir", default=None,
                                 help="cache directory (default "
                                      ".trace_cache / REPRO_TRACE_CACHE)")
+
+    telemetry = sub.add_parser("telemetry",
+                               help="inspect recorded telemetry runs")
+    telemetry_sub = telemetry.add_subparsers(dest="telemetry_command",
+                                             required=True)
+    tel_summary = telemetry_sub.add_parser(
+        "summary", help="human-readable digest of one run")
+    tel_export = telemetry_sub.add_parser(
+        "export", help="dump a run's data for other tools")
+    tel_export.add_argument("--format", default="jsonl",
+                            choices=["jsonl", "prom"],
+                            help="jsonl = raw event log, "
+                                 "prom = Prometheus text exposition")
+    tel_tail = telemetry_sub.add_parser(
+        "tail", help="print the last N events of a run")
+    tel_tail.add_argument("-n", "--lines", type=int, default=20,
+                          help="events to print (default 20)")
+    for sub_parser in (tel_summary, tel_export, tel_tail):
+        sub_parser.add_argument("--dir", default=None,
+                                help="telemetry root (default .telemetry "
+                                     "/ REPRO_TELEMETRY_DIR)")
+        sub_parser.add_argument("--run", default=None,
+                                help="run id (default: most recent run)")
     return parser
 
 
@@ -145,9 +207,12 @@ def _cmd_run(args, out) -> int:
         for experiment_id in experiment_ids():
             out.write(experiment_id + "\n")
         return 0
-    result = run_experiment(args.experiment, fast=args.fast,
-                            limit=args.limit)
+    with _maybe_telemetry(args) as telemetry:
+        result = run_experiment(args.experiment, fast=args.fast,
+                                limit=args.limit)
     out.write(result.render())
+    if telemetry is not None:
+        out.write(f"telemetry: {telemetry.dir}\n")
     return 0
 
 
@@ -168,13 +233,30 @@ def _cmd_predict(args, out) -> int:
         "fcm": lambda: FCMPredictor(1 << args.l1, 1 << args.l2),
         "dfcm": lambda: DFCMPredictor(1 << args.l1, 1 << args.l2),
     }
-    predictor = factories[args.predictor]()
-    trace = cached_trace(args.name, args.limit)
-    result = measure_accuracy(predictor, trace)
+    with _maybe_telemetry(args) as telemetry:
+        predictor = factories[args.predictor]()
+        trace = cached_trace(args.name, args.limit)
+        result = measure_accuracy(predictor, trace)
+    if args.json:
+        out.write(json.dumps({
+            "command": "predict",
+            "predictor": predictor.name,
+            "benchmark": trace.name,
+            "accuracy": round(result.accuracy, 6),
+            "correct": result.correct,
+            "total": result.total,
+            "storage_kbit": round(predictor.storage_kbit(), 3),
+            "params": {"predictor": args.predictor, "l1": args.l1,
+                       "l2": args.l2, "limit": args.limit},
+            "telemetry_run_id": telemetry.run_id if telemetry else None,
+        }, sort_keys=True) + "\n")
+        return 0
     out.write(f"{predictor.name} on {trace.name}: "
               f"accuracy {result.accuracy:.4f} "
               f"({result.correct}/{result.total}), "
               f"{predictor.storage_kbit():.0f} Kbit\n")
+    if telemetry is not None:
+        out.write(f"telemetry: {telemetry.dir}\n")
     return 0
 
 
@@ -188,20 +270,40 @@ def _cmd_compare(args, out) -> int:
     from repro.harness.simulate import measure_accuracy
     from repro.trace.cache import cached_trace
 
-    trace = cached_trace(args.name, args.limit)
-    rows = []
-    for predictor in [LastValuePredictor(1 << 12),
-                      LastNValuePredictor(1 << 12),
-                      StridePredictor(1 << 12),
-                      TwoDeltaStridePredictor(1 << 12),
-                      FCMPredictor(1 << 16, 1 << 12),
-                      DFCMPredictor(1 << 16, 1 << 12)]:
-        result = measure_accuracy(predictor, trace)
-        rows.append([predictor.name, f"{predictor.storage_kbit():.0f}",
-                     f"{result.accuracy:.4f}"])
+    with _maybe_telemetry(args) as telemetry:
+        trace = cached_trace(args.name, args.limit)
+        results = []
+        for predictor in [LastValuePredictor(1 << 12),
+                          LastNValuePredictor(1 << 12),
+                          StridePredictor(1 << 12),
+                          TwoDeltaStridePredictor(1 << 12),
+                          FCMPredictor(1 << 16, 1 << 12),
+                          DFCMPredictor(1 << 16, 1 << 12)]:
+            result = measure_accuracy(predictor, trace)
+            results.append((predictor, result))
+    if args.json:
+        out.write(json.dumps({
+            "command": "compare",
+            "benchmark": trace.name,
+            "limit": args.limit,
+            "predictions": len(trace),
+            "results": [{
+                "predictor": predictor.name,
+                "storage_kbit": round(predictor.storage_kbit(), 3),
+                "accuracy": round(result.accuracy, 6),
+                "correct": result.correct,
+                "total": result.total,
+            } for predictor, result in results],
+            "telemetry_run_id": telemetry.run_id if telemetry else None,
+        }, sort_keys=True) + "\n")
+        return 0
+    rows = [[predictor.name, f"{predictor.storage_kbit():.0f}",
+             f"{result.accuracy:.4f}"] for predictor, result in results]
     out.write(format_table(["predictor", "Kbit", "accuracy"], rows,
                            title=f"{trace.name} ({len(trace)} predictions)")
               + "\n")
+    if telemetry is not None:
+        out.write(f"telemetry: {telemetry.dir}\n")
     return 0
 
 
@@ -300,6 +402,32 @@ def _cmd_cache(args, out) -> int:
     return 0
 
 
+def _cmd_telemetry(args, out) -> int:
+    from repro.telemetry.export import (find_run, prometheus_text,
+                                        read_events, summary_text,
+                                        tail_text)
+    root = args.dir or default_telemetry_dir()
+    try:
+        run = find_run(root, args.run)
+    except FileNotFoundError as exc:
+        out.write(f"{exc}\n")
+        return 1
+
+    if args.telemetry_command == "summary":
+        out.write(summary_text(run))
+        return 0
+    if args.telemetry_command == "export":
+        if args.format == "prom":
+            out.write(prometheus_text(run))
+            return 0
+        for event in read_events(run):
+            out.write(json.dumps(event, sort_keys=True) + "\n")
+        return 0
+    # tail
+    out.write(tail_text(run, args.lines))
+    return 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "trace": _cmd_trace,
@@ -310,12 +438,15 @@ _COMMANDS = {
     "exec": _cmd_exec,
     "disasm": _cmd_disasm,
     "cache": _cmd_cache,
+    "telemetry": _cmd_telemetry,
 }
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    # Recorded verbatim in the telemetry run manifest.
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     return _COMMANDS[args.command](args, out or sys.stdout)
 
 

@@ -45,6 +45,7 @@ from repro.harness.config import single_trace, suite_traces
 from repro.harness.report import ExperimentResult, Table
 from repro.harness.simulate import measure_accuracy, measure_suite
 from repro.harness.sweep import SweepPoint, pareto_front, sweep
+from repro.telemetry.spans import span
 from repro.trace.trace import ValueTrace
 
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
@@ -73,9 +74,12 @@ def run_experiment(experiment_id: str,
     except KeyError:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: "
                        f"{', '.join(experiment_ids())}") from None
-    if traces is None:
-        traces = suite_traces(limit)
-    return fn(traces, fast=fast)
+    with span("experiment", experiment=experiment_id, fast=fast,
+              limit=limit):
+        if traces is None:
+            with span("load_traces", limit=limit):
+                traces = suite_traces(limit)
+        return fn(traces, fast=fast)
 
 
 # ---------------------------------------------------------------- table 1

@@ -10,14 +10,26 @@ The hot loop drives predictors through ``step`` so oracle hybrids can
 keep their perfect-meta semantics; for plain predictors the loop is
 specialised to inline predict/update and avoid a method call per
 record.
+
+Telemetry: when a run is active (:func:`repro.telemetry.enabled`),
+:func:`measure_accuracy` wraps the loop in a ``predictor`` span and
+records prediction counters; :func:`measure_suite` adds a per-``trace``
+span plus the heavyweight table probes (level-2 occupancy, aliasing,
+confidence) through :mod:`repro.telemetry.probes`.  When no run is
+active the guard is a single boolean check per *call* -- the record
+loop itself is identical to the uninstrumented code, which is the
+overhead guarantee ``tests/telemetry/test_overhead.py`` enforces.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Sequence
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from repro.core.base import ValuePredictor
+from repro.telemetry import run as _telemetry_run
+from repro.telemetry.spans import span
 from repro.trace.trace import ValueTrace
 
 __all__ = ["AccuracyResult", "SuiteResult", "measure_accuracy", "measure_suite"]
@@ -40,10 +52,17 @@ class AccuracyResult:
 
 @dataclass
 class SuiteResult:
-    """Outcomes of one predictor configuration across a benchmark suite."""
+    """Outcomes of one predictor configuration across a benchmark suite.
+
+    ``storage_kbit`` records the modelled size of the measured
+    instances (every trace gets a fresh but identically-configured
+    predictor), so sweep code can label points without instantiating a
+    throwaway probe predictor.
+    """
 
     predictor_name: str
     per_trace: Dict[str, AccuracyResult] = field(default_factory=dict)
+    storage_kbit: float = 0.0
 
     @property
     def correct(self) -> int:
@@ -63,14 +82,10 @@ class SuiteResult:
         return self.per_trace[trace_name].accuracy
 
 
-def measure_accuracy(predictor: ValuePredictor, trace: ValueTrace) -> AccuracyResult:
-    """Run *trace* through *predictor*; returns correct/total counts.
-
-    The predictor is trained as a side effect; pass a fresh instance
-    for an independent measurement.
-    """
+def _count_correct(predictor: ValuePredictor,
+                   records: List[Tuple[int, int]]) -> int:
+    """The measurement hot loop: correct predictions over *records*."""
     correct = 0
-    records = trace.records()
     step = type(predictor).step
     if step is ValuePredictor.step:
         # Plain predictor: inline predict-then-update.
@@ -85,6 +100,31 @@ def measure_accuracy(predictor: ValuePredictor, trace: ValueTrace) -> AccuracyRe
         for pc, value in records:
             if bound_step(pc, value):
                 correct += 1
+    return correct
+
+
+def measure_accuracy(predictor: ValuePredictor, trace: ValueTrace) -> AccuracyResult:
+    """Run *trace* through *predictor*; returns correct/total counts.
+
+    The predictor is trained as a side effect; pass a fresh instance
+    for an independent measurement.
+    """
+    records = trace.records()
+    if not _telemetry_run.enabled():
+        correct = _count_correct(predictor, records)
+    else:
+        with span("predictor", predictor=predictor.name,
+                  trace=trace.name) as sp:
+            started = time.perf_counter()
+            correct = _count_correct(predictor, records)
+            elapsed = time.perf_counter() - started
+            sp.set("predictions", len(records))
+            sp.set("correct", correct)
+            sp.set("accuracy",
+                   round(correct / len(records), 6) if records else 0.0)
+        from repro.telemetry.probes import record_accuracy
+        record_accuracy(predictor, trace.name, correct, len(records),
+                        elapsed)
     return AccuracyResult(
         predictor_name=predictor.name,
         trace_name=trace.name,
@@ -100,12 +140,23 @@ def measure_suite(
     """Measure one configuration over a suite, fresh predictor per trace."""
     if not traces:
         raise ValueError("measure_suite needs at least one trace")
+    instrumented = _telemetry_run.enabled()
     result: SuiteResult | None = None
     for trace in traces:
         predictor = predictor_factory()
-        outcome = measure_accuracy(predictor, trace)
+        if not instrumented:
+            outcome = measure_accuracy(predictor, trace)
+        else:
+            with span("trace", benchmark=trace.name,
+                      predictor=predictor.name):
+                outcome = measure_accuracy(predictor, trace)
+                from repro.telemetry.probes import (probe_confidence,
+                                                    probe_context_tables)
+                probe_context_tables(predictor_factory, trace)
+                probe_confidence(predictor_factory, trace)
         if result is None:
-            result = SuiteResult(predictor_name=predictor.name)
+            result = SuiteResult(predictor_name=predictor.name,
+                                 storage_kbit=predictor.storage_kbit())
         result.per_trace[trace.name] = outcome
     assert result is not None
     return result

@@ -7,6 +7,7 @@ from typing import Callable, Dict, Iterable, List, Sequence
 
 from repro.core.base import ValuePredictor
 from repro.harness.simulate import measure_suite
+from repro.telemetry.spans import span
 from repro.trace.trace import ValueTrace
 
 __all__ = ["SweepPoint", "sweep", "pareto_front"]
@@ -38,12 +39,17 @@ def sweep(factories: Iterable[Callable[[], ValuePredictor]],
     if len(metadata) != len(factories):
         raise ValueError("params must match factories in length")
     points = []
-    for factory, meta in zip(factories, metadata):
-        probe = factory()  # for label/size; measurement uses fresh ones
-        result = measure_suite(factory, traces)
+    for index, (factory, meta) in enumerate(zip(factories, metadata)):
+        # Label and size come from the measured instances' own metadata
+        # (recorded by measure_suite) -- no throwaway probe predictor.
+        with span("sweep_point", index=index) as sp:
+            result = measure_suite(factory, traces)
+            sp.set("predictor", result.predictor_name)
+            sp.set("size_kbit", result.storage_kbit)
+            sp.set("accuracy", round(result.accuracy, 6))
         points.append(SweepPoint(
-            label=probe.name,
-            size_kbit=probe.storage_kbit(),
+            label=result.predictor_name,
+            size_kbit=result.storage_kbit,
             accuracy=result.accuracy,
             params=tuple(sorted(meta.items())),
         ))

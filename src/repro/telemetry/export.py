@@ -1,0 +1,217 @@
+"""Telemetry export surfaces: run discovery, Prometheus text, summaries.
+
+These functions read the on-disk artifacts written by
+:class:`repro.telemetry.run.TelemetryRun` -- they never touch the live
+registry, so they work on any run directory, including ones produced by
+another process (the ``repro telemetry`` CLI is a thin wrapper).
+
+The Prometheus output follows the text exposition format version
+0.0.4: ``# HELP``/``# TYPE`` headers, escaped label values, histograms
+as cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator, List, Optional
+
+__all__ = ["RunInfo", "list_runs", "find_run", "read_events",
+           "prometheus_text", "summary_text", "tail_text"]
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One discovered run directory and its parsed manifest."""
+
+    dir: Path
+    manifest: dict
+
+    @property
+    def run_id(self) -> str:
+        return self.manifest.get("run_id", self.dir.name)
+
+
+def list_runs(root) -> List[RunInfo]:
+    """Runs under *root*, oldest first (manifest-bearing subdirs)."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    runs = []
+    for child in sorted(root.iterdir()):
+        manifest_path = child / "manifest.json"
+        if not manifest_path.is_file():
+            continue
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        runs.append(RunInfo(dir=child, manifest=manifest))
+    runs.sort(key=lambda r: (r.manifest.get("started_unix", 0),
+                             r.manifest.get("started_at", ""), r.dir.name))
+    return runs
+
+
+def find_run(root, run_id: Optional[str] = None) -> RunInfo:
+    """The named run under *root*, or the latest one.
+
+    Raises :class:`FileNotFoundError` when nothing matches, so the CLI
+    can exit with a clean message instead of a traceback.
+    """
+    runs = list_runs(root)
+    if not runs:
+        raise FileNotFoundError(f"no telemetry runs under {root}")
+    if run_id is None:
+        return runs[-1]
+    for run in runs:
+        if run.run_id == run_id or run.dir.name == run_id:
+            return run
+    known = ", ".join(r.run_id for r in runs)
+    raise FileNotFoundError(f"no run {run_id!r} under {root}; known: {known}")
+
+
+def read_events(run: RunInfo) -> Iterator[dict]:
+    """Parsed events.jsonl lines (skips nothing; raises on bad JSON)."""
+    path = run.dir / "events.jsonl"
+    if not path.is_file():
+        return
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def _read_metrics(run: RunInfo) -> dict:
+    path = run.dir / "metrics.json"
+    if not path.is_file():
+        return {}
+    return json.loads(path.read_text())
+
+
+# ----------------------------------------------------------- prometheus
+
+def _escape_label(value: str) -> str:
+    return (value.replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _label_text(labels: dict, extra: Optional[dict] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(str(v))}"'
+                     for k, v in merged.items())
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value != int(value):
+        return repr(value)
+    return str(int(value))
+
+
+def prometheus_text(run: RunInfo) -> str:
+    """The run's closing metrics snapshot in Prometheus text format."""
+    snapshot = _read_metrics(run).get("metrics", {})
+    lines = []
+    for name in sorted(snapshot):
+        data = snapshot[name]
+        kind = data.get("kind", "untyped")
+        help_text = data.get("help", "")
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in data.get("samples", []):
+            labels = sample.get("labels", {})
+            value = sample.get("value")
+            if kind == "histogram":
+                for bound, count in value["buckets"]:
+                    le = "+Inf" if bound == "+Inf" else _format_value(bound)
+                    lines.append(
+                        f"{name}_bucket{_label_text(labels, {'le': le})} "
+                        f"{int(count)}")
+                lines.append(f"{name}_sum{_label_text(labels)} "
+                             f"{_format_value(value['sum'])}")
+                lines.append(f"{name}_count{_label_text(labels)} "
+                             f"{int(value['count'])}")
+            else:
+                lines.append(f"{name}{_label_text(labels)} "
+                             f"{_format_value(value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -------------------------------------------------------------- summary
+
+def summary_text(run: RunInfo, max_spans: int = 12) -> str:
+    """Human-readable digest: manifest header, span tree, key metrics."""
+    manifest = run.manifest
+    lines = [f"run {run.run_id}"]
+    for key in ("command", "started_at", "finished_at", "duration_s",
+                "status", "git_sha", "python"):
+        value = manifest.get(key)
+        if value is not None:
+            lines.append(f"  {key}: {value}")
+    config = manifest.get("config") or {}
+    if config.get("trace_length") is not None:
+        lines.append(f"  trace_length: {config['trace_length']}")
+
+    spans = [e for e in read_events(run) if e.get("type") == "span"]
+    if spans:
+        lines.append("")
+        lines.append(f"spans ({len(spans)} closed; slowest per name):")
+        slowest = {}
+        for event in spans:
+            name = event.get("name", "?")
+            best = slowest.get(name)
+            if best is None or event.get("duration_s", 0) > best.get(
+                    "duration_s", 0):
+                slowest[name] = event
+        ranked = sorted(slowest.values(),
+                        key=lambda e: e.get("duration_s", 0), reverse=True)
+        counts = {}
+        for event in spans:
+            counts[event.get("name", "?")] = counts.get(
+                event.get("name", "?"), 0) + 1
+        for event in ranked[:max_spans]:
+            name = event.get("name", "?")
+            lines.append(f"  {name:<14} x{counts[name]:<5} "
+                         f"max {event.get('duration_s', 0):.4f}s "
+                         f"depth {event.get('depth', 0)}")
+
+    probes = [e for e in read_events(run) if e.get("type") == "probe"]
+    if probes:
+        kinds = {}
+        for event in probes:
+            kinds[event.get("probe", "?")] = kinds.get(
+                event.get("probe", "?"), 0) + 1
+        lines.append("")
+        lines.append("probes: " + ", ".join(
+            f"{kind} x{count}" for kind, count in sorted(kinds.items())))
+
+    delta = _read_metrics(run).get("delta", {})
+    counters = []
+    for name in sorted(delta):
+        data = delta[name]
+        if data.get("kind") != "counter":
+            continue
+        total = sum(s["value"] for s in data.get("samples", []))
+        counters.append((name, total))
+    if counters:
+        lines.append("")
+        lines.append("counters (this run):")
+        for name, total in counters:
+            lines.append(f"  {name:<36} {_format_value(total)}")
+    return "\n".join(lines) + "\n"
+
+
+def tail_text(run: RunInfo, n: int = 20) -> str:
+    """The last *n* event lines of the run, verbatim JSONL."""
+    path = run.dir / "events.jsonl"
+    if not path.is_file():
+        return ""
+    lines = path.read_text(encoding="utf-8").splitlines()
+    return "\n".join(lines[-n:]) + ("\n" if lines else "")

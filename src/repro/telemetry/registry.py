@@ -1,0 +1,261 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+One process-wide :class:`MetricsRegistry` (reached through
+:func:`registry`) holds every metric the repo records -- cache traffic,
+prediction outcomes, predictor table probes, VM profiles.  Metrics are
+get-or-create: asking for the same name again returns the existing
+instrument, so call sites never need to coordinate registration, and a
+name clash across kinds (or a label-set mismatch) raises
+:class:`MetricError` instead of silently splitting the series.
+
+Instruments are plain dict arithmetic -- an ``inc`` is one dict lookup
+and one add -- so they are always live; the expensive parts of
+telemetry (spans, probes, the JSONL sink) are gated on an active run
+instead (see :mod:`repro.telemetry.run`).
+
+Label values are stringified, mirroring the Prometheus data model, and
+each (name, label values) pair is an independent sample.  Histograms
+take fixed upper bounds at creation; a ``+Inf`` bucket is implicit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["MetricError", "Counter", "Gauge", "Histogram",
+           "MetricsRegistry", "registry"]
+
+
+class MetricError(Exception):
+    """Metric misuse: kind clash, label mismatch, or bad argument."""
+
+
+LabelKey = Tuple[str, ...]
+
+
+class _Metric:
+    """Common naming/label plumbing of the three instrument kinds."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labels: Sequence[str]):
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise MetricError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(labels)
+
+    def _key(self, labels: Dict[str, object]) -> LabelKey:
+        if set(labels) != set(self.label_names):
+            raise MetricError(
+                f"{self.name} takes labels {list(self.label_names)}, "
+                f"got {sorted(labels)}")
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def _labels_dict(self, key: LabelKey) -> Dict[str, str]:
+        return dict(zip(self.label_names, key))
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (per label set)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Sequence[str] = ()):
+        super().__init__(name, help, labels)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise MetricError(f"{self.name}: counters only go up, "
+                              f"got {amount}")
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def samples(self) -> List[Tuple[Dict[str, str], float]]:
+        return [(self._labels_dict(k), v)
+                for k, v in sorted(self._values.items())]
+
+    def _reset(self) -> None:
+        self._values.clear()
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (per label set)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "",
+                 labels: Sequence[str] = ()):
+        super().__init__(name, help, labels)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels) -> None:
+        self._values[self._key(labels)] = value
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        return self._values.get(self._key(labels), 0)
+
+    def samples(self) -> List[Tuple[Dict[str, str], float]]:
+        return [(self._labels_dict(k), v)
+                for k, v in sorted(self._values.items())]
+
+    def _reset(self) -> None:
+        self._values.clear()
+
+
+class Histogram(_Metric):
+    """Fixed-bucket distribution: bucket counts plus sum and count.
+
+    ``buckets`` are the finite upper bounds, strictly increasing; every
+    observation additionally lands in the implicit ``+Inf`` bucket.
+    Bucket counts are stored cumulatively (Prometheus ``le`` semantics).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "",
+                 buckets: Sequence[float] = (.005, .05, .5, 5, 50),
+                 labels: Sequence[str] = ()):
+        super().__init__(name, help, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise MetricError(
+                f"{name}: buckets must be strictly increasing, got "
+                f"{list(buckets)}")
+        self.buckets = bounds
+        # Per label set: [count per finite bucket] + [+Inf], sum.
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        counts = self._counts.get(key)
+        if counts is None:
+            counts = self._counts[key] = [0] * (len(self.buckets) + 1)
+            self._sums[key] = 0.0
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                counts[i] += 1
+        counts[-1] += 1
+        self._sums[key] += value
+
+    def count(self, **labels) -> int:
+        counts = self._counts.get(self._key(labels))
+        return counts[-1] if counts else 0
+
+    def sum(self, **labels) -> float:
+        return self._sums.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[Dict[str, str], dict]]:
+        out = []
+        for key in sorted(self._counts):
+            counts = self._counts[key]
+            buckets = [[bound, counts[i]]
+                       for i, bound in enumerate(self.buckets)]
+            buckets.append(["+Inf", counts[-1]])
+            out.append((self._labels_dict(key),
+                        {"buckets": buckets, "sum": self._sums[key],
+                         "count": counts[-1]}))
+        return out
+
+    def _reset(self) -> None:
+        self._counts.clear()
+        self._sums.clear()
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument in the process."""
+
+    def __init__(self):
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: Sequence[str], **kwargs):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise MetricError(
+                    f"{name} already registered as a {existing.kind}, "
+                    f"requested {cls.kind}")
+            if existing.label_names != tuple(labels):
+                raise MetricError(
+                    f"{name} registered with labels "
+                    f"{list(existing.label_names)}, requested {list(labels)}")
+            return existing
+        metric = cls(name, help, labels=labels, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Sequence[float] = (.005, .05, .5, 5, 50),
+                  labels: Sequence[str] = ()) -> Histogram:
+        metric = self._get_or_create(Histogram, name, help, labels,
+                                     buckets=buckets)
+        if metric.buckets != tuple(float(b) for b in buckets):
+            raise MetricError(
+                f"{name} registered with buckets {list(metric.buckets)}, "
+                f"requested {list(buckets)}")
+        return metric
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __iter__(self) -> Iterable[_Metric]:
+        return iter(self._metrics.values())
+
+    def snapshot(self) -> dict:
+        """JSON-able view of every metric and its current samples."""
+        out = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            out[name] = {
+                "kind": metric.kind,
+                "help": metric.help,
+                "label_names": list(metric.label_names),
+                "samples": [{"labels": labels, "value": value}
+                            for labels, value in metric.samples()],
+            }
+        return out
+
+    def reset(self, name: Optional[str] = None) -> None:
+        """Zero one metric's samples, or every metric's (instruments
+        stay registered so handles held by call sites remain valid)."""
+        if name is not None:
+            metric = self._metrics.get(name)
+            if metric is not None:
+                metric._reset()
+            return
+        for metric in self._metrics.values():
+            metric._reset()
+
+
+#: The process-wide registry every subsystem records into.
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry`."""
+    return _REGISTRY

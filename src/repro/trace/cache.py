@@ -79,12 +79,13 @@ def _cache_key(name: str, source: str, limit: Optional[int],
 
 
 def _record(stats: Optional[CacheStats], **deltas) -> None:
-    """Bump counters on the global stats and the caller's, if any."""
+    """Bump counters on the global (registry-backed) stats and the
+    caller's per-call instance, if any."""
     for target in (cache_stats(), stats):
         if target is None:
             continue
         for key, delta in deltas.items():
-            setattr(target, key, getattr(target, key) + delta)
+            target.add(key, delta)
 
 
 def quarantine_entry(path: Path) -> Path:

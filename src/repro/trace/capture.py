@@ -6,6 +6,8 @@ import time
 from typing import Optional
 
 from repro.lang import compile_to_program
+from repro.telemetry import run as _telemetry_run
+from repro.telemetry.spans import span
 from repro.trace.stats import CacheStats
 from repro.trace.trace import ValueTrace
 from repro.vm import Machine
@@ -25,21 +27,39 @@ def capture_source(name: str, source: str, limit: Optional[int],
     for the paper's 200M-instruction cut-off); None runs to completion.
     ``optimize`` selects the compiler's peephole level (0 or 1).
     ``stats``, when given, accumulates the capture wall-clock time.
+
+    With a telemetry run active the capture is wrapped in a ``capture``
+    span and the VM runs with a sampling profile (retired instructions,
+    opcode mix, syscall counts, hot PCs) emitted as a ``vm_profile``
+    probe; otherwise the VM runs the plain, unhooked loop.
     """
     started = time.perf_counter()
-    program = compile_to_program(source, optimize=optimize)
-    machine = Machine(program, collect_trace=True, trace_limit=limit)
-    try:
-        machine.run(max_instructions)
-    except ExecutionLimitExceeded:
-        # An unfinished but non-empty trace is still a valid sample of
-        # the workload, matching the paper's truncated simulations.
-        if not machine.trace:
-            raise
+    with span("capture", benchmark=name, limit=limit,
+              optimize=optimize) as sp:
+        program = compile_to_program(source, optimize=optimize)
+        profile = None
+        if _telemetry_run.enabled():
+            from repro.vm.profile import VMProfile
+            profile = VMProfile()
+        machine = Machine(program, collect_trace=True, trace_limit=limit,
+                          profile=profile)
+        try:
+            machine.run(max_instructions)
+        except ExecutionLimitExceeded:
+            # An unfinished but non-empty trace is still a valid sample
+            # of the workload, matching the paper's truncated
+            # simulations.
+            if not machine.trace:
+                raise
+        if profile is not None:
+            from repro.telemetry.probes import record_vm_profile
+            record_vm_profile(profile, name)
+            sp.set("instructions", machine.instructions_executed)
+            sp.set("records", len(machine.trace))
     pcs = [pc for pc, _ in machine.trace]
     values = [value for _, value in machine.trace]
     if stats is not None:
-        stats.capture_seconds += time.perf_counter() - started
+        stats.add("capture_seconds", time.perf_counter() - started)
     return ValueTrace(name, pcs, values)
 
 

@@ -1,18 +1,48 @@
 """Cache observability: the counter set behind the trace cache.
 
 Every cache interaction (``cached_trace``, ``suite_traces``, the
-``repro cache`` CLI) is accounted against a :class:`CacheStats`
-instance, so an experiment run can report how much of its input came
-from disk, how much was recaptured, and whether any entries had to be
-quarantined.  A process-global instance aggregates across all call
-sites; callers that want per-run numbers pass their own instance.
+``repro cache`` CLI) is accounted twice: into the caller's optional
+per-call :class:`CacheStats` instance, and into the process-wide
+telemetry registry (:mod:`repro.telemetry.registry`) under the
+``repro_cache_*`` metric family -- so cache traffic shows up in
+``repro telemetry summary`` and the Prometheus export next to every
+other metric, with no second code path.
+
+:func:`cache_stats` keeps its historical shape: it returns a live
+*view* (:class:`RegistryCacheStats`) whose attributes read the registry
+counters, so ``cache_stats().hits`` and ``cache_stats().render()``
+behave exactly as the old global dataclass did.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
 
-__all__ = ["CacheStats", "cache_stats", "reset_cache_stats"]
+__all__ = ["CacheStats", "RegistryCacheStats", "cache_stats",
+           "reset_cache_stats"]
+
+#: CacheStats field -> registry metric backing the global aggregate.
+_METRIC_NAMES = {
+    "hits": "repro_cache_hits_total",
+    "misses": "repro_cache_misses_total",
+    "recaptures": "repro_cache_recaptures_total",
+    "corrupt_quarantined": "repro_cache_corrupt_quarantined_total",
+    "bytes_read": "repro_cache_read_bytes_total",
+    "bytes_written": "repro_cache_written_bytes_total",
+    "capture_seconds": "repro_cache_capture_seconds_total",
+}
+
+_METRIC_HELP = {
+    "hits": "Cache entries served from a valid on-disk .npz",
+    "misses": "Cache entries absent from the cache (captured fresh)",
+    "recaptures": "Entries recaptured because the on-disk copy was "
+                  "unreadable",
+    "corrupt_quarantined": "Unreadable entries moved aside to *.corrupt",
+    "bytes_read": "Payload bytes read from the trace cache",
+    "bytes_written": "Payload bytes written to the trace cache",
+    "capture_seconds": "Wall-clock seconds spent running workloads on "
+                       "the VM",
+}
 
 
 @dataclass
@@ -43,19 +73,23 @@ class CacheStats:
     bytes_written: int = 0
     capture_seconds: float = 0.0
 
+    def add(self, name: str, delta) -> None:
+        """Bump one counter by *delta* (the cache layer's entry point)."""
+        setattr(self, name, getattr(self, name) + delta)
+
     def merge(self, other: "CacheStats") -> "CacheStats":
         """Add *other*'s counters into this instance (returns self)."""
-        for f in fields(self):
-            setattr(self, f.name,
-                    getattr(self, f.name) + getattr(other, f.name))
+        for f in fields(CacheStats):
+            self.add(f.name, getattr(other, f.name))
         return self
 
     def reset(self) -> None:
-        for f in fields(self):
+        for f in fields(CacheStats):
             setattr(self, f.name, f.default)
 
     def as_dict(self) -> dict:
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {f.name: getattr(self, f.name)
+                for f in fields(CacheStats)}
 
     def render(self) -> str:
         """One-line human-readable summary."""
@@ -67,12 +101,55 @@ class CacheStats:
                 f"capture_seconds={self.capture_seconds:.2f}")
 
 
-#: Process-wide aggregate, updated by every cache interaction.
-_GLOBAL_STATS = CacheStats()
+def _registry_counter(field_name: str):
+    from repro.telemetry.registry import registry
+    return registry().counter(_METRIC_NAMES[field_name],
+                              _METRIC_HELP[field_name])
+
+
+class RegistryCacheStats(CacheStats):
+    """The process-global aggregate as a live registry view.
+
+    Subclasses :class:`CacheStats` for interface compatibility but
+    stores nothing itself: attribute reads pull the current
+    ``repro_cache_*`` counter values, :meth:`add` increments them, and
+    :meth:`reset` zeroes them.  ``capture_seconds`` keeps its float
+    precision; the other counters read back as ints, as before.
+    """
+
+    def __init__(self):  # no per-instance state; the registry holds it
+        pass
+
+    def __getattribute__(self, name):
+        if name in _METRIC_NAMES:
+            value = _registry_counter(name).value()
+            return value if name == "capture_seconds" else int(value)
+        return object.__getattribute__(self, name)
+
+    def __setattr__(self, name, value):
+        if name in _METRIC_NAMES:
+            raise AttributeError(
+                f"the global cache stats are registry-backed; use "
+                f".add({name!r}, delta) or reset_cache_stats()")
+        object.__setattr__(self, name, value)
+
+    def add(self, name: str, delta) -> None:
+        if name not in _METRIC_NAMES:
+            raise AttributeError(f"unknown cache counter {name!r}")
+        _registry_counter(name).inc(delta)
+
+    def reset(self) -> None:
+        from repro.telemetry.registry import registry
+        for metric_name in _METRIC_NAMES.values():
+            registry().reset(metric_name)
+
+
+#: Process-wide aggregate: a view over the telemetry registry.
+_GLOBAL_STATS = RegistryCacheStats()
 
 
 def cache_stats() -> CacheStats:
-    """The process-global cache counters."""
+    """The process-global cache counters (registry-backed view)."""
     return _GLOBAL_STATS
 
 

@@ -8,6 +8,7 @@ that feeds the predictors.
 from repro.vm.errors import VMError, MemoryFault, ExecutionLimitExceeded
 from repro.vm.memory import Memory
 from repro.vm.machine import Machine, HALT_ADDRESS
+from repro.vm.profile import VMProfile
 
 __all__ = [
     "VMError",
@@ -16,4 +17,5 @@ __all__ = [
     "Memory",
     "Machine",
     "HALT_ADDRESS",
+    "VMProfile",
 ]

@@ -60,10 +60,17 @@ class Machine:
         collected; None means unlimited.  This is the knob that stands
         in for the paper's "simulate only the first 200 million
         instructions".
+    profile:
+        A :class:`repro.vm.profile.VMProfile` to fill, or None.  With
+        a profile attached, :meth:`run` executes in
+        ``profile.sample_interval``-sized chunks, sampling the PC (and
+        mnemonic) at each boundary; the interpreter loop itself is
+        untouched, so a ``profile=None`` machine pays nothing.
     """
 
     def __init__(self, program, collect_trace: bool = False,
-                 trace_limit: Optional[int] = None):
+                 trace_limit: Optional[int] = None,
+                 profile=None):
         self.program = program
         self.memory = Memory()
         self.regs: List[int] = [0] * 32
@@ -75,6 +82,7 @@ class Machine:
         self.trace: List[Tuple[int, int]] = []
         self.trace_limit = trace_limit
         self.truncated = False
+        self.profile = profile
 
         # Load the data segment and set up the runtime environment.
         if program.data:
@@ -117,7 +125,42 @@ class Machine:
         retire without the program terminating -- unless a
         ``trace_limit`` was hit first, in which case the run stops
         cleanly with :attr:`truncated` set.
+
+        With a :attr:`profile` attached, execution is chunked at the
+        profile's sample interval (see :meth:`_run_profiled`); the
+        interpreter loop itself is identical either way.
         """
+        if self.profile is not None:
+            return self._run_profiled(max_instructions)
+        return self._run(max_instructions)
+
+    def _run_profiled(self, max_instructions: int) -> int:
+        """Run in sample-interval chunks, recording a PC sample at each
+        chunk boundary; exact retired/syscall counts come for free."""
+        profile = self.profile
+        interval = profile.sample_interval
+        while True:
+            target = min(self.instructions_executed + interval,
+                         max_instructions)
+            try:
+                code = self._run(target)
+            except ExecutionLimitExceeded:
+                if target >= max_instructions:
+                    profile.retired = self.instructions_executed
+                    raise
+                profile.record_sample(self.pc, self._mnemonic_at(self.pc))
+                continue
+            profile.retired = self.instructions_executed
+            return code
+
+    def _mnemonic_at(self, pc: int) -> Optional[str]:
+        """Mnemonic of the instruction at *pc*, or None off-text."""
+        index = (pc - self._text_base) >> 2
+        if 0 <= index < len(self._decoded):
+            return self._decoded[index][0]
+        return None
+
+    def _run(self, max_instructions: int) -> int:
         regs = self.regs
         memory = self.memory
         decoded = self._decoded

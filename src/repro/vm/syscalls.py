@@ -35,6 +35,10 @@ def do_syscall(machine) -> bool:
     """Execute one syscall on *machine*; True when the program exited."""
     code = machine.regs[2]  # $v0
     arg = machine.regs[4]   # $a0
+    if machine.profile is not None:
+        # Exact syscall accounting lives here, off the hot loop:
+        # syscalls are orders of magnitude rarer than ALU ops.
+        machine.profile.record_syscall(code)
     if code == SYS_PRINT_INT:
         machine.output.append(str(to_s32(arg)))
     elif code == SYS_PRINT_STRING:

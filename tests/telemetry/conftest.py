@@ -1,0 +1,35 @@
+"""Telemetry test fixtures: isolate the process-global state."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import run as telemetry_run_module
+from repro.telemetry import spans as spans_module
+from repro.telemetry.registry import registry
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry_state():
+    """Zero the registry and close any stray run around every test.
+
+    Instruments stay registered (handles held by call sites remain
+    valid); only their samples are cleared, so tests see fresh counts
+    without breaking other modules' cached metric handles.
+    """
+    registry().reset()
+    telemetry_run_module.finish_run()
+    spans_module._STACK.clear()
+    yield
+    telemetry_run_module.finish_run()
+    spans_module._STACK.clear()
+    registry().reset()
+
+
+@pytest.fixture
+def active_run(tmp_path):
+    """A live telemetry run rooted in tmp_path; closed on teardown."""
+    run = telemetry_run_module.start_run(tmp_path / "telemetry",
+                                         command="test")
+    yield run
+    telemetry_run_module.finish_run()

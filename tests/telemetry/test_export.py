@@ -1,0 +1,119 @@
+"""Export surfaces: run discovery, Prometheus text, summaries, tail."""
+
+import json
+
+import pytest
+
+from repro.telemetry.export import (find_run, list_runs, prometheus_text,
+                                    read_events, summary_text, tail_text)
+from repro.telemetry.registry import registry
+from repro.telemetry.run import finish_run, start_run
+from repro.telemetry.spans import span
+
+
+def make_run(tmp_path, name="r"):
+    """One closed run with a span, a probe and some metrics."""
+    run = start_run(tmp_path, command="test")
+    registry().counter("exp_hits_total",
+                       "Help text", labels=("kind",)).inc(3, kind='a"b\\c')
+    registry().gauge("exp_ratio").set(0.25)
+    registry().histogram("exp_seconds", "Latency",
+                         buckets=(1, 5)).observe(0.5)
+    with span("outer"):
+        with span("inner"):
+            pass
+    run.emit({"type": "probe", "probe": "demo", "value": 1})
+    finish_run()
+    return run
+
+
+class TestDiscovery:
+    def test_list_runs_oldest_first(self, tmp_path):
+        first = make_run(tmp_path)
+        second = make_run(tmp_path)
+        runs = list_runs(tmp_path)
+        assert [r.run_id for r in runs] == [first.run_id, second.run_id]
+
+    def test_non_run_dirs_ignored(self, tmp_path):
+        (tmp_path / "stray").mkdir()
+        (tmp_path / "stray" / "notes.txt").write_text("hi")
+        run = make_run(tmp_path)
+        assert [r.run_id for r in list_runs(tmp_path)] == [run.run_id]
+
+    def test_find_run_latest_and_named(self, tmp_path):
+        first = make_run(tmp_path)
+        second = make_run(tmp_path)
+        assert find_run(tmp_path).run_id == second.run_id
+        assert find_run(tmp_path, first.run_id).run_id == first.run_id
+
+    def test_find_run_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            find_run(tmp_path)  # empty root
+        make_run(tmp_path)
+        with pytest.raises(FileNotFoundError) as exc:
+            find_run(tmp_path, "run-nope")
+        assert "known:" in str(exc.value)
+
+    def test_read_events(self, tmp_path):
+        run = make_run(tmp_path)
+        events = list(read_events(find_run(tmp_path, run.run_id)))
+        kinds = [e["type"] for e in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        assert "probe" in kinds and "span" in kinds
+
+
+class TestPrometheusText:
+    def test_format(self, tmp_path):
+        run = make_run(tmp_path)
+        text = prometheus_text(find_run(tmp_path, run.run_id))
+        assert "# HELP exp_hits_total Help text" in text
+        assert "# TYPE exp_hits_total counter" in text
+        # Label values escaped per the exposition format.
+        assert 'exp_hits_total{kind="a\\"b\\\\c"} 3' in text
+        assert "# TYPE exp_ratio gauge" in text
+        assert "exp_ratio 0.25" in text
+
+    def test_histogram_series(self, tmp_path):
+        run = make_run(tmp_path)
+        text = prometheus_text(find_run(tmp_path, run.run_id))
+        assert 'exp_seconds_bucket{le="1"} 1' in text
+        assert 'exp_seconds_bucket{le="5"} 1' in text
+        assert 'exp_seconds_bucket{le="+Inf"} 1' in text
+        assert "exp_seconds_sum 0.5" in text
+        assert "exp_seconds_count 1" in text
+
+    def test_every_series_has_a_type_header(self, tmp_path):
+        run = make_run(tmp_path)
+        text = prometheus_text(find_run(tmp_path, run.run_id))
+        declared = {line.split()[2] for line in text.splitlines()
+                    if line.startswith("# TYPE")}
+        for line in text.splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            base = name
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and name[:-len(suffix)] in declared:
+                    base = name[:-len(suffix)]
+            assert base in declared, line
+
+
+class TestSummaryAndTail:
+    def test_summary_contents(self, tmp_path):
+        run = make_run(tmp_path)
+        text = summary_text(find_run(tmp_path, run.run_id))
+        assert f"run {run.run_id}" in text
+        assert "status: ok" in text
+        assert "spans (2 closed" in text
+        assert "outer" in text and "inner" in text
+        assert "probes: demo x1" in text
+        assert "exp_hits_total" in text  # per-run counter delta
+
+    def test_tail_returns_last_n_lines(self, tmp_path):
+        run = make_run(tmp_path)
+        info = find_run(tmp_path, run.run_id)
+        two = tail_text(info, 2).splitlines()
+        assert len(two) == 2
+        assert json.loads(two[-1])["type"] == "run_end"
+        everything = tail_text(info, 10_000).splitlines()
+        assert json.loads(everything[0])["type"] == "run_start"

@@ -1,0 +1,81 @@
+"""The overhead guarantee: disabled telemetry must be (nearly) free.
+
+The CI guard from the issue: with no telemetry run active,
+``measure_accuracy`` on a 100k-record trace must be within 5% of an
+uninstrumented baseline loop (a verbatim copy of the pre-telemetry hot
+loop).  Min-of-several interleaved timings keeps scheduler noise out of
+the ratio.
+"""
+
+import time
+
+from repro.core.dfcm import DFCMPredictor
+from repro.harness.simulate import measure_accuracy
+from repro.telemetry.run import enabled
+from repro.telemetry.spans import NOOP_SPAN, span
+from tests.conftest import interleaved, repeating_trace, stride_trace
+
+RECORDS = 100_000
+REPEATS = 5
+
+
+def build_trace():
+    third = RECORDS // 3
+    return interleaved(
+        stride_trace("s", 0x1000, 0, 4, third),
+        repeating_trace("ctx", 0x1004, [3, 8, 1, 9, 4, 7], third // 6 + 1),
+        stride_trace("t", 0x1008, 17, 9, third),
+    )
+
+
+def baseline_count(predictor, records):
+    # The pre-telemetry measurement loop, verbatim.
+    correct = 0
+    predict = predictor.predict
+    update = predictor.update
+    for pc, value in records:
+        if predict(pc) == value:
+            correct += 1
+        update(pc, value)
+    return correct
+
+
+def test_disabled_measure_accuracy_within_5_percent():
+    assert not enabled()
+    trace = build_trace()
+    records = trace.records()
+    assert len(records) >= RECORDS * 0.9
+
+    def fresh():
+        return DFCMPredictor(1 << 10, 1 << 10)
+
+    # Warm up allocators and branch caches once per path.
+    baseline_count(fresh(), records)
+    measure_accuracy(fresh(), trace)
+
+    baseline_best = float("inf")
+    instrumented_best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        expected = baseline_count(fresh(), records)
+        baseline_best = min(baseline_best, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        result = measure_accuracy(fresh(), trace)
+        instrumented_best = min(instrumented_best,
+                                time.perf_counter() - start)
+        assert result.correct == expected
+
+    ratio = instrumented_best / baseline_best
+    assert ratio <= 1.05, (
+        f"disabled-telemetry measure_accuracy is {ratio:.3f}x the "
+        f"uninstrumented baseline ({instrumented_best:.4f}s vs "
+        f"{baseline_best:.4f}s); the 5% overhead budget is blown")
+
+
+def test_disabled_span_is_allocation_free():
+    # The fast path hands out one shared singleton -- no object is
+    # constructed per call, which is what keeps span() safe to call
+    # unconditionally in hot code.
+    spans = {id(span(f"name_{i}", index=i)) for i in range(100)}
+    assert spans == {id(NOOP_SPAN)}

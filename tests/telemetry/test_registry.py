@@ -1,0 +1,151 @@
+"""Registry semantics: counters, gauges, histograms, snapshots."""
+
+import json
+
+import pytest
+
+from repro.telemetry.registry import (Counter, Gauge, Histogram, MetricError,
+                                      MetricsRegistry, registry)
+
+
+@pytest.fixture
+def reg():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_and_value(self, reg):
+        counter = reg.counter("widgets_total")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value() == 5
+
+    def test_labelled_series_are_independent(self, reg):
+        counter = reg.counter("hits_total", labels=("kind",))
+        counter.inc(2, kind="a")
+        counter.inc(3, kind="b")
+        assert counter.value(kind="a") == 2
+        assert counter.value(kind="b") == 3
+        assert counter.value(kind="unseen") == 0
+
+    def test_negative_increment_rejected(self, reg):
+        with pytest.raises(MetricError):
+            reg.counter("ups_total").inc(-1)
+
+    def test_label_mismatch_rejected(self, reg):
+        counter = reg.counter("hits_total", labels=("kind",))
+        with pytest.raises(MetricError):
+            counter.inc(1)
+        with pytest.raises(MetricError):
+            counter.inc(1, kind="a", extra="b")
+
+    def test_label_values_stringified(self, reg):
+        counter = reg.counter("codes_total", labels=("code",))
+        counter.inc(1, code=42)
+        assert counter.value(code="42") == 1
+        assert counter.samples() == [({"code": "42"}, 1)]
+
+
+class TestGauge:
+    def test_set_inc_dec(self, reg):
+        gauge = reg.gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value() == 13
+
+    def test_gauges_may_go_negative(self, reg):
+        gauge = reg.gauge("delta")
+        gauge.dec(3)
+        assert gauge.value() == -3
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_inf(self, reg):
+        histogram = reg.histogram("seconds", buckets=(1, 5))
+        for value in (0.5, 0.7, 3, 100):
+            histogram.observe(value)
+        [(labels, sample)] = histogram.samples()
+        assert labels == {}
+        # le=1 catches two, le=5 cumulatively three, +Inf all four.
+        assert sample["buckets"] == [[1.0, 2], [5.0, 3], ["+Inf", 4]]
+        assert sample["count"] == 4
+        assert sample["sum"] == pytest.approx(104.2)
+        assert histogram.count() == 4
+        assert histogram.sum() == pytest.approx(104.2)
+
+    def test_buckets_must_increase(self, reg):
+        with pytest.raises(MetricError):
+            reg.histogram("bad", buckets=(5, 1))
+        with pytest.raises(MetricError):
+            reg.histogram("bad2", buckets=(1, 1))
+        with pytest.raises(MetricError):
+            reg.histogram("bad3", buckets=())
+
+
+class TestGetOrCreate:
+    def test_same_name_returns_same_instrument(self, reg):
+        assert reg.counter("a_total") is reg.counter("a_total")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_clash_raises(self, reg):
+        reg.counter("x")
+        with pytest.raises(MetricError):
+            reg.gauge("x")
+        with pytest.raises(MetricError):
+            reg.histogram("x")
+
+    def test_label_clash_raises(self, reg):
+        reg.counter("y", labels=("a",))
+        with pytest.raises(MetricError):
+            reg.counter("y", labels=("a", "b"))
+
+    def test_bucket_clash_raises(self, reg):
+        reg.histogram("z", buckets=(1, 2))
+        with pytest.raises(MetricError):
+            reg.histogram("z", buckets=(1, 2, 3))
+
+    def test_invalid_name_rejected(self, reg):
+        for bad in ("", "has space", "has-dash"):
+            with pytest.raises(MetricError):
+                reg.counter(bad)
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_is_json_able(self, reg):
+        reg.counter("c_total", "help!", labels=("k",)).inc(2, k="v")
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1,)).observe(0.5)
+        snapshot = reg.snapshot()
+        round_trip = json.loads(json.dumps(snapshot))
+        assert round_trip == snapshot
+        assert snapshot["c_total"]["kind"] == "counter"
+        assert snapshot["c_total"]["help"] == "help!"
+        assert snapshot["c_total"]["samples"] == [
+            {"labels": {"k": "v"}, "value": 2}]
+
+    def test_reset_one_metric_keeps_instrument(self, reg):
+        counter = reg.counter("c_total")
+        counter.inc(3)
+        reg.reset("c_total")
+        assert counter.value() == 0
+        assert reg.counter("c_total") is counter
+
+    def test_reset_all(self, reg):
+        reg.counter("a_total").inc()
+        reg.gauge("g").set(2)
+        reg.reset()
+        assert reg.counter("a_total").value() == 0
+        assert reg.gauge("g").value() == 0
+
+
+def test_module_registry_is_a_singleton():
+    assert registry() is registry()
+    assert isinstance(registry(), MetricsRegistry)
+
+
+def test_instrument_classes_exported():
+    assert Counter.kind == "counter"
+    assert Gauge.kind == "gauge"
+    assert Histogram.kind == "histogram"

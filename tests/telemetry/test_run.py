@@ -1,0 +1,123 @@
+"""Run lifecycle: manifest, JSONL sink, metrics dump, globals."""
+
+import json
+
+import pytest
+
+from repro.telemetry.registry import registry
+from repro.telemetry.run import (active_run, enabled, finish_run, start_run,
+                                 telemetry_run)
+
+
+def read_jsonl(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestLifecycle:
+    def test_start_creates_directory_and_manifest(self, tmp_path):
+        run = start_run(tmp_path, command="test", argv=["a", "--b"])
+        assert run.dir.is_dir()
+        assert active_run() is run
+        assert enabled()
+        manifest = json.loads((run.dir / "manifest.json").read_text())
+        assert manifest["schema"] == 1
+        assert manifest["run_id"] == run.run_id
+        assert manifest["command"] == "test"
+        assert manifest["argv"] == ["a", "--b"]
+        assert manifest["python"]
+        assert manifest["platform"]
+        assert "config" in manifest
+        finish_run()
+
+    def test_only_one_active_run(self, tmp_path):
+        start_run(tmp_path)
+        with pytest.raises(RuntimeError):
+            start_run(tmp_path)
+        finish_run()
+
+    def test_finish_is_idempotent(self, tmp_path):
+        run = start_run(tmp_path)
+        assert finish_run() is run
+        assert finish_run() is None
+        assert not enabled()
+
+    def test_close_finalizes_manifest(self, tmp_path):
+        run = start_run(tmp_path)
+        finish_run()
+        manifest = json.loads((run.dir / "manifest.json").read_text())
+        assert manifest["status"] == "ok"
+        assert manifest["duration_s"] >= 0
+        assert manifest["finished_at"] >= manifest["started_at"]
+        assert manifest["events"] == 2  # run_start + run_end
+
+    def test_context_manager_marks_errors(self, tmp_path):
+        with pytest.raises(ValueError):
+            with telemetry_run(tmp_path):
+                raise ValueError("boom")
+        assert not enabled()
+        [run_dir] = [p for p in tmp_path.iterdir() if p.is_dir()]
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert manifest["status"] == "error"
+        events = read_jsonl(run_dir / "events.jsonl")
+        assert events[-1]["type"] == "run_end"
+        assert events[-1]["status"] == "error"
+
+
+class TestEventSink:
+    def test_events_round_trip_with_timestamps(self, tmp_path):
+        run = start_run(tmp_path)
+        run.emit({"type": "probe", "probe": "x", "value": 1})
+        run.emit({"type": "probe", "probe": "y", "value": 2})
+        finish_run()
+        events = read_jsonl(run.dir / "events.jsonl")
+        assert [e["type"] for e in events] == [
+            "run_start", "probe", "probe", "run_end"]
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        assert events[1]["value"] == 1
+
+    def test_emit_after_close_is_dropped(self, tmp_path):
+        run = start_run(tmp_path)
+        finish_run()
+        run.emit({"type": "late"})  # must not raise or corrupt the file
+        assert all(e["type"] != "late"
+                   for e in read_jsonl(run.dir / "events.jsonl"))
+
+    def test_once_deduplicates_per_run(self, tmp_path):
+        run = start_run(tmp_path)
+        assert run.once(("probe", "a"))
+        assert not run.once(("probe", "a"))
+        assert run.once(("probe", "b"))
+        finish_run()
+        # A fresh run starts a fresh dedup set.
+        run2 = start_run(tmp_path)
+        assert run2.once(("probe", "a"))
+        finish_run()
+
+
+class TestMetricsDump:
+    def test_delta_contains_only_in_run_increments(self, tmp_path):
+        counter = registry().counter("test_runs_total", labels=("k",))
+        counter.inc(10, k="before")
+        run = start_run(tmp_path)
+        counter.inc(3, k="before")
+        counter.inc(7, k="during")
+        finish_run()
+        metrics = json.loads((run.dir / "metrics.json").read_text())
+        assert metrics["run_id"] == run.run_id
+        # The full snapshot has the absolute values...
+        samples = {tuple(s["labels"].items()): s["value"]
+                   for s in metrics["metrics"]["test_runs_total"]["samples"]}
+        assert samples[(("k", "before"),)] == 13
+        # ...while the delta shows only what this run added.
+        delta = {tuple(s["labels"].items()): s["value"]
+                 for s in metrics["delta"]["test_runs_total"]["samples"]}
+        assert delta == {(("k", "before"),): 3, (("k", "during"),): 7}
+
+    def test_untouched_metrics_absent_from_delta(self, tmp_path):
+        registry().counter("test_static_total").inc(5)
+        run = start_run(tmp_path)
+        finish_run()
+        metrics = json.loads((run.dir / "metrics.json").read_text())
+        assert "test_static_total" in metrics["metrics"]
+        assert "test_static_total" not in metrics["delta"]

@@ -1,0 +1,87 @@
+"""Span behaviour: the no-op fast path and live nesting."""
+
+import json
+
+import pytest
+
+from repro.telemetry.spans import NOOP_SPAN, NoopSpan, current_span, span
+
+
+class TestDisabledFastPath:
+    def test_span_returns_shared_noop_singleton(self):
+        # The zero-allocation contract: every disabled call hands back
+        # the same object -- nothing is constructed per call site.
+        assert span("a") is NOOP_SPAN
+        assert span("a") is span("b", attr=1)
+
+    def test_noop_span_is_inert(self):
+        with span("anything", k="v") as sp:
+            assert sp is NOOP_SPAN
+            sp.set("key", "discarded")
+        assert current_span() is None
+
+    def test_noop_does_not_swallow_exceptions(self):
+        with pytest.raises(ValueError):
+            with span("x"):
+                raise ValueError("boom")
+
+    def test_noop_span_has_no_instance_dict(self):
+        assert NoopSpan.__slots__ == ()
+        with pytest.raises(AttributeError):
+            NOOP_SPAN.anything = 1
+
+
+class TestLiveSpans:
+    def _events(self, run):
+        run_dir = run.dir
+        from repro.telemetry.run import finish_run
+        finish_run()
+        lines = (run_dir / "events.jsonl").read_text().splitlines()
+        return [json.loads(line) for line in lines]
+
+    def test_nesting_parent_ids_and_depth(self, active_run):
+        with span("outer") as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                assert current_span() is inner
+                with span("leaf"):
+                    pass
+        events = [e for e in self._events(active_run)
+                  if e["type"] == "span"]
+        by_name = {e["name"]: e for e in events}
+        assert by_name["outer"]["parent_id"] is None
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["inner"]["depth"] == 1
+        assert by_name["leaf"]["parent_id"] == by_name["inner"]["span_id"]
+        assert by_name["leaf"]["depth"] == 2
+        # Emitted on exit: children close before parents.
+        assert [e["name"] for e in events] == ["leaf", "inner", "outer"]
+
+    def test_attributes_and_duration(self, active_run):
+        with span("work", static="attr") as sp:
+            sp.set("dynamic", 42)
+        [event] = [e for e in self._events(active_run)
+                   if e["type"] == "span"]
+        assert event["attrs"] == {"static": "attr", "dynamic": 42}
+        assert event["status"] == "ok"
+        assert event["duration_s"] >= 0
+        assert "ts" in event
+
+    def test_exception_marks_span_error(self, active_run):
+        with pytest.raises(RuntimeError):
+            with span("doomed"):
+                raise RuntimeError("boom")
+        [event] = [e for e in self._events(active_run)
+                   if e["type"] == "span"]
+        assert event["status"] == "error"
+        assert event["attrs"]["error"] == "RuntimeError"
+
+    def test_span_ids_are_sequential_per_run(self, active_run):
+        with span("a"):
+            pass
+        with span("b"):
+            pass
+        events = [e for e in self._events(active_run)
+                  if e["type"] == "span"]
+        assert [e["span_id"] for e in events] == ["s1", "s2"]

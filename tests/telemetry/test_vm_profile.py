@@ -1,0 +1,76 @@
+"""VM profiling: sampling is observable and execution is unchanged."""
+
+import pytest
+
+from repro.lang import compile_to_program
+from repro.vm import Machine, VMProfile
+
+SOURCE = """
+int main() {
+    int total = 0;
+    int i = 0;
+    while (i < 200) {
+        total = total + i * 3;
+        i = i + 1;
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_to_program(SOURCE)
+
+
+class TestProfiledExecution:
+    def test_execution_is_bit_identical_with_profiling(self, program):
+        plain = Machine(program)
+        plain_exit = plain.run(1_000_000)
+        profile = VMProfile(sample_interval=64)
+        profiled = Machine(program, profile=profile)
+        profiled_exit = profiled.run(1_000_000)
+        assert profiled_exit == plain_exit
+        assert profiled.stdout == plain.stdout
+        assert (profiled.instructions_executed
+                == plain.instructions_executed)
+
+    def test_profile_contents(self, program):
+        profile = VMProfile(sample_interval=64)
+        machine = Machine(program, profile=profile)
+        machine.run(1_000_000)
+        assert profile.retired == machine.instructions_executed
+        # One sample per full 64-instruction chunk (the final, partial
+        # chunk ends at program exit without a boundary sample).
+        expected = machine.instructions_executed // 64
+        assert profile.samples in (expected, max(expected - 1, 0))
+        assert profile.samples > 0
+        assert sum(profile.pc_counts.values()) == profile.samples
+        assert profile.op_counts  # mnemonics resolved at sampled PCs
+        assert profile.syscall_counts  # print_int + exit
+        hot = profile.top_pcs(3)
+        assert hot == sorted(hot, key=lambda item: (-item[1], item[0]))
+
+    def test_sampling_interval_validation(self):
+        with pytest.raises(ValueError):
+            VMProfile(sample_interval=0)
+
+    def test_budget_still_enforced_when_profiling(self, program):
+        from repro.vm import ExecutionLimitExceeded
+        profile = VMProfile(sample_interval=16)
+        machine = Machine(program, profile=profile)
+        with pytest.raises(ExecutionLimitExceeded):
+            machine.run(100)
+        assert machine.instructions_executed == 100
+        assert profile.retired == 100
+
+    def test_opcode_mix_fractions(self, program):
+        profile = VMProfile(sample_interval=32)
+        Machine(program, profile=profile).run(1_000_000)
+        mix = profile.opcode_mix()
+        assert mix
+        assert sum(mix.values()) == pytest.approx(1.0)
+        as_dict = profile.as_dict()
+        assert as_dict["retired_instructions"] == profile.retired
+        assert as_dict["hot_pcs"]
