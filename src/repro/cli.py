@@ -7,6 +7,7 @@ Commands
 - ``run EXPERIMENT`` — run a registered paper experiment and print it.
 - ``predict NAME`` — measure one predictor configuration on a benchmark.
 - ``compare NAME`` — measure every predictor class on a benchmark.
+- ``bench`` — engine throughput benchmark (writes BENCH_predictors.json).
 - ``compile FILE`` — compile a MinC source file to R32 assembly.
 - ``exec FILE`` — compile and execute a MinC source file on the VM.
 - ``disasm NAME`` — disassemble a workload's compiled text segment.
@@ -17,6 +18,11 @@ Commands
 record the invocation as a telemetry run (manifest + JSONL spans/probes
 + metrics) under DIR; ``predict`` and ``compare`` accept ``--json`` for
 machine-readable output carrying the telemetry run id.
+
+``run``, ``predict`` and ``compare`` accept ``--engine`` to pin the
+replay engine (``auto``/``scalar``/``batch``); ``run`` additionally
+accepts ``--jobs N`` to fan the suite's measurement cells across N
+worker processes (output is byte-identical to the serial run).
 """
 
 from __future__ import annotations
@@ -75,6 +81,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--telemetry", metavar="DIR", default=None,
                      help="record this invocation as a telemetry run "
                           "under DIR")
+    run.add_argument("--engine", default=None,
+                     choices=["auto", "scalar", "batch"],
+                     help="replay engine (default auto)")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="worker processes for suite measurement "
+                          "(default 1 = serial)")
 
     predict = sub.add_parser("predict",
                              help="measure one predictor on one benchmark")
@@ -93,6 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--telemetry", metavar="DIR", default=None,
                          help="record this invocation as a telemetry run "
                               "under DIR")
+    predict.add_argument("--engine", default=None,
+                         choices=["auto", "scalar", "batch"],
+                         help="replay engine (default auto)")
 
     compare = sub.add_parser("compare",
                              help="measure every predictor on one benchmark")
@@ -103,6 +118,20 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--telemetry", metavar="DIR", default=None,
                          help="record this invocation as a telemetry run "
                               "under DIR")
+    compare.add_argument("--engine", default=None,
+                         choices=["auto", "scalar", "batch"],
+                         help="replay engine (default auto)")
+
+    bench = sub.add_parser(
+        "bench", help="engine throughput benchmark (scalar vs batch)")
+    bench.add_argument("--fast", action="store_true",
+                       help="small trace; record the guard, don't "
+                            "enforce it")
+    bench.add_argument("--out", default="BENCH_predictors.json",
+                       help="report path (default BENCH_predictors.json; "
+                            "'-' = skip the file)")
+    bench.add_argument("--json", action="store_true",
+                       help="print the report JSON instead of the table")
 
     compile_cmd = sub.add_parser("compile",
                                  help="compile MinC to R32 assembly")
@@ -209,7 +238,8 @@ def _cmd_run(args, out) -> int:
         return 0
     with _maybe_telemetry(args) as telemetry:
         result = run_experiment(args.experiment, fast=args.fast,
-                                limit=args.limit)
+                                limit=args.limit, engine=args.engine,
+                                jobs=args.jobs)
     out.write(result.render())
     if telemetry is not None:
         out.write(f"telemetry: {telemetry.dir}\n")
@@ -217,26 +247,14 @@ def _cmd_run(args, out) -> int:
 
 
 def _cmd_predict(args, out) -> int:
-    from repro.core.dfcm import DFCMPredictor
-    from repro.core.fcm import FCMPredictor
-    from repro.core.last_n import LastNValuePredictor
-    from repro.core.last_value import LastValuePredictor
-    from repro.core.stride import StridePredictor, TwoDeltaStridePredictor
+    from repro.core.spec import spec_from_cli
     from repro.harness.simulate import measure_accuracy
     from repro.trace.cache import cached_trace
 
-    factories = {
-        "lvp": lambda: LastValuePredictor(1 << args.l1),
-        "lastn": lambda: LastNValuePredictor(1 << args.l1),
-        "stride": lambda: StridePredictor(1 << args.l1),
-        "stride2d": lambda: TwoDeltaStridePredictor(1 << args.l1),
-        "fcm": lambda: FCMPredictor(1 << args.l1, 1 << args.l2),
-        "dfcm": lambda: DFCMPredictor(1 << args.l1, 1 << args.l2),
-    }
+    predictor = spec_from_cli(args.predictor, 1 << args.l1, 1 << args.l2)
     with _maybe_telemetry(args) as telemetry:
-        predictor = factories[args.predictor]()
         trace = cached_trace(args.name, args.limit)
-        result = measure_accuracy(predictor, trace)
+        result = measure_accuracy(predictor, trace, engine=args.engine)
     if args.json:
         out.write(json.dumps({
             "command": "predict",
@@ -261,11 +279,8 @@ def _cmd_predict(args, out) -> int:
 
 
 def _cmd_compare(args, out) -> int:
-    from repro.core.dfcm import DFCMPredictor
-    from repro.core.fcm import FCMPredictor
-    from repro.core.last_n import LastNValuePredictor
-    from repro.core.last_value import LastValuePredictor
-    from repro.core.stride import StridePredictor, TwoDeltaStridePredictor
+    from repro.core.spec import (DFCMSpec, FCMSpec, LastNSpec, LastValueSpec,
+                                 StrideSpec, TwoDeltaStrideSpec)
     from repro.harness.report import format_table
     from repro.harness.simulate import measure_accuracy
     from repro.trace.cache import cached_trace
@@ -273,13 +288,13 @@ def _cmd_compare(args, out) -> int:
     with _maybe_telemetry(args) as telemetry:
         trace = cached_trace(args.name, args.limit)
         results = []
-        for predictor in [LastValuePredictor(1 << 12),
-                          LastNValuePredictor(1 << 12),
-                          StridePredictor(1 << 12),
-                          TwoDeltaStridePredictor(1 << 12),
-                          FCMPredictor(1 << 16, 1 << 12),
-                          DFCMPredictor(1 << 16, 1 << 12)]:
-            result = measure_accuracy(predictor, trace)
+        for predictor in [LastValueSpec(1 << 12),
+                          LastNSpec(1 << 12),
+                          StrideSpec(1 << 12),
+                          TwoDeltaStrideSpec(1 << 12),
+                          FCMSpec(1 << 16, 1 << 12),
+                          DFCMSpec(1 << 16, 1 << 12)]:
+            result = measure_accuracy(predictor, trace, engine=args.engine)
             results.append((predictor, result))
     if args.json:
         out.write(json.dumps({
@@ -305,6 +320,20 @@ def _cmd_compare(args, out) -> int:
     if telemetry is not None:
         out.write(f"telemetry: {telemetry.dir}\n")
     return 0
+
+
+def _cmd_bench(args, out) -> int:
+    from repro.harness.bench import render_bench, run_bench, write_report
+    report = run_bench(fast=args.fast)
+    if args.out and args.out != "-":
+        write_report(report, args.out)
+    if args.json:
+        out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(render_bench(report))
+        if args.out and args.out != "-":
+            out.write(f"report: {args.out}\n")
+    return 0 if report["guard"]["passed"] else 1
 
 
 def _read_source(path: str) -> str:
@@ -434,6 +463,7 @@ _COMMANDS = {
     "run": _cmd_run,
     "predict": _cmd_predict,
     "compare": _cmd_compare,
+    "bench": _cmd_bench,
     "compile": _cmd_compile,
     "exec": _cmd_exec,
     "disasm": _cmd_disasm,

@@ -1,6 +1,11 @@
 """Value predictors and measurement instrumentation (the paper's core)."""
 
 from repro.core.base import ValuePredictor
+from repro.core.spec import (TableSpec, HashSpec, PredictorSpec,
+                             LastValueSpec, LastNSpec, StrideSpec,
+                             TwoDeltaStrideSpec, FCMSpec, DFCMSpec,
+                             OracleHybridSpec, MetaHybridSpec, DelayedSpec,
+                             spec_from_config, spec_from_cli)
 from repro.core.last_value import LastValuePredictor
 from repro.core.last_n import LastNValuePredictor
 from repro.core.stride import StridePredictor, TwoDeltaStridePredictor
@@ -15,6 +20,20 @@ from repro.core.estimator import (ConfidentPredictor,
 
 __all__ = [
     "ValuePredictor",
+    "TableSpec",
+    "HashSpec",
+    "PredictorSpec",
+    "LastValueSpec",
+    "LastNSpec",
+    "StrideSpec",
+    "TwoDeltaStrideSpec",
+    "FCMSpec",
+    "DFCMSpec",
+    "OracleHybridSpec",
+    "MetaHybridSpec",
+    "DelayedSpec",
+    "spec_from_config",
+    "spec_from_cli",
     "LastValuePredictor",
     "LastNValuePredictor",
     "StridePredictor",

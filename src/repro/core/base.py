@@ -33,6 +33,9 @@ class ValuePredictor(ABC):
     """
 
     name: str = "predictor"
+    #: Declarative twin (:class:`repro.core.spec.PredictorSpec`) set by
+    #: representable configurations; ``None`` means scalar-only.
+    spec = None
 
     @abstractmethod
     def predict(self, pc: int) -> int:

@@ -30,6 +30,10 @@ class DelayedUpdatePredictor(ValuePredictor):
     def __init__(self, inner: ValuePredictor, delay: int):
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
+        from repro.core.spec import DelayedSpec, spec_of
+        inner_spec = spec_of(inner)
+        self.spec = (DelayedSpec(inner_spec, delay)
+                     if inner_spec is not None else None)
         self.inner = inner
         self.delay = delay
         self._pending: deque = deque()

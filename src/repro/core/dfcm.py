@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from repro.core.base import ValuePredictor
 from repro.core.hashing import FoldShiftHash, HistoryHash
+from repro.core.spec import DFCMSpec, HashSpec
 from repro.core.types import MASK32, WORD_BITS, require_power_of_two
 
 __all__ = ["DFCMPredictor"]
@@ -73,6 +74,11 @@ class DFCMPredictor(ValuePredictor):
         self._l2 = [0] * l2_entries  # sign-extended 32-bit differences
         self._stride_mask = (1 << stride_bits) - 1
         self._stride_sign = 1 << (stride_bits - 1)
+        # Declarative twin; None when the hash is a custom subclass the
+        # spec layer cannot rebuild in another process.
+        hash_spec = HashSpec.from_hash(hash_fn)
+        self.spec = (DFCMSpec(l1_entries, l2_entries, hash_spec, stride_bits)
+                     if hash_spec is not None else None)
         self.name = f"dfcm_l1={l1_entries}_l2={l2_entries}"
         if stride_bits != 32:
             self.name += f"_s{stride_bits}"
@@ -114,6 +120,8 @@ class DFCMPredictor(ValuePredictor):
         penalty the paper's Pareto comparison (Figure 11(b)) charges
         DFCM for.
         """
+        if self.spec is not None:
+            return self.spec.storage_bits()
         return (self.l1_entries * (WORD_BITS + self.hash_fn.index_bits)
                 + self.l2_entries * self.stride_bits)
 

@@ -1,0 +1,360 @@
+"""The batch engine: vectorised whole-trace replay on NumPy tables.
+
+Every table-update rule in this codebase is *per level-1 entry
+sequential*: records that map to different table entries never read
+each other's state.  Sorting the trace by table index (a stable argsort
+keeps program order within each entry) therefore turns the per-record
+recurrences into per-group array operations:
+
+- **last-value reads** (LVP tables, FCM/DFCM level-2 reads): the value
+  a record reads is whatever the *previous* record with the same key
+  wrote -- one shifted-compare per array (``_prev_in_group``), no loop.
+- **FS hash states**: the fold-and-shift recurrence
+  ``s' = ((s << k) ^ fold(v)) & mask`` telescopes into a XOR of at most
+  ``ceil(index_bits / k)`` shifted fold terms, because older
+  contributions shift out of the index -- the very property the paper
+  uses to make the hash incrementally computable in hardware makes it
+  *windowed*, hence vectorisable (``_fs_states``).
+- **two-delta promotion**: ``s1`` changes only where the new stride
+  repeats, so a grouped running-maximum of promotion positions forward-
+  fills ``s1`` without a loop.
+- **confidence-gated stride**: the saturating counter genuinely is a
+  per-record recurrence, so the kernel runs *rounds*: round ``r``
+  processes the ``r``-th record of every still-active level-1 group as
+  one array step (groups sorted by size keep the active set a prefix),
+  and the few very long groups left below the vector cut-off finish in
+  a tight scalar loop.
+
+Families without a kernel (last-N, meta hybrids, delayed wrappers,
+non-FS hashes) delegate to the scalar engine; the result's ``engine``
+field reports which path actually ran.  ``tests/engines/`` holds the
+cross-engine equivalence suite keeping every kernel bit-identical to
+the scalar reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engines.scalar import EngineResult, ScalarEngine
+from repro.core.types import MASK32
+
+__all__ = ["BatchEngine"]
+
+# Below this many simultaneously active level-1 groups a vector round
+# costs more than stepping the survivors in plain Python.
+_STRIDE_LANE_CUTOFF = 64
+
+
+class _Groups:
+    """Stable sort of record indices by table key, plus group geometry.
+
+    ``order`` maps sorted position -> original position; ``rank`` is a
+    record's 0-based position within its group; ``start`` the sorted
+    position where its group begins; ``is_last`` marks each group's
+    final record (whose writes survive into the end-of-trace tables).
+    """
+
+    __slots__ = ("order", "keys_sorted", "rank", "start", "is_start",
+                 "is_last", "group_starts", "group_sizes")
+
+    def __init__(self, keys: np.ndarray, key_bound: int):
+        n = len(keys)
+        # A narrow key dtype roughly halves the radix-sort passes.
+        if key_bound <= 1 << 16:
+            keys = keys.astype(np.uint16)
+        elif key_bound <= 1 << 32:
+            keys = keys.astype(np.uint32)
+        self.order = np.argsort(keys, kind="stable")
+        ks = keys[self.order]
+        self.keys_sorted = ks
+        is_start = np.empty(n, dtype=bool)
+        is_start[0] = True
+        np.not_equal(ks[1:], ks[:-1], out=is_start[1:])
+        self.is_start = is_start
+        is_last = np.empty(n, dtype=bool)
+        is_last[-1] = True
+        is_last[:-1] = is_start[1:]
+        self.is_last = is_last
+        self.group_starts = np.flatnonzero(is_start)
+        self.group_sizes = np.diff(np.append(self.group_starts, n))
+        self.start = np.repeat(self.group_starts, self.group_sizes)
+        self.rank = np.arange(n, dtype=np.int64) - self.start
+
+    def unsort(self, arr_sorted: np.ndarray) -> np.ndarray:
+        out = np.empty_like(arr_sorted)
+        out[self.order] = arr_sorted
+        return out
+
+    def final_table(self, entries: int, payload_sorted: np.ndarray) -> np.ndarray:
+        table = np.zeros(entries, dtype=np.int64)
+        table[self.keys_sorted[self.is_last]] = payload_sorted[self.is_last]
+        return table
+
+
+def _prev_in_group(payload_sorted: np.ndarray, is_start: np.ndarray,
+                   initial: int = 0) -> np.ndarray:
+    """Per record: the previous same-group record's payload, else *initial*."""
+    prev = np.empty_like(payload_sorted)
+    prev[1:] = payload_sorted[:-1]
+    prev[is_start] = initial
+    return prev
+
+
+def _fold_columns(values: np.ndarray, n: int) -> np.ndarray:
+    """Vectorised :func:`repro.core.hashing.fold` over an int64 array."""
+    out = np.zeros_like(values)
+    mask = (1 << n) - 1
+    shift = 0
+    while shift < 32:
+        out ^= (values >> shift) & mask
+        shift += n
+    return out
+
+
+def _fs_states(elements_sorted: np.ndarray, rank: np.ndarray,
+               index_bits: int, shift: int) -> np.ndarray:
+    """FS(R-*shift*) hash state after each record, within its group.
+
+    Expanding the recurrence ``s' = ((s << shift) ^ fold(v)) & mask``
+    over a group gives ``s_k = XOR_j fold(v_{k-j}) << (j * shift)``
+    (masked), and any term with ``j * shift >= index_bits`` is masked
+    away entirely -- so the state is a XOR of a fixed, small number of
+    shifted fold columns.
+    """
+    folded = _fold_columns(elements_sorted, index_bits)
+    state = folded.copy()  # the j = 0 term needs no shift and no masking
+    j = 1
+    while j * shift < index_bits:
+        contribution = np.zeros_like(folded)
+        contribution[j:] = folded[:-j] << (j * shift)
+        contribution[rank < j] = 0  # do not reach across group boundaries
+        state ^= contribution
+        j += 1
+    return state & ((1 << index_bits) - 1)
+
+
+def _store_strides(strides: np.ndarray, stride_bits: int) -> np.ndarray:
+    """Vectorised ``DFCMPredictor._store_stride``: truncate + sign-extend."""
+    if stride_bits == 32:
+        return strides
+    stride_mask = (1 << stride_bits) - 1
+    sign = 1 << (stride_bits - 1)
+    low = strides & stride_mask
+    return np.where((low & sign) != 0, low | (MASK32 ^ stride_mask), low)
+
+
+def _run_last_value(spec, pcs, values):
+    groups = _Groups((pcs >> 2) & (spec.entries - 1), spec.entries)
+    values_sorted = values[groups.order]
+    predicted = groups.unsort(_prev_in_group(values_sorted, groups.is_start))
+    return predicted, None, {
+        "values": groups.final_table(spec.entries, values_sorted),
+    }
+
+
+def _run_fcm(spec, pcs, values):
+    hash_spec = spec.hash  # kind 'fs' guaranteed by supports()
+    groups = _Groups((pcs >> 2) & (spec.l1_entries - 1), spec.l1_entries)
+    values_sorted = values[groups.order]
+    state_after = _fs_states(values_sorted, groups.rank,
+                             hash_spec.index_bits, hash_spec.shift)
+    # The prediction reads -- and the update then writes -- the level-2
+    # slot of the state *before* the record; for the FS hash the state
+    # is the index.  Since read and write hit the same slot, the level-2
+    # read is again a prev-in-group, this time grouped by slot.
+    slots = groups.unsort(_prev_in_group(state_after, groups.is_start))
+    slot_groups = _Groups(slots, spec.l2_entries)
+    slot_values_sorted = values[slot_groups.order]
+    predicted = slot_groups.unsort(
+        _prev_in_group(slot_values_sorted, slot_groups.is_start))
+    return predicted, None, {
+        "l1": groups.final_table(spec.l1_entries, state_after),
+        "l2": slot_groups.final_table(spec.l2_entries, slot_values_sorted),
+    }
+
+
+def _run_dfcm(spec, pcs, values):
+    hash_spec = spec.hash
+    groups = _Groups((pcs >> 2) & (spec.l1_entries - 1), spec.l1_entries)
+    values_sorted = values[groups.order]
+    last_before = _prev_in_group(values_sorted, groups.is_start)
+    strides = (values_sorted - last_before) & MASK32
+    state_after = _fs_states(strides, groups.rank,
+                             hash_spec.index_bits, hash_spec.shift)
+    stored = _store_strides(strides, spec.stride_bits)
+    slots = groups.unsort(_prev_in_group(state_after, groups.is_start))
+    slot_groups = _Groups(slots, spec.l2_entries)
+    stored_by_slot = groups.unsort(stored)[slot_groups.order]
+    l2_read = slot_groups.unsort(
+        _prev_in_group(stored_by_slot, slot_groups.is_start))
+    predicted = (groups.unsort(last_before) + l2_read) & MASK32
+    return predicted, None, {
+        "last": groups.final_table(spec.l1_entries, values_sorted),
+        "hist": groups.final_table(spec.l1_entries, state_after),
+        "l2": slot_groups.final_table(spec.l2_entries, stored_by_slot),
+    }
+
+
+def _run_stride2d(spec, pcs, values):
+    groups = _Groups((pcs >> 2) & (spec.entries - 1), spec.entries)
+    values_sorted = values[groups.order]
+    last_before = _prev_in_group(values_sorted, groups.is_start)
+    new_stride = (values_sorted - last_before) & MASK32
+    s2_before = _prev_in_group(new_stride, groups.is_start)
+    promote = new_stride == s2_before  # same stride twice in a row
+    # s1 before record k is the stride at the latest promotion strictly
+    # before k in the same group (0 if none): a running maximum over
+    # promotion positions, validated against the group start.
+    pos = np.arange(len(values_sorted), dtype=np.int64)
+    promo_pos = np.maximum.accumulate(np.where(promote, pos, -1))
+    promo_before = np.empty_like(promo_pos)
+    promo_before[0] = -1
+    promo_before[1:] = promo_pos[:-1]
+    in_group = promo_before >= groups.start
+    s1_before = np.where(in_group,
+                         new_stride[np.maximum(promo_before, 0)], 0)
+    predicted = groups.unsort((last_before + s1_before) & MASK32)
+    s1_after = np.where(promote, new_stride, s1_before)
+    return predicted, None, {
+        "last": groups.final_table(spec.entries, values_sorted),
+        "s1": groups.final_table(spec.entries, s1_after),
+        "s2": groups.final_table(spec.entries, new_stride),
+    }
+
+
+def _run_stride(spec, pcs, values):
+    groups = _Groups((pcs >> 2) & (spec.entries - 1), spec.entries)
+    values_sorted = values[groups.order]
+    n = len(values_sorted)
+    # One lane per level-1 group, longest first, so the active lanes of
+    # every round form a prefix of the arrays.
+    lane_order = np.argsort(-groups.group_sizes, kind="stable")
+    lane_start = groups.group_starts[lane_order]
+    lane_size = groups.group_sizes[lane_order]
+    lane_key = groups.keys_sorted[lane_start]
+    lanes = len(lane_key)
+    counter_max = (1 << spec.counter_bits) - 1
+    inc, dec = spec.counter_inc, spec.counter_dec
+    last = np.zeros(lanes, dtype=np.int64)
+    stride = np.zeros(lanes, dtype=np.int64)
+    conf = np.zeros(lanes, dtype=np.int64)
+    predictions_sorted = np.zeros(n, dtype=np.int64)
+    scratch = np.empty(lanes, dtype=np.int64)
+    round_no = 0
+    active = lanes
+    while True:
+        while active > 0 and lane_size[active - 1] <= round_no:
+            active -= 1
+        if active < _STRIDE_LANE_CUTOFF:
+            break
+        at = lane_start[:active] + round_no
+        observed = values_sorted[at]
+        prediction = np.bitwise_and(last[:active] + stride[:active], MASK32,
+                                    out=scratch[:active])
+        predictions_sorted[at] = prediction
+        correct = prediction == observed
+        # The replace gate reads the counter *before* this outcome --
+        # same ordering as StridePredictor.update.
+        replace = conf[:active] < counter_max
+        conf[:active] += np.where(correct, inc, -dec)
+        np.clip(conf[:active], 0, counter_max, out=conf[:active])
+        np.copyto(stride[:active],
+                  (observed - last[:active]) & MASK32, where=replace)
+        last[:active] = observed
+        round_no += 1
+    if active > 0:
+        # A handful of very long groups remain: finish them record by
+        # record on plain ints (cheaper than near-empty vector rounds).
+        values_list = values_sorted.tolist()
+        for lane in range(active):
+            size = int(lane_size[lane])
+            base = int(lane_start[lane])
+            lane_last = int(last[lane])
+            lane_stride = int(stride[lane])
+            lane_conf = int(conf[lane])
+            for k in range(base + round_no, base + size):
+                observed = values_list[k]
+                prediction = (lane_last + lane_stride) & MASK32
+                predictions_sorted[k] = prediction
+                replace = lane_conf < counter_max
+                if prediction == observed:
+                    lane_conf = min(lane_conf + inc, counter_max)
+                else:
+                    lane_conf = max(lane_conf - dec, 0)
+                if replace:
+                    lane_stride = (observed - lane_last) & MASK32
+                lane_last = observed
+            last[lane] = lane_last
+            stride[lane] = lane_stride
+            conf[lane] = lane_conf
+    predicted = groups.unsort(predictions_sorted)
+
+    def lane_table(lane_values: np.ndarray) -> np.ndarray:
+        table = np.zeros(spec.entries, dtype=np.int64)
+        table[lane_key] = lane_values
+        return table
+
+    return predicted, None, {
+        "last": lane_table(last),
+        "stride": lane_table(stride),
+        "conf": lane_table(conf),
+    }
+
+
+def _run_oracle_hybrid(spec, pcs, values):
+    correct_any = np.zeros(len(values), dtype=bool)
+    state = {}
+    predicted_first = None
+    for i, component in enumerate(spec.components):
+        predicted, correct, comp_state = _KERNELS[component.family](
+            component, pcs, values)
+        if correct is None:
+            correct = predicted == values
+        correct_any |= correct
+        for key, table in comp_state.items():
+            state[f"c{i}.{key}"] = table
+        if i == 0:
+            predicted_first = predicted
+    return predicted_first, correct_any, state
+
+
+_KERNELS = {
+    "last_value": _run_last_value,
+    "stride": _run_stride,
+    "stride2d": _run_stride2d,
+    "fcm": _run_fcm,
+    "dfcm": _run_dfcm,
+    "oracle_hybrid": _run_oracle_hybrid,
+}
+
+
+class BatchEngine:
+    """Vectorised engine over NumPy tables; scalar fallback otherwise."""
+
+    name = "batch"
+
+    @classmethod
+    def supports(cls, spec) -> bool:
+        """True when every table in *spec* has a vectorised kernel."""
+        family = spec.family
+        if family in ("fcm", "dfcm"):
+            return spec.hash.kind == "fs"
+        if family == "oracle_hybrid":
+            return all(cls.supports(c) for c in spec.components)
+        return family in ("last_value", "stride", "stride2d")
+
+    def run(self, spec, trace, want_state: bool = False) -> EngineResult:
+        if not self.supports(spec):
+            return ScalarEngine().run(spec, trace, want_state)
+        total = len(trace)
+        if total == 0:
+            state = spec.extract_state(spec.build()) if want_state else None
+            return EngineResult(0, 0, self.name, state)
+        pcs = trace.pcs.astype(np.int64)
+        values = trace.values.astype(np.int64)
+        predicted, correct, state = _KERNELS[spec.family](spec, pcs, values)
+        if correct is None:
+            correct = predicted == values
+        return EngineResult(int(correct.sum()), total, self.name,
+                            state if want_state else None)

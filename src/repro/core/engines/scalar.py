@@ -1,0 +1,66 @@
+"""The scalar engine: the reference per-record simulation loop.
+
+This is exactly the semantics the predictor classes have always had --
+the engine builds the stateful predictor from its spec and drives the
+measurement hot loop over ``(pc, value)`` records.  ``count_correct``
+is that loop, shared with :mod:`repro.harness.simulate` for
+caller-supplied predictor instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import ValuePredictor
+
+__all__ = ["EngineResult", "ScalarEngine", "count_correct"]
+
+
+@dataclass
+class EngineResult:
+    """Outcome of replaying one spec over one trace."""
+
+    correct: int
+    total: int
+    engine: str  # 'scalar' or 'batch': which kernel actually ran
+    state: Optional[Dict[str, np.ndarray]] = None
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.total if self.total else 0.0
+
+
+def count_correct(predictor: ValuePredictor,
+                  records: List[Tuple[int, int]]) -> int:
+    """The measurement hot loop: correct predictions over *records*."""
+    correct = 0
+    step = type(predictor).step
+    if step is ValuePredictor.step:
+        # Plain predictor: inline predict-then-update.
+        predict = predictor.predict
+        update = predictor.update
+        for pc, value in records:
+            if predict(pc) == value:
+                correct += 1
+            update(pc, value)
+    else:
+        bound_step = predictor.step
+        for pc, value in records:
+            if bound_step(pc, value):
+                correct += 1
+    return correct
+
+
+class ScalarEngine:
+    """Reference engine: spec -> predictor object -> per-record loop."""
+
+    name = "scalar"
+
+    def run(self, spec, trace, want_state: bool = False) -> EngineResult:
+        predictor = spec.build()
+        correct = count_correct(predictor, trace.records())
+        state = spec.extract_state(predictor) if want_state else None
+        return EngineResult(correct, len(trace), self.name, state)

@@ -117,6 +117,7 @@ class CounterConfidencePredictor(ConfidentPredictor):
             raise ValueError(
                 f"threshold {self.threshold} outside "
                 f"[0, {self._counters.maximum}]")
+        self.spec = None  # no declarative twin; always simulated scalar
         self.name = f"conf({inner.name})"
 
     def predict(self, pc: int) -> int:
@@ -161,6 +162,9 @@ class _TagMixin:
                 "the tag hash must use a different shift than the primary "
                 "hash to be orthogonal")
         self.tag_bits = tag_bits
+        # The inherited (D)FCM spec does not describe the tag tables, so
+        # tagged predictors opt out of the spec/batch fast path.
+        self.spec = None
         self.tag_hash = FoldShiftHash(index_bits, shift=tag_shift)
         self._tag_state = [0] * self.l1_entries
         self._l2_tag = [-1] * self.l2_entries  # -1 = never written

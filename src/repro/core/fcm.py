@@ -20,6 +20,7 @@ import math
 
 from repro.core.base import ValuePredictor
 from repro.core.hashing import FoldShiftHash, HistoryHash
+from repro.core.spec import FCMSpec, HashSpec
 from repro.core.types import MASK32, WORD_BITS, require_power_of_two
 
 __all__ = ["FCMPredictor"]
@@ -59,6 +60,11 @@ class FCMPredictor(ValuePredictor):
         self._l1_mask = l1_entries - 1
         self._l1 = [hash_fn.initial_state] * l1_entries
         self._l2 = [0] * l2_entries
+        # Declarative twin; None when the hash is a custom subclass the
+        # spec layer cannot rebuild in another process.
+        hash_spec = HashSpec.from_hash(hash_fn)
+        self.spec = (FCMSpec(l1_entries, l2_entries, hash_spec)
+                     if hash_spec is not None else None)
         self.name = f"fcm_l1={l1_entries}_l2={l2_entries}"
 
     def predict(self, pc: int) -> int:
@@ -80,6 +86,8 @@ class FCMPredictor(ValuePredictor):
         Only the hashed history is stored in level 1 (the hash is
         incremental), exactly as the paper argues in section 2.3.
         """
+        if self.spec is not None:
+            return self.spec.storage_bits()
         return (self.l1_entries * self.hash_fn.index_bits
                 + self.l2_entries * WORD_BITS)
 

@@ -45,6 +45,16 @@ __all__ = [
 ]
 
 
+def _fold_masked(value: int, n: int, mask: int) -> int:
+    """:func:`fold` with the chunk mask precomputed by the caller."""
+    value &= MASK32
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= n
+    return folded
+
+
 def fold(value: int, n: int) -> int:
     """Fold a 32-bit word into ``n`` bits by XOR-ing its ``n``-bit chunks.
 
@@ -53,13 +63,7 @@ def fold(value: int, n: int) -> int:
     """
     if not 1 <= n <= 32:
         raise ValueError(f"fold width must be in [1, 32], got {n}")
-    value &= MASK32
-    mask = (1 << n) - 1
-    folded = 0
-    while value:
-        folded ^= value & mask
-        value >>= n
-    return folded
+    return _fold_masked(value, n, (1 << n) - 1)
 
 
 def order_for_index_bits(n: int, shift: int = 5) -> int:
@@ -142,9 +146,14 @@ class FoldShiftHash(HistoryHash):
                 f"use order >= {order_for_index_bits(index_bits, shift)}"
             )
         self.shift = shift
+        # The fold width equals index_bits, so the table mask doubles as
+        # the fold chunk mask; precomputing here keeps the per-record
+        # step free of mask construction and range re-validation.
+        self._fold_mask = self.mask
 
     def step(self, state: int, value: int) -> int:
-        return ((state << self.shift) ^ fold(value, self.index_bits)) & self.mask
+        return ((state << self.shift)
+                ^ _fold_masked(value, self.index_bits, self._fold_mask)) & self.mask
 
     def index(self, state: int) -> int:
         return state
@@ -159,9 +168,15 @@ class XorFoldHash(HistoryHash):
     packs the last ``order`` folded values (``index_bits`` bits each).
     """
 
+    def __init__(self, index_bits: int, order: int):
+        super().__init__(index_bits, order)
+        self._fold_mask = self.mask
+        self._window_mask = (1 << (index_bits * order)) - 1
+
     def step(self, state: int, value: int) -> int:
-        window_mask = (1 << (self.index_bits * self.order)) - 1
-        return ((state << self.index_bits) | fold(value, self.index_bits)) & window_mask
+        return ((state << self.index_bits)
+                | _fold_masked(value, self.index_bits, self._fold_mask)
+                ) & self._window_mask
 
     def index(self, state: int) -> int:
         index = 0
@@ -181,16 +196,20 @@ class ConcatHash(HistoryHash):
     enough, which the worked-example tests arrange.
     """
 
+    def __init__(self, index_bits: int, order: int):
+        super().__init__(index_bits, order)
+        self._window_mask = (1 << (32 * order)) - 1
+        self._slot_bits = max(1, index_bits // order)
+        self._slot_mask = (1 << self._slot_bits) - 1
+
     def step(self, state: int, value: int) -> int:
-        window_mask = (1 << (32 * self.order)) - 1
-        return ((state << 32) | (value & MASK32)) & window_mask
+        return ((state << 32) | (value & MASK32)) & self._window_mask
 
     def index(self, state: int) -> int:
-        slot_bits = max(1, self.index_bits // self.order)
         index = 0
         for age in range(self.order):
             slot = (state >> (age * 32)) & MASK32
-            index = (index << slot_bits) | (slot & ((1 << slot_bits) - 1))
+            index = (index << self._slot_bits) | (slot & self._slot_mask)
         return index & self.mask
 
 

@@ -24,7 +24,14 @@ from typing import Sequence
 
 from repro.core.base import ValuePredictor
 from repro.core.confidence import CounterBank
+from repro.core.spec import MetaHybridSpec, OracleHybridSpec, spec_of
 from repro.core.types import MASK32, require_power_of_two
+
+
+def _component_specs(components):
+    """Specs of all components, or ``None`` if any lacks one."""
+    specs = [spec_of(c) for c in components]
+    return tuple(specs) if all(s is not None for s in specs) else None
 
 __all__ = ["OracleHybridPredictor", "MetaHybridPredictor"]
 
@@ -43,6 +50,9 @@ class OracleHybridPredictor(ValuePredictor):
         if not components:
             raise ValueError("a hybrid needs at least one component")
         self.components = list(components)
+        specs = _component_specs(self.components)
+        self.spec = (OracleHybridSpec(specs, label=name)
+                     if specs is not None else None)
         self.name = name or "+".join(c.name for c in self.components)
 
     def predict(self, pc: int) -> int:
@@ -94,6 +104,10 @@ class MetaHybridPredictor(ValuePredictor):
             CounterBank(meta_entries, counter_bits, counter_inc, counter_dec)
             for _ in self.components
         ]
+        specs = _component_specs(self.components)
+        self.spec = (MetaHybridSpec(specs, meta_entries, counter_bits,
+                                    counter_inc, counter_dec, label=name)
+                     if specs is not None else None)
         self.name = name or ("meta(" + "+".join(c.name for c in self.components) + ")")
 
     def _select(self, pc: int) -> int:

@@ -14,7 +14,8 @@ arithmetic -- useful context for where FCM/DFCM wins come from.
 from __future__ import annotations
 
 from repro.core.base import ValuePredictor
-from repro.core.types import MASK32, WORD_BITS, require_power_of_two
+from repro.core.spec import LastNSpec
+from repro.core.types import MASK32
 
 __all__ = ["LastNValuePredictor"]
 
@@ -33,11 +34,7 @@ class LastNValuePredictor(ValuePredictor):
     """
 
     def __init__(self, entries: int, n: int = 4, counter_bits: int = 2):
-        require_power_of_two(entries, "last-n table size")
-        if n < 1:
-            raise ValueError(f"n must be >= 1, got {n}")
-        if counter_bits < 1:
-            raise ValueError(f"counter_bits must be >= 1, got {counter_bits}")
+        self.spec = LastNSpec(entries, n, counter_bits)  # validates args
         self.entries = entries
         self.n = n
         self.counter_bits = counter_bits
@@ -48,7 +45,7 @@ class LastNValuePredictor(ValuePredictor):
         # Recency stamps break counter ties toward the newest value.
         self._stamps = [[0] * n for _ in range(entries)]
         self._clock = 0
-        self.name = f"last{n}_{entries}"
+        self.name = self.spec.name
 
     def _best_slot(self, index: int) -> int:
         counters = self._counters[index]
@@ -93,6 +90,4 @@ class LastNValuePredictor(ValuePredictor):
     def storage_bits(self) -> int:
         """n values + n counters per entry (recency stamps modelled as
         ceil(log2 n) bits each, the hardware equivalent of an LRU code)."""
-        lru_bits = max(1, (self.n - 1).bit_length())
-        return self.entries * self.n * (WORD_BITS + self.counter_bits
-                                        + lru_bits)
+        return self.spec.storage_bits()

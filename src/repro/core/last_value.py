@@ -8,7 +8,8 @@ aliasing with it) produced.  Best on constant patterns.
 from __future__ import annotations
 
 from repro.core.base import ValuePredictor
-from repro.core.types import MASK32, WORD_BITS, require_power_of_two
+from repro.core.spec import LastValueSpec
+from repro.core.types import MASK32
 
 __all__ = ["LastValuePredictor"]
 
@@ -24,11 +25,11 @@ class LastValuePredictor(ValuePredictor):
     """
 
     def __init__(self, entries: int):
-        require_power_of_two(entries, "last value table size")
+        self.spec = LastValueSpec(entries)  # validates entries
         self.entries = entries
         self._mask = entries - 1
         self._table = [0] * entries
-        self.name = f"lvp_{entries}"
+        self.name = self.spec.name
 
     def predict(self, pc: int) -> int:
         return self._table[(pc >> 2) & self._mask]
@@ -38,4 +39,4 @@ class LastValuePredictor(ValuePredictor):
 
     def storage_bits(self) -> int:
         """One 32-bit value per entry."""
-        return self.entries * WORD_BITS
+        return self.spec.storage_bits()

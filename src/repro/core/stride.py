@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from repro.core.base import ValuePredictor
 from repro.core.confidence import CounterBank
-from repro.core.types import MASK32, WORD_BITS, require_power_of_two
+from repro.core.spec import StrideSpec, TwoDeltaStrideSpec
+from repro.core.types import MASK32
 
 __all__ = ["StridePredictor", "TwoDeltaStridePredictor"]
 
@@ -46,13 +47,14 @@ class StridePredictor(ValuePredictor):
 
     def __init__(self, entries: int, counter_bits: int = 3,
                  counter_inc: int = 1, counter_dec: int = 2):
-        require_power_of_two(entries, "stride table size")
+        self.spec = StrideSpec(entries, counter_bits, counter_inc,
+                               counter_dec)  # validates entries
         self.entries = entries
         self._mask = entries - 1
         self._last = [0] * entries
         self._stride = [0] * entries
         self._conf = CounterBank(entries, counter_bits, counter_inc, counter_dec)
-        self.name = f"stride_{entries}"
+        self.name = self.spec.name
 
     def predict(self, pc: int) -> int:
         index = (pc >> 2) & self._mask
@@ -75,7 +77,7 @@ class StridePredictor(ValuePredictor):
 
     def storage_bits(self) -> int:
         """last (32) + stride (32) + confidence counter bits per entry."""
-        return self.entries * (2 * WORD_BITS + self._conf.bits)
+        return self.spec.storage_bits()
 
 
 class TwoDeltaStridePredictor(ValuePredictor):
@@ -88,13 +90,13 @@ class TwoDeltaStridePredictor(ValuePredictor):
     """
 
     def __init__(self, entries: int):
-        require_power_of_two(entries, "two-delta table size")
+        self.spec = TwoDeltaStrideSpec(entries)  # validates entries
         self.entries = entries
         self._mask = entries - 1
         self._last = [0] * entries
         self._s1 = [0] * entries
         self._s2 = [0] * entries
-        self.name = f"stride2d_{entries}"
+        self.name = self.spec.name
 
     def predict(self, pc: int) -> int:
         index = (pc >> 2) & self._mask
@@ -111,4 +113,4 @@ class TwoDeltaStridePredictor(ValuePredictor):
 
     def storage_bits(self) -> int:
         """last (32) + s1 (32) + s2 (32) per entry."""
-        return self.entries * 3 * WORD_BITS
+        return self.spec.storage_bits()

@@ -1,0 +1,197 @@
+"""Predictor-engine throughput benchmark (``repro bench``).
+
+Replays a reference family grid over one cached trace with both
+engines and reports records/second plus the batch/scalar speedup per
+family, a suite-level wall-time comparison for the flagship DFCM
+configuration, and a speedup *guard*: in full mode the flagship batch
+replay must beat the scalar loop by at least :data:`MIN_SPEEDUP`, or
+the bench fails.  Results are written to ``BENCH_predictors.json`` so
+CI can archive the numbers next to the figures they protect.
+
+The replay goes straight through :func:`repro.core.engines.run_spec`
+with the engine pinned -- no telemetry, no executor -- so the numbers
+measure the kernels, not the harness.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.engines import run_spec
+from repro.core.spec import (DFCMSpec, FCMSpec, LastValueSpec,
+                             OracleHybridSpec, PredictorSpec, StrideSpec,
+                             TwoDeltaStrideSpec)
+from repro.harness.simulate import measure_suite
+from repro.trace.trace import ValueTrace
+
+__all__ = ["MIN_SPEEDUP", "bench_specs", "run_bench", "render_bench",
+           "write_report"]
+
+#: Full-mode guard: flagship DFCM batch replay vs the scalar loop.
+MIN_SPEEDUP = 5.0
+
+#: Trace lengths (records per benchmark).
+FULL_LIMIT = 100_000
+FAST_LIMIT = 20_000
+
+#: The benchmark whose trace anchors the single-trace family grid.
+ANCHOR_BENCHMARK = "li"
+
+
+def bench_specs() -> List[Tuple[str, PredictorSpec]]:
+    """The reference grid: one spec per engine-supported family."""
+    flagship = DFCMSpec(1 << 16, 1 << 12)
+    return [
+        ("lvp", LastValueSpec(1 << 16)),
+        ("stride", StrideSpec(1 << 16)),
+        ("stride2d", TwoDeltaStrideSpec(1 << 16)),
+        ("fcm", FCMSpec(1 << 16, 1 << 12)),
+        ("dfcm", flagship),
+        ("hybrid", OracleHybridSpec((StrideSpec(1 << 16), flagship))),
+    ]
+
+
+def _flagship() -> PredictorSpec:
+    return dict(bench_specs())["dfcm"]
+
+
+def _time_replay(spec: PredictorSpec, trace: ValueTrace, engine: str,
+                 repeats: int) -> Tuple[float, int]:
+    """Best-of-*repeats* wall time of one engine replay; returns
+    ``(seconds, correct)`` and checks the engines agree on the count."""
+    best = float("inf")
+    correct = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        outcome = run_spec(spec, trace, engine)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        if correct is None:
+            correct = outcome.correct
+        elif correct != outcome.correct:
+            raise AssertionError(
+                f"{spec.name}/{engine}: nondeterministic correct count")
+    return best, correct
+
+
+def run_bench(traces: Optional[Sequence[ValueTrace]] = None,
+              fast: bool = False,
+              repeats: Optional[int] = None) -> dict:
+    """Run the grid and return the report dict (see module docstring).
+
+    *traces*: injectable for tests; defaults to the cached
+    :data:`ANCHOR_BENCHMARK` trace at the mode's record limit.  The
+    first trace anchors the per-family grid; the full list feeds the
+    suite-level comparison.  The guard is **enforced** (``passed`` may
+    be ``False`` and the caller should fail) only in full mode --
+    fast-mode numbers on tiny traces are recorded, not judged.
+    """
+    limit = FAST_LIMIT if fast else FULL_LIMIT
+    if traces is None:
+        from repro.trace.cache import cached_trace
+        traces = [cached_trace(ANCHOR_BENCHMARK, limit)]
+    traces = list(traces)
+    if not traces:
+        raise ValueError("run_bench needs at least one trace")
+    anchor = traces[0]
+    if repeats is None:
+        repeats = 1 if fast else 3
+
+    families = []
+    for family, spec in bench_specs():
+        scalar_s, scalar_correct = _time_replay(spec, anchor, "scalar",
+                                                repeats)
+        batch_s, batch_correct = _time_replay(spec, anchor, "batch", repeats)
+        if scalar_correct != batch_correct:
+            raise AssertionError(
+                f"{spec.name}: engines disagree "
+                f"(scalar {scalar_correct}, batch {batch_correct})")
+        families.append({
+            "family": family,
+            "predictor": spec.name,
+            "records": len(anchor),
+            "correct": scalar_correct,
+            "scalar_seconds": round(scalar_s, 6),
+            "batch_seconds": round(batch_s, 6),
+            "scalar_records_per_sec": round(len(anchor) / scalar_s),
+            "batch_records_per_sec": round(len(anchor) / batch_s),
+            "speedup": round(scalar_s / batch_s, 3),
+        })
+
+    flagship = _flagship()
+    started = time.perf_counter()
+    scalar_suite = measure_suite(flagship, traces, engine="scalar",
+                                 executor="serial")
+    suite_scalar_s = time.perf_counter() - started
+    started = time.perf_counter()
+    batch_suite = measure_suite(flagship, traces, engine="batch",
+                                executor="serial")
+    suite_batch_s = time.perf_counter() - started
+    if scalar_suite.correct != batch_suite.correct:
+        raise AssertionError(
+            f"{flagship.name}: suite engines disagree "
+            f"(scalar {scalar_suite.correct}, batch {batch_suite.correct})")
+    suite_speedup = suite_scalar_s / suite_batch_s
+
+    return {
+        "schema_version": 1,
+        "mode": "fast" if fast else "full",
+        "anchor": {"benchmark": anchor.name, "records": len(anchor)},
+        "suite_traces": [trace.name for trace in traces],
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "families": families,
+        "suite": {
+            "predictor": flagship.name,
+            "records": scalar_suite.total,
+            "accuracy": round(scalar_suite.accuracy, 6),
+            "scalar_seconds": round(suite_scalar_s, 6),
+            "batch_seconds": round(suite_batch_s, 6),
+            "speedup": round(suite_speedup, 3),
+        },
+        "guard": {
+            "min_speedup": MIN_SPEEDUP,
+            "measured": round(suite_speedup, 3),
+            "enforced": not fast,
+            "passed": fast or suite_speedup >= MIN_SPEEDUP,
+        },
+    }
+
+
+def render_bench(report: dict) -> str:
+    """Human-readable digest of a :func:`run_bench` report."""
+    from repro.harness.report import format_table
+    rows = [[f["family"], f["predictor"],
+             f"{f['scalar_records_per_sec']:,}",
+             f"{f['batch_records_per_sec']:,}",
+             f"{f['speedup']:.2f}x"] for f in report["families"]]
+    anchor = report["anchor"]
+    lines = [format_table(
+        ["family", "predictor", "scalar rec/s", "batch rec/s", "speedup"],
+        rows,
+        title=(f"engine throughput on {anchor['benchmark']} "
+               f"({anchor['records']} records, {report['mode']} mode)"))]
+    suite = report["suite"]
+    lines.append(
+        f"suite ({len(report['suite_traces'])} trace(s), "
+        f"{suite['predictor']}): scalar {suite['scalar_seconds']:.2f}s, "
+        f"batch {suite['batch_seconds']:.2f}s, "
+        f"speedup {suite['speedup']:.2f}x")
+    guard = report["guard"]
+    verdict = "PASS" if guard["passed"] else "FAIL"
+    enforcement = "enforced" if guard["enforced"] else "recorded only"
+    lines.append(
+        f"guard: batch >= {guard['min_speedup']:.0f}x scalar on the "
+        f"flagship suite -- measured {guard['measured']:.2f}x "
+        f"[{verdict}, {enforcement}]")
+    return "\n".join(lines) + "\n"
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")

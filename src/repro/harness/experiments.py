@@ -29,17 +29,17 @@ benchmarks); full mode reproduces the paper's whole grid (used by
 
 from __future__ import annotations
 
+import contextlib
 import math
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core.aliasing import ALIAS_CATEGORIES, AliasingAnalyzer, AliasReport
 from repro.core.dfcm import DFCMPredictor
 from repro.core.fcm import FCMPredictor
-from repro.core.delayed import DelayedUpdatePredictor
-from repro.core.hashing import FoldShiftHash, XorFoldHash
-from repro.core.hybrid import OracleHybridPredictor
-from repro.core.last_value import LastValuePredictor
 from repro.core.occupancy import stride_occupancy
+from repro.core.spec import (DFCMSpec, DelayedSpec, FCMSpec, HashSpec,
+                             LastValueSpec, MetaHybridSpec, OracleHybridSpec,
+                             StrideSpec)
 from repro.core.stride import StridePredictor
 from repro.harness.config import single_trace, suite_traces
 from repro.harness.report import ExperimentResult, Table
@@ -67,19 +67,33 @@ def experiment_ids() -> List[str]:
 def run_experiment(experiment_id: str,
                    traces: Optional[Sequence[ValueTrace]] = None,
                    fast: bool = False,
-                   limit: Optional[int] = None) -> ExperimentResult:
-    """Run one registered experiment; traces default to the full suite."""
+                   limit: Optional[int] = None,
+                   engine: Optional[str] = None,
+                   jobs: Optional[int] = None) -> ExperimentResult:
+    """Run one registered experiment; traces default to the full suite.
+
+    *engine* and *jobs* install process defaults for the duration (the
+    CLI's ``--engine`` / ``--jobs`` flags); ``None`` leaves whatever
+    defaults are already in force untouched.
+    """
     try:
         fn = EXPERIMENTS[experiment_id]
     except KeyError:
         raise KeyError(f"unknown experiment {experiment_id!r}; known: "
                        f"{', '.join(experiment_ids())}") from None
-    with span("experiment", experiment=experiment_id, fast=fast,
-              limit=limit):
-        if traces is None:
-            with span("load_traces", limit=limit):
-                traces = suite_traces(limit)
-        return fn(traces, fast=fast)
+    with contextlib.ExitStack() as stack:
+        if engine is not None:
+            from repro.core.engines import engine_default
+            stack.enter_context(engine_default(engine))
+        if jobs is not None:
+            from repro.harness.executor import executor_default
+            stack.enter_context(executor_default(jobs=jobs))
+        with span("experiment", experiment=experiment_id, fast=fast,
+                  limit=limit):
+            if traces is None:
+                with span("load_traces", limit=limit):
+                    traces = suite_traces(limit)
+            return fn(traces, fast=fast)
 
 
 # ---------------------------------------------------------------- table 1
@@ -121,10 +135,9 @@ def fig3(traces, fast: bool = False) -> ExperimentResult:
     table = Table("LVP and stride predictors",
                   ["predictor", "entries", "size_kbit", "accuracy"])
     for bits in simple_bits:
-        for kind, factory in (
-                ("lvp", lambda b=bits: LastValuePredictor(1 << b)),
-                ("stride", lambda b=bits: StridePredictor(1 << b))):
-            point = sweep([factory], traces)[0]
+        for kind, spec in (("lvp", LastValueSpec(1 << bits)),
+                           ("stride", StrideSpec(1 << bits))):
+            point = sweep([spec], traces)[0]
             table.add(kind, 1 << bits, point.size_kbit, point.accuracy)
     result.tables.append(table)
 
@@ -135,10 +148,9 @@ def fig3(traces, fast: bool = False) -> ExperimentResult:
                        "accuracy"])
     for l1 in l1_bits:
         for l2 in l2_bits:
-            factory = (lambda a=l1, b=l2:
-                       FCMPredictor(1 << a, 1 << b))
-            point = sweep([factory], traces)[0]
-            fcm_table.add(1 << l1, 1 << l2, factory().order,
+            spec = FCMSpec(1 << l1, 1 << l2)
+            point = sweep([spec], traces)[0]
+            fcm_table.add(1 << l1, 1 << l2, spec.hash.order,
                           point.size_kbit, point.accuracy)
     result.tables.append(fcm_table)
     result.notes.append(
@@ -197,16 +209,16 @@ def fig10(traces, fast: bool = False) -> ExperimentResult:
     table = Table("accuracy vs level-2 size (L1 = 2^16)",
                   ["log2_l2", "fcm", "dfcm", "relative_gain"])
     for bits in l2_bits:
-        fcm = measure_suite(lambda b=bits: FCMPredictor(l1, 1 << b), traces)
-        dfcm = measure_suite(lambda b=bits: DFCMPredictor(l1, 1 << b), traces)
+        fcm = measure_suite(FCMSpec(l1, 1 << bits), traces)
+        dfcm = measure_suite(DFCMSpec(l1, 1 << bits), traces)
         gain = (dfcm.accuracy - fcm.accuracy) / fcm.accuracy if fcm.accuracy else 0.0
         table.add(bits, fcm.accuracy, dfcm.accuracy, gain)
     result.tables.append(table)
 
     per_bench = Table("per-benchmark accuracy (L1 = 2^16, L2 = 2^12)",
                       ["benchmark", "fcm", "dfcm"])
-    fcm = measure_suite(lambda: FCMPredictor(l1, 1 << 12), traces)
-    dfcm = measure_suite(lambda: DFCMPredictor(l1, 1 << 12), traces)
+    fcm = measure_suite(FCMSpec(l1, 1 << 12), traces)
+    dfcm = measure_suite(DFCMSpec(l1, 1 << 12), traces)
     for trace in traces:
         per_bench.add(trace.name, fcm.accuracy_of(trace.name),
                       dfcm.accuracy_of(trace.name))
@@ -234,12 +246,8 @@ def fig11(traces, fast: bool = False) -> ExperimentResult:
                   ["l1_entries", "l2_entries", "size_kbit", "accuracy"])
     for l1 in l1_bits:
         for l2 in l2_bits:
-            dfcm_point = sweep(
-                [lambda a=l1, b=l2: DFCMPredictor(1 << a, 1 << b)],
-                traces)[0]
-            fcm_point = sweep(
-                [lambda a=l1, b=l2: FCMPredictor(1 << a, 1 << b)],
-                traces)[0]
+            dfcm_point = sweep([DFCMSpec(1 << l1, 1 << l2)], traces)[0]
+            fcm_point = sweep([FCMSpec(1 << l1, 1 << l2)], traces)[0]
             dfcm_points.append(dfcm_point)
             fcm_points.append(fcm_point)
             curve.add(1 << l1, 1 << l2, dfcm_point.size_kbit,
@@ -333,17 +341,15 @@ def fig16(traces, fast: bool = False) -> ExperimentResult:
     table = Table("accuracy vs level-2 size",
                   ["log2_l2", "fcm", "dfcm", "stride+fcm", "stride+dfcm"])
     for bits in l2_bits:
-        fcm = measure_suite(lambda b=bits: FCMPredictor(l1, 1 << b), traces)
-        dfcm = measure_suite(lambda b=bits: DFCMPredictor(l1, 1 << b), traces)
+        fcm = measure_suite(FCMSpec(l1, 1 << bits), traces)
+        dfcm = measure_suite(DFCMSpec(l1, 1 << bits), traces)
         hybrid_fcm = measure_suite(
-            lambda b=bits: OracleHybridPredictor(
-                [StridePredictor(stride_entries),
-                 FCMPredictor(l1, 1 << b)], name="stride+fcm"),
+            OracleHybridSpec((StrideSpec(stride_entries),
+                              FCMSpec(l1, 1 << bits)), label="stride+fcm"),
             traces)
         hybrid_dfcm = measure_suite(
-            lambda b=bits: OracleHybridPredictor(
-                [StridePredictor(stride_entries),
-                 DFCMPredictor(l1, 1 << b)], name="stride+dfcm"),
+            OracleHybridSpec((StrideSpec(stride_entries),
+                              DFCMSpec(l1, 1 << bits)), label="stride+dfcm"),
             traces)
         table.add(bits, fcm.accuracy, dfcm.accuracy, hybrid_fcm.accuracy,
                   hybrid_dfcm.accuracy)
@@ -369,10 +375,8 @@ def sec4_4(traces, fast: bool = False) -> ExperimentResult:
     for bits in l2_bits:
         baseline = None
         for width in (32, 16, 8):
-            point = sweep(
-                [lambda b=bits, w=width:
-                 DFCMPredictor(l1, 1 << b, stride_bits=w)],
-                traces)[0]
+            point = sweep([DFCMSpec(l1, 1 << bits, stride_bits=width)],
+                          traces)[0]
             if width == 32:
                 baseline = point.accuracy
             table.add(bits, width, point.size_kbit, point.accuracy,
@@ -395,12 +399,8 @@ def fig17(traces, fast: bool = False) -> ExperimentResult:
     table = Table("accuracy vs update delay (L1=2^16, L2=2^12)",
                   ["delay", "fcm", "dfcm"])
     for delay in delays:
-        fcm = measure_suite(
-            lambda d=delay: DelayedUpdatePredictor(FCMPredictor(l1, l2), d),
-            traces)
-        dfcm = measure_suite(
-            lambda d=delay: DelayedUpdatePredictor(DFCMPredictor(l1, l2), d),
-            traces)
+        fcm = measure_suite(DelayedSpec(FCMSpec(l1, l2), delay), traces)
+        dfcm = measure_suite(DelayedSpec(DFCMSpec(l1, l2), delay), traces)
         table.add(delay, fcm.accuracy, dfcm.accuracy)
     result.tables.append(table)
     result.notes.append(
@@ -419,20 +419,17 @@ def ablation_hash(traces, fast: bool = False) -> ExperimentResult:
     l1, l2 = 1 << 16, 1 << 12
     index_bits = 12
     variants = [
-        ("fs_r5", lambda: FoldShiftHash(index_bits, shift=5)),
-        ("fs_r3", lambda: FoldShiftHash(index_bits, shift=3)),
-        ("fs_r1", lambda: FoldShiftHash(index_bits, shift=1)),
-        ("xor_o3", lambda: XorFoldHash(index_bits, order=3)),
+        ("fs_r5", HashSpec(index_bits, "fs", shift=5)),
+        ("fs_r3", HashSpec(index_bits, "fs", shift=3)),
+        ("fs_r1", HashSpec(index_bits, "fs", shift=1)),
+        ("xor_o3", HashSpec(index_bits, "xor", order=3)),
     ]
     table = Table("accuracy by hash function (L1=2^16, L2=2^12)",
                   ["hash", "order", "fcm", "dfcm"])
-    for name, make in variants:
-        order = make().order
-        fcm = measure_suite(
-            lambda m=make: FCMPredictor(l1, l2, hash_fn=m()), traces)
-        dfcm = measure_suite(
-            lambda m=make: DFCMPredictor(l1, l2, hash_fn=m()), traces)
-        table.add(name, order, fcm.accuracy, dfcm.accuracy)
+    for name, hash_spec in variants:
+        fcm = measure_suite(FCMSpec(l1, l2, hash=hash_spec), traces)
+        dfcm = measure_suite(DFCMSpec(l1, l2, hash=hash_spec), traces)
+        table.add(name, hash_spec.order, fcm.accuracy, dfcm.accuracy)
     result.tables.append(table)
     return result
 
@@ -450,12 +447,9 @@ def ablation_order(traces, fast: bool = False) -> ExperimentResult:
     for order in (1, 2, 3, 4):
         # Keep the hash incremental: shift = ceil(index_bits / order).
         shift = math.ceil(index_bits / order)
-        make = lambda o=order, s=shift: FoldShiftHash(index_bits, order=o,
-                                                      shift=s)
-        fcm = measure_suite(
-            lambda m=make: FCMPredictor(l1, l2, hash_fn=m()), traces)
-        dfcm = measure_suite(
-            lambda m=make: DFCMPredictor(l1, l2, hash_fn=m()), traces)
+        hash_spec = HashSpec(index_bits, "fs", order=order, shift=shift)
+        fcm = measure_suite(FCMSpec(l1, l2, hash=hash_spec), traces)
+        dfcm = measure_suite(DFCMSpec(l1, l2, hash=hash_spec), traces)
         table.add(order, shift, fcm.accuracy, dfcm.accuracy)
     result.tables.append(table)
     return result
@@ -530,10 +524,8 @@ def ext_l1_pressure(traces, fast: bool = False) -> ExperimentResult:
                   "instructions, L2=2^12)",
                   ["log2_l1", "fcm", "dfcm"])
     for bits in l1_bits:
-        fcm = measure_suite(
-            lambda b=bits: FCMPredictor(1 << b, 1 << 12), synthetic)
-        dfcm = measure_suite(
-            lambda b=bits: DFCMPredictor(1 << b, 1 << 12), synthetic)
+        fcm = measure_suite(FCMSpec(1 << bits, 1 << 12), synthetic)
+        dfcm = measure_suite(DFCMSpec(1 << bits, 1 << 12), synthetic)
         table.add(bits, fcm.accuracy, dfcm.accuracy)
     result.tables.append(table)
     result.notes.append(
@@ -569,11 +561,9 @@ def ext_mix(traces, fast: bool = False) -> ExperimentResult:
                          context=context_share, random=0.1, seed=7)
         synthetic = [mixed_trace(mix, instructions=96, length=length,
                                  name=f"mix_{share:.1f}")]
-        stride = measure_suite(lambda: StridePredictor(1 << 12), synthetic)
-        fcm = measure_suite(lambda: FCMPredictor(1 << 12, 1 << 10),
-                            synthetic)
-        dfcm = measure_suite(lambda: DFCMPredictor(1 << 12, 1 << 10),
-                             synthetic)
+        stride = measure_suite(StrideSpec(1 << 12), synthetic)
+        fcm = measure_suite(FCMSpec(1 << 12, 1 << 10), synthetic)
+        dfcm = measure_suite(DFCMSpec(1 << 12, 1 << 10), synthetic)
         table.add(share, round(context_share, 1), stride.accuracy,
                   fcm.accuracy, dfcm.accuracy,
                   dfcm.accuracy - fcm.accuracy)
@@ -610,8 +600,8 @@ def ext_seeds(traces, fast: bool = False) -> ExperimentResult:
                 "int __rand_state = 123456789;",
                 f"int __rand_state = {seed};")
             seeded.append(capture_source(name, source, limit))
-        fcm = measure_suite(lambda: FCMPredictor(1 << 16, 1 << 12), seeded)
-        dfcm = measure_suite(lambda: DFCMPredictor(1 << 16, 1 << 12), seeded)
+        fcm = measure_suite(FCMSpec(1 << 16, 1 << 12), seeded)
+        dfcm = measure_suite(DFCMSpec(1 << 16, 1 << 12), seeded)
         table.add(seed, fcm.accuracy, dfcm.accuracy,
                   "yes" if dfcm.accuracy > fcm.accuracy else "no")
     result.tables.append(table)
@@ -647,13 +637,13 @@ def ext_optlevel(traces, fast: bool = False) -> ExperimentResult:
     table = Table("suite accuracy by optimisation level (L1=2^16, L2=2^12)",
                   ["predictor", "O0", "O1", "O2", "delta_O2_vs_O0"])
     contenders = [
-        ("lvp", lambda: LastValuePredictor(1 << 12)),
-        ("stride", lambda: StridePredictor(1 << 12)),
-        ("fcm", lambda: FCMPredictor(1 << 16, 1 << 12)),
-        ("dfcm", lambda: DFCMPredictor(1 << 16, 1 << 12)),
+        ("lvp", LastValueSpec(1 << 12)),
+        ("stride", StrideSpec(1 << 12)),
+        ("fcm", FCMSpec(1 << 16, 1 << 12)),
+        ("dfcm", DFCMSpec(1 << 16, 1 << 12)),
     ]
-    for label, factory in contenders:
-        accuracy = {level: measure_suite(factory, suite).accuracy
+    for label, spec in contenders:
+        accuracy = {level: measure_suite(spec, suite).accuracy
                     for level, suite in suites.items()}
         table.add(label, accuracy["O0"], accuracy["O1"], accuracy["O2"],
                   accuracy["O2"] - accuracy["O0"])
@@ -716,7 +706,6 @@ def ext_taxonomy(traces, fast: bool = False) -> ExperimentResult:
 @_experiment("ablation_meta")
 def ablation_meta(traces, fast: bool = False) -> ExperimentResult:
     """Extension of Figure 16: oracle vs realisable meta-predictor."""
-    from repro.core.hybrid import MetaHybridPredictor
     result = ExperimentResult(
         "ablation_meta",
         "Hybrid selection: perfect meta vs saturating-counter meta")
@@ -727,18 +716,15 @@ def ablation_meta(traces, fast: bool = False) -> ExperimentResult:
                   ["log2_l2", "fcm", "dfcm", "meta(stride+fcm)",
                    "oracle(stride+fcm)"])
     for bits in l2_bits:
-        fcm = measure_suite(lambda b=bits: FCMPredictor(l1, 1 << b), traces)
-        dfcm = measure_suite(lambda b=bits: DFCMPredictor(l1, 1 << b),
-                             traces)
+        fcm = measure_suite(FCMSpec(l1, 1 << bits), traces)
+        dfcm = measure_suite(DFCMSpec(l1, 1 << bits), traces)
         meta = measure_suite(
-            lambda b=bits: MetaHybridPredictor(
-                [StridePredictor(stride_entries),
-                 FCMPredictor(l1, 1 << b)], 1 << 14),
+            MetaHybridSpec((StrideSpec(stride_entries),
+                            FCMSpec(l1, 1 << bits)), 1 << 14),
             traces)
         oracle = measure_suite(
-            lambda b=bits: OracleHybridPredictor(
-                [StridePredictor(stride_entries),
-                 FCMPredictor(l1, 1 << b)]),
+            OracleHybridSpec((StrideSpec(stride_entries),
+                              FCMSpec(l1, 1 << bits))),
             traces)
         table.add(bits, fcm.accuracy, dfcm.accuracy, meta.accuracy,
                   oracle.accuracy)
@@ -761,9 +747,8 @@ def ablation_confidence(traces, fast: bool = False) -> ExperimentResult:
     shapes = [(3, 1, 2), (3, 1, 1), (2, 1, 2), (1, 1, 1), (4, 1, 2)]
     for bits, inc, dec in shapes:
         suite = measure_suite(
-            lambda b=bits, i=inc, d=dec:
-            StridePredictor(entries, counter_bits=b, counter_inc=i,
-                            counter_dec=d),
+            StrideSpec(entries, counter_bits=bits, counter_inc=inc,
+                       counter_dec=dec),
             traces)
         table.add(bits, inc, dec, suite.accuracy)
     result.tables.append(table)

@@ -35,14 +35,16 @@ Typical consumer::
 from repro.telemetry.registry import (Counter, Gauge, Histogram,
                                       MetricError, MetricsRegistry,
                                       registry)
-from repro.telemetry.run import (TelemetryRun, active_run, enabled,
+from repro.telemetry.run import (CollectorRun, TelemetryRun, active_run,
+                                 collecting_run, detach_run, enabled,
                                  finish_run, start_run, telemetry_run)
 from repro.telemetry.spans import NOOP_SPAN, NoopSpan, Span, current_span, span
 
 __all__ = [
     "registry", "MetricsRegistry", "MetricError",
     "Counter", "Gauge", "Histogram",
-    "TelemetryRun", "start_run", "finish_run", "active_run", "enabled",
-    "telemetry_run",
+    "TelemetryRun", "CollectorRun", "start_run", "finish_run",
+    "active_run", "enabled", "telemetry_run", "detach_run",
+    "collecting_run",
     "span", "current_span", "Span", "NoopSpan", "NOOP_SPAN",
 ]

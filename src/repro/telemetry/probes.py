@@ -84,6 +84,10 @@ def probe_context_tables(predictor_factory: Callable, trace) -> None:
     limit = probe_sample_limit()
     if limit == 0:
         return
+    from repro.core.spec import PredictorSpec
+    if (isinstance(predictor_factory, PredictorSpec)
+            and predictor_factory.family not in ("fcm", "dfcm")):
+        return  # spec says non-context: skip without building an instance
     from repro.core.aliasing import ALIAS_CATEGORIES, AliasingAnalyzer
     from repro.core.dfcm import DFCMPredictor
     from repro.core.fcm import FCMPredictor

@@ -240,6 +240,53 @@ class MetricsRegistry:
             }
         return out
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` from another process into this one.
+
+        Counters and histogram buckets add, gauges take the incoming
+        value, unknown metrics are created with the snapshot's shape.
+        The parallel executor uses this to carry worker-process
+        metrics back into the parent registry (the snapshot must be a
+        worker's *own* contribution -- workers reset their fork-copied
+        registry first -- or parent counts would double).
+        """
+        for name in sorted(snapshot):
+            data = snapshot[name]
+            kind = data["kind"]
+            labels = tuple(data["label_names"])
+            help_text = data.get("help", "")
+            samples = data["samples"]
+            if kind == "counter":
+                metric = self.counter(name, help_text, labels)
+                for sample in samples:
+                    if sample["value"]:
+                        metric.inc(sample["value"], **sample["labels"])
+            elif kind == "gauge":
+                metric = self.gauge(name, help_text, labels)
+                for sample in samples:
+                    metric.set(sample["value"], **sample["labels"])
+            elif kind == "histogram":
+                if not samples:
+                    continue
+                bounds = [bound for bound, _
+                          in samples[0]["value"]["buckets"][:-1]]
+                metric = self.histogram(name, help_text, buckets=bounds,
+                                        labels=labels)
+                for sample in samples:
+                    key = metric._key(sample["labels"])
+                    counts = metric._counts.get(key)
+                    if counts is None:
+                        counts = metric._counts[key] = \
+                            [0] * (len(metric.buckets) + 1)
+                        metric._sums[key] = 0.0
+                    for i, (_, count) in enumerate(
+                            sample["value"]["buckets"]):
+                        counts[i] += count
+                    metric._sums[key] += sample["value"]["sum"]
+            else:
+                raise MetricError(
+                    f"{name}: cannot merge metric kind {kind!r}")
+
     def reset(self, name: Optional[str] = None) -> None:
         """Zero one metric's samples, or every metric's (instruments
         stay registered so handles held by call sites remain valid)."""

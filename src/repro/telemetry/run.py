@@ -35,8 +35,9 @@ from typing import Optional
 
 from repro.telemetry.registry import registry
 
-__all__ = ["TelemetryRun", "start_run", "finish_run", "active_run",
-           "enabled", "telemetry_run"]
+__all__ = ["TelemetryRun", "CollectorRun", "start_run", "finish_run",
+           "active_run", "enabled", "telemetry_run", "detach_run",
+           "collecting_run"]
 
 _ACTIVE_RUN: Optional["TelemetryRun"] = None
 _RUN_SEQ = 0
@@ -188,6 +189,37 @@ def _snapshot_delta(before: dict, after: dict) -> dict:
     return delta
 
 
+class CollectorRun:
+    """In-memory event sink for worker processes.
+
+    Quacks like :class:`TelemetryRun` for the instrumentation sites
+    (``emit`` / ``next_span_id`` / ``once``) but buffers events in a
+    list instead of writing a run directory, and stamps no ``ts`` --
+    the parent process merges the buffer into its own file-backed run
+    (see :mod:`repro.harness.executor`), where arrival is timestamped
+    on the parent's clock.
+    """
+
+    def __init__(self, run_id: Optional[str] = None):
+        self.run_id = run_id or f"collector-p{os.getpid()}"
+        self.events: list = []
+        self._span_seq = 0
+        self._once = set()
+
+    def emit(self, event: dict) -> None:
+        self.events.append(dict(event))
+
+    def next_span_id(self) -> str:
+        self._span_seq += 1
+        return f"s{self._span_seq}"
+
+    def once(self, key) -> bool:
+        if key in self._once:
+            return False
+        self._once.add(key)
+        return True
+
+
 # ---------------------------------------------------------------- globals
 
 def active_run() -> Optional[TelemetryRun]:
@@ -220,6 +252,37 @@ def finish_run(status: str = "ok") -> Optional[TelemetryRun]:
     if run is not None:
         run.close(status=status)
     return run
+
+
+def detach_run() -> None:
+    """Forget the active run *without* closing it.
+
+    For forked worker processes: the child inherits the parent's
+    active run, including the open (buffered) event file -- closing or
+    flushing it in the child would write the parent's buffered lines a
+    second time.  Workers call this first, then install their own
+    :class:`CollectorRun`.  Also clears any fork-inherited open-span
+    stack so worker spans start as roots.
+    """
+    global _ACTIVE_RUN
+    _ACTIVE_RUN = None
+    from repro.telemetry import spans
+    spans._STACK.clear()
+
+
+@contextmanager
+def collecting_run(run_id: Optional[str] = None):
+    """Install a :class:`CollectorRun` as the active run; yield it."""
+    global _ACTIVE_RUN
+    if _ACTIVE_RUN is not None:
+        raise RuntimeError(
+            f"telemetry run {_ACTIVE_RUN.run_id} is already active")
+    collector = CollectorRun(run_id)
+    _ACTIVE_RUN = collector
+    try:
+        yield collector
+    finally:
+        _ACTIVE_RUN = None
 
 
 @contextmanager

@@ -1,0 +1,122 @@
+"""Tests for the declarative spec layer (repro.core.spec)."""
+
+import pytest
+
+from repro.core.dfcm import DFCMPredictor
+from repro.core.fcm import FCMPredictor
+from repro.core.last_value import LastValuePredictor
+from repro.core.spec import (SPEC_FAMILIES, DFCMSpec, DelayedSpec, FCMSpec,
+                             HashSpec, LastNSpec, LastValueSpec,
+                             MetaHybridSpec, OracleHybridSpec, StrideSpec,
+                             TwoDeltaStrideSpec, spec_from_cli,
+                             spec_from_config, spec_of)
+
+ALL_SPECS = [
+    LastValueSpec(1 << 10),
+    LastNSpec(1 << 10),
+    StrideSpec(1 << 10),
+    StrideSpec(1 << 10, counter_bits=2, counter_inc=1, counter_dec=1),
+    TwoDeltaStrideSpec(1 << 10),
+    FCMSpec(1 << 12, 1 << 10),
+    FCMSpec(1 << 12, 1 << 10, hash=HashSpec(10, "xor", order=3)),
+    DFCMSpec(1 << 12, 1 << 10),
+    DFCMSpec(1 << 12, 1 << 10, stride_bits=8),
+    OracleHybridSpec((StrideSpec(1 << 10), FCMSpec(1 << 12, 1 << 10))),
+    MetaHybridSpec((StrideSpec(1 << 10), FCMSpec(1 << 12, 1 << 10)),
+                   1 << 10),
+    DelayedSpec(FCMSpec(1 << 12, 1 << 10), 16),
+]
+
+
+class TestBuildParity:
+    """A spec and the instance it builds must agree on identity."""
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_name_matches_instance(self, spec):
+        assert spec.build().name == spec.name
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_storage_matches_instance(self, spec):
+        assert spec.storage_kbit() == pytest.approx(
+            spec.build().storage_kbit())
+
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_spec_is_its_own_factory(self, spec):
+        # Specs are callable so every factory call-site accepts them.
+        built = spec()
+        assert type(built) is type(spec.build())
+        assert built.name == spec.name
+
+
+class TestConfigRoundTrip:
+    @pytest.mark.parametrize("spec", ALL_SPECS, ids=lambda s: s.name)
+    def test_round_trip(self, spec):
+        config = spec.to_config()
+        assert config["family"] == spec.family
+        assert spec_from_config(config) == spec
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(ValueError):
+            spec_from_config({"family": "perceptron"})
+
+    def test_families_registry_covers_all(self):
+        for spec in ALL_SPECS:
+            assert spec.family in SPEC_FAMILIES
+
+
+class TestHashSpec:
+    def test_order_normalised_from_index_bits(self):
+        # Leaving order unset picks the paper's default for the size.
+        assert HashSpec(12, "fs").order is not None
+
+    def test_equality_ignores_order_spelling(self):
+        explicit = HashSpec(12, "fs", order=HashSpec(12, "fs").order)
+        assert explicit == HashSpec(12, "fs")
+
+    def test_from_spec_matches_fcm_default(self):
+        spec = FCMSpec(1 << 12, 1 << 10)
+        assert spec.hash.kind == "fs"
+        assert spec.hash.index_bits == 10
+
+
+class TestSpecFromCli:
+    @pytest.mark.parametrize("kind,expected", [
+        ("lvp", LastValueSpec(1 << 16)),
+        ("lastn", LastNSpec(1 << 16)),
+        ("stride", StrideSpec(1 << 16)),
+        ("stride2d", TwoDeltaStrideSpec(1 << 16)),
+        ("fcm", FCMSpec(1 << 16, 1 << 12)),
+        ("dfcm", DFCMSpec(1 << 16, 1 << 12)),
+    ])
+    def test_known_kinds(self, kind, expected):
+        assert spec_from_cli(kind, 1 << 16, 1 << 12) == expected
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            spec_from_cli("perceptron", 16, 12)
+
+
+class TestSpecOf:
+    def test_facade_instances_expose_their_spec(self):
+        predictor = DFCMPredictor(1 << 12, 1 << 10)
+        spec = spec_of(predictor)
+        assert spec == DFCMSpec(1 << 12, 1 << 10)
+
+    def test_subclass_is_not_trusted(self):
+        # A subclass inherits the parent's ``spec`` attribute but not
+        # necessarily its semantics; spec_of must refuse it.
+        class Tweaked(FCMPredictor):
+            pass
+
+        assert spec_of(Tweaked(1 << 12, 1 << 10)) is None
+
+    def test_spec_less_object_gives_none(self):
+        assert spec_of(object()) is None
+
+    def test_spec_of_built_instance_round_trips(self):
+        for spec in ALL_SPECS:
+            rebuilt = spec_of(spec.build())
+            assert rebuilt == spec, spec.name
+
+    def test_factory_built_lvp(self):
+        assert spec_of(LastValuePredictor(64)) == LastValueSpec(64)

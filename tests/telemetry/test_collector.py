@@ -1,0 +1,104 @@
+"""Worker-side telemetry: CollectorRun, detach_run, merge_snapshot."""
+
+import pytest
+
+from repro.telemetry.registry import MetricError, registry
+from repro.telemetry.run import (CollectorRun, active_run, collecting_run,
+                                 detach_run, enabled, start_run)
+
+
+class TestCollectorRun:
+    def test_buffers_events_without_timestamps(self):
+        with collecting_run("cell-0") as collector:
+            assert active_run() is collector
+            assert enabled()
+            collector.emit({"type": "probe", "x": 1})
+        assert active_run() is None
+        assert collector.events == [{"type": "probe", "x": 1}]
+        assert "ts" not in collector.events[0]
+
+    def test_span_ids_are_sequential(self):
+        collector = CollectorRun("c")
+        assert [collector.next_span_id() for _ in range(3)] \
+            == ["s1", "s2", "s3"]
+
+    def test_once_deduplicates(self):
+        collector = CollectorRun("c")
+        assert collector.once(("probe", "a"))
+        assert not collector.once(("probe", "a"))
+        assert collector.once(("probe", "b"))
+
+    def test_refuses_to_shadow_active_run(self, tmp_path):
+        start_run(tmp_path / "t", command="test")
+        with pytest.raises(RuntimeError):
+            with collecting_run("cell-0"):
+                pass
+
+    def test_emit_copies_the_event(self):
+        collector = CollectorRun("c")
+        event = {"type": "probe"}
+        collector.emit(event)
+        event["mutated"] = True
+        assert "mutated" not in collector.events[0]
+
+
+class TestDetachRun:
+    def test_detach_leaves_file_unflushed(self, tmp_path):
+        run = start_run(tmp_path / "t", command="test")
+        run.emit({"type": "probe"})
+        detach_run()
+        assert active_run() is None
+        # The parent's buffered handle must not have been flushed or
+        # closed -- detach only forgets the object.
+        assert not run._events.closed
+
+    def test_detach_without_run_is_noop(self):
+        detach_run()
+        assert active_run() is None
+
+
+class TestMergeSnapshot:
+    def test_counters_add(self):
+        reg = registry()
+        counter = reg.counter("m_total", "t", labels=("k",))
+        counter.inc(2, k="a")
+        snapshot = reg.snapshot()
+        reg.merge_snapshot(snapshot)
+        merged = {tuple(s["labels"].items()): s["value"]
+                  for s in reg.snapshot()["m_total"]["samples"]}
+        assert merged[(("k", "a"),)] == 4
+
+    def test_gauges_take_incoming_value(self):
+        reg = registry()
+        gauge = reg.gauge("m_gauge", "t")
+        gauge.set(3.0)
+        snapshot = reg.snapshot()
+        gauge.set(7.0)
+        reg.merge_snapshot(snapshot)
+        assert reg.snapshot()["m_gauge"]["samples"][0]["value"] == 3.0
+
+    def test_histograms_add_buckets_and_sums(self):
+        reg = registry()
+        histogram = reg.histogram("m_seconds", "t", buckets=(1, 5))
+        histogram.observe(0.5)
+        histogram.observe(3.0)
+        snapshot = reg.snapshot()
+        reg.merge_snapshot(snapshot)
+        value = reg.snapshot()["m_seconds"]["samples"][0]["value"]
+        assert value["count"] == 4
+        assert value["sum"] == pytest.approx(7.0)
+        assert value["buckets"][0] == [1.0, 2]  # le=1 count doubled
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(MetricError):
+            registry().merge_snapshot({
+                "m_bad": {"kind": "summary", "help": "", "label_names": [],
+                          "samples": []}})
+
+    def test_merge_creates_missing_metrics(self):
+        reg = registry()
+        reg.counter("m_new_total", "t").inc(5)
+        snapshot = reg.snapshot()
+        reg.reset()
+        reg.merge_snapshot(snapshot)
+        assert reg.snapshot()["m_new_total"]["samples"][0]["value"] == 5

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import io
+import json
 
 import pytest
 
@@ -71,6 +72,47 @@ class TestCompareCommand:
                          "fcm_l1=", "dfcm_l1="):
             assert fragment in text
         assert "2000 predictions" in text
+
+
+class TestEngineAndJobsFlags:
+    def test_predict_engines_agree(self):
+        outputs = set()
+        for engine in ("scalar", "batch", "auto"):
+            code, text = run_cli("predict", "li", "--limit", "2000",
+                                 "--engine", engine, "--json")
+            assert code == 0
+            outputs.add(text)
+        assert len(outputs) == 1  # bit-identical across engines
+
+    def test_run_jobs_matches_serial(self):
+        code_serial, serial = run_cli("run", "fig10", "--fast",
+                                      "--limit", "2000")
+        code_jobs, parallel = run_cli("run", "fig10", "--fast",
+                                      "--limit", "2000", "--jobs", "4")
+        assert code_serial == 0 and code_jobs == 0
+        assert parallel == serial  # byte-identical figure output
+
+    def test_compare_engine_flag(self):
+        code, text = run_cli("compare", "li", "--limit", "1000",
+                             "--engine", "batch")
+        assert code == 0 and "dfcm_l1=" in text
+
+
+class TestBenchCommand:
+    def test_fast_bench_writes_report(self, tmp_path):
+        path = tmp_path / "BENCH_predictors.json"
+        code, text = run_cli("bench", "--fast", "--out", str(path))
+        assert code == 0
+        assert "guard" in text and "recorded only" in text
+        report = json.loads(path.read_text())
+        assert report["mode"] == "fast"
+        assert {f["family"] for f in report["families"]} >= {"dfcm", "fcm"}
+
+    def test_json_output_without_file(self):
+        code, text = run_cli("bench", "--fast", "--out", "-", "--json")
+        assert code == 0
+        report = json.loads(text)
+        assert report["guard"]["enforced"] is False
 
 
 class TestCompileAndExec:
