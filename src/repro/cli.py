@@ -13,6 +13,13 @@ Commands
 - ``disasm NAME`` — disassemble a workload's compiled text segment.
 - ``cache ls|verify|clear|warm`` — inspect and manage the trace cache.
 - ``telemetry summary|export|tail`` — inspect recorded telemetry runs.
+- ``serve`` — run the online prediction server (graceful SIGTERM drain).
+- ``loadgen NAME`` — replay a trace against a server, report throughput
+  and latency percentiles, verify accuracy against the offline engine.
+
+Every ``--json`` payload carries a ``"schema"`` integer so consumers
+can detect shape changes; every failure path exits nonzero with an
+``error: ...`` line on stderr.
 
 ``run``, ``predict`` and ``compare`` accept ``--telemetry DIR`` to
 record the invocation as a telemetry run (manifest + JSONL spans/probes
@@ -132,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "'-' = skip the file)")
     bench.add_argument("--json", action="store_true",
                        help="print the report JSON instead of the table")
+    bench.add_argument("--min-speedup", type=float, default=None,
+                       help="speedup the guard requires (default "
+                            "$REPRO_BENCH_MIN_SPEEDUP or 5.0)")
 
     compile_cmd = sub.add_parser("compile",
                                  help="compile MinC to R32 assembly")
@@ -199,6 +209,58 @@ def build_parser() -> argparse.ArgumentParser:
                                      "/ REPRO_TELEMETRY_DIR)")
         sub_parser.add_argument("--run", default=None,
                                 help="run id (default: most recent run)")
+
+    serve = sub.add_parser("serve", help="run the online prediction server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default 0 = ephemeral)")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="session shards / worker tasks (default 2)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="micro-batch size cap (default 64)")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="micro-batch accumulation window "
+                            "(default 2ms)")
+    serve.add_argument("--queue-depth", type=int, default=1024,
+                       help="per-shard queue bound / backpressure point")
+    serve.add_argument("--request-timeout-s", type=float, default=30.0,
+                       help="per-request response deadline (default 30s)")
+    serve.add_argument("--telemetry", metavar="DIR", default=None,
+                       help="record this invocation as a telemetry run "
+                            "under DIR")
+    serve.add_argument("--json", action="store_true",
+                       help="print listening/drained lines as JSON")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="replay a trace against a prediction server")
+    loadgen.add_argument("name", help="workload name")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, required=True,
+                         help="server port")
+    loadgen.add_argument("--predictor", default="dfcm",
+                         choices=["lvp", "lastn", "stride", "stride2d",
+                                  "fcm", "dfcm"])
+    loadgen.add_argument("--l1", type=int, default=16,
+                         help="log2 level-1 entries")
+    loadgen.add_argument("--l2", type=int, default=12,
+                         help="log2 level-2 entries")
+    loadgen.add_argument("--limit", type=int, default=1000,
+                         help="records to replay (default 1000)")
+    loadgen.add_argument("--window", type=int, default=0,
+                         help="delayed-update window (default 0)")
+    loadgen.add_argument("--mode", default="both",
+                         choices=["naive", "batched", "both"])
+    loadgen.add_argument("--block", type=int, default=256,
+                         help="records per STEP_BLOCK frame (default 256)")
+    loadgen.add_argument("--min-speedup", type=float, default=None,
+                         help="fail unless batched beats naive by this "
+                              "factor (needs --mode both)")
+    loadgen.add_argument("--no-verify", action="store_true",
+                         help="skip the offline-engine accuracy check")
+    loadgen.add_argument("--json", action="store_true",
+                         help="print the full report JSON")
+    loadgen.add_argument("--out", default=None,
+                         help="also write the report JSON to this file")
     return parser
 
 
@@ -257,6 +319,7 @@ def _cmd_predict(args, out) -> int:
         result = measure_accuracy(predictor, trace, engine=args.engine)
     if args.json:
         out.write(json.dumps({
+            "schema": 1,
             "command": "predict",
             "predictor": predictor.name,
             "benchmark": trace.name,
@@ -298,6 +361,7 @@ def _cmd_compare(args, out) -> int:
             results.append((predictor, result))
     if args.json:
         out.write(json.dumps({
+            "schema": 1,
             "command": "compare",
             "benchmark": trace.name,
             "limit": args.limit,
@@ -324,7 +388,7 @@ def _cmd_compare(args, out) -> int:
 
 def _cmd_bench(args, out) -> int:
     from repro.harness.bench import render_bench, run_bench, write_report
-    report = run_bench(fast=args.fast)
+    report = run_bench(fast=args.fast, min_speedup=args.min_speedup)
     if args.out and args.out != "-":
         write_report(report, args.out)
     if args.json:
@@ -457,6 +521,95 @@ def _cmd_telemetry(args, out) -> int:
     return 0
 
 
+def _cmd_serve(args, out) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve.server import PredictionServer
+
+    def emit(event: dict, human: str) -> None:
+        if args.json:
+            out.write(json.dumps(dict(event, schema=1), sort_keys=True)
+                      + "\n")
+        else:
+            out.write(human + "\n")
+        out.flush()
+
+    async def _serve():
+        server = PredictionServer(
+            host=args.host, port=args.port, shards=args.shards,
+            max_batch=args.max_batch, max_delay=args.max_delay_ms / 1e3,
+            queue_depth=args.queue_depth,
+            request_timeout=args.request_timeout_s)
+        await server.start()
+        emit({"event": "listening", "host": args.host, "port": server.port,
+              "shards": args.shards},
+             f"listening on {args.host}:{server.port} "
+             f"({args.shards} shards, batch<={args.max_batch}, "
+             f"delay<={args.max_delay_ms:g}ms) -- "
+             "SIGTERM/SIGINT drains and exits")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                signal.signal(signum, lambda *_: stop.set())
+        await stop.wait()
+        return await server.stop()
+
+    with _maybe_telemetry(args) as telemetry:
+        stats = asyncio.run(_serve())
+    emit({"event": "drained", "stats": stats,
+          "telemetry_run_id": telemetry.run_id if telemetry else None},
+         f"drained: {stats['batches']} batches, "
+         f"{stats['requests_batched']} requests, "
+         f"{stats['sessions_open']} session(s) still open")
+    if telemetry is not None and not args.json:
+        out.write(f"telemetry: {telemetry.dir}\n")
+    return 0
+
+
+def _cmd_loadgen(args, out) -> int:
+    from repro.core.spec import spec_from_cli
+    from repro.serve.loadgen import run_loadgen
+    from repro.trace.cache import cached_trace
+
+    spec = spec_from_cli(args.predictor, 1 << args.l1, 1 << args.l2)
+    trace = cached_trace(args.name, args.limit)
+    report = run_loadgen(spec, trace, args.host, args.port,
+                         window=args.window, mode=args.mode,
+                         block=args.block, verify=not args.no_verify,
+                         min_speedup=args.min_speedup)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(f"{report['spec']} on {report['trace']} "
+                  f"({report['records']} records, window "
+                  f"{report['window']})\n")
+        for name, stats in report["modes"].items():
+            latency = stats["latency"]
+            out.write(
+                f"  {name:8s} {stats['records_per_s']:>12,.0f} rec/s  "
+                f"p50 {latency['p50_ms']:.3f}ms  "
+                f"p99 {latency['p99_ms']:.3f}ms  "
+                f"accuracy {stats['accuracy']:.4f}\n")
+        if "speedup" in report:
+            out.write(f"  speedup: batched {report['speedup']:.1f}x naive\n")
+        if "verify" in report:
+            state = "match" if report["verify"]["matched"] else "MISMATCH"
+            out.write(f"  offline parity: {state} "
+                      f"({report['verify']['offline_hits']} hits)\n")
+    failed = (report.get("speedup_ok") is False
+              or (report.get("verify") is not None
+                  and not report["verify"]["matched"]))
+    return 1 if failed else 0
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "trace": _cmd_trace,
@@ -469,15 +622,43 @@ _COMMANDS = {
     "disasm": _cmd_disasm,
     "cache": _cmd_cache,
     "telemetry": _cmd_telemetry,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 
+def _expected_error_types() -> tuple:
+    """Exception types that are user/environment errors, not bugs.
+
+    These exit 1 with an ``error:`` line; anything else propagates as
+    a traceback (a bug should never be silently downgraded).
+    """
+    from repro.serve.client import ServeError
+    from repro.serve.protocol import ProtocolError
+    from repro.trace.trace import TraceCacheError
+    return (ValueError, KeyError, FileNotFoundError, ConnectionError,
+            OSError, TraceCacheError, ProtocolError, ServeError)
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Expected failures (bad arguments, missing files, protocol/server
+    errors) print ``error: ...`` on stderr and return 1; programming
+    errors still raise.
+    """
     args = build_parser().parse_args(argv)
     # Recorded verbatim in the telemetry run manifest.
     args._argv = list(argv) if argv is not None else sys.argv[1:]
-    return _COMMANDS[args.command](args, out or sys.stdout)
+    try:
+        return _COMMANDS[args.command](args, out or sys.stdout)
+    except Exception as exc:  # noqa: BLE001 - filtered just below
+        if not isinstance(exc, _expected_error_types()):
+            raise
+        message = exc.args[0] if (isinstance(exc, KeyError)
+                                  and exc.args) else exc
+        sys.stderr.write(f"error: {message}\n")
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,6 +28,8 @@ from contextlib import contextmanager
 from typing import Optional
 
 from repro.core.engines.batch import BatchEngine
+from repro.core.engines.resume import (RESUMABLE_FAMILIES, initial_state,
+                                       step_block, supports_resume)
 from repro.core.engines.scalar import EngineResult, ScalarEngine, count_correct
 
 __all__ = [
@@ -39,6 +41,10 @@ __all__ = [
     "engine_default",
     "resolve_engine_name",
     "run_spec",
+    "RESUMABLE_FAMILIES",
+    "supports_resume",
+    "initial_state",
+    "step_block",
 ]
 
 ENGINE_NAMES = ("auto", "scalar", "batch")

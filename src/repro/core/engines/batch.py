@@ -34,6 +34,8 @@ the scalar reference.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.core.engines.scalar import EngineResult, ScalarEngine
@@ -86,18 +88,32 @@ class _Groups:
         out[self.order] = arr_sorted
         return out
 
-    def final_table(self, entries: int, payload_sorted: np.ndarray) -> np.ndarray:
-        table = np.zeros(entries, dtype=np.int64)
+    def final_table(self, entries: int, payload_sorted: np.ndarray,
+                    base: Optional[np.ndarray] = None) -> np.ndarray:
+        """End-of-block table: *base* (default zeros) with each group's
+        final payload written to its entry."""
+        if base is None:
+            table = np.zeros(entries, dtype=np.int64)
+        else:
+            table = np.asarray(base, dtype=np.int64).copy()
         table[self.keys_sorted[self.is_last]] = payload_sorted[self.is_last]
         return table
 
 
 def _prev_in_group(payload_sorted: np.ndarray, is_start: np.ndarray,
-                   initial: int = 0) -> np.ndarray:
-    """Per record: the previous same-group record's payload, else *initial*."""
+                   initial=0) -> np.ndarray:
+    """Per record: the previous same-group record's payload, else *initial*.
+
+    *initial* is a scalar, or an array aligned to sorted positions whose
+    values are read at each group's first record (warm start from a
+    live table -- see :mod:`repro.core.engines.resume`).
+    """
     prev = np.empty_like(payload_sorted)
     prev[1:] = payload_sorted[:-1]
-    prev[is_start] = initial
+    if isinstance(initial, np.ndarray):
+        prev[is_start] = initial[is_start]
+    else:
+        prev[is_start] = initial
     return prev
 
 
@@ -113,7 +129,8 @@ def _fold_columns(values: np.ndarray, n: int) -> np.ndarray:
 
 
 def _fs_states(elements_sorted: np.ndarray, rank: np.ndarray,
-               index_bits: int, shift: int) -> np.ndarray:
+               index_bits: int, shift: int,
+               initial: Optional[np.ndarray] = None) -> np.ndarray:
     """FS(R-*shift*) hash state after each record, within its group.
 
     Expanding the recurrence ``s' = ((s << shift) ^ fold(v)) & mask``
@@ -121,6 +138,13 @@ def _fs_states(elements_sorted: np.ndarray, rank: np.ndarray,
     (masked), and any term with ``j * shift >= index_bits`` is masked
     away entirely -- so the state is a XOR of a fixed, small number of
     shifted fold columns.
+
+    *initial*, when given, is each record's *group-initial* hash state
+    (aligned to sorted positions): a warm start from a live table.  Its
+    contribution to the state after rank ``r`` is
+    ``s0 << ((r + 1) * shift)``, which the mask erases once the group is
+    deeper than the hash window -- the same telescoping that makes the
+    cold-start form finite.
     """
     folded = _fold_columns(elements_sorted, index_bits)
     state = folded.copy()  # the j = 0 term needs no shift and no masking
@@ -131,6 +155,11 @@ def _fs_states(elements_sorted: np.ndarray, rank: np.ndarray,
         contribution[rank < j] = 0  # do not reach across group boundaries
         state ^= contribution
         j += 1
+    if initial is not None:
+        # Clamp the shift at index_bits: beyond it the contribution is
+        # entirely masked away, and int64 shifts past 63 are undefined.
+        amount = np.minimum((rank + 1) * shift, index_bits)
+        state ^= initial << amount
     return state & ((1 << index_bits) - 1)
 
 
@@ -144,68 +173,92 @@ def _store_strides(strides: np.ndarray, stride_bits: int) -> np.ndarray:
     return np.where((low & sign) != 0, low | (MASK32 ^ stride_mask), low)
 
 
-def _run_last_value(spec, pcs, values):
+def _table_init(state, key, groups):
+    """Warm-start helpers for one table: per-sorted-record group-initial
+    values (or scalar 0) and the base array for the final table."""
+    if state is None:
+        return 0, None
+    table = state[key]
+    return table[groups.keys_sorted], table
+
+
+def _run_last_value(spec, pcs, values, state=None):
     groups = _Groups((pcs >> 2) & (spec.entries - 1), spec.entries)
+    init, base = _table_init(state, "values", groups)
     values_sorted = values[groups.order]
-    predicted = groups.unsort(_prev_in_group(values_sorted, groups.is_start))
+    predicted = groups.unsort(
+        _prev_in_group(values_sorted, groups.is_start, init))
     return predicted, None, {
-        "values": groups.final_table(spec.entries, values_sorted),
+        "values": groups.final_table(spec.entries, values_sorted, base),
     }
 
 
-def _run_fcm(spec, pcs, values):
+def _run_fcm(spec, pcs, values, state=None):
     hash_spec = spec.hash  # kind 'fs' guaranteed by supports()
     groups = _Groups((pcs >> 2) & (spec.l1_entries - 1), spec.l1_entries)
+    s0, l1_base = _table_init(state, "l1", groups)
+    s0_arr = s0 if isinstance(s0, np.ndarray) else None
     values_sorted = values[groups.order]
     state_after = _fs_states(values_sorted, groups.rank,
-                             hash_spec.index_bits, hash_spec.shift)
+                             hash_spec.index_bits, hash_spec.shift, s0_arr)
     # The prediction reads -- and the update then writes -- the level-2
     # slot of the state *before* the record; for the FS hash the state
     # is the index.  Since read and write hit the same slot, the level-2
     # read is again a prev-in-group, this time grouped by slot.
-    slots = groups.unsort(_prev_in_group(state_after, groups.is_start))
+    slots = groups.unsort(_prev_in_group(state_after, groups.is_start, s0))
     slot_groups = _Groups(slots, spec.l2_entries)
+    l2_init, l2_base = _table_init(state, "l2", slot_groups)
     slot_values_sorted = values[slot_groups.order]
     predicted = slot_groups.unsort(
-        _prev_in_group(slot_values_sorted, slot_groups.is_start))
+        _prev_in_group(slot_values_sorted, slot_groups.is_start, l2_init))
     return predicted, None, {
-        "l1": groups.final_table(spec.l1_entries, state_after),
-        "l2": slot_groups.final_table(spec.l2_entries, slot_values_sorted),
+        "l1": groups.final_table(spec.l1_entries, state_after, l1_base),
+        "l2": slot_groups.final_table(spec.l2_entries, slot_values_sorted,
+                                      l2_base),
     }
 
 
-def _run_dfcm(spec, pcs, values):
+def _run_dfcm(spec, pcs, values, state=None):
     hash_spec = spec.hash
     groups = _Groups((pcs >> 2) & (spec.l1_entries - 1), spec.l1_entries)
+    last_init, last_base = _table_init(state, "last", groups)
+    h0, hist_base = _table_init(state, "hist", groups)
+    h0_arr = h0 if isinstance(h0, np.ndarray) else None
     values_sorted = values[groups.order]
-    last_before = _prev_in_group(values_sorted, groups.is_start)
+    last_before = _prev_in_group(values_sorted, groups.is_start, last_init)
     strides = (values_sorted - last_before) & MASK32
     state_after = _fs_states(strides, groups.rank,
-                             hash_spec.index_bits, hash_spec.shift)
+                             hash_spec.index_bits, hash_spec.shift, h0_arr)
     stored = _store_strides(strides, spec.stride_bits)
-    slots = groups.unsort(_prev_in_group(state_after, groups.is_start))
+    slots = groups.unsort(_prev_in_group(state_after, groups.is_start, h0))
     slot_groups = _Groups(slots, spec.l2_entries)
+    l2_init, l2_base = _table_init(state, "l2", slot_groups)
     stored_by_slot = groups.unsort(stored)[slot_groups.order]
     l2_read = slot_groups.unsort(
-        _prev_in_group(stored_by_slot, slot_groups.is_start))
+        _prev_in_group(stored_by_slot, slot_groups.is_start, l2_init))
     predicted = (groups.unsort(last_before) + l2_read) & MASK32
     return predicted, None, {
-        "last": groups.final_table(spec.l1_entries, values_sorted),
-        "hist": groups.final_table(spec.l1_entries, state_after),
-        "l2": slot_groups.final_table(spec.l2_entries, stored_by_slot),
+        "last": groups.final_table(spec.l1_entries, values_sorted, last_base),
+        "hist": groups.final_table(spec.l1_entries, state_after, hist_base),
+        "l2": slot_groups.final_table(spec.l2_entries, stored_by_slot,
+                                      l2_base),
     }
 
 
-def _run_stride2d(spec, pcs, values):
+def _run_stride2d(spec, pcs, values, state=None):
     groups = _Groups((pcs >> 2) & (spec.entries - 1), spec.entries)
+    last_init, last_base = _table_init(state, "last", groups)
+    s1_init, s1_base = _table_init(state, "s1", groups)
+    s2_init, s2_base = _table_init(state, "s2", groups)
     values_sorted = values[groups.order]
-    last_before = _prev_in_group(values_sorted, groups.is_start)
+    last_before = _prev_in_group(values_sorted, groups.is_start, last_init)
     new_stride = (values_sorted - last_before) & MASK32
-    s2_before = _prev_in_group(new_stride, groups.is_start)
+    s2_before = _prev_in_group(new_stride, groups.is_start, s2_init)
     promote = new_stride == s2_before  # same stride twice in a row
     # s1 before record k is the stride at the latest promotion strictly
-    # before k in the same group (0 if none): a running maximum over
-    # promotion positions, validated against the group start.
+    # before k in the same group (the warm/initial s1 if none): a
+    # running maximum over promotion positions, validated against the
+    # group start.
     pos = np.arange(len(values_sorted), dtype=np.int64)
     promo_pos = np.maximum.accumulate(np.where(promote, pos, -1))
     promo_before = np.empty_like(promo_pos)
@@ -213,17 +266,17 @@ def _run_stride2d(spec, pcs, values):
     promo_before[1:] = promo_pos[:-1]
     in_group = promo_before >= groups.start
     s1_before = np.where(in_group,
-                         new_stride[np.maximum(promo_before, 0)], 0)
+                         new_stride[np.maximum(promo_before, 0)], s1_init)
     predicted = groups.unsort((last_before + s1_before) & MASK32)
     s1_after = np.where(promote, new_stride, s1_before)
     return predicted, None, {
-        "last": groups.final_table(spec.entries, values_sorted),
-        "s1": groups.final_table(spec.entries, s1_after),
-        "s2": groups.final_table(spec.entries, new_stride),
+        "last": groups.final_table(spec.entries, values_sorted, last_base),
+        "s1": groups.final_table(spec.entries, s1_after, s1_base),
+        "s2": groups.final_table(spec.entries, new_stride, s2_base),
     }
 
 
-def _run_stride(spec, pcs, values):
+def _run_stride(spec, pcs, values, state=None):
     groups = _Groups((pcs >> 2) & (spec.entries - 1), spec.entries)
     values_sorted = values[groups.order]
     n = len(values_sorted)
@@ -236,9 +289,15 @@ def _run_stride(spec, pcs, values):
     lanes = len(lane_key)
     counter_max = (1 << spec.counter_bits) - 1
     inc, dec = spec.counter_inc, spec.counter_dec
-    last = np.zeros(lanes, dtype=np.int64)
-    stride = np.zeros(lanes, dtype=np.int64)
-    conf = np.zeros(lanes, dtype=np.int64)
+    if state is None:
+        last = np.zeros(lanes, dtype=np.int64)
+        stride = np.zeros(lanes, dtype=np.int64)
+        conf = np.zeros(lanes, dtype=np.int64)
+    else:
+        # Fancy indexing copies, so the lanes are free to mutate.
+        last = state["last"][lane_key]
+        stride = state["stride"][lane_key]
+        conf = state["conf"][lane_key]
     predictions_sorted = np.zeros(n, dtype=np.int64)
     scratch = np.empty(lanes, dtype=np.int64)
     round_no = 0
@@ -290,33 +349,40 @@ def _run_stride(spec, pcs, values):
             conf[lane] = lane_conf
     predicted = groups.unsort(predictions_sorted)
 
-    def lane_table(lane_values: np.ndarray) -> np.ndarray:
-        table = np.zeros(spec.entries, dtype=np.int64)
+    def lane_table(key: str, lane_values: np.ndarray) -> np.ndarray:
+        if state is None:
+            table = np.zeros(spec.entries, dtype=np.int64)
+        else:
+            table = state[key].copy()
         table[lane_key] = lane_values
         return table
 
     return predicted, None, {
-        "last": lane_table(last),
-        "stride": lane_table(stride),
-        "conf": lane_table(conf),
+        "last": lane_table("last", last),
+        "stride": lane_table("stride", stride),
+        "conf": lane_table("conf", conf),
     }
 
 
-def _run_oracle_hybrid(spec, pcs, values):
+def _run_oracle_hybrid(spec, pcs, values, state=None):
     correct_any = np.zeros(len(values), dtype=bool)
-    state = {}
+    tables = {}
     predicted_first = None
     for i, component in enumerate(spec.components):
+        prefix = f"c{i}."
+        comp_in = (None if state is None else
+                   {k[len(prefix):]: v for k, v in state.items()
+                    if k.startswith(prefix)})
         predicted, correct, comp_state = _KERNELS[component.family](
-            component, pcs, values)
+            component, pcs, values, comp_in)
         if correct is None:
             correct = predicted == values
         correct_any |= correct
         for key, table in comp_state.items():
-            state[f"c{i}.{key}"] = table
+            tables[prefix + key] = table
         if i == 0:
             predicted_first = predicted
-    return predicted_first, correct_any, state
+    return predicted_first, correct_any, tables
 
 
 _KERNELS = {

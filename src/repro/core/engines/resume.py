@@ -1,0 +1,96 @@
+"""Resumable batch stepping: the batch kernels, warm-started.
+
+The whole-trace kernels in :mod:`repro.core.engines.batch` assume
+cold (all-zero) tables.  An online service cannot: a session's tables
+are live between requests.  This module runs the *same* kernels from an
+explicit table-state snapshot -- the canonical
+:meth:`~repro.core.spec.PredictorSpec.extract_state` dict of int64
+arrays -- and returns the per-record predictions together with the
+state after the block:
+
+    state = initial_state(spec)
+    predicted, state = step_block(spec, state, pcs, values)
+
+``step_block(spec, initial_state(spec), pcs, values)`` over one whole
+trace is bit-identical to the cold-start batch replay (and therefore to
+the scalar reference loop); chunking the trace arbitrarily and
+threading the state through produces the same predictions and the same
+final tables.  ``tests/engines/test_resume.py`` enforces both.
+
+Warm starts ride on two observations:
+
+- every *last-value read* (LVP tables, DFCM last values, FCM/DFCM
+  level-2 reads) becomes a prev-in-group with the group's first record
+  reading the stored table entry instead of zero;
+- the FS hash state's initial contribution ``s0 << ((rank+1) * shift)``
+  shifts out of the index after the same fixed window that makes the
+  cold-start recurrence telescope, so warm hash states cost one extra
+  vector term.
+
+Supported families: last_value, stride, stride2d, fcm, dfcm (the
+latter two with the paper's FS hash, same restriction as
+:meth:`BatchEngine.supports`).  Hybrids, meta predictors and delayed
+wrappers keep their stateful scalar objects in the serving layer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.core.engines.batch import _KERNELS
+
+__all__ = ["RESUMABLE_FAMILIES", "supports_resume", "initial_state",
+           "step_block"]
+
+#: Families whose batch kernel accepts a warm-start state.
+RESUMABLE_FAMILIES = ("last_value", "stride", "stride2d", "fcm", "dfcm")
+
+State = Dict[str, np.ndarray]
+
+
+def supports_resume(spec) -> bool:
+    """True when *spec* can be stepped through the warm-start kernels."""
+    family = spec.family
+    if family not in RESUMABLE_FAMILIES:
+        return False
+    if family in ("fcm", "dfcm"):
+        return spec.hash.kind == "fs"
+    return True
+
+
+def initial_state(spec) -> State:
+    """The cold (all-zero) table snapshot for *spec*.
+
+    Derived from a freshly built predictor through the canonical
+    :meth:`~repro.core.spec.PredictorSpec.extract_state`, so the state
+    layout is the one the cross-engine equivalence suite already pins.
+    """
+    if not supports_resume(spec):
+        raise ValueError(f"{spec.name}: family {spec.family!r} is not "
+                         "resumable")
+    return spec.extract_state(spec.build())
+
+
+def step_block(spec, state: State, pcs: np.ndarray,
+               values: np.ndarray) -> Tuple[np.ndarray, State]:
+    """Predict-then-update every ``(pc, value)`` record, warm-started.
+
+    *state* is not mutated; the returned pair is ``(predicted, state')``
+    where ``predicted[i]`` is the prediction issued for record ``i``
+    with all earlier records already trained -- exactly the scalar
+    ``predict(pc); update(pc, value)`` loop.
+    """
+    if not supports_resume(spec):
+        raise ValueError(f"{spec.name}: family {spec.family!r} is not "
+                         "resumable")
+    pcs = np.asarray(pcs, dtype=np.int64)
+    values = np.asarray(values, dtype=np.int64)
+    if pcs.shape != values.shape:
+        raise ValueError(f"pcs and values lengths differ: "
+                         f"{pcs.shape} vs {values.shape}")
+    if len(pcs) == 0:
+        return np.zeros(0, dtype=np.int64), state
+    predicted, _, new_state = _KERNELS[spec.family](spec, pcs, values, state)
+    return predicted, new_state

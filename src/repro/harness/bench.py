@@ -16,6 +16,7 @@ measure the kernels, not the harness.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import time
 from typing import List, Optional, Sequence, Tuple
@@ -27,11 +28,33 @@ from repro.core.spec import (DFCMSpec, FCMSpec, LastValueSpec,
 from repro.harness.simulate import measure_suite
 from repro.trace.trace import ValueTrace
 
-__all__ = ["MIN_SPEEDUP", "bench_specs", "run_bench", "render_bench",
-           "write_report"]
+__all__ = ["MIN_SPEEDUP", "bench_specs", "resolve_min_speedup", "run_bench",
+           "render_bench", "write_report"]
 
-#: Full-mode guard: flagship DFCM batch replay vs the scalar loop.
+#: Default full-mode guard: flagship DFCM batch replay vs the scalar
+#: loop.  Override per run with ``--min-speedup`` or
+#: ``$REPRO_BENCH_MIN_SPEEDUP``; the effective threshold is recorded in
+#: the report's ``guard`` block.
 MIN_SPEEDUP = 5.0
+
+
+def resolve_min_speedup(min_speedup: Optional[float] = None) -> float:
+    """Explicit argument > ``$REPRO_BENCH_MIN_SPEEDUP`` > default."""
+    if min_speedup is None:
+        env = os.environ.get("REPRO_BENCH_MIN_SPEEDUP")
+        if env:
+            try:
+                min_speedup = float(env)
+            except ValueError:
+                raise ValueError(
+                    "REPRO_BENCH_MIN_SPEEDUP must be a number, "
+                    f"got {env!r}") from None
+    if min_speedup is None:
+        return MIN_SPEEDUP
+    if min_speedup <= 0:
+        raise ValueError(
+            f"min speedup must be positive, got {min_speedup}")
+    return float(min_speedup)
 
 #: Trace lengths (records per benchmark).
 FULL_LIMIT = 100_000
@@ -79,16 +102,19 @@ def _time_replay(spec: PredictorSpec, trace: ValueTrace, engine: str,
 
 def run_bench(traces: Optional[Sequence[ValueTrace]] = None,
               fast: bool = False,
-              repeats: Optional[int] = None) -> dict:
+              repeats: Optional[int] = None,
+              min_speedup: Optional[float] = None) -> dict:
     """Run the grid and return the report dict (see module docstring).
 
     *traces*: injectable for tests; defaults to the cached
     :data:`ANCHOR_BENCHMARK` trace at the mode's record limit.  The
     first trace anchors the per-family grid; the full list feeds the
-    suite-level comparison.  The guard is **enforced** (``passed`` may
+    suite-level comparison.  The guard threshold comes from
+    :func:`resolve_min_speedup`; it is **enforced** (``passed`` may
     be ``False`` and the caller should fail) only in full mode --
     fast-mode numbers on tiny traces are recorded, not judged.
     """
+    threshold = resolve_min_speedup(min_speedup)
     limit = FAST_LIMIT if fast else FULL_LIMIT
     if traces is None:
         from repro.trace.cache import cached_trace
@@ -137,6 +163,7 @@ def run_bench(traces: Optional[Sequence[ValueTrace]] = None,
     suite_speedup = suite_scalar_s / suite_batch_s
 
     return {
+        "schema": 1,
         "schema_version": 1,
         "mode": "fast" if fast else "full",
         "anchor": {"benchmark": anchor.name, "records": len(anchor)},
@@ -154,10 +181,10 @@ def run_bench(traces: Optional[Sequence[ValueTrace]] = None,
             "speedup": round(suite_speedup, 3),
         },
         "guard": {
-            "min_speedup": MIN_SPEEDUP,
+            "min_speedup": threshold,
             "measured": round(suite_speedup, 3),
             "enforced": not fast,
-            "passed": fast or suite_speedup >= MIN_SPEEDUP,
+            "passed": fast or suite_speedup >= threshold,
         },
     }
 
@@ -185,7 +212,7 @@ def render_bench(report: dict) -> str:
     verdict = "PASS" if guard["passed"] else "FAIL"
     enforcement = "enforced" if guard["enforced"] else "recorded only"
     lines.append(
-        f"guard: batch >= {guard['min_speedup']:.0f}x scalar on the "
+        f"guard: batch >= {guard['min_speedup']:g}x scalar on the "
         f"flagship suite -- measured {guard['measured']:.2f}x "
         f"[{verdict}, {enforcement}]")
     return "\n".join(lines) + "\n"

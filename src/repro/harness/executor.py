@@ -28,7 +28,11 @@ Resolution order for both knobs mirrors the engine layer: explicit
 argument > :func:`executor_default` (installed by the CLI) >
 ``$REPRO_EXECUTOR`` / ``$REPRO_JOBS`` > serial.  Naming a job count
 above one implies the process executor; the serial executor always
-reports one job.
+reports one job.  A malformed or non-positive ``$REPRO_JOBS`` raises a
+``ValueError`` naming the variable when it is resolved, and a job
+count above ``os.cpu_count()`` is clamped to the core count (recorded
+via the ``repro_jobs_clamped_total`` counter and, under an active
+telemetry run, a ``jobs_clamped`` warning event).
 """
 
 from __future__ import annotations
@@ -66,8 +70,47 @@ def executor_default(executor: Optional[str] = None,
 
 
 def _env_jobs() -> Optional[int]:
+    """``$REPRO_JOBS``, validated at resolve time.
+
+    Unset or empty means "not configured"; anything else must be a
+    positive integer -- a typo'd value failing silently would quietly
+    serialise (or mis-parallelise) every suite run.
+    """
     env = os.environ.get("REPRO_JOBS")
-    return int(env) if env else None
+    if env is None or env == "":
+        return None
+    try:
+        n = int(env)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be a positive integer, got {env!r}") from None
+    if n < 1:
+        raise ValueError(
+            f"REPRO_JOBS must be a positive integer, got {env!r}")
+    return n
+
+
+def _clamp_jobs(n: int) -> int:
+    """Cap a requested worker count at the machine's cores.
+
+    More workers than cores only adds fork and scheduling overhead; the
+    clamp is recorded (counter always, event when a telemetry run is
+    active) so a CI log shows why fewer workers ran than were asked
+    for.
+    """
+    cores = os.cpu_count() or 1
+    if n <= cores:
+        return n
+    from repro.telemetry.registry import registry
+    registry().counter(
+        "repro_jobs_clamped_total",
+        "Requested job counts clamped to the machine's cpu count.").inc()
+    from repro.telemetry import run as _telemetry_run
+    run = _telemetry_run.active_run()
+    if run is not None:
+        run.emit({"type": "warning", "what": "jobs_clamped",
+                  "requested": n, "cpu_count": cores})
+    return cores
 
 
 def resolve_executor(executor: Optional[str] = None,
@@ -90,7 +133,7 @@ def resolve_executor(executor: Optional[str] = None,
             f"unknown executor {name!r}; expected one of {EXECUTOR_NAMES}")
     if name == "serial":
         return "serial", 1
-    return "process", n if n is not None else (os.cpu_count() or 2)
+    return "process", _clamp_jobs(n) if n is not None else (os.cpu_count() or 2)
 
 
 def _run_cell(payload):

@@ -1,0 +1,39 @@
+"""Online value-prediction service (``repro serve`` / ``repro loadgen``).
+
+The offline harness replays traces through the engine layer in batch;
+this package serves the same predictors over TCP, online:
+
+- :mod:`repro.serve.protocol` -- the length-prefixed binary frame
+  format (versioned; OPEN_SESSION / PREDICT / OUTCOME / STEP /
+  STEP_BLOCK / FLUSH / STATS / CLOSE_SESSION).
+- :mod:`repro.serve.session` -- per-session predictor state built from
+  a picklable :class:`~repro.core.spec.PredictorSpec`, with an optional
+  in-flight *window* implementing delayed update online
+  (:mod:`repro.core.delayed` semantics, bit-for-bit).
+- :mod:`repro.serve.batcher` -- the cross-connection micro-batcher:
+  bounded queues, max-batch-size / max-delay knobs, backpressure,
+  graceful drain.
+- :mod:`repro.serve.server` -- the asyncio TCP server; sessions are
+  sharded across worker tasks by session id.
+- :mod:`repro.serve.client` / :mod:`repro.serve.loadgen` -- a blocking
+  client and a trace-replay load generator reporting throughput and
+  latency percentiles, verified against the offline engine.
+
+Serving is bit-identical to the offline engines: a served trace
+produces the same hit/miss counts as ``measure_suite`` on the same
+spec, including under delayed-update windows.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.serve.server import PredictionServer, ServerThread
+from repro.serve.session import Session
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Session",
+    "PredictionServer",
+    "ServerThread",
+    "ServeClient",
+]

@@ -1,0 +1,180 @@
+"""Cross-connection micro-batching for one shard.
+
+Each shard owns a :class:`MicroBatcher`: a bounded asyncio queue of
+:class:`WorkItem` requests feeding one worker task.  The worker drains
+the queue into micro-batches -- everything immediately available, then
+up to ``max_delay`` of waiting for stragglers, capped at ``max_batch``
+items -- and executes them against the shard's sessions.
+
+Within a batch, runs of STEP / STEP_BLOCK items for the *same* session
+are fused into a single :meth:`~repro.serve.session.Session.step_block`
+call, so records arriving on different connections share one pass
+through the vectorised kernels.  Per-session FIFO order is preserved:
+items are grouped by session but executed in arrival order within each
+session, and non-fusible items (PREDICT, OUTCOME, FLUSH, ...) act as
+fences in that session's stream.
+
+Backpressure is the queue bound: ``submit`` awaits when the shard is
+``queue_depth`` items behind, which stalls the submitting connection's
+reader (and, through TCP, the client) instead of buffering unboundedly.
+
+Results travel back through per-item futures.  The worker never lets a
+session's exception kill the shard: it lands on the item's future and
+the batch continues.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["WorkItem", "MicroBatcher"]
+
+
+@dataclass
+class WorkItem:
+    """One queued request: which session, what to run, where to answer.
+
+    ``fuse_key`` is non-None for STEP / STEP_BLOCK items; adjacent
+    items (per session) whose ``fuse_key`` matches are merged into one
+    kernel call.  ``pcs``/``values`` carry the records for fusible
+    items; ``run`` executes everything else.
+    """
+
+    session_id: int
+    future: asyncio.Future
+    run: Optional[Callable] = None
+    fuse_key: Optional[str] = None
+    pcs: List[int] = field(default_factory=list)
+    values: List[int] = field(default_factory=list)
+
+
+class MicroBatcher:
+    """Bounded queue + batch-draining worker for one shard."""
+
+    def __init__(self, max_batch: int = 64, max_delay: float = 0.002,
+                 queue_depth: int = 1024):
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ValueError(f"max_delay must be >= 0, got {max_delay}")
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._queue: asyncio.Queue = asyncio.Queue(maxsize=queue_depth)
+        self.batches = 0
+        self.items = 0
+        self.fused_records = 0
+
+    # ------------------------------------------------------------ intake
+
+    def qsize(self) -> int:
+        return self._queue.qsize()
+
+    async def submit(self, item: WorkItem) -> None:
+        """Enqueue; awaits (backpressure) when the shard is behind."""
+        await self._queue.put(item)
+
+    # ------------------------------------------------------------- drain
+
+    async def next_batch(self) -> List[WorkItem]:
+        """Block for the next micro-batch.
+
+        Waits for the first item, then keeps accepting until the batch
+        is full, the queue is empty *and* ``max_delay`` has elapsed
+        since the batch opened.
+        """
+        loop = asyncio.get_running_loop()
+        batch = [await self._queue.get()]
+        deadline = loop.time() + self.max_delay
+        while len(batch) < self.max_batch:
+            try:
+                batch.append(self._queue.get_nowait())
+                continue
+            except asyncio.QueueEmpty:
+                pass
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            try:
+                batch.append(await asyncio.wait_for(self._queue.get(),
+                                                    remaining))
+            except asyncio.TimeoutError:
+                break
+        self.batches += 1
+        self.items += len(batch)
+        return batch
+
+    def execute(self, batch: List[WorkItem], sessions: Dict[int, object]) -> None:
+        """Run a micro-batch against *sessions*, resolving every future.
+
+        Synchronous on purpose: one batch is one scheduling unit of the
+        shard worker, and nothing inside it awaits.
+        """
+        for session_id, items in self._by_session(batch).items():
+            session = sessions.get(session_id)
+            for fused in self._fuse_runs(items):
+                self._execute_fused(fused, session)
+
+    @staticmethod
+    def _by_session(batch: List[WorkItem]) -> Dict[int, List[WorkItem]]:
+        grouped: Dict[int, List[WorkItem]] = {}
+        for item in batch:
+            grouped.setdefault(item.session_id, []).append(item)
+        return grouped
+
+    @staticmethod
+    def _fuse_runs(items: List[WorkItem]) -> List[List[WorkItem]]:
+        """Split one session's FIFO stream into maximal fusible runs."""
+        runs: List[List[WorkItem]] = []
+        for item in items:
+            if (runs and item.fuse_key is not None
+                    and runs[-1][0].fuse_key == item.fuse_key):
+                runs[-1].append(item)
+            else:
+                runs.append([item])
+        return runs
+
+    def _execute_fused(self, fused: List[WorkItem], session) -> None:
+        done = [item for item in fused if not item.future.cancelled()]
+        if not done:
+            return
+        try:
+            if fused[0].fuse_key is None:
+                item = fused[0]
+                result = item.run(session)
+                if not item.future.cancelled():
+                    item.future.set_result(result)
+                return
+            pcs = [pc for item in fused for pc in item.pcs]
+            values = [v for item in fused for v in item.values]
+            if session is None:
+                raise KeyError(fused[0].session_id)
+            predicted, _ = session.step_block(pcs, values)
+            if len(fused) > 1:
+                self.fused_records += len(pcs)
+            offset = 0
+            for item in fused:
+                part = predicted[offset:offset + len(item.pcs)]
+                offset += len(item.pcs)
+                hits = sum(1 for p, v in zip(part, item.values)
+                           if p == (v & 0xFFFFFFFF))
+                if not item.future.cancelled():
+                    item.future.set_result((part, hits))
+        except Exception as exc:  # noqa: BLE001 - must reach the client
+            for item in fused:
+                if not item.future.cancelled():
+                    item.future.set_exception(exc)
+
+    async def drain(self) -> int:
+        """Wait until every queued item has been picked up by the
+        worker; returns how many were still queued when called."""
+        pending = self._queue.qsize()
+        await self._queue.join()
+        return pending
+
+    def task_done(self, count: int) -> None:
+        for _ in range(count):
+            self._queue.task_done()

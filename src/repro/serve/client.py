@@ -1,0 +1,136 @@
+"""Blocking client for the prediction service.
+
+:class:`ServeClient` wraps one TCP connection with a plain synchronous
+call-per-frame API -- the shape the load generator, the test suite and
+any scripting caller wants.  One request is one round trip; the
+pipelined (many requests in flight) path lives in
+:mod:`repro.serve.loadgen`, built on the same frame helpers.
+
+Server-side errors surface as :class:`ServeError` carrying the
+protocol error code; transport and framing problems raise
+:class:`~repro.serve.protocol.ProtocolError` / ``ConnectionError``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from typing import List, Optional, Tuple
+
+from repro.core.spec import PredictorSpec
+from repro.serve import protocol
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(Exception):
+    """An ERROR response from the server."""
+
+    def __init__(self, code: int, message: str):
+        super().__init__(f"[{protocol_code_name(code)}] {message}")
+        self.code = code
+        self.message = message
+
+
+def protocol_code_name(code: int) -> str:
+    try:
+        return protocol.ErrorCode(code).name
+    except ValueError:
+        return f"code_{code}"
+
+
+class ServeClient:
+    """One blocking connection to a :class:`PredictionServer`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: Optional[float] = 30.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._request_ids = itertools.count(1)
+
+    # ---------------------------------------------------------- transport
+
+    def request(self, frame_type: int, body: bytes) -> protocol.Frame:
+        """Send one frame, block for its response frame."""
+        request_id = self.send(frame_type, body)
+        frame = self.recv()
+        if frame is None:
+            raise ConnectionError("server closed the connection")
+        if frame.request_id != request_id:
+            raise protocol.ProtocolError(
+                f"response for request {frame.request_id}, "
+                f"expected {request_id}")
+        return frame
+
+    def send(self, frame_type: int, body: bytes) -> int:
+        """Fire one request frame without waiting; returns its id."""
+        request_id = next(self._request_ids)
+        self.sock.sendall(protocol.encode_frame(frame_type, request_id,
+                                                body))
+        return request_id
+
+    def recv(self) -> Optional[protocol.Frame]:
+        """Read one response frame; raises :class:`ServeError` on ERROR."""
+        frame = protocol.read_frame_blocking(self.sock)
+        if frame is not None and frame.type == protocol.FrameType.ERROR:
+            raise ServeError(*protocol.decode_error(frame.body))
+        return frame
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # --------------------------------------------------------------- api
+
+    def open_session(self, spec: PredictorSpec, window: int = 0) -> int:
+        frame = self.request(
+            protocol.FrameType.OPEN_SESSION,
+            protocol.encode_open_session(spec.to_config(), window))
+        return protocol.decode_session_op(frame.body, 0)[0]
+
+    def predict(self, session: int, pc: int) -> int:
+        frame = self.request(protocol.FrameType.PREDICT,
+                             protocol.encode_session_op(session, pc))
+        return protocol.decode_u32(frame.body)
+
+    def outcome(self, session: int, pc: int, value: int) -> int:
+        frame = self.request(
+            protocol.FrameType.OUTCOME,
+            protocol.encode_session_op(session, pc, value))
+        return protocol.decode_u8(frame.body)
+
+    def step(self, session: int, pc: int, value: int) -> Tuple[int, int]:
+        frame = self.request(
+            protocol.FrameType.STEP,
+            protocol.encode_session_op(session, pc, value))
+        return protocol.decode_step_result(frame.body)
+
+    def step_block(self, session: int, pcs,
+                   values) -> Tuple[List[int], int]:
+        frame = self.request(protocol.FrameType.STEP_BLOCK,
+                             protocol.encode_step_block(session, pcs,
+                                                        values))
+        return protocol.decode_block_result(frame.body)
+
+    def flush(self, session: int) -> int:
+        frame = self.request(protocol.FrameType.FLUSH,
+                             protocol.encode_session_op(session))
+        return protocol.decode_u32(frame.body)
+
+    def stats(self, session: int = 0) -> dict:
+        frame = self.request(protocol.FrameType.STATS,
+                             protocol.encode_session_op(session))
+        return protocol.decode_json_body(frame.body)
+
+    def close_session(self, session: int) -> dict:
+        frame = self.request(protocol.FrameType.CLOSE_SESSION,
+                             protocol.encode_session_op(session))
+        return protocol.decode_json_body(frame.body)

@@ -1,0 +1,165 @@
+"""Trace-replay load generator for the prediction service.
+
+Replays a :class:`~repro.trace.trace.ValueTrace` against a running
+server and reports throughput and latency percentiles, in one or both
+of two shapes:
+
+``naive``
+    one STEP frame per record, one round trip each -- the un-batched
+    baseline any RPC-per-record client would see.
+``batched``
+    STEP_BLOCK frames of ``block`` records per round trip -- the shape
+    that actually exercises the micro-batched kernel path.
+
+Both modes drive a fresh session over the same records in order, so
+their hit counts must agree with each other *and* with the offline
+engines; ``verify=True`` replays the equivalent spec (wrapped in
+:class:`~repro.core.spec.DelayedSpec` when a window is configured)
+through :func:`~repro.harness.simulate.measure_accuracy` and checks
+the served hit counts bit-for-bit.
+
+The report is a JSON-able dict (``schema`` 1).  When *min_speedup* is
+given and both modes ran, ``speedup_ok`` records whether batched
+throughput beat naive by at least that factor -- the CI smoke job's
+regression guard.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.core.spec import DelayedSpec, PredictorSpec
+from repro.serve.client import ServeClient
+
+__all__ = ["run_loadgen", "percentile"]
+
+LOADGEN_SCHEMA = 1
+
+_MASK32 = 0xFFFFFFFF
+
+
+def percentile(sorted_values: List[float], p: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    rank = int(round((p / 100.0) * (len(sorted_values) - 1)))
+    return sorted_values[min(rank, len(sorted_values) - 1)]
+
+
+def _latency_summary(latencies: List[float]) -> dict:
+    ordered = sorted(latencies)
+    mean = sum(ordered) / len(ordered) if ordered else 0.0
+    return {
+        "p50_ms": round(percentile(ordered, 50) * 1e3, 4),
+        "p90_ms": round(percentile(ordered, 90) * 1e3, 4),
+        "p99_ms": round(percentile(ordered, 99) * 1e3, 4),
+        "mean_ms": round(mean * 1e3, 4),
+    }
+
+
+def _replay_naive(client: ServeClient, session: int, pcs, values):
+    latencies = []
+    hits = 0
+    for pc, value in zip(pcs, values):
+        started = time.perf_counter()
+        _, hit = client.step(session, pc, value)
+        latencies.append(time.perf_counter() - started)
+        hits += hit
+    return hits, latencies
+
+
+def _replay_batched(client: ServeClient, session: int, pcs, values,
+                    block: int):
+    latencies = []
+    hits = 0
+    for start in range(0, len(pcs), block):
+        chunk_pcs = pcs[start:start + block]
+        chunk_values = values[start:start + block]
+        started = time.perf_counter()
+        _, chunk_hits = client.step_block(session, chunk_pcs, chunk_values)
+        latencies.append(time.perf_counter() - started)
+        hits += chunk_hits
+    return hits, latencies
+
+
+def _run_mode(host: str, port: int, spec: PredictorSpec, window: int,
+              mode: str, pcs, values, block: int) -> dict:
+    with ServeClient(host, port) as client:
+        session = client.open_session(spec, window)
+        started = time.perf_counter()
+        if mode == "naive":
+            hits, latencies = _replay_naive(client, session, pcs, values)
+        else:
+            hits, latencies = _replay_batched(client, session, pcs, values,
+                                              block)
+        elapsed = time.perf_counter() - started
+        stats = client.close_session(session)
+    records = len(pcs)
+    result = {
+        "mode": mode,
+        "records": records,
+        "requests": len(latencies),
+        "seconds": round(elapsed, 6),
+        "records_per_s": round(records / elapsed, 1) if elapsed else 0.0,
+        "latency": _latency_summary(latencies),
+        "hits": hits,
+        "accuracy": round(hits / records, 6) if records else 0.0,
+    }
+    if stats["hits"] != hits:
+        raise RuntimeError(
+            f"{mode}: client counted {hits} hits, session reported "
+            f"{stats['hits']}")
+    return result
+
+
+def run_loadgen(spec: PredictorSpec, trace, host: str, port: int,
+                window: int = 0, mode: str = "both", block: int = 256,
+                verify: bool = True,
+                min_speedup: Optional[float] = None) -> dict:
+    """Replay *trace* against the server at ``host:port``; see module
+    docstring for the report shape."""
+    if mode not in ("naive", "batched", "both"):
+        raise ValueError(f"unknown loadgen mode {mode!r}")
+    if block < 1:
+        raise ValueError(f"block must be >= 1, got {block}")
+    pcs = [int(pc) & _MASK32 for pc in trace.pcs]
+    values = [int(v) & _MASK32 for v in trace.values]
+    report = {
+        "schema": LOADGEN_SCHEMA,
+        "trace": trace.name,
+        "records": len(pcs),
+        "spec": spec.name,
+        "spec_config": spec.to_config(),
+        "window": window,
+        "block": block,
+        "modes": {},
+    }
+    modes = ("naive", "batched") if mode == "both" else (mode,)
+    for name in modes:
+        report["modes"][name] = _run_mode(host, port, spec, window, name,
+                                          pcs, values, block)
+    if "naive" in report["modes"] and "batched" in report["modes"]:
+        naive_rate = report["modes"]["naive"]["records_per_s"]
+        batched_rate = report["modes"]["batched"]["records_per_s"]
+        speedup = batched_rate / naive_rate if naive_rate else 0.0
+        report["speedup"] = round(speedup, 2)
+        report["min_speedup"] = min_speedup
+        if min_speedup is not None:
+            report["speedup_ok"] = speedup >= min_speedup
+    if verify:
+        report["verify"] = _verify(spec, trace, window, report["modes"])
+    return report
+
+
+def _verify(spec: PredictorSpec, trace, window: int, modes: dict) -> dict:
+    from repro.harness.simulate import measure_accuracy
+    offline_spec = DelayedSpec(spec, window) if window else spec
+    offline = measure_accuracy(offline_spec, trace)
+    served = {name: stats["hits"] for name, stats in modes.items()}
+    return {
+        "offline_spec": offline_spec.name,
+        "offline_hits": offline.correct,
+        "served_hits": served,
+        "matched": all(hits == offline.correct for hits in served.values()),
+    }

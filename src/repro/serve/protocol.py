@@ -1,0 +1,316 @@
+"""The wire protocol: versioned, length-prefixed binary frames.
+
+Every frame is::
+
+    u32  length   -- bytes that follow (big-endian, like all fields)
+    u8   version  -- PROTOCOL_VERSION; mismatches are rejected
+    u8   type     -- FrameType
+    u32  request_id -- echoed verbatim in the response
+    ...  body     -- type-specific, see below
+
+Responses reuse the request's type with the high bit set
+(``RESPONSE_BIT``); errors use :data:`FrameType.ERROR` regardless of
+the request type.  Responses on one connection are written in request
+order, so clients may pipeline freely and match replies positionally
+or by ``request_id``.
+
+Request bodies::
+
+    OPEN_SESSION   u32 window | u32 len | spec config JSON (utf-8)
+    PREDICT        u64 session | u32 pc
+    OUTCOME        u64 session | u32 pc | u32 value
+    STEP           u64 session | u32 pc | u32 value
+    STEP_BLOCK     u64 session | u32 count | count * (u32 pc, u32 value)
+    FLUSH          u64 session
+    STATS          u64 session (0 = server-wide)
+    CLOSE_SESSION  u64 session
+
+Response bodies::
+
+    OPEN_SESSION   u64 session
+    PREDICT        u32 predicted
+    OUTCOME        u8 hit (0/1/2; 2 = no matching issued prediction)
+    STEP           u32 predicted | u8 hit
+    STEP_BLOCK     u32 count | u32 hits | count * u32 predicted
+    FLUSH          u32 pending (buffered delayed updates)
+    STATS          u32 len | stats JSON (utf-8)
+    CLOSE_SESSION  u32 len | final stats JSON (utf-8)
+    ERROR          u16 code | u32 len | message (utf-8)
+
+The spec config JSON is exactly
+:meth:`repro.core.spec.PredictorSpec.to_config`, so any predictor the
+spec layer can describe can be served.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+__all__ = ["PROTOCOL_VERSION", "MAX_FRAME_BYTES", "RESPONSE_BIT",
+           "FrameType", "ErrorCode", "ProtocolError", "Frame",
+           "encode_frame", "decode_frame", "read_frame_blocking",
+           "encode_open_session", "decode_open_session",
+           "encode_session_op", "decode_session_op",
+           "encode_step_block", "decode_step_block",
+           "encode_block_result", "decode_block_result",
+           "encode_json_body", "decode_json_body",
+           "encode_u8", "decode_u8", "encode_u32", "decode_u32",
+           "encode_step_result", "decode_step_result",
+           "encode_error", "decode_error"]
+
+PROTOCOL_VERSION = 1
+
+#: Upper bound on a frame's declared length; a peer announcing more is
+#: protocol-broken (or hostile) and the connection is dropped.
+MAX_FRAME_BYTES = 1 << 22
+
+RESPONSE_BIT = 0x80
+
+_HEADER = struct.Struct("!BBI")  # version, type, request_id
+_LENGTH = struct.Struct("!I")
+
+
+class FrameType(enum.IntEnum):
+    OPEN_SESSION = 1
+    PREDICT = 2
+    OUTCOME = 3
+    STEP = 4
+    STEP_BLOCK = 5
+    FLUSH = 6
+    STATS = 7
+    CLOSE_SESSION = 8
+    ERROR = 0x7F
+
+
+class ErrorCode(enum.IntEnum):
+    BAD_VERSION = 1
+    BAD_FRAME = 2
+    UNKNOWN_TYPE = 3
+    UNKNOWN_SESSION = 4
+    BAD_SPEC = 5
+    TIMEOUT = 6
+    SHUTTING_DOWN = 7
+    INTERNAL = 8
+
+
+class ProtocolError(Exception):
+    """A malformed, oversized, or version-mismatched frame."""
+
+
+@dataclass(frozen=True)
+class Frame:
+    type: int
+    request_id: int
+    body: bytes
+
+    @property
+    def is_response(self) -> bool:
+        return bool(self.type & RESPONSE_BIT) or self.type == FrameType.ERROR
+
+    @property
+    def request_type(self) -> int:
+        """The request FrameType this frame is (a response) for."""
+        return self.type & ~RESPONSE_BIT
+
+
+def encode_frame(frame_type: int, request_id: int, body: bytes = b"") -> bytes:
+    payload = _HEADER.pack(PROTOCOL_VERSION, frame_type,
+                           request_id & 0xFFFFFFFF) + body
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte limit")
+    return _LENGTH.pack(len(payload)) + payload
+
+
+def decode_frame(payload: bytes) -> Frame:
+    """Decode the bytes *after* the length prefix into a :class:`Frame`."""
+    if len(payload) < _HEADER.size:
+        raise ProtocolError(f"truncated frame header ({len(payload)} bytes)")
+    version, frame_type, request_id = _HEADER.unpack_from(payload)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"protocol version {version}, "
+                            f"expected {PROTOCOL_VERSION}")
+    return Frame(frame_type, request_id, payload[_HEADER.size:])
+
+
+def read_length(prefix: bytes) -> int:
+    """Validate and decode a frame's 4-byte length prefix."""
+    (length,) = _LENGTH.unpack(prefix)
+    if length < _HEADER.size:
+        raise ProtocolError(f"frame length {length} below header size")
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte limit")
+    return length
+
+
+def read_frame_blocking(sock) -> Optional[Frame]:
+    """Read one frame from a blocking socket; None on clean EOF."""
+    prefix = _recv_exact(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    payload = _recv_exact(sock, read_length(prefix))
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    return decode_frame(payload)
+
+
+def _recv_exact(sock, n: int) -> Optional[bytes]:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            return None if remaining == n and not chunks else None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+# ------------------------------------------------------------- bodies
+
+_OPEN = struct.Struct("!II")
+_SESSION = struct.Struct("!Q")
+_SESSION_PC = struct.Struct("!QI")
+_SESSION_PC_VALUE = struct.Struct("!QII")
+_BLOCK_HEAD = struct.Struct("!QI")
+_RESULT_HEAD = struct.Struct("!II")
+_ERROR_HEAD = struct.Struct("!HI")
+_U32 = struct.Struct("!I")
+_U8 = struct.Struct("!B")
+_STEP_RESULT = struct.Struct("!IB")
+
+
+def encode_open_session(config: dict, window: int) -> bytes:
+    blob = json.dumps(config, sort_keys=True).encode()
+    return _OPEN.pack(window, len(blob)) + blob
+
+
+def decode_open_session(body: bytes) -> Tuple[dict, int]:
+    try:
+        window, length = _OPEN.unpack_from(body)
+        blob = body[_OPEN.size:_OPEN.size + length]
+        if len(blob) != length:
+            raise ProtocolError("truncated OPEN_SESSION config")
+        return json.loads(blob.decode()), window
+    except (struct.error, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad OPEN_SESSION body: {exc}") from exc
+
+
+def encode_session_op(session: int, pc: Optional[int] = None,
+                      value: Optional[int] = None) -> bytes:
+    if pc is None:
+        return _SESSION.pack(session)
+    if value is None:
+        return _SESSION_PC.pack(session, pc & 0xFFFFFFFF)
+    return _SESSION_PC_VALUE.pack(session, pc & 0xFFFFFFFF,
+                                  value & 0xFFFFFFFF)
+
+
+def decode_session_op(body: bytes, fields: int) -> tuple:
+    """Decode a session body with 0, 1 (pc) or 2 (pc, value) operands."""
+    layout = (_SESSION, _SESSION_PC, _SESSION_PC_VALUE)[fields]
+    try:
+        return layout.unpack(body)
+    except struct.error as exc:
+        raise ProtocolError(f"bad session op body: {exc}") from exc
+
+
+def encode_step_block(session: int, pcs, values) -> bytes:
+    if len(pcs) != len(values):
+        raise ProtocolError("step block pcs/values lengths differ")
+    head = _BLOCK_HEAD.pack(session, len(pcs))
+    packed = struct.pack(f"!{2 * len(pcs)}I",
+                         *(word & 0xFFFFFFFF
+                           for pair in zip(pcs, values) for word in pair))
+    return head + packed
+
+
+def decode_step_block(body: bytes) -> Tuple[int, List[int], List[int]]:
+    try:
+        session, count = _BLOCK_HEAD.unpack_from(body)
+        words = struct.unpack_from(f"!{2 * count}I", body, _BLOCK_HEAD.size)
+    except struct.error as exc:
+        raise ProtocolError(f"bad STEP_BLOCK body: {exc}") from exc
+    return session, list(words[0::2]), list(words[1::2])
+
+
+def encode_block_result(predicted, hits: int) -> bytes:
+    return (_RESULT_HEAD.pack(len(predicted), hits)
+            + struct.pack(f"!{len(predicted)}I",
+                          *(int(p) & 0xFFFFFFFF for p in predicted)))
+
+
+def decode_block_result(body: bytes) -> Tuple[List[int], int]:
+    try:
+        count, hits = _RESULT_HEAD.unpack_from(body)
+        predicted = struct.unpack_from(f"!{count}I", body, _RESULT_HEAD.size)
+    except struct.error as exc:
+        raise ProtocolError(f"bad STEP_BLOCK result: {exc}") from exc
+    return list(predicted), hits
+
+
+def encode_json_body(payload: dict) -> bytes:
+    blob = json.dumps(payload, sort_keys=True).encode()
+    return _U32.pack(len(blob)) + blob
+
+
+def decode_json_body(body: bytes) -> dict:
+    try:
+        (length,) = _U32.unpack_from(body)
+        blob = body[_U32.size:_U32.size + length]
+        if len(blob) != length:
+            raise ProtocolError("truncated JSON body")
+        return json.loads(blob.decode())
+    except (struct.error, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON body: {exc}") from exc
+
+
+def encode_u8(value: int) -> bytes:
+    return _U8.pack(value & 0xFF)
+
+
+def decode_u8(body: bytes) -> int:
+    try:
+        return _U8.unpack(body)[0]
+    except struct.error as exc:
+        raise ProtocolError(f"bad u8 body: {exc}") from exc
+
+
+def encode_u32(value: int) -> bytes:
+    return _U32.pack(value & 0xFFFFFFFF)
+
+
+def decode_u32(body: bytes) -> int:
+    try:
+        return _U32.unpack(body)[0]
+    except struct.error as exc:
+        raise ProtocolError(f"bad u32 body: {exc}") from exc
+
+
+def encode_step_result(predicted: int, hit: int) -> bytes:
+    return _STEP_RESULT.pack(predicted & 0xFFFFFFFF, hit & 0xFF)
+
+
+def decode_step_result(body: bytes) -> Tuple[int, int]:
+    try:
+        return _STEP_RESULT.unpack(body)
+    except struct.error as exc:
+        raise ProtocolError(f"bad STEP result: {exc}") from exc
+
+
+def encode_error(code: int, message: str) -> bytes:
+    blob = message.encode()
+    return _ERROR_HEAD.pack(code, len(blob)) + blob
+
+
+def decode_error(body: bytes) -> Tuple[int, str]:
+    try:
+        code, length = _ERROR_HEAD.unpack_from(body)
+        return code, body[_ERROR_HEAD.size:_ERROR_HEAD.size + length].decode()
+    except (struct.error, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"bad ERROR body: {exc}") from exc

@@ -1,0 +1,584 @@
+"""The asyncio prediction server.
+
+One process, one event loop, ``shards`` independent worker tasks.
+Sessions are assigned to a shard by ``session_id % shards`` at open
+and never migrate, so all of a session's requests are serialized
+through its shard's queue -- per-session FIFO without locks -- while
+different sessions proceed in parallel across shards.
+
+A connection is two tasks:
+
+- the *reader* parses frames and dispatches them.  Dispatch enqueues a
+  response slot on the connection's writer queue first (responses go
+  out in request order), then submits the work item to the owning
+  shard's :class:`~repro.serve.batcher.MicroBatcher`, awaiting there
+  under backpressure.  Each dispatch is wrapped in ``asyncio.shield``
+  so a reader cancelled mid-request (shutdown) still completes the
+  enqueue -- no in-flight request is ever dropped.
+- the *writer* consumes response slots in FIFO order, awaiting each
+  item's future (bounded by ``request_timeout``; the timeout produces
+  an ERROR response, never cancels the work) and writing the frame.
+
+Graceful shutdown (:meth:`PredictionServer.stop`): close the listener,
+cancel the readers (shielded dispatches finish), let every writer
+drain its pending responses while the shard workers keep executing,
+then cancel the (now idle) workers and close the transports.
+
+Everything is observable through :mod:`repro.telemetry`: request /
+batch / record counters, queue-depth and batch-size distributions,
+open-session and connection gauges, and one ``serve.session`` span
+event per closed session when a telemetry run is active.
+
+:class:`ServerThread` hosts the server on a background thread with a
+plain blocking API -- the test suite and the CLI's loadgen path use it
+so nothing outside this module needs an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.core.spec import spec_from_config
+from repro.serve import protocol
+from repro.serve.batcher import MicroBatcher, WorkItem
+from repro.serve.session import Session
+from repro.telemetry import run as telemetry_run_module
+from repro.telemetry.registry import registry
+
+__all__ = ["PredictionServer", "ServerThread"]
+
+_BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+_LATENCY_BUCKETS = (.0001, .0005, .001, .005, .025, .1, .5, 2.5)
+
+
+class _ServeMetrics:
+    """Handles into the process registry for the serving data path."""
+
+    def __init__(self):
+        reg = registry()
+        self.requests = reg.counter(
+            "repro_serve_requests_total",
+            "Requests dispatched, by frame type.", labels=("type",))
+        self.errors = reg.counter(
+            "repro_serve_errors_total",
+            "Error responses sent, by error code.", labels=("code",))
+        self.records = reg.counter(
+            "repro_serve_records_total",
+            "Prediction records stepped through sessions.")
+        self.fused = reg.counter(
+            "repro_serve_fused_records_total",
+            "Records that shared a kernel call with another request.")
+        self.batches = reg.histogram(
+            "repro_serve_batch_size",
+            "Micro-batch sizes per shard drain.",
+            buckets=_BATCH_BUCKETS, labels=("shard",))
+        self.batch_seconds = reg.histogram(
+            "repro_serve_batch_seconds",
+            "Micro-batch execution time.",
+            buckets=_LATENCY_BUCKETS, labels=("shard",))
+        self.queue_depth = reg.gauge(
+            "repro_serve_queue_depth",
+            "Items waiting in each shard's queue.", labels=("shard",))
+        self.sessions_open = reg.gauge(
+            "repro_serve_sessions_open", "Sessions currently open.")
+        self.connections_open = reg.gauge(
+            "repro_serve_connections_open", "Client connections open.")
+
+
+class _Shard:
+    def __init__(self, index: int, batcher: MicroBatcher):
+        self.index = index
+        self.batcher = batcher
+        self.sessions: Dict[int, Session] = {}
+        self.task: Optional[asyncio.Task] = None
+
+
+class _Connection:
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.responses: asyncio.Queue = asyncio.Queue()
+        self.reader_task: Optional[asyncio.Task] = None
+        self.writer_task: Optional[asyncio.Task] = None
+
+
+class PredictionServer:
+    """Sharded, micro-batching TCP value-prediction service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 shards: int = 2, max_batch: int = 64,
+                 max_delay: float = 0.002, queue_depth: int = 1024,
+                 request_timeout: float = 30.0):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.host = host
+        self.port = port
+        self.request_timeout = request_timeout
+        self.shards = [
+            _Shard(i, MicroBatcher(max_batch=max_batch, max_delay=max_delay,
+                                   queue_depth=queue_depth))
+            for i in range(shards)
+        ]
+        self.metrics = _ServeMetrics()
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._connections: List[_Connection] = []
+        self._session_ids = itertools.count(1)
+        self._session_opened_at: Dict[int, float] = {}
+        self._stopping = False
+        self._started_at = 0.0
+
+    # ---------------------------------------------------------- lifecycle
+
+    async def start(self) -> None:
+        for shard in self.shards:
+            shard.task = asyncio.ensure_future(self._worker(shard))
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.time()
+
+    async def stop(self) -> dict:
+        """Graceful drain; returns the final server stats."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        # Readers first: a cancel interrupts the blocking frame read,
+        # while any shielded dispatch runs to completion.  Each reader's
+        # cleanup then closes its own writer queue and awaits the
+        # writer, which in turn awaits every outstanding future -- the
+        # shard workers are still running underneath, so all accepted
+        # requests get answered before we proceed.
+        for conn in list(self._connections):
+            if conn.reader_task is not None:
+                conn.reader_task.cancel()
+        await asyncio.gather(
+            *(c.reader_task for c in self._connections if c.reader_task),
+            return_exceptions=True)
+        for shard in self.shards:
+            await shard.batcher.drain()
+            if shard.task is not None:
+                shard.task.cancel()
+        await asyncio.gather(*(s.task for s in self.shards if s.task),
+                             return_exceptions=True)
+        stats = self.server_stats()
+        for shard in self.shards:
+            for session_id in list(shard.sessions):
+                self._finish_session(shard, session_id)
+        return stats
+
+    async def _worker(self, shard: _Shard) -> None:
+        loop = asyncio.get_running_loop()
+        fused_seen = shard.batcher.fused_records
+        while True:
+            batch = await shard.batcher.next_batch()
+            started = loop.time()
+            shard.batcher.execute(batch, shard.sessions)
+            shard.batcher.task_done(len(batch))
+            if shard.batcher.fused_records != fused_seen:
+                self.metrics.fused.inc(
+                    shard.batcher.fused_records - fused_seen)
+                fused_seen = shard.batcher.fused_records
+            label = str(shard.index)
+            self.metrics.batches.observe(len(batch), shard=label)
+            self.metrics.batch_seconds.observe(loop.time() - started,
+                                               shard=label)
+            self.metrics.queue_depth.set(shard.batcher.qsize(), shard=label)
+            # One batch per scheduling slice keeps readers responsive.
+            await asyncio.sleep(0)
+
+    # -------------------------------------------------------- connections
+
+    async def _on_connection(self, reader, writer) -> None:
+        if self._stopping:
+            writer.close()
+            return
+        conn = _Connection(reader, writer)
+        conn.reader_task = asyncio.current_task()
+        conn.writer_task = asyncio.ensure_future(self._writer_loop(conn))
+        self._connections.append(conn)
+        self.metrics.connections_open.inc()
+        dispatch: Optional[asyncio.Future] = None
+        try:
+            while True:
+                frame = await _read_frame(reader)
+                if frame is None:
+                    break
+                dispatch = asyncio.ensure_future(self._dispatch(conn, frame))
+                await asyncio.shield(dispatch)
+                dispatch = None
+        except asyncio.CancelledError:
+            pass
+        except protocol.ProtocolError as exc:
+            self._respond_error(conn, 0, protocol.ErrorCode.BAD_FRAME,
+                                str(exc))
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            pass
+        finally:
+            if dispatch is not None:
+                # A cancelled reader may have been interrupted while a
+                # shielded dispatch was still enqueueing; finish it so
+                # its response slot exists before the sentinel.
+                try:
+                    await dispatch
+                except Exception:
+                    pass
+            conn.responses.put_nowait(None)
+            try:
+                await conn.writer_task
+            except Exception:
+                pass
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._connections.remove(conn)
+            self.metrics.connections_open.dec()
+
+    async def _writer_loop(self, conn: _Connection) -> None:
+        while True:
+            slot = await conn.responses.get()
+            if slot is None:
+                return
+            frame_type, request_id, encode, future = slot
+            if future is None:
+                payload = encode  # pre-encoded immediate response
+            else:
+                try:
+                    result = await asyncio.wait_for(
+                        asyncio.shield(future), self.request_timeout)
+                    payload = protocol.encode_frame(
+                        frame_type | protocol.RESPONSE_BIT, request_id,
+                        encode(result))
+                except asyncio.TimeoutError:
+                    payload = self._error_frame(
+                        request_id, protocol.ErrorCode.TIMEOUT,
+                        f"request not served within "
+                        f"{self.request_timeout:g}s")
+                except Exception as exc:  # noqa: BLE001
+                    payload = self._error_frame(request_id,
+                                                *_classify_error(exc))
+            try:
+                conn.writer.write(payload)
+                await conn.writer.drain()
+            except (ConnectionError, OSError):
+                return
+
+    # ----------------------------------------------------------- dispatch
+
+    async def _dispatch(self, conn: _Connection, frame) -> None:
+        self.metrics.requests.inc(type=_type_name(frame.type))
+        try:
+            handler = _DISPATCH.get(frame.type)
+            if handler is None:
+                self._respond_error(
+                    conn, frame.request_id, protocol.ErrorCode.UNKNOWN_TYPE,
+                    f"unknown frame type {frame.type}")
+                return
+            await handler(self, conn, frame)
+        except protocol.ProtocolError as exc:
+            self._respond_error(conn, frame.request_id,
+                                protocol.ErrorCode.BAD_FRAME, str(exc))
+
+    async def _dispatch_open(self, conn, frame) -> None:
+        config, window = protocol.decode_open_session(frame.body)
+        if self._stopping:
+            self._respond_error(conn, frame.request_id,
+                                protocol.ErrorCode.SHUTTING_DOWN,
+                                "server is draining")
+            return
+        try:
+            spec = spec_from_config(config)
+            if window < 0:
+                raise ValueError(f"window must be >= 0, got {window}")
+        except (ValueError, TypeError, KeyError) as exc:
+            self._respond_error(conn, frame.request_id,
+                                protocol.ErrorCode.BAD_SPEC, str(exc))
+            return
+        session_id = next(self._session_ids)
+        shard = self.shards[session_id % len(self.shards)]
+
+        def run(_session):
+            shard.sessions[session_id] = Session(session_id, spec, window)
+            self._session_opened_at[session_id] = time.time()
+            self.metrics.sessions_open.inc()
+            return session_id
+
+        await self._submit(conn, frame, shard, run=run,
+                           session_id=session_id,
+                           encode=protocol.encode_session_op)
+
+    async def _dispatch_predict(self, conn, frame) -> None:
+        session_id, pc = protocol.decode_session_op(frame.body, 1)
+        await self._submit_session(
+            conn, frame, session_id,
+            run=lambda s: s.predict(pc),
+            encode=protocol.encode_u32)
+
+    async def _dispatch_outcome(self, conn, frame) -> None:
+        session_id, pc, value = protocol.decode_session_op(frame.body, 2)
+        await self._submit_session(
+            conn, frame, session_id,
+            run=lambda s: s.outcome(pc, value),
+            encode=protocol.encode_u8)
+
+    async def _dispatch_step(self, conn, frame) -> None:
+        session_id, pc, value = protocol.decode_session_op(frame.body, 2)
+        self.metrics.records.inc()
+        await self._submit(
+            conn, frame, self._shard_of(session_id),
+            fuse_key="step", pcs=[pc], values=[value],
+            session_id=session_id,
+            encode=lambda res: protocol.encode_step_result(
+                res[0][0], res[1]))
+
+    async def _dispatch_step_block(self, conn, frame) -> None:
+        session_id, pcs, values = protocol.decode_step_block(frame.body)
+        if pcs:
+            self.metrics.records.inc(len(pcs))
+        await self._submit(
+            conn, frame, self._shard_of(session_id),
+            fuse_key="step", pcs=pcs, values=values,
+            session_id=session_id,
+            encode=lambda res: protocol.encode_block_result(res[0], res[1]))
+
+    async def _dispatch_flush(self, conn, frame) -> None:
+        (session_id,) = protocol.decode_session_op(frame.body, 0)
+        await self._submit_session(
+            conn, frame, session_id,
+            run=lambda s: s.pending_updates(),
+            encode=protocol.encode_u32)
+
+    async def _dispatch_stats(self, conn, frame) -> None:
+        (session_id,) = protocol.decode_session_op(frame.body, 0)
+        if session_id == 0:
+            body = protocol.encode_json_body(self.server_stats())
+            self._respond_now(conn, frame, body)
+            return
+        await self._submit_session(
+            conn, frame, session_id,
+            run=lambda s: s.stats(),
+            encode=protocol.encode_json_body)
+
+    async def _dispatch_close(self, conn, frame) -> None:
+        (session_id,) = protocol.decode_session_op(frame.body, 0)
+        shard = self._shard_of(session_id)
+
+        def run(session):
+            if session is None:
+                raise KeyError(session_id)
+            return self._finish_session(shard, session_id)
+
+        await self._submit(conn, frame, shard, run=run,
+                           session_id=session_id,
+                           encode=protocol.encode_json_body)
+
+    # ------------------------------------------------------------ helpers
+
+    def _shard_of(self, session_id: int) -> _Shard:
+        return self.shards[session_id % len(self.shards)]
+
+    async def _submit_session(self, conn, frame, session_id, run, encode):
+        def checked(session):
+            if session is None:
+                raise KeyError(session_id)
+            return run(session)
+
+        await self._submit(conn, frame, self._shard_of(session_id),
+                           run=checked, session_id=session_id, encode=encode)
+
+    async def _submit(self, conn, frame, shard, encode, run=None,
+                      fuse_key=None, pcs=None, values=None,
+                      session_id=None) -> None:
+        future = asyncio.get_running_loop().create_future()
+        conn.responses.put_nowait((frame.type, frame.request_id, encode,
+                                   future))
+        item = WorkItem(session_id=session_id if session_id is not None
+                        else 0, future=future, run=run, fuse_key=fuse_key,
+                        pcs=pcs or [], values=values or [])
+        self.metrics.queue_depth.set(shard.batcher.qsize() + 1,
+                                     shard=str(shard.index))
+        await shard.batcher.submit(item)
+
+    def _respond_now(self, conn, frame, body: bytes) -> None:
+        payload = protocol.encode_frame(
+            frame.type | protocol.RESPONSE_BIT, frame.request_id, body)
+        conn.responses.put_nowait((frame.type, frame.request_id, payload,
+                                   None))
+
+    def _respond_error(self, conn, request_id: int, code: int,
+                       message: str) -> None:
+        conn.responses.put_nowait(
+            (protocol.FrameType.ERROR, request_id,
+             self._error_frame(request_id, code, message), None))
+
+    def _error_frame(self, request_id: int, code: int,
+                     message: str) -> bytes:
+        self.metrics.errors.inc(code=_code_name(code))
+        return protocol.encode_frame(
+            protocol.FrameType.ERROR, request_id,
+            protocol.encode_error(code, message))
+
+    def _finish_session(self, shard: _Shard, session_id: int) -> dict:
+        session = shard.sessions.pop(session_id)
+        self.metrics.sessions_open.dec()
+        stats = session.stats()
+        opened = self._session_opened_at.pop(session_id, None)
+        run = telemetry_run_module.active_run()
+        if run is not None:
+            run.emit({
+                "type": "span",
+                "name": "serve.session",
+                "span_id": run.next_span_id(),
+                "parent_id": None,
+                "depth": 0,
+                "duration_s": (round(time.time() - opened, 6)
+                               if opened is not None else None),
+                "status": "ok",
+                "attrs": stats,
+            })
+        return stats
+
+    def server_stats(self) -> dict:
+        sessions = sum(len(s.sessions) for s in self.shards)
+        return {
+            "schema": 1,
+            "sessions_open": sessions,
+            "connections_open": len(self._connections),
+            "shards": len(self.shards),
+            "batches": sum(s.batcher.batches for s in self.shards),
+            "requests_batched": sum(s.batcher.items for s in self.shards),
+            "fused_records": sum(s.batcher.fused_records
+                                 for s in self.shards),
+            "uptime_s": (round(time.time() - self._started_at, 3)
+                         if self._started_at else 0.0),
+            "draining": self._stopping,
+        }
+
+
+_DISPATCH = {
+    protocol.FrameType.OPEN_SESSION: PredictionServer._dispatch_open,
+    protocol.FrameType.PREDICT: PredictionServer._dispatch_predict,
+    protocol.FrameType.OUTCOME: PredictionServer._dispatch_outcome,
+    protocol.FrameType.STEP: PredictionServer._dispatch_step,
+    protocol.FrameType.STEP_BLOCK: PredictionServer._dispatch_step_block,
+    protocol.FrameType.FLUSH: PredictionServer._dispatch_flush,
+    protocol.FrameType.STATS: PredictionServer._dispatch_stats,
+    protocol.FrameType.CLOSE_SESSION: PredictionServer._dispatch_close,
+}
+
+
+def _type_name(frame_type: int) -> str:
+    try:
+        return protocol.FrameType(frame_type).name.lower()
+    except ValueError:
+        return f"unknown_{frame_type}"
+
+
+def _code_name(code: int) -> str:
+    try:
+        return protocol.ErrorCode(code).name.lower()
+    except ValueError:
+        return f"code_{code}"
+
+
+def _classify_error(exc: Exception):
+    if isinstance(exc, KeyError):
+        return (protocol.ErrorCode.UNKNOWN_SESSION,
+                f"unknown session {exc.args[0] if exc.args else ''}")
+    if isinstance(exc, (ValueError, protocol.ProtocolError)):
+        return protocol.ErrorCode.BAD_FRAME, str(exc)
+    return (protocol.ErrorCode.INTERNAL,
+            f"{type(exc).__name__}: {exc}")
+
+
+async def _read_frame(reader) -> Optional[protocol.Frame]:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        prefix = await reader.readexactly(4)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise protocol.ProtocolError("connection closed mid-frame") from exc
+    length = protocol.read_length(prefix)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise protocol.ProtocolError("connection closed mid-frame") from exc
+    return protocol.decode_frame(payload)
+
+
+class ServerThread:
+    """A :class:`PredictionServer` on a background thread.
+
+    Blocking API for callers without an event loop (tests, loadgen):
+
+        with ServerThread(shards=2) as server:
+            client = ServeClient("127.0.0.1", server.port)
+            ...
+
+    ``stop()`` performs the same graceful drain as the async server
+    and stores the final stats in :attr:`final_stats`.
+    """
+
+    def __init__(self, **server_kwargs):
+        self._kwargs = server_kwargs
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop_event: Optional[asyncio.Event] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self.server: Optional[PredictionServer] = None
+        self.port: Optional[int] = None
+        self.final_stats: Optional[dict] = None
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.port is None:
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        try:
+            self.server = PredictionServer(**self._kwargs)
+            await self.server.start()
+            self.port = self.server.port
+        except BaseException as exc:  # noqa: BLE001 - rethrown in start()
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self._ready.set()
+        await self._stop_event.wait()
+        self.final_stats = await self.server.stop()
+
+    def stop(self) -> Optional[dict]:
+        if self._thread is None:
+            return None
+        if self._loop is not None and self._stop_event is not None:
+            self._loop.call_soon_threadsafe(self._stop_event.set)
+        self._thread.join(timeout=60)
+        if self._thread.is_alive():
+            raise RuntimeError("server thread did not stop within 60s")
+        self._thread = None
+        return self.final_stats
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

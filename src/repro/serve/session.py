@@ -1,0 +1,188 @@
+"""Per-session predictor state behind the service.
+
+A :class:`Session` is one live predictor instance, described by a
+:class:`~repro.core.spec.PredictorSpec` plus an in-flight *window*
+(the delayed-update depth of :mod:`repro.core.delayed`; 0 means tables
+train immediately).  Sessions are owned by exactly one shard worker,
+so they need no locking.
+
+Two execution modes, chosen automatically:
+
+``engine``
+    window 0 and :func:`~repro.core.engines.supports_resume` -- the
+    session holds the canonical table-state dict and steps it through
+    the warm-start batch kernels.  A whole micro-batch of records is
+    one vectorised ``step_block`` call.
+``scalar``
+    everything else -- the session holds a stateful predictor object,
+    wrapped in :class:`~repro.core.delayed.DelayedUpdatePredictor` when
+    the window is non-zero, so windowed accuracy matches the offline
+    harness *by construction*.
+
+Both modes implement the same scalar contract per record: predict
+first, then train (through the window when one is configured), which
+is exactly what the offline engines replay.  The parity suite in
+``tests/serve/`` pins served hit counts against ``measure_accuracy``
+on the equivalent (possibly :class:`~repro.core.spec.DelayedSpec`
+wrapped) spec.
+
+Split PREDICT/OUTCOME traffic keeps hit accounting honest: each
+PREDICT is remembered per pc (FIFO), the next OUTCOME for that pc is
+scored against it.  An OUTCOME with no outstanding prediction still
+trains the tables and reports :data:`Session.NO_PREDICTION`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.delayed import DelayedUpdatePredictor
+from repro.core.engines import initial_state, step_block, supports_resume
+from repro.core.spec import PredictorSpec
+
+__all__ = ["Session"]
+
+_MASK32 = 0xFFFFFFFF
+
+
+class Session:
+    """One served predictor: spec + window + live tables."""
+
+    #: ``outcome`` result when no issued prediction matched the pc.
+    NO_PREDICTION = 2
+
+    def __init__(self, session_id: int, spec: PredictorSpec, window: int = 0):
+        if window < 0:
+            raise ValueError(f"window must be >= 0, got {window}")
+        self.session_id = session_id
+        self.spec = spec
+        self.window = window
+        self.predictions = 0
+        self.outcomes = 0
+        self.hits = 0
+        self._issued: Dict[int, deque] = {}
+        if window == 0 and supports_resume(spec):
+            self.mode = "engine"
+            self._state = initial_state(spec)
+            self._predictor = None
+        else:
+            self.mode = "scalar"
+            self._state = None
+            inner = spec.build()
+            self._predictor = (DelayedUpdatePredictor(inner, window)
+                               if window else inner)
+
+    # --------------------------------------------------------------- ops
+
+    def predict(self, pc: int) -> int:
+        """Issue (and remember) a prediction for *pc*."""
+        if self.mode == "engine":
+            # The kernels predict before they train, so stepping a
+            # throwaway copy of the state with a dummy outcome yields
+            # exactly the prediction the live tables would give.
+            block = np.asarray([pc], dtype=np.int64)
+            predicted, _ = step_block(self.spec, self._state, block,
+                                      np.zeros(1, dtype=np.int64))
+            value = int(predicted[0]) & _MASK32
+        else:
+            value = self._predictor.predict(pc) & _MASK32
+        self.predictions += 1
+        self._issued.setdefault(pc, deque()).append(value)
+        return value
+
+    def outcome(self, pc: int, value: int) -> int:
+        """Train on the resolved *value*; score the oldest prediction.
+
+        Returns 1 (hit), 0 (miss), or :data:`NO_PREDICTION` when no
+        prediction for this pc is outstanding.
+        """
+        value &= _MASK32
+        queue = self._issued.get(pc)
+        if queue:
+            predicted = queue.popleft()
+            if not queue:
+                del self._issued[pc]
+            hit = 1 if predicted == value else 0
+            self.outcomes += 1
+            self.hits += hit
+        else:
+            hit = self.NO_PREDICTION
+        if self.mode == "engine":
+            # Updates never depend on the prediction, so stepping the
+            # live state and discarding the predicted column applies
+            # exactly the scalar ``update(pc, value)``.
+            _, self._state = step_block(
+                self.spec, self._state,
+                np.asarray([pc], dtype=np.int64),
+                np.asarray([value], dtype=np.int64))
+        else:
+            self._predictor.update(pc, value)
+        return hit
+
+    def step(self, pc: int, value: int) -> Tuple[int, int]:
+        """Predict-then-train one record; returns ``(predicted, hit)``."""
+        predicted, hits = self.step_block([pc], [value])
+        return predicted[0], hits
+
+    def step_block(self, pcs, values) -> Tuple[List[int], int]:
+        """Predict-then-train a run of records; the micro-batch path.
+
+        Returns the per-record predictions and the number of hits.
+        Counts every record as both a prediction and an outcome.
+        """
+        if len(pcs) != len(values):
+            raise ValueError(f"pcs and values lengths differ: "
+                             f"{len(pcs)} vs {len(values)}")
+        if not len(pcs):
+            return [], 0
+        if self.mode == "engine":
+            block_pcs = np.asarray(pcs, dtype=np.int64)
+            block_values = np.asarray(values, dtype=np.int64) & _MASK32
+            predicted, self._state = step_block(
+                self.spec, self._state, block_pcs, block_values)
+            predicted = (predicted & _MASK32).astype(np.int64)
+            hits = int((predicted == block_values).sum())
+            out = [int(p) for p in predicted]
+        else:
+            out = []
+            hits = 0
+            for pc, value in zip(pcs, values):
+                value = int(value) & _MASK32
+                predicted = self._predictor.predict(int(pc)) & _MASK32
+                self._predictor.update(int(pc), value)
+                hits += predicted == value
+                out.append(predicted)
+        self.predictions += len(out)
+        self.outcomes += len(out)
+        self.hits += hits
+        return out, hits
+
+    # ------------------------------------------------------------- admin
+
+    def pending_updates(self) -> int:
+        """Buffered (windowed, not yet applied) updates."""
+        if isinstance(self._predictor, DelayedUpdatePredictor):
+            return self._predictor.pending_updates()
+        return 0
+
+    def outstanding_predictions(self) -> int:
+        """PREDICTs issued but not yet matched by an OUTCOME."""
+        return sum(len(q) for q in self._issued.values())
+
+    def stats(self) -> dict:
+        return {
+            "session": self.session_id,
+            "spec": self.spec.name,
+            "family": self.spec.family,
+            "window": self.window,
+            "mode": self.mode,
+            "predictions": self.predictions,
+            "outcomes": self.outcomes,
+            "hits": self.hits,
+            "accuracy": (self.hits / self.outcomes) if self.outcomes else None,
+            "pending_updates": self.pending_updates(),
+            "outstanding_predictions": self.outstanding_predictions(),
+        }

@@ -1,0 +1,143 @@
+"""Resumable (warm-start) batch stepping vs the scalar reference.
+
+The contract under test: chunking a trace arbitrarily and threading the
+state through ``step_block`` produces, for every supported family,
+bit-identical per-record predictions AND bit-identical final tables to
+stepping a stateful scalar predictor record by record.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engines import run_spec
+from repro.core.engines.resume import (RESUMABLE_FAMILIES, initial_state,
+                                       step_block, supports_resume)
+from repro.core.spec import (DFCMSpec, FCMSpec, HashSpec, LastValueSpec,
+                             OracleHybridSpec, StrideSpec, TwoDeltaStrideSpec)
+
+SPECS = [
+    LastValueSpec(64),
+    StrideSpec(64),
+    TwoDeltaStrideSpec(64),
+    FCMSpec(64, 256),
+    DFCMSpec(64, 256),
+    DFCMSpec(64, 256, stride_bits=8),
+]
+
+
+def random_trace(seed, n=800, pcs_pool=40):
+    rng = np.random.default_rng(seed)
+    pc_choices = rng.integers(0, 1 << 20, size=pcs_pool) << 2
+    pcs = rng.choice(pc_choices, size=n)
+    # A mix of strided, repeating and random values, so every update
+    # rule (promotion, confidence gates, hash paths) gets exercised.
+    values = np.where(
+        rng.random(n) < 0.5,
+        (pcs >> 2) * 3 + np.arange(n) * rng.integers(1, 5),
+        rng.integers(0, 1 << 32, size=n),
+    ) & 0xFFFFFFFF
+    return pcs.astype(np.int64), values.astype(np.int64)
+
+
+def scalar_reference(spec, pcs, values):
+    predictor = spec.build()
+    predicted = []
+    for pc, value in zip(pcs.tolist(), values.tolist()):
+        predicted.append(predictor.predict(pc))
+        predictor.update(pc, value)
+    return np.asarray(predicted, dtype=np.int64), spec.extract_state(predictor)
+
+
+def chunks(n, boundaries):
+    edges = [0] + sorted(boundaries) + [n]
+    return [(edges[i], edges[i + 1]) for i in range(len(edges) - 1)]
+
+
+class TestSupports:
+    def test_supported_families(self):
+        for spec in SPECS:
+            assert supports_resume(spec)
+        assert set(s.family for s in SPECS) <= set(RESUMABLE_FAMILIES)
+
+    def test_hybrid_not_resumable(self):
+        hybrid = OracleHybridSpec((LastValueSpec(64),))
+        assert not supports_resume(hybrid)
+        with pytest.raises(ValueError):
+            initial_state(hybrid)
+
+    def test_non_fs_hash_not_resumable(self):
+        spec = FCMSpec(64, 256, HashSpec(8, "xor", order=2))
+        assert not supports_resume(spec)
+
+
+class TestColdStartMatchesBatch:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_whole_trace_equals_batch_engine(self, spec):
+        from repro.trace.trace import ValueTrace
+        pcs, values = random_trace(1)
+        trace = ValueTrace("t", pcs, values)
+        outcome = run_spec(spec, trace, engine="batch", want_state=True)
+        predicted, state = step_block(spec, initial_state(spec), pcs, values)
+        assert int((predicted == values).sum()) == outcome.correct
+        assert state.keys() == outcome.state.keys()
+        for key in state:
+            np.testing.assert_array_equal(state[key], outcome.state[key])
+
+
+class TestChunkedParity:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    @pytest.mark.parametrize("seed", [2, 3])
+    def test_chunked_predictions_and_state(self, spec, seed):
+        pcs, values = random_trace(seed)
+        want_predicted, want_state = scalar_reference(spec, pcs, values)
+        rng = np.random.default_rng(seed + 100)
+        boundaries = sorted(rng.integers(1, len(pcs), size=7).tolist())
+        state = initial_state(spec)
+        got = []
+        for lo, hi in chunks(len(pcs), boundaries):
+            predicted, state = step_block(spec, state, pcs[lo:hi],
+                                          values[lo:hi])
+            got.append(predicted)
+        np.testing.assert_array_equal(np.concatenate(got), want_predicted)
+        assert state.keys() == want_state.keys()
+        for key in state:
+            np.testing.assert_array_equal(state[key], want_state[key])
+
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_single_record_chunks(self, spec):
+        pcs, values = random_trace(7, n=120, pcs_pool=6)
+        want_predicted, want_state = scalar_reference(spec, pcs, values)
+        state = initial_state(spec)
+        got = []
+        for i in range(len(pcs)):
+            predicted, state = step_block(spec, state, pcs[i:i + 1],
+                                          values[i:i + 1])
+            got.append(int(predicted[0]))
+        np.testing.assert_array_equal(np.asarray(got, dtype=np.int64),
+                                      want_predicted)
+        for key in want_state:
+            np.testing.assert_array_equal(state[key], want_state[key])
+
+
+class TestStepBlockContract:
+    def test_empty_block_returns_state_unchanged(self):
+        spec = LastValueSpec(16)
+        state = initial_state(spec)
+        predicted, after = step_block(spec, state, np.zeros(0, np.int64),
+                                      np.zeros(0, np.int64))
+        assert len(predicted) == 0 and after is state
+
+    def test_input_state_not_mutated(self):
+        spec = DFCMSpec(16, 64)
+        state = initial_state(spec)
+        before = {k: v.copy() for k, v in state.items()}
+        pcs, values = random_trace(11, n=200, pcs_pool=5)
+        step_block(spec, state, pcs, values)
+        for key in state:
+            np.testing.assert_array_equal(state[key], before[key])
+
+    def test_length_mismatch_raises(self):
+        spec = LastValueSpec(16)
+        with pytest.raises(ValueError):
+            step_block(spec, initial_state(spec),
+                       np.zeros(3, np.int64), np.zeros(2, np.int64))

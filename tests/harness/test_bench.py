@@ -5,7 +5,8 @@ import json
 import pytest
 
 from repro.harness.bench import (MIN_SPEEDUP, bench_specs, render_bench,
-                                 run_bench, write_report)
+                                 resolve_min_speedup, run_bench,
+                                 write_report)
 from tests.conftest import repeating_trace, stride_trace
 
 
@@ -28,8 +29,39 @@ class TestBenchSpecs:
             assert pickle.loads(pickle.dumps(spec)) == spec
 
 
+class TestMinSpeedup:
+    def test_default(self):
+        assert resolve_min_speedup() == MIN_SPEEDUP
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MIN_SPEEDUP", "9")
+        assert resolve_min_speedup(2.5) == 2.5
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MIN_SPEEDUP", "7.5")
+        assert resolve_min_speedup() == 7.5
+
+    def test_malformed_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MIN_SPEEDUP", "fast")
+        with pytest.raises(ValueError, match="REPRO_BENCH_MIN_SPEEDUP"):
+            resolve_min_speedup()
+
+    @pytest.mark.parametrize("value", [0, -1.5])
+    def test_non_positive_rejected(self, value):
+        with pytest.raises(ValueError, match="positive"):
+            resolve_min_speedup(value)
+
+    def test_threshold_recorded_in_report(self):
+        traces = [stride_trace("t", 0x1000, 0, 3, 1500)]
+        report = run_bench(traces=traces, fast=True, repeats=1,
+                           min_speedup=0.01)
+        assert report["guard"]["min_speedup"] == 0.01
+        assert "0.01x" in render_bench(report)
+
+
 class TestRunBench:
     def test_schema(self, report):
+        assert report["schema"] == 1
         assert report["schema_version"] == 1
         assert report["mode"] == "fast"
         assert report["anchor"] == {"benchmark": "a", "records": 2000}

@@ -43,7 +43,8 @@ class TestResolveExecutor:
     def test_default_is_serial(self):
         assert resolve_executor() == ("serial", 1)
 
-    def test_jobs_above_one_implies_process(self):
+    def test_jobs_above_one_implies_process(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
         assert resolve_executor(jobs=4) == ("process", 4)
 
     def test_serial_forces_one_job(self):
@@ -63,6 +64,7 @@ class TestResolveExecutor:
         assert "threads" not in EXECUTOR_NAMES
 
     def test_env_fallback(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
         monkeypatch.setenv("REPRO_EXECUTOR", "process")
         monkeypatch.setenv("REPRO_JOBS", "3")
         assert resolve_executor() == ("process", 3)
@@ -72,8 +74,65 @@ class TestResolveExecutor:
         assert resolve_executor("serial") == ("serial", 1)
 
 
+class TestEnvJobsValidation:
+    @pytest.mark.parametrize("value", ["abc", "3.5", "0", "-2", " "])
+    def test_malformed_env_jobs_raise_at_resolve(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_JOBS", value)
+        with pytest.raises(ValueError, match="REPRO_JOBS"):
+            resolve_executor("process")
+
+    def test_empty_env_means_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "")
+        assert resolve_executor() == ("serial", 1)
+
+    def test_explicit_jobs_skip_env_validation(self, monkeypatch):
+        # A bad env var must not poison an explicitly-configured run.
+        monkeypatch.setenv("REPRO_JOBS", "abc")
+        assert resolve_executor("serial", jobs=1) == ("serial", 1)
+
+
+class TestJobsClamping:
+    def _clamp_count(self):
+        from repro.telemetry.registry import registry
+        snapshot = registry().snapshot().get("repro_jobs_clamped_total")
+        if not snapshot:
+            return 0
+        return sum(s["value"] for s in snapshot["samples"])
+
+    def test_oversubscription_clamps_to_cores(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        assert resolve_executor(jobs=16) == ("process", 2)
+        assert self._clamp_count() == 1
+
+    def test_env_jobs_clamp_too(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        monkeypatch.setenv("REPRO_JOBS", "64")
+        assert resolve_executor() == ("process", 2)
+
+    def test_within_budget_untouched(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
+        assert resolve_executor(jobs=8) == ("process", 8)
+        assert self._clamp_count() == 0
+
+    def test_clamp_emits_warning_event_under_telemetry(self, monkeypatch,
+                                                       tmp_path):
+        from repro.telemetry.run import finish_run, start_run
+        monkeypatch.setattr("os.cpu_count", lambda: 2)
+        run = start_run(tmp_path / "telemetry", command="test")
+        run_dir = run.dir
+        resolve_executor(jobs=5)
+        finish_run()
+        events = [json.loads(line) for line
+                  in (run_dir / "events.jsonl").read_text().splitlines()]
+        warnings = [e for e in events if e.get("what") == "jobs_clamped"]
+        assert len(warnings) == 1
+        assert warnings[0]["requested"] == 5
+        assert warnings[0]["cpu_count"] == 2
+
+
 class TestExecutorDefault:
-    def test_installs_and_restores(self):
+    def test_installs_and_restores(self, monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
         with executor_default(jobs=4):
             assert resolve_executor() == ("process", 4)
         assert resolve_executor() == ("serial", 1)
@@ -186,7 +245,9 @@ class TestWorkerTelemetry:
 
 
 class TestSweepSpans:
-    def test_sweep_points_labelled_with_engine_and_jobs(self, tmp_path):
+    def test_sweep_points_labelled_with_engine_and_jobs(self, tmp_path,
+                                                        monkeypatch):
+        monkeypatch.setattr("os.cpu_count", lambda: 8)
         from repro.telemetry.run import finish_run, start_run
         run = start_run(tmp_path / "telemetry", command="test")
         run_dir = run.dir

@@ -1,0 +1,182 @@
+"""MicroBatcher mechanics: batching, fusion, futures, backpressure."""
+
+import asyncio
+
+import pytest
+
+from repro.core.spec import StrideSpec
+from repro.serve.batcher import MicroBatcher, WorkItem
+from repro.serve.session import Session
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def make_item(loop, session_id, *, run_fn=None, fuse_key=None,
+              pcs=(), values=()):
+    return WorkItem(session_id=session_id, future=loop.create_future(),
+                    run=run_fn, fuse_key=fuse_key,
+                    pcs=list(pcs), values=list(values))
+
+
+class TestValidation:
+    def test_bad_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            MicroBatcher(max_batch=0)
+
+    def test_bad_max_delay(self):
+        with pytest.raises(ValueError, match="max_delay"):
+            MicroBatcher(max_delay=-1)
+
+    def test_bad_queue_depth(self):
+        with pytest.raises(ValueError, match="queue_depth"):
+            MicroBatcher(queue_depth=0)
+
+
+class TestNextBatch:
+    def test_collects_everything_available(self):
+        async def body():
+            loop = asyncio.get_running_loop()
+            batcher = MicroBatcher(max_batch=64, max_delay=0)
+            for i in range(5):
+                await batcher.submit(make_item(loop, i))
+            batch = await batcher.next_batch()
+            assert [item.session_id for item in batch] == [0, 1, 2, 3, 4]
+            assert batcher.batches == 1
+            assert batcher.items == 5
+        run(body())
+
+    def test_caps_at_max_batch(self):
+        async def body():
+            loop = asyncio.get_running_loop()
+            batcher = MicroBatcher(max_batch=3, max_delay=0)
+            for i in range(5):
+                await batcher.submit(make_item(loop, i))
+            assert len(await batcher.next_batch()) == 3
+            assert len(await batcher.next_batch()) == 2
+        run(body())
+
+    def test_waits_max_delay_for_stragglers(self):
+        async def body():
+            loop = asyncio.get_running_loop()
+            batcher = MicroBatcher(max_batch=8, max_delay=0.2)
+
+            async def straggler():
+                await asyncio.sleep(0.01)
+                await batcher.submit(make_item(loop, 2))
+
+            await batcher.submit(make_item(loop, 1))
+            task = asyncio.ensure_future(straggler())
+            batch = await batcher.next_batch()
+            await task
+            assert len(batch) == 2
+        run(body())
+
+    def test_zero_delay_returns_immediately(self):
+        async def body():
+            loop = asyncio.get_running_loop()
+            batcher = MicroBatcher(max_batch=8, max_delay=0)
+            await batcher.submit(make_item(loop, 1))
+            assert len(await batcher.next_batch()) == 1
+        run(body())
+
+
+class TestFusion:
+    def test_adjacent_matching_keys_fuse(self):
+        loop = asyncio.new_event_loop()
+        try:
+            items = [make_item(loop, 1, fuse_key="step"),
+                     make_item(loop, 1, fuse_key="step"),
+                     make_item(loop, 1, run_fn=lambda s: "fence"),
+                     make_item(loop, 1, fuse_key="step")]
+            runs = MicroBatcher._fuse_runs(items)
+            assert [len(r) for r in runs] == [2, 1, 1]
+        finally:
+            loop.close()
+
+    def test_sessions_group_independently(self):
+        loop = asyncio.new_event_loop()
+        try:
+            batch = [make_item(loop, 1), make_item(loop, 2),
+                     make_item(loop, 1)]
+            grouped = MicroBatcher._by_session(batch)
+            assert [i.session_id for i in grouped[1]] == [1, 1]
+            assert len(grouped[2]) == 1
+        finally:
+            loop.close()
+
+
+class TestExecute:
+    def test_fused_execution_matches_sequential(self):
+        async def body():
+            loop = asyncio.get_running_loop()
+            batcher = MicroBatcher()
+            session = Session(1, StrideSpec(64))
+            reference = Session(2, StrideSpec(64))
+            items = [
+                make_item(loop, 1, fuse_key="step", pcs=[4, 8],
+                          values=[10, 20]),
+                make_item(loop, 1, fuse_key="step", pcs=[4],
+                          values=[17]),
+            ]
+            batcher.execute(items, {1: session})
+            expected = [reference.step_block([4, 8], [10, 20]),
+                        reference.step_block([4], [17])]
+            got = [item.future.result() for item in items]
+            assert got == expected
+            assert batcher.fused_records == 3
+        run(body())
+
+    def test_run_items_receive_session(self):
+        async def body():
+            loop = asyncio.get_running_loop()
+            batcher = MicroBatcher()
+            session = Session(5, StrideSpec(64))
+            item = make_item(loop, 5, run_fn=lambda s: s.session_id)
+            batcher.execute([item], {5: session})
+            assert item.future.result() == 5
+        run(body())
+
+    def test_exception_lands_on_futures_not_worker(self):
+        async def body():
+            loop = asyncio.get_running_loop()
+            batcher = MicroBatcher()
+            bad = make_item(loop, 9, fuse_key="step", pcs=[1], values=[2])
+            ok = make_item(loop, 1, fuse_key="step", pcs=[4], values=[7])
+            batcher.execute([bad, ok], {1: Session(1, StrideSpec(64))})
+            with pytest.raises(KeyError):
+                bad.future.result()
+            predicted, _hits = ok.future.result()
+            assert len(predicted) == 1
+        run(body())
+
+    def test_cancelled_futures_are_skipped(self):
+        async def body():
+            loop = asyncio.get_running_loop()
+            batcher = MicroBatcher()
+            item = make_item(loop, 1, fuse_key="step", pcs=[4], values=[7])
+            item.future.cancel()
+            batcher.execute([item], {1: Session(1, StrideSpec(64))})
+            assert item.future.cancelled()
+        run(body())
+
+
+class TestDrain:
+    def test_drain_waits_for_task_done(self):
+        async def body():
+            loop = asyncio.get_running_loop()
+            batcher = MicroBatcher(max_delay=0)
+            await batcher.submit(make_item(loop, 1))
+            await batcher.submit(make_item(loop, 2))
+
+            async def worker():
+                batch = await batcher.next_batch()
+                batcher.task_done(len(batch))
+
+            task = asyncio.ensure_future(worker())
+            pending = await batcher.drain()
+            await task
+            assert pending == 2
+            assert batcher.qsize() == 0
+        run(body())

@@ -1,0 +1,79 @@
+"""Load-generator report shape and offline verification."""
+
+import numpy as np
+import pytest
+
+from repro.core.spec import DFCMSpec
+from repro.serve.loadgen import percentile, run_loadgen
+from repro.serve.server import ServerThread
+from repro.trace.trace import ValueTrace
+
+
+def make_trace(n=300):
+    pcs = np.tile(np.asarray([0x40, 0x44, 0x48], dtype=np.int64), n // 3)
+    values = (np.arange(n, dtype=np.int64) * 5) & 0xFFFFFFFF
+    return ValueTrace("loadgen-test", pcs[:n], values[:n])
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_nearest_rank(self):
+        values = [float(i) for i in range(100)]
+        assert percentile(values, 50) == 50.0
+        assert percentile(values, 100) == 99.0
+
+
+class TestRunLoadgen:
+    def test_report_shape_and_verify(self):
+        spec = DFCMSpec(256, 1024)
+        trace = make_trace()
+        with ServerThread(shards=2, max_delay=0.001) as server:
+            report = run_loadgen(spec, trace, "127.0.0.1", server.port,
+                                 mode="both", block=64, min_speedup=0.01)
+        assert report["schema"] == 1
+        assert report["trace"] == "loadgen-test"
+        assert report["records"] == len(trace)
+        assert report["spec_config"]["family"] == "dfcm"
+        assert set(report["modes"]) == {"naive", "batched"}
+        for mode in report["modes"].values():
+            assert mode["records"] == len(trace)
+            assert mode["latency"]["p99_ms"] >= mode["latency"]["p50_ms"]
+        # Both modes replay the same records, so hit counts agree...
+        assert (report["modes"]["naive"]["hits"]
+                == report["modes"]["batched"]["hits"])
+        # ...and match the offline engines bit-for-bit.
+        assert report["verify"]["matched"] is True
+        assert report["speedup"] > 0
+        assert report["speedup_ok"] is True  # 0.01x floor always passes
+
+    def test_windowed_verify(self):
+        spec = DFCMSpec(256, 1024)
+        with ServerThread(max_delay=0.001) as server:
+            report = run_loadgen(spec, make_trace(), "127.0.0.1",
+                                 server.port, window=4, mode="batched",
+                                 block=50)
+        assert report["window"] == 4
+        assert report["verify"]["offline_spec"].endswith("_d4")
+        assert report["verify"]["matched"] is True
+        assert "speedup" not in report  # single mode: no ratio
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            run_loadgen(DFCMSpec(64, 256), make_trace(), "127.0.0.1", 1,
+                        mode="bogus")
+        with pytest.raises(ValueError, match="block"):
+            run_loadgen(DFCMSpec(64, 256), make_trace(), "127.0.0.1", 1,
+                        block=0)
+
+    def test_no_verify_skips_offline_replay(self):
+        spec = DFCMSpec(256, 1024)
+        with ServerThread(max_delay=0.001) as server:
+            report = run_loadgen(spec, make_trace(120), "127.0.0.1",
+                                 server.port, mode="naive", verify=False)
+        assert "verify" not in report
+        assert report["modes"]["naive"]["records"] == 120

@@ -1,0 +1,206 @@
+"""End-to-end service tests over real sockets (thread-hosted server)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.spec import DFCMSpec, StrideSpec
+from repro.serve import protocol
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import ServerThread
+from repro.serve.session import Session
+
+
+def workload(n, seed=0):
+    pcs, values = [], []
+    for i in range(n):
+        pcs.append(0x400 + 4 * ((i + seed) % 7))
+        values.append((11 * i + seed * 3 + (i % 4)) & 0xFFFFFFFF)
+    return pcs, values
+
+
+class TestRoundTrips:
+    def test_mixed_ops_match_local_session(self):
+        spec = DFCMSpec(64, 256)
+        reference = Session(0, spec)
+        with ServerThread(shards=2, max_delay=0) as server, \
+                ServeClient(port=server.port) as client:
+            session = client.open_session(spec)
+            assert session >= 1
+            pcs, values = workload(60)
+            for i, (pc, value) in enumerate(zip(pcs, values)):
+                if i % 3 == 0:
+                    assert client.predict(session, pc) == \
+                        reference.predict(pc)
+                    assert client.outcome(session, pc, value) == \
+                        reference.outcome(pc, value)
+                elif i % 3 == 1:
+                    assert client.step(session, pc, value) == \
+                        reference.step(pc, value)
+                else:
+                    block = ([pc, pc + 4], [value, value + 9])
+                    assert client.step_block(session, *block) == \
+                        reference.step_block(*block)
+            stats = client.close_session(session)
+            assert stats["hits"] == reference.hits
+            assert stats["predictions"] == reference.predictions
+
+    def test_windowed_session_flush_and_stats(self):
+        with ServerThread(max_delay=0) as server, \
+                ServeClient(port=server.port) as client:
+            session = client.open_session(DFCMSpec(64, 256), window=4)
+            for pc, value in zip(*workload(10)):
+                client.step(session, pc, value)
+            assert client.flush(session) == 4
+            stats = client.stats(session)
+            assert stats["mode"] == "scalar"
+            assert stats["window"] == 4
+            assert stats["pending_updates"] == 4
+            assert stats["outcomes"] == 10
+
+    def test_server_stats(self):
+        with ServerThread(shards=3, max_delay=0) as server, \
+                ServeClient(port=server.port) as client:
+            client.open_session(StrideSpec(64))
+            stats = client.stats(0)
+            assert stats["schema"] == 1
+            assert stats["sessions_open"] == 1
+            assert stats["connections_open"] == 1
+            assert stats["shards"] == 3
+            assert stats["draining"] is False
+
+    def test_sessions_land_on_distinct_shards(self):
+        with ServerThread(shards=2, max_delay=0) as server, \
+                ServeClient(port=server.port) as client:
+            ids = [client.open_session(StrideSpec(64)) for _ in range(4)]
+            assert len({i % 2 for i in ids}) == 2
+            for session in ids:
+                client.step(session, 4, 7)
+        assert server.final_stats["sessions_open"] == 4
+
+
+class TestErrors:
+    def test_unknown_session(self):
+        with ServerThread(max_delay=0) as server, \
+                ServeClient(port=server.port) as client:
+            with pytest.raises(ServeError) as err:
+                client.step(12345, 4, 7)
+            assert err.value.code == protocol.ErrorCode.UNKNOWN_SESSION
+
+    def test_closed_session_is_unknown(self):
+        with ServerThread(max_delay=0) as server, \
+                ServeClient(port=server.port) as client:
+            session = client.open_session(StrideSpec(64))
+            client.close_session(session)
+            with pytest.raises(ServeError) as err:
+                client.close_session(session)
+            assert err.value.code == protocol.ErrorCode.UNKNOWN_SESSION
+
+    def test_bad_spec(self):
+        with ServerThread(max_delay=0) as server, \
+                ServeClient(port=server.port) as client:
+            with pytest.raises(ServeError) as err:
+                client.request(protocol.FrameType.OPEN_SESSION,
+                               protocol.encode_open_session(
+                                   {"family": "no_such_family"}, 0))
+            assert err.value.code == protocol.ErrorCode.BAD_SPEC
+
+    def test_unknown_frame_type(self):
+        with ServerThread(max_delay=0) as server, \
+                ServeClient(port=server.port) as client:
+            with pytest.raises(ServeError) as err:
+                client.request(0x55, b"")
+            assert err.value.code == protocol.ErrorCode.UNKNOWN_TYPE
+
+    def test_connection_survives_errors(self):
+        with ServerThread(max_delay=0) as server, \
+                ServeClient(port=server.port) as client:
+            with pytest.raises(ServeError):
+                client.step(99, 4, 7)
+            session = client.open_session(StrideSpec(64))
+            assert client.step(session, 4, 7)[1] in (0, 1)
+
+
+class TestConcurrency:
+    def test_concurrent_clients_each_match_reference(self):
+        spec = DFCMSpec(64, 256)
+        failures = []
+
+        def one_client(port, seed):
+            try:
+                reference = Session(0, spec)
+                with ServeClient(port=port) as client:
+                    session = client.open_session(spec)
+                    pcs, values = workload(150, seed=seed)
+                    for pc, value in zip(pcs, values):
+                        assert client.step(session, pc, value) == \
+                            reference.step(pc, value)
+                    stats = client.close_session(session)
+                    assert stats["hits"] == reference.hits
+            except Exception as exc:  # noqa: BLE001 - reported by the test
+                failures.append(exc)
+
+        with ServerThread(shards=2, max_delay=0.001) as server:
+            threads = [threading.Thread(target=one_client,
+                                        args=(server.port, seed))
+                       for seed in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+        assert not failures
+
+    def test_pipelined_steps_fuse(self):
+        # A generous accumulation window plus back-to-back sends makes
+        # the shard worker see several STEPs for one session per batch.
+        with ServerThread(shards=1, max_delay=0.05) as server, \
+                ServeClient(port=server.port) as client:
+            session = client.open_session(StrideSpec(64))
+            pcs, values = workload(80)
+            for pc, value in zip(pcs, values):
+                client.send(protocol.FrameType.STEP,
+                            protocol.encode_session_op(session, pc, value))
+            results = [protocol.decode_step_result(client.recv().body)
+                       for _ in range(len(pcs))]
+            assert len(results) == 80
+            # Parity with a local replay despite fusion.
+            reference = Session(0, StrideSpec(64))
+            expected, _ = reference.step_block(pcs, values)
+            assert [p for p, _hit in results] == expected
+        assert server.final_stats["fused_records"] > 0
+
+
+class TestDrain:
+    def test_stop_answers_every_inflight_request(self):
+        # A long accumulation window holds the whole pipelined burst in
+        # the shard queue; stop() must still answer every request.
+        with ServerThread(shards=1, max_delay=0.5) as server:
+            client = ServeClient(port=server.port)
+            session = client.open_session(StrideSpec(64))
+            pcs, values = workload(50)
+            for pc, value in zip(pcs, values):
+                client.send(protocol.FrameType.STEP,
+                            protocol.encode_session_op(session, pc, value))
+            time.sleep(0.15)  # let the reader dispatch the burst
+            stats = server.stop()
+            # Every pipelined request was answered before the server
+            # closed the connection; the responses sit in the socket.
+            for _ in range(len(pcs)):
+                frame = client.recv()
+                assert frame.request_type == protocol.FrameType.STEP
+            assert client.recv() is None  # clean EOF after the drain
+            client.close()
+            assert stats["draining"] is True
+
+    def test_open_rejected_while_draining(self):
+        server = ServerThread(max_delay=0).start()
+        try:
+            with ServeClient(port=server.port) as client:
+                client.stats(0)  # connection fully accepted first
+                server.server._stopping = True
+                with pytest.raises(ServeError) as err:
+                    client.open_session(StrideSpec(64))
+                assert err.value.code == protocol.ErrorCode.SHUTTING_DOWN
+        finally:
+            server.stop()

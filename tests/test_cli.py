@@ -114,6 +114,121 @@ class TestBenchCommand:
         report = json.loads(text)
         assert report["guard"]["enforced"] is False
 
+    def test_min_speedup_flag_sets_threshold(self):
+        code, text = run_cli("bench", "--fast", "--out", "-", "--json",
+                             "--min-speedup", "0.25")
+        assert code == 0
+        assert json.loads(text)["guard"]["min_speedup"] == 0.25
+
+
+class TestJsonSchema:
+    """Every --json payload carries a schema integer (satellite 3)."""
+
+    def test_predict(self):
+        code, text = run_cli("predict", "li", "--limit", "1000", "--json")
+        assert code == 0
+        assert json.loads(text)["schema"] == 1
+
+    def test_compare(self):
+        code, text = run_cli("compare", "li", "--limit", "1000", "--json")
+        assert code == 0
+        assert json.loads(text)["schema"] == 1
+
+    def test_bench(self):
+        code, text = run_cli("bench", "--fast", "--out", "-", "--json")
+        assert code == 0
+        assert json.loads(text)["schema"] == 1
+
+
+class TestErrorExits:
+    """Expected failures exit 1 with an error: line on stderr."""
+
+    def test_unknown_workload(self, capsys):
+        code, _text = run_cli("predict", "no_such_benchmark")
+        assert code == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_bad_min_speedup_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_MIN_SPEEDUP", "banana")
+        code, _text = run_cli("bench", "--fast", "--out", "-")
+        assert code == 1
+        assert "REPRO_BENCH_MIN_SPEEDUP" in capsys.readouterr().err
+
+    def test_bad_repro_jobs_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        code, _text = run_cli("run", "fig10", "--fast", "--limit", "500")
+        assert code == 1
+        assert "REPRO_JOBS" in capsys.readouterr().err
+
+    def test_loadgen_connection_refused(self, capsys):
+        code, _text = run_cli("loadgen", "li", "--port", "1",
+                              "--limit", "100")
+        assert code == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestServeAndLoadgen:
+    def test_loadgen_against_live_server(self, tmp_path):
+        from repro.serve.server import ServerThread
+        out_path = tmp_path / "loadgen.json"
+        with ServerThread(shards=2, max_delay=0.001) as server:
+            code, text = run_cli(
+                "loadgen", "li", "--port", str(server.port),
+                "--limit", "400", "--mode", "batched", "--block", "64",
+                "--json", "--out", str(out_path))
+        assert code == 0
+        report = json.loads(text)
+        assert report["schema"] == 1
+        assert report["records"] == 400
+        assert report["verify"]["matched"] is True
+        assert json.loads(out_path.read_text()) == report
+
+    def test_loadgen_windowed_human_output(self):
+        from repro.serve.server import ServerThread
+        with ServerThread(max_delay=0.001) as server:
+            code, text = run_cli(
+                "loadgen", "li", "--port", str(server.port),
+                "--limit", "300", "--window", "4", "--mode", "batched",
+                "--block", "50")
+        assert code == 0
+        assert "offline parity: match" in text
+
+    def test_loadgen_speedup_guard_fails(self):
+        from repro.serve.server import ServerThread
+        with ServerThread(max_delay=0.001) as server:
+            code, _text = run_cli(
+                "loadgen", "li", "--port", str(server.port),
+                "--limit", "200", "--min-speedup", "1000000")
+        assert code == 1
+
+    def test_serve_subprocess_sigterm_drain(self):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--json",
+             "--port", "0"],
+            stdout=subprocess.PIPE, text=True, env=env)
+        try:
+            listening = json.loads(proc.stdout.readline())
+            assert listening["event"] == "listening"
+            assert listening["schema"] == 1
+            assert listening["port"] > 0
+            time.sleep(0.1)
+            proc.send_signal(signal.SIGTERM)
+            stdout, _ = proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0
+        drained = json.loads(stdout.strip().splitlines()[-1])
+        assert drained["event"] == "drained"
+        assert drained["stats"]["draining"] is True
+
 
 class TestCompileAndExec:
     SOURCE = """
