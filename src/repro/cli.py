@@ -631,13 +631,22 @@ def _expected_error_types() -> tuple:
     """Exception types that are user/environment errors, not bugs.
 
     These exit 1 with an ``error:`` line; anything else propagates as
-    a traceback (a bug should never be silently downgraded).
+    a traceback (a bug should never be silently downgraded).  Name
+    lookups therefore surface as dedicated KeyError subclasses rather
+    than bare KeyError, and only the OSError flavours a user can cause
+    (missing/unreadable paths, refused or dropped connections, socket
+    timeouts) are listed -- a stray KeyError or OSError from a genuine
+    bug still produces a traceback.
     """
+    from repro.harness.experiments import UnknownExperimentError
     from repro.serve.client import ServeError
     from repro.serve.protocol import ProtocolError
     from repro.trace.trace import TraceCacheError
-    return (ValueError, KeyError, FileNotFoundError, ConnectionError,
-            OSError, TraceCacheError, ProtocolError, ServeError)
+    from repro.workloads.registry import UnknownWorkloadError
+    return (ValueError, FileNotFoundError, IsADirectoryError,
+            PermissionError, ConnectionError, TimeoutError,
+            TraceCacheError, ProtocolError, ServeError,
+            UnknownWorkloadError, UnknownExperimentError)
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:

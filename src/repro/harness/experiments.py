@@ -48,9 +48,14 @@ from repro.harness.sweep import SweepPoint, pareto_front, sweep
 from repro.telemetry.spans import span
 from repro.trace.trace import ValueTrace
 
-__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids"]
+__all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids",
+           "UnknownExperimentError"]
 
 EXPERIMENTS: Dict[str, Callable] = {}
+
+
+class UnknownExperimentError(KeyError):
+    """Lookup of an experiment id that isn't registered."""
 
 
 def _experiment(experiment_id: str):
@@ -79,8 +84,9 @@ def run_experiment(experiment_id: str,
     try:
         fn = EXPERIMENTS[experiment_id]
     except KeyError:
-        raise KeyError(f"unknown experiment {experiment_id!r}; known: "
-                       f"{', '.join(experiment_ids())}") from None
+        raise UnknownExperimentError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{', '.join(experiment_ids())}") from None
     with contextlib.ExitStack() as stack:
         if engine is not None:
             from repro.core.engines import engine_default

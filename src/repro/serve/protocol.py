@@ -160,12 +160,15 @@ def read_frame_blocking(sock) -> Optional[Frame]:
 
 
 def _recv_exact(sock, n: int) -> Optional[bytes]:
+    """Read exactly *n* bytes; None only on EOF before the first byte."""
     chunks = []
     remaining = n
     while remaining:
         chunk = sock.recv(remaining)
         if not chunk:
-            return None if remaining == n and not chunks else None
+            if not chunks:
+                return None
+            raise ProtocolError("connection closed mid-frame")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)

@@ -146,19 +146,23 @@ class PredictionServer:
         self._stopping = True
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
         # Readers first: a cancel interrupts the blocking frame read,
         # while any shielded dispatch runs to completion.  Each reader's
         # cleanup then closes its own writer queue and awaits the
         # writer, which in turn awaits every outstanding future -- the
         # shard workers are still running underneath, so all accepted
-        # requests get answered before we proceed.
+        # requests get answered before we proceed.  wait_closed() comes
+        # after this drain: on Python >= 3.12.1 it also waits for the
+        # connection handlers (our readers), so awaiting it first would
+        # deadlock against any open connection.
         for conn in list(self._connections):
             if conn.reader_task is not None:
                 conn.reader_task.cancel()
         await asyncio.gather(
             *(c.reader_task for c in self._connections if c.reader_task),
             return_exceptions=True)
+        if self._server is not None:
+            await self._server.wait_closed()
         for shard in self.shards:
             await shard.batcher.drain()
             if shard.task is not None:
@@ -256,6 +260,10 @@ class PredictionServer:
                         frame_type | protocol.RESPONSE_BIT, request_id,
                         encode(result))
                 except asyncio.TimeoutError:
+                    # The shielded future stays with the shard worker;
+                    # consume its eventual exception so an abandoned
+                    # failure doesn't warn "never retrieved".
+                    future.add_done_callback(_consume_exception)
                     payload = self._error_frame(
                         request_id, protocol.ErrorCode.TIMEOUT,
                         f"request not served within "
@@ -485,6 +493,11 @@ def _code_name(code: int) -> str:
         return protocol.ErrorCode(code).name.lower()
     except ValueError:
         return f"code_{code}"
+
+
+def _consume_exception(future: "asyncio.Future") -> None:
+    if not future.cancelled():
+        future.exception()
 
 
 def _classify_error(exc: Exception):

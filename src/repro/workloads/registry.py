@@ -48,13 +48,18 @@ SPEC_NAMES: List[str] = [
 ]
 
 
+class UnknownWorkloadError(KeyError):
+    """Lookup of a workload name that isn't registered."""
+
+
 def get_workload(name: str) -> Workload:
     """Lookup with a helpful error listing the known workloads."""
     try:
         return WORKLOADS[name]
     except KeyError:
         known = ", ".join(sorted(WORKLOADS))
-        raise KeyError(f"unknown workload {name!r}; known: {known}") from None
+        raise UnknownWorkloadError(
+            f"unknown workload {name!r}; known: {known}") from None
 
 
 def workload_names() -> List[str]:

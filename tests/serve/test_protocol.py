@@ -58,6 +58,44 @@ class TestFrames:
                          b"\x00" * protocol.MAX_FRAME_BYTES)
 
 
+class _FakeSocket:
+    """Replays a byte string through recv(), then reports EOF."""
+
+    def __init__(self, data: bytes, chunk: int = 1 << 16):
+        self._data = data
+        self._chunk = chunk
+
+    def recv(self, n):
+        n = min(n, self._chunk)
+        chunk, self._data = self._data[:n], self._data[n:]
+        return chunk
+
+
+class TestBlockingRead:
+    def test_reads_frame_in_small_chunks(self):
+        payload = encode_frame(FrameType.STEP, 3, b"xyz")
+        frame = protocol.read_frame_blocking(_FakeSocket(payload, chunk=1))
+        assert frame == Frame(FrameType.STEP, 3, b"xyz")
+
+    def test_clean_eof_returns_none(self):
+        assert protocol.read_frame_blocking(_FakeSocket(b"")) is None
+
+    def test_eof_mid_length_prefix_raises(self):
+        payload = encode_frame(FrameType.STEP, 3, b"xyz")
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            protocol.read_frame_blocking(_FakeSocket(payload[:2]))
+
+    def test_eof_after_length_prefix_raises(self):
+        payload = encode_frame(FrameType.STEP, 3, b"xyz")
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            protocol.read_frame_blocking(_FakeSocket(payload[:4]))
+
+    def test_eof_mid_payload_raises(self):
+        payload = encode_frame(FrameType.STEP, 3, b"xyz")
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            protocol.read_frame_blocking(_FakeSocket(payload[:-1]))
+
+
 class TestBodies:
     def test_open_session(self):
         config = {"family": "dfcm", "l1_entries": 64}

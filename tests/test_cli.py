@@ -166,6 +166,16 @@ class TestErrorExits:
         assert code == 1
         assert capsys.readouterr().err.startswith("error:")
 
+    def test_genuine_bug_is_not_downgraded(self, monkeypatch):
+        import repro.cli as cli
+
+        def broken(args, out):
+            return {}["missing"]  # a plain KeyError, i.e. a bug
+
+        monkeypatch.setitem(cli._COMMANDS, "workloads", broken)
+        with pytest.raises(KeyError):
+            run_cli("workloads")
+
 
 class TestServeAndLoadgen:
     def test_loadgen_against_live_server(self, tmp_path):
