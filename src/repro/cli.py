@@ -13,9 +13,17 @@ Commands
 - ``disasm NAME`` — disassemble a workload's compiled text segment.
 - ``cache ls|verify|clear|warm`` — inspect and manage the trace cache.
 - ``telemetry summary|export|tail`` — inspect recorded telemetry runs.
-- ``serve`` — run the online prediction server (graceful SIGTERM drain).
+- ``serve`` — run the online prediction server (graceful SIGTERM drain;
+  ``--obs-port`` adds the HTTP /metrics /healthz /slo /slow endpoint).
 - ``loadgen NAME`` — replay a trace against a server, report throughput
   and latency percentiles, verify accuracy against the offline engine.
+- ``top URL|PORT`` — live dashboard over a server's obs endpoint
+  (``--once`` prints a single plain snapshot).
+
+``bench`` also maintains a history: ``bench --history`` appends the
+run (git SHA + timestamp) to ``BENCH_history.jsonl``; ``bench diff``
+compares the two most recent records and exits nonzero on a
+throughput regression beyond ``--max-regression-pct``.
 
 Every ``--json`` payload carries a ``"schema"`` integer so consumers
 can detect shape changes; every failure path exits nonzero with an
@@ -131,6 +139,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser(
         "bench", help="engine throughput benchmark (scalar vs batch)")
+    bench.add_argument("action", nargs="?", default="run",
+                       choices=["run", "diff"],
+                       help="run the benchmark (default) or diff the two "
+                            "most recent history records")
     bench.add_argument("--fast", action="store_true",
                        help="small trace; record the guard, don't "
                             "enforce it")
@@ -142,6 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--min-speedup", type=float, default=None,
                        help="speedup the guard requires (default "
                             "$REPRO_BENCH_MIN_SPEEDUP or 5.0)")
+    bench.add_argument("--history", action="store_true",
+                       help="append this run (git SHA + timestamp) to the "
+                            "history file")
+    bench.add_argument("--history-file", default="BENCH_history.jsonl",
+                       help="history path (default BENCH_history.jsonl)")
+    bench.add_argument("--max-regression-pct", type=float, default=None,
+                       help="bench diff: fail when batch throughput drops "
+                            "more than this percent (default "
+                            "$REPRO_BENCH_MAX_REGRESSION_PCT or 10)")
 
     compile_cmd = sub.add_parser("compile",
                                  help="compile MinC to R32 assembly")
@@ -225,6 +246,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-shard queue bound / backpressure point")
     serve.add_argument("--request-timeout-s", type=float, default=30.0,
                        help="per-request response deadline (default 30s)")
+    serve.add_argument("--obs-port", type=int, default=None,
+                       help="serve HTTP /metrics /healthz /slo /slow on "
+                            "this port (0 = ephemeral; default off)")
+    serve.add_argument("--slo-p99-ms", type=float, default=250.0,
+                       help="latency SLO: p99 of data-path requests "
+                            "must stay under this (default 250ms)")
+    serve.add_argument("--slo-queue-depth", type=float, default=512.0,
+                       help="queue SLO: shard queue depth ceiling "
+                            "(default 512)")
+    serve.add_argument("--slo-accuracy-floor", type=float, default=None,
+                       help="accuracy SLO: per-session recent hit-rate "
+                            "floor (default: not watched)")
+    serve.add_argument("--slow-out", metavar="FILE", default=None,
+                       help="write the slow-request sample JSON here on "
+                            "drain")
     serve.add_argument("--telemetry", metavar="DIR", default=None,
                        help="record this invocation as a telemetry run "
                             "under DIR")
@@ -261,6 +297,22 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the full report JSON")
     loadgen.add_argument("--out", default=None,
                          help="also write the report JSON to this file")
+
+    top = sub.add_parser(
+        "top", help="live dashboard over a serve --obs-port endpoint")
+    top.add_argument("target",
+                     help="obs endpoint: a base URL "
+                          "(http://host:port) or a bare port on "
+                          "127.0.0.1")
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="poll interval in seconds (default 1)")
+    top.add_argument("--once", action="store_true",
+                     help="print one plain snapshot and exit "
+                          "(no screen control; for scripts/CI)")
+    top.add_argument("--iterations", type=int, default=None,
+                     help="stop after N frames (default: until Ctrl-C)")
+    top.add_argument("--timeout", type=float, default=5.0,
+                     help="per-request HTTP timeout (default 5s)")
     return parser
 
 
@@ -387,10 +439,25 @@ def _cmd_compare(args, out) -> int:
 
 
 def _cmd_bench(args, out) -> int:
-    from repro.harness.bench import render_bench, run_bench, write_report
+    from repro.harness.bench import (append_history, diff_history,
+                                     render_bench, render_history_diff,
+                                     run_bench, write_report)
+    if args.action == "diff":
+        diff = diff_history(args.history_file,
+                            max_regression_pct=args.max_regression_pct)
+        if args.json:
+            out.write(json.dumps(diff, indent=2, sort_keys=True) + "\n")
+        else:
+            out.write(render_history_diff(diff))
+        return 0 if diff["passed"] else 1
     report = run_bench(fast=args.fast, min_speedup=args.min_speedup)
     if args.out and args.out != "-":
         write_report(report, args.out)
+    if args.history:
+        entry = append_history(report, args.history_file)
+        if not args.json:
+            out.write(f"history: appended {entry['git_sha'] or '?'} "
+                      f"to {args.history_file}\n")
     if args.json:
         out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
     else:
@@ -536,17 +603,25 @@ def _cmd_serve(args, out) -> int:
         out.flush()
 
     async def _serve():
+        from repro.telemetry.slo import default_serve_slos
+        slos = default_serve_slos(
+            p99_latency_s=args.slo_p99_ms / 1e3,
+            queue_depth_ceiling=args.slo_queue_depth,
+            accuracy_floor=args.slo_accuracy_floor)
         server = PredictionServer(
             host=args.host, port=args.port, shards=args.shards,
             max_batch=args.max_batch, max_delay=args.max_delay_ms / 1e3,
             queue_depth=args.queue_depth,
-            request_timeout=args.request_timeout_s)
+            request_timeout=args.request_timeout_s,
+            obs_port=args.obs_port, slos=slos)
         await server.start()
+        obs_note = (f", obs http://{args.host}:{server.obs_port}"
+                    if server.obs_port is not None else "")
         emit({"event": "listening", "host": args.host, "port": server.port,
-              "shards": args.shards},
+              "obs_port": server.obs_port, "shards": args.shards},
              f"listening on {args.host}:{server.port} "
              f"({args.shards} shards, batch<={args.max_batch}, "
-             f"delay<={args.max_delay_ms:g}ms) -- "
+             f"delay<={args.max_delay_ms:g}ms{obs_note}) -- "
              "SIGTERM/SIGINT drains and exits")
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
@@ -560,11 +635,18 @@ def _cmd_serve(args, out) -> int:
 
     with _maybe_telemetry(args) as telemetry:
         stats = asyncio.run(_serve())
+    if args.slow_out:
+        with open(args.slow_out, "w") as handle:
+            json.dump(stats.get("slow_requests", {}), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
     emit({"event": "drained", "stats": stats,
           "telemetry_run_id": telemetry.run_id if telemetry else None},
          f"drained: {stats['batches']} batches, "
          f"{stats['requests_batched']} requests, "
          f"{stats['sessions_open']} session(s) still open")
+    if args.slow_out and not args.json:
+        out.write(f"slow-request sample: {args.slow_out}\n")
     if telemetry is not None and not args.json:
         out.write(f"telemetry: {telemetry.dir}\n")
     return 0
@@ -610,6 +692,18 @@ def _cmd_loadgen(args, out) -> int:
     return 1 if failed else 0
 
 
+def _cmd_top(args, out) -> int:
+    from repro.serve.top import run_top
+    target = args.target
+    if target.isdigit():
+        target = f"http://127.0.0.1:{target}"
+    elif "://" not in target:
+        target = f"http://{target}"
+    return run_top(target, interval=args.interval,
+                   iterations=args.iterations, once=args.once,
+                   out=out, timeout=args.timeout)
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "trace": _cmd_trace,
@@ -624,6 +718,7 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "top": _cmd_top,
 }
 
 

@@ -28,8 +28,10 @@ from repro.core.spec import (DFCMSpec, FCMSpec, LastValueSpec,
 from repro.harness.simulate import measure_suite
 from repro.trace.trace import ValueTrace
 
-__all__ = ["MIN_SPEEDUP", "bench_specs", "resolve_min_speedup", "run_bench",
-           "render_bench", "write_report"]
+__all__ = ["MIN_SPEEDUP", "MAX_REGRESSION_PCT", "bench_specs",
+           "resolve_min_speedup", "resolve_max_regression_pct", "run_bench",
+           "render_bench", "write_report", "history_entry", "append_history",
+           "read_history", "diff_history", "render_history_diff"]
 
 #: Default full-mode guard: flagship DFCM batch replay vs the scalar
 #: loop.  Override per run with ``--min-speedup`` or
@@ -222,3 +224,164 @@ def write_report(report: dict, path: str) -> None:
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+# -------------------------------------------------------------- history
+
+#: Default regression gate for ``repro bench diff``: the newest
+#: record's batch throughput may drop at most this many percent
+#: against the previous one.  Override with ``--max-regression-pct``
+#: or ``$REPRO_BENCH_MAX_REGRESSION_PCT``.
+MAX_REGRESSION_PCT = 10.0
+
+HISTORY_SCHEMA = 1
+
+
+def resolve_max_regression_pct(
+        max_regression_pct: Optional[float] = None) -> float:
+    """Explicit argument > ``$REPRO_BENCH_MAX_REGRESSION_PCT`` >
+    default."""
+    if max_regression_pct is None:
+        env = os.environ.get("REPRO_BENCH_MAX_REGRESSION_PCT")
+        if env:
+            try:
+                max_regression_pct = float(env)
+            except ValueError:
+                raise ValueError(
+                    "REPRO_BENCH_MAX_REGRESSION_PCT must be a number, "
+                    f"got {env!r}") from None
+    if max_regression_pct is None:
+        return MAX_REGRESSION_PCT
+    if max_regression_pct < 0:
+        raise ValueError(f"max regression pct must be >= 0, "
+                         f"got {max_regression_pct}")
+    return float(max_regression_pct)
+
+
+def _bench_git_sha() -> Optional[str]:
+    import subprocess
+    from pathlib import Path
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True, text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def history_entry(report: dict) -> dict:
+    """One history record: identity + the throughput numbers worth
+    diffing (per-family batch/scalar rec/s and the suite speedup)."""
+    return {
+        "schema": HISTORY_SCHEMA,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": _bench_git_sha(),
+        "mode": report["mode"],
+        "anchor": report["anchor"],
+        "python": report["python"],
+        "machine": report["machine"],
+        "families": {
+            f["family"]: {
+                "batch_records_per_sec": f["batch_records_per_sec"],
+                "scalar_records_per_sec": f["scalar_records_per_sec"],
+                "speedup": f["speedup"],
+            } for f in report["families"]},
+        "suite_speedup": report["suite"]["speedup"],
+    }
+
+
+def append_history(report: dict, path: str = "BENCH_history.jsonl") -> dict:
+    """Append the report's :func:`history_entry` to the JSONL history
+    file; returns the entry written."""
+    entry = history_entry(report)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def read_history(path: str = "BENCH_history.jsonl") -> List[dict]:
+    """All history records, oldest first (blank lines skipped)."""
+    entries = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                entries.append(json.loads(line))
+    return entries
+
+
+def diff_history(path: str = "BENCH_history.jsonl",
+                 max_regression_pct: Optional[float] = None) -> dict:
+    """Compare the two most recent history records per family.
+
+    A family regresses when its batch throughput in the newest record
+    drops more than the threshold percent below the previous record;
+    ``passed`` is False when any family regresses.  Only families
+    present in both records are compared (the grid can grow).
+    """
+    threshold = resolve_max_regression_pct(max_regression_pct)
+    entries = read_history(path)
+    if len(entries) < 2:
+        raise ValueError(
+            f"need at least 2 history records in {path} to diff, "
+            f"found {len(entries)} (run 'repro bench --history' twice)")
+    base, head = entries[-2], entries[-1]
+    families = []
+    regressed = []
+    for family in sorted(set(base["families"]) & set(head["families"])):
+        old = base["families"][family]["batch_records_per_sec"]
+        new = head["families"][family]["batch_records_per_sec"]
+        delta_pct = ((new - old) / old * 100.0) if old else 0.0
+        is_regressed = delta_pct < -threshold
+        if is_regressed:
+            regressed.append(family)
+        families.append({
+            "family": family,
+            "base_records_per_sec": old,
+            "head_records_per_sec": new,
+            "delta_pct": round(delta_pct, 2),
+            "regressed": is_regressed,
+        })
+    return {
+        "schema": HISTORY_SCHEMA,
+        "path": path,
+        "max_regression_pct": threshold,
+        "base": {"git_sha": base.get("git_sha"),
+                 "timestamp": base.get("timestamp"),
+                 "mode": base.get("mode")},
+        "head": {"git_sha": head.get("git_sha"),
+                 "timestamp": head.get("timestamp"),
+                 "mode": head.get("mode")},
+        "families": families,
+        "regressed": regressed,
+        "passed": not regressed,
+    }
+
+
+def render_history_diff(diff: dict) -> str:
+    """Human-readable digest of a :func:`diff_history` result."""
+    from repro.harness.report import format_table
+
+    def _ident(rec: dict) -> str:
+        sha = (rec.get("git_sha") or "?")[:12]
+        return f"{sha} ({rec.get('timestamp') or '?'}, " \
+               f"{rec.get('mode') or '?'})"
+
+    rows = [[f["family"], f"{f['base_records_per_sec']:,}",
+             f"{f['head_records_per_sec']:,}",
+             f"{f['delta_pct']:+.2f}%",
+             "REGRESSED" if f["regressed"] else "ok"]
+            for f in diff["families"]]
+    lines = [format_table(
+        ["family", "base rec/s", "head rec/s", "delta", "verdict"], rows,
+        title=(f"bench history diff: {_ident(diff['base'])} -> "
+               f"{_ident(diff['head'])}"))]
+    verdict = "PASS" if diff["passed"] else "FAIL"
+    lines.append(f"gate: batch throughput drop <= "
+                 f"{diff['max_regression_pct']:g}% per family -- {verdict}")
+    if diff["regressed"]:
+        lines.append("regressed: " + ", ".join(diff["regressed"]))
+    return "\n".join(lines) + "\n"

@@ -25,9 +25,12 @@ spec, including under delayed-update windows.
 """
 
 from repro.serve.client import ServeClient
+from repro.serve.obs import ObservabilityServer
 from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.serve.server import PredictionServer, ServerThread
 from repro.serve.session import Session
+from repro.serve.tracing import (RequestTrace, SlowRequestSampler,
+                                 format_trace_id, new_trace_id)
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -36,4 +39,9 @@ __all__ = [
     "PredictionServer",
     "ServerThread",
     "ServeClient",
+    "ObservabilityServer",
+    "RequestTrace",
+    "SlowRequestSampler",
+    "new_trace_id",
+    "format_trace_id",
 ]

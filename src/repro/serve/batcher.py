@@ -26,8 +26,11 @@ the batch continues.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
+
+from repro.serve.tracing import RequestTrace
 
 __all__ = ["WorkItem", "MicroBatcher"]
 
@@ -39,7 +42,9 @@ class WorkItem:
     ``fuse_key`` is non-None for STEP / STEP_BLOCK items; adjacent
     items (per session) whose ``fuse_key`` matches are merged into one
     kernel call.  ``pcs``/``values`` carry the records for fusible
-    items; ``run`` executes everything else.
+    items; ``run`` executes everything else.  ``trace``, when present,
+    is stamped at each stage boundary (dequeue, execute start/end) so
+    the request's span breakdown survives batching and fusion.
     """
 
     session_id: int
@@ -48,6 +53,7 @@ class WorkItem:
     fuse_key: Optional[str] = None
     pcs: List[int] = field(default_factory=list)
     values: List[int] = field(default_factory=list)
+    trace: Optional[RequestTrace] = None
 
 
 class MicroBatcher:
@@ -67,6 +73,9 @@ class MicroBatcher:
         self.batches = 0
         self.items = 0
         self.fused_records = 0
+        # Optional server hook: called as on_records(session_id, n, hits)
+        # after every fused STEP/STEP_BLOCK execution.
+        self.on_records: Optional[Callable[[int, int, int], None]] = None
 
     # ------------------------------------------------------------ intake
 
@@ -105,6 +114,10 @@ class MicroBatcher:
                 break
         self.batches += 1
         self.items += len(batch)
+        now = time.monotonic()
+        for item in batch:
+            if item.trace is not None:
+                item.trace.t_dequeue = now
         return batch
 
     def execute(self, batch: List[WorkItem], sessions: Dict[int, object]) -> None:
@@ -141,10 +154,18 @@ class MicroBatcher:
         done = [item for item in fused if not item.future.cancelled()]
         if not done:
             return
+        start = time.monotonic()
+        for item in fused:
+            if item.trace is not None:
+                item.trace.t_exec_start = start
+                item.trace.batch_size = len(fused)
+                item.trace.fused = len(fused) > 1
         try:
             if fused[0].fuse_key is None:
                 item = fused[0]
                 result = item.run(session)
+                if item.trace is not None:
+                    item.trace.t_exec_end = time.monotonic()
                 if not item.future.cancelled():
                     item.future.set_result(result)
                 return
@@ -155,16 +176,24 @@ class MicroBatcher:
             predicted, _ = session.step_block(pcs, values)
             if len(fused) > 1:
                 self.fused_records += len(pcs)
+            end = time.monotonic()
             offset = 0
             for item in fused:
                 part = predicted[offset:offset + len(item.pcs)]
                 offset += len(item.pcs)
                 hits = sum(1 for p, v in zip(part, item.values)
                            if p == (v & 0xFFFFFFFF))
+                if item.trace is not None:
+                    item.trace.t_exec_end = end
+                if self.on_records is not None:
+                    self.on_records(item.session_id, len(item.pcs), hits)
                 if not item.future.cancelled():
                     item.future.set_result((part, hits))
         except Exception as exc:  # noqa: BLE001 - must reach the client
+            end = time.monotonic()
             for item in fused:
+                if item.trace is not None and item.trace.t_exec_end is None:
+                    item.trace.t_exec_end = end
                 if not item.future.cancelled():
                     item.future.set_exception(exc)
 

@@ -6,6 +6,15 @@ any scripting caller wants.  One request is one round trip; the
 pipelined (many requests in flight) path lives in
 :mod:`repro.serve.loadgen`, built on the same frame helpers.
 
+The client speaks protocol version 2 by default: every request
+carries a fresh 64-bit trace id (the last one sent is kept in
+:attr:`ServeClient.last_trace_id` so callers can correlate their
+request with server-side spans and the slow-request sample).  Talking
+to an older, version-1-only server is transparent: the first request
+comes back rejected, the client re-connects speaking version 1 --
+without trace ids -- and retries.  Pin ``version=1`` to skip the
+probe.
+
 Server-side errors surface as :class:`ServeError` carrying the
 protocol error code; transport and framing problems raise
 :class:`~repro.serve.protocol.ProtocolError` / ``ConnectionError``.
@@ -19,6 +28,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.spec import PredictorSpec
 from repro.serve import protocol
+from repro.serve.tracing import new_trace_id
 
 __all__ = ["ServeClient", "ServeError"]
 
@@ -43,17 +53,48 @@ class ServeClient:
     """One blocking connection to a :class:`PredictionServer`."""
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 timeout: Optional[float] = 30.0):
-        self.sock = socket.create_connection((host, port), timeout=timeout)
-        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                 timeout: Optional[float] = 30.0,
+                 version: int = protocol.PROTOCOL_VERSION):
+        if version not in protocol.SUPPORTED_VERSIONS:
+            raise protocol.ProtocolError(
+                f"unsupported protocol version {version}; supported: "
+                f"{list(protocol.SUPPORTED_VERSIONS)}")
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.protocol_version = version
+        self.last_trace_id = 0
         self._request_ids = itertools.count(1)
+        # Version 1 needs no probe; higher versions are confirmed by
+        # the first successful round trip (see ``request``).
+        self._negotiated = version == protocol.PROTOCOL_VERSION_V1
+        self.sock = self._connect()
+
+    def _connect(self) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.timeout)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
 
     # ---------------------------------------------------------- transport
 
     def request(self, frame_type: int, body: bytes) -> protocol.Frame:
-        """Send one frame, block for its response frame."""
+        """Send one frame, block for its response frame.
+
+        Handles version negotiation: when an un-negotiated connection
+        has its first request rejected for speaking a version the
+        server doesn't know, the client re-connects with version 1 and
+        retries the request once.
+        """
         request_id = self.send(frame_type, body)
-        frame = self.recv()
+        try:
+            frame = self.recv()
+        except ServeError as exc:
+            if self._should_downgrade(exc):
+                self._downgrade()
+                return self.request(frame_type, body)
+            raise
+        self._negotiated = True
         if frame is None:
             raise ConnectionError("server closed the connection")
         if frame.request_id != request_id:
@@ -62,11 +103,28 @@ class ServeClient:
                 f"expected {request_id}")
         return frame
 
+    def _should_downgrade(self, exc: "ServeError") -> bool:
+        return (not self._negotiated
+                and self.protocol_version > protocol.PROTOCOL_VERSION_V1
+                and exc.code in (protocol.ErrorCode.BAD_VERSION,
+                                 protocol.ErrorCode.BAD_FRAME)
+                and "version" in exc.message)
+
+    def _downgrade(self) -> None:
+        self.close()
+        self.protocol_version = protocol.PROTOCOL_VERSION_V1
+        self._negotiated = True
+        self.sock = self._connect()
+
     def send(self, frame_type: int, body: bytes) -> int:
         """Fire one request frame without waiting; returns its id."""
         request_id = next(self._request_ids)
-        self.sock.sendall(protocol.encode_frame(frame_type, request_id,
-                                                body))
+        trace_id = (new_trace_id()
+                    if self.protocol_version >= 2 else 0)
+        self.last_trace_id = trace_id
+        self.sock.sendall(protocol.encode_frame(
+            frame_type, request_id, body,
+            version=self.protocol_version, trace_id=trace_id))
         return request_id
 
     def recv(self) -> Optional[protocol.Frame]:

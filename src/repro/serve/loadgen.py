@@ -95,10 +95,12 @@ def _run_mode(host: str, port: int, spec: PredictorSpec, window: int,
                                               block)
         elapsed = time.perf_counter() - started
         stats = client.close_session(session)
+        negotiated = client.protocol_version
     records = len(pcs)
     result = {
         "mode": mode,
         "records": records,
+        "protocol_version": negotiated,
         "requests": len(latencies),
         "seconds": round(elapsed, 6),
         "records_per_s": round(records / elapsed, 1) if elapsed else 0.0,
@@ -139,6 +141,8 @@ def run_loadgen(spec: PredictorSpec, trace, host: str, port: int,
     for name in modes:
         report["modes"][name] = _run_mode(host, port, spec, window, name,
                                           pcs, values, block)
+    report["protocol_version"] = next(
+        iter(report["modes"].values()))["protocol_version"]
     if "naive" in report["modes"] and "batched" in report["modes"]:
         naive_rate = report["modes"]["naive"]["records_per_s"]
         batched_rate = report["modes"]["batched"]["records_per_s"]

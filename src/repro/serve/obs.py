@@ -1,0 +1,147 @@
+"""Embedded HTTP observability endpoint for the prediction server.
+
+A tiny asyncio HTTP/1.0 server sharing the prediction server's event
+loop, listening on a *separate* port (``--obs-port``) so scrapes never
+compete with the binary protocol for a listener.  Routes:
+
+``/metrics``
+    The live process registry in Prometheus text exposition format
+    0.0.4 (``?exemplars=1`` adds OpenMetrics-style trace-id exemplars
+    to histogram buckets; ``?prefix=repro_serve`` restricts names).
+``/healthz``
+    JSON liveness: overall status (``ok`` / ``degraded`` /
+    ``draining``), per-shard queue depth and session counts, firing
+    SLO alerts.  Always HTTP 200 -- health is in the body's
+    ``status`` field so scripted probes can parse one shape.
+``/slo``
+    JSON burn-rate report: every objective with fast/slow window burn
+    rates plus live latency percentiles.
+``/slow``
+    The top-K slowest-request sample with per-stage span breakdowns.
+
+The implementation is deliberately minimal -- request line + headers
+in, one response out, connection closed -- because its only consumers
+are scrapers, ``repro top``, and curl.  No external HTTP dependency.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.telemetry.live import live_prometheus_text
+
+__all__ = ["ObservabilityServer"]
+
+_MAX_REQUEST_LINE = 8192
+_HEADER_TIMEOUT = 5.0
+
+
+class ObservabilityServer:
+    """HTTP scrape surface bound to one :class:`PredictionServer`."""
+
+    def __init__(self, server, host: str = "127.0.0.1", port: int = 0):
+        self.server = server
+        self.host = host
+        self.port = port
+        self._listener: Optional[asyncio.base_events.Server] = None
+
+    async def start(self) -> None:
+        self._listener = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._listener.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._listener is None:
+            return
+        self._listener.close()
+        await self._listener.wait_closed()
+        self._listener = None
+
+    # ---------------------------------------------------------- handling
+
+    async def _handle(self, reader, writer) -> None:
+        try:
+            status, content_type, body = await self._respond(reader)
+            writer.write(
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: close\r\n\r\n".encode("ascii"))
+            writer.write(body)
+            await writer.drain()
+        except (ConnectionError, asyncio.TimeoutError, OSError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _respond(self, reader) -> Tuple[str, str, bytes]:
+        try:
+            request_line = await asyncio.wait_for(
+                reader.readline(), _HEADER_TIMEOUT)
+        except asyncio.TimeoutError:
+            return _text("408 Request Timeout", "request timeout\n")
+        if len(request_line) > _MAX_REQUEST_LINE:
+            return _text("414 URI Too Long", "request line too long\n")
+        parts = request_line.decode("latin-1", "replace").split()
+        if len(parts) < 2:
+            return _text("400 Bad Request", "malformed request line\n")
+        method, target = parts[0], parts[1]
+        # Drain headers (ignored) up to the blank line.
+        while True:
+            try:
+                line = await asyncio.wait_for(reader.readline(),
+                                              _HEADER_TIMEOUT)
+            except asyncio.TimeoutError:
+                break
+            if line in (b"\r\n", b"\n", b""):
+                break
+        if method != "GET":
+            return _text("405 Method Not Allowed", "GET only\n")
+        split = urlsplit(target)
+        return self._route(split.path, parse_qs(split.query))
+
+    def _route(self, path: str, query: dict) -> Tuple[str, str, bytes]:
+        if path == "/metrics":
+            text = live_prometheus_text(
+                prefix=_first(query, "prefix"),
+                exemplars=_flag(query, "exemplars"))
+            return ("200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                    text.encode("utf-8"))
+        if path == "/healthz":
+            return _json(self.server.healthz())
+        if path == "/slo":
+            return _json(self.server.slo_report())
+        if path == "/slow":
+            return _json(self.server.slow_requests())
+        if path == "/":
+            return _json({
+                "service": "repro-serve",
+                "endpoints": ["/metrics", "/healthz", "/slo", "/slow"],
+            })
+        return _text("404 Not Found", f"no route {path}\n")
+
+
+def _first(query: dict, key: str) -> Optional[str]:
+    values = query.get(key)
+    return values[0] if values else None
+
+
+def _flag(query: dict, key: str) -> bool:
+    value = _first(query, key)
+    return value not in (None, "", "0", "false", "no")
+
+
+def _json(payload: dict) -> Tuple[str, str, bytes]:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    return "200 OK", "application/json", body
+
+
+def _text(status: str, message: str) -> Tuple[str, str, bytes]:
+    return status, "text/plain; charset=utf-8", message.encode("utf-8")

@@ -3,10 +3,23 @@
 Every frame is::
 
     u32  length   -- bytes that follow (big-endian, like all fields)
-    u8   version  -- PROTOCOL_VERSION; mismatches are rejected
+    u8   version  -- one of SUPPORTED_VERSIONS; others are rejected
     u8   type     -- FrameType
     u32  request_id -- echoed verbatim in the response
+    u64  trace_id -- version >= 2 only; 0 = unassigned
     ...  body     -- type-specific, see below
+
+Version 2 adds the ``trace_id`` header field: a client-chosen 64-bit
+id threaded through every server stage (queue, fuse, execute, flush)
+and echoed on the response, so one request can be found in spans, the
+slow-request sample, and histogram exemplars.  Negotiation is
+per-frame and backward compatible in both directions: a server decodes
+whichever supported version a frame announces and answers in that same
+version (version-1 requests get a server-assigned trace id
+internally, but their responses stay version 1); a version-2 client
+talking to a version-1-only server has its first request rejected
+(``BAD_FRAME``/``BAD_VERSION``) and silently re-connects speaking
+version 1 -- see :class:`repro.serve.client.ServeClient`.
 
 Responses reuse the request's type with the high bit set
 (``RESPONSE_BIT``); errors use :data:`FrameType.ERROR` regardless of
@@ -50,7 +63,8 @@ import struct
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-__all__ = ["PROTOCOL_VERSION", "MAX_FRAME_BYTES", "RESPONSE_BIT",
+__all__ = ["PROTOCOL_VERSION", "PROTOCOL_VERSION_V1", "SUPPORTED_VERSIONS",
+           "MAX_FRAME_BYTES", "RESPONSE_BIT",
            "FrameType", "ErrorCode", "ProtocolError", "Frame",
            "encode_frame", "decode_frame", "read_frame_blocking",
            "encode_open_session", "decode_open_session",
@@ -62,7 +76,9 @@ __all__ = ["PROTOCOL_VERSION", "MAX_FRAME_BYTES", "RESPONSE_BIT",
            "encode_step_result", "decode_step_result",
            "encode_error", "decode_error"]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+PROTOCOL_VERSION_V1 = 1
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Upper bound on a frame's declared length; a peer announcing more is
 #: protocol-broken (or hostile) and the connection is dropped.
@@ -70,7 +86,8 @@ MAX_FRAME_BYTES = 1 << 22
 
 RESPONSE_BIT = 0x80
 
-_HEADER = struct.Struct("!BBI")  # version, type, request_id
+_HEADER = struct.Struct("!BBI")    # version, type, request_id
+_TRACE_ID = struct.Struct("!Q")    # version >= 2 extension
 _LENGTH = struct.Struct("!I")
 
 
@@ -106,6 +123,8 @@ class Frame:
     type: int
     request_id: int
     body: bytes
+    version: int = PROTOCOL_VERSION
+    trace_id: int = 0
 
     @property
     def is_response(self) -> bool:
@@ -117,9 +136,15 @@ class Frame:
         return self.type & ~RESPONSE_BIT
 
 
-def encode_frame(frame_type: int, request_id: int, body: bytes = b"") -> bytes:
-    payload = _HEADER.pack(PROTOCOL_VERSION, frame_type,
-                           request_id & 0xFFFFFFFF) + body
+def encode_frame(frame_type: int, request_id: int, body: bytes = b"",
+                 version: int = PROTOCOL_VERSION, trace_id: int = 0) -> bytes:
+    if version not in SUPPORTED_VERSIONS:
+        raise ProtocolError(f"cannot encode protocol version {version}; "
+                            f"supported: {list(SUPPORTED_VERSIONS)}")
+    payload = _HEADER.pack(version, frame_type, request_id & 0xFFFFFFFF)
+    if version >= 2:
+        payload += _TRACE_ID.pack(trace_id & 0xFFFFFFFFFFFFFFFF)
+    payload += body
     if len(payload) > MAX_FRAME_BYTES:
         raise ProtocolError(f"frame of {len(payload)} bytes exceeds the "
                             f"{MAX_FRAME_BYTES}-byte limit")
@@ -131,10 +156,19 @@ def decode_frame(payload: bytes) -> Frame:
     if len(payload) < _HEADER.size:
         raise ProtocolError(f"truncated frame header ({len(payload)} bytes)")
     version, frame_type, request_id = _HEADER.unpack_from(payload)
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(f"protocol version {version}, "
-                            f"expected {PROTOCOL_VERSION}")
-    return Frame(frame_type, request_id, payload[_HEADER.size:])
+                            f"expected one of {list(SUPPORTED_VERSIONS)}")
+    trace_id = 0
+    offset = _HEADER.size
+    if version >= 2:
+        if len(payload) < offset + _TRACE_ID.size:
+            raise ProtocolError(
+                f"truncated v{version} frame header ({len(payload)} bytes)")
+        (trace_id,) = _TRACE_ID.unpack_from(payload, offset)
+        offset += _TRACE_ID.size
+    return Frame(frame_type, request_id, payload[offset:],
+                 version=version, trace_id=trace_id)
 
 
 def read_length(prefix: bytes) -> int:

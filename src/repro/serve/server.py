@@ -40,14 +40,19 @@ import asyncio
 import itertools
 import threading
 import time
+from collections import deque
 from typing import Dict, List, Optional
 
 from repro.core.spec import spec_from_config
 from repro.serve import protocol
 from repro.serve.batcher import MicroBatcher, WorkItem
+from repro.serve.obs import ObservabilityServer
 from repro.serve.session import Session
+from repro.serve.tracing import (RequestTrace, SlowRequestSampler,
+                                 new_trace_id)
 from repro.telemetry import run as telemetry_run_module
 from repro.telemetry.registry import registry
+from repro.telemetry.slo import SLO, SLOMonitor, default_serve_slos
 
 __all__ = ["PredictionServer", "ServerThread"]
 
@@ -87,6 +92,22 @@ class _ServeMetrics:
             "repro_serve_sessions_open", "Sessions currently open.")
         self.connections_open = reg.gauge(
             "repro_serve_connections_open", "Client connections open.")
+        self.request_seconds = reg.histogram(
+            "repro_serve_request_seconds",
+            "End-to-end request latency (frame read to response written).",
+            buckets=_LATENCY_BUCKETS, labels=("type",))
+        self.hits = reg.counter(
+            "repro_serve_hits_total", "Correct predictions served.")
+        self.slo_burn = reg.gauge(
+            "repro_serve_slo_burn_rate",
+            "Burn rate per SLO and window at the last evaluation.",
+            labels=("slo", "window"))
+        self.slo_alerts = reg.counter(
+            "repro_serve_slo_alerts_total",
+            "SLO alert activations (transitions into firing).",
+            labels=("slo",))
+        self.healthy = reg.gauge(
+            "repro_serve_healthy", "1 while no SLO alert fires, else 0.")
 
 
 class _Shard:
@@ -112,7 +133,12 @@ class PredictionServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  shards: int = 2, max_batch: int = 64,
                  max_delay: float = 0.002, queue_depth: int = 1024,
-                 request_timeout: float = 30.0):
+                 request_timeout: float = 30.0,
+                 obs_port: Optional[int] = None,
+                 obs_host: str = "127.0.0.1",
+                 slos: Optional[List[SLO]] = None,
+                 slo_interval: float = 0.25,
+                 slow_k: int = 32):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.host = host
@@ -130,6 +156,26 @@ class PredictionServer:
         self._session_opened_at: Dict[int, float] = {}
         self._stopping = False
         self._started_at = 0.0
+        # Observability: slow-request sample, SLO monitor, HTTP endpoint.
+        self.slow_sampler = SlowRequestSampler(slow_k)
+        slo_list = default_serve_slos() if slos is None else list(slos)
+        self.monitor = SLOMonitor(slo_list) if slo_list else None
+        watched = self.monitor.slos if self.monitor is not None else []
+        self._latency_slos = [s for s in watched if s.kind == "latency"]
+        self._queue_slos = [s for s in watched if s.kind == "queue_depth"]
+        self._accuracy_slos = [s for s in watched if s.kind == "accuracy"]
+        self._slo_interval = slo_interval
+        self._slo_statuses: List[dict] = []
+        self._alerting: List[str] = []
+        self._slo_task: Optional[asyncio.Task] = None
+        self.obs_port: Optional[int] = obs_port
+        self._obs = (ObservabilityServer(self, obs_host, obs_port)
+                     if obs_port is not None else None)
+        self._latencies: deque = deque(maxlen=4096)  # (t_done, seconds)
+        self.records_served = 0
+        self.hits_served = 0
+        for shard in self.shards:
+            shard.batcher.on_records = self._on_records
 
     # ---------------------------------------------------------- lifecycle
 
@@ -139,6 +185,12 @@ class PredictionServer:
         self._server = await asyncio.start_server(
             self._on_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        if self._obs is not None:
+            await self._obs.start()
+            self.obs_port = self._obs.port
+        if self.monitor is not None:
+            self._slo_task = asyncio.ensure_future(self._slo_loop())
+        self.metrics.healthy.set(1)
         self._started_at = time.time()
 
     async def stop(self) -> dict:
@@ -169,7 +221,14 @@ class PredictionServer:
                 shard.task.cancel()
         await asyncio.gather(*(s.task for s in self.shards if s.task),
                              return_exceptions=True)
+        if self._slo_task is not None:
+            self._slo_task.cancel()
+            await asyncio.gather(self._slo_task, return_exceptions=True)
+            self._slo_task = None
+        if self._obs is not None:
+            await self._obs.stop()
         stats = self.server_stats()
+        stats["slow_requests"] = self.slow_sampler.snapshot()
         for shard in self.shards:
             for session_id in list(shard.sessions):
                 self._finish_session(shard, session_id)
@@ -195,6 +254,152 @@ class PredictionServer:
             # One batch per scheduling slice keeps readers responsive.
             await asyncio.sleep(0)
 
+    # ------------------------------------------------------ observability
+
+    def _on_records(self, session_id: int, n: int, hits: int) -> None:
+        self.records_served += n
+        self.hits_served += hits
+        if hits:
+            self.metrics.hits.inc(hits)
+
+    async def _slo_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self._slo_interval)
+            self._slo_tick()
+
+    def _slo_tick(self) -> None:
+        """One periodic sample: queue depths and per-session accuracy
+        into their SLO streams, then a burn-rate evaluation."""
+        now = time.monotonic()
+        for shard in self.shards:
+            depth = shard.batcher.qsize()
+            self.metrics.queue_depth.set(depth, shard=str(shard.index))
+            for slo in self._queue_slos:
+                good = 1 if depth <= slo.threshold else 0
+                self.monitor.record(slo.name, good=good, bad=1 - good,
+                                    now=now)
+            for slo in self._accuracy_slos:
+                for session in shard.sessions.values():
+                    recent = session.recent_accuracy()
+                    if recent is None:
+                        continue
+                    good = 1 if recent >= slo.threshold else 0
+                    self.monitor.record(slo.name, good=good, bad=1 - good,
+                                        now=now)
+        self._refresh_slo_state(now)
+
+    def _refresh_slo_state(self, now: Optional[float] = None) -> List[dict]:
+        """Evaluate burn rates, update gauges, and emit one telemetry
+        event per alert transition (firing / resolved)."""
+        statuses = self.monitor.evaluate(now)
+        previous = set(self._alerting)
+        alerting = [s["name"] for s in statuses if s["alerting"]]
+        for status in statuses:
+            self.metrics.slo_burn.set(status["fast_burn"],
+                                      slo=status["name"], window="fast")
+            self.metrics.slo_burn.set(status["slow_burn"],
+                                      slo=status["name"], window="slow")
+        run = telemetry_run_module.active_run()
+        for name in alerting:
+            if name not in previous:
+                self.metrics.slo_alerts.inc(slo=name)
+                if run is not None:
+                    run.emit({"type": "slo_alert", "slo": name,
+                              "state": "firing"})
+        if run is not None:
+            for name in previous:
+                if name not in alerting:
+                    run.emit({"type": "slo_alert", "slo": name,
+                              "state": "resolved"})
+        self._alerting = alerting
+        self._slo_statuses = statuses
+        self.metrics.healthy.set(0 if alerting else 1)
+        return statuses
+
+    def _finish_trace(self, trace: RequestTrace) -> None:
+        """Completed-request fan-out: latency histogram (with trace-id
+        exemplar), slow sample, latency SLO stream, span event."""
+        latency = trace.latency_s()
+        self.metrics.request_seconds.observe(
+            latency, exemplar=trace.trace_id_hex, type=trace.frame_type)
+        self.slow_sampler.add(trace)
+        if trace.frame_type in _DATA_TYPES:
+            self._latencies.append((trace.t_done, latency))
+            if self.monitor is not None:
+                for slo in self._latency_slos:
+                    good = 1 if latency <= slo.threshold else 0
+                    self.monitor.record(slo.name, good=good, bad=1 - good,
+                                        now=trace.t_done)
+        run = telemetry_run_module.active_run()
+        if run is not None:
+            run.emit({
+                "type": "span",
+                "name": "serve.request",
+                "span_id": run.next_span_id(),
+                "parent_id": None,
+                "depth": 0,
+                "duration_s": round(latency, 6),
+                "status": trace.status,
+                "attrs": trace.to_dict(),
+            })
+
+    def healthz(self) -> dict:
+        """The ``/healthz`` body.  Always served (HTTP 200); overall
+        health is the ``status`` field."""
+        if self.monitor is not None:
+            self._refresh_slo_state()
+        alerting = list(self._alerting)
+        if self._stopping:
+            status = "draining"
+        elif alerting:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "schema": 1,
+            "status": status,
+            "draining": self._stopping,
+            "uptime_s": (round(time.time() - self._started_at, 3)
+                         if self._started_at else 0.0),
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "connections_open": len(self._connections),
+            "sessions_open": sum(len(s.sessions) for s in self.shards),
+            "records_served": self.records_served,
+            "hits_served": self.hits_served,
+            "alerts": alerting,
+            "slow_observed": self.slow_sampler.observed,
+            "shards": [
+                {"shard": s.index, "queue_depth": s.batcher.qsize(),
+                 "sessions": len(s.sessions), "batches": s.batcher.batches,
+                 "items": s.batcher.items}
+                for s in self.shards],
+        }
+
+    def slo_report(self) -> dict:
+        """The ``/slo`` body: burn-rate statuses + live percentiles."""
+        statuses = (self._refresh_slo_state()
+                    if self.monitor is not None else [])
+        horizon = time.monotonic() - 60.0
+        window = [lat for t_done, lat in self._latencies
+                  if t_done is not None and t_done >= horizon]
+        return {
+            "schema": 1,
+            "slos": statuses,
+            "alerts": [s["name"] for s in statuses if s["alerting"]],
+            "healthy": not any(s["alerting"] for s in statuses),
+            "latency": _latency_percentiles(window),
+            "records_served": self.records_served,
+            "hits_served": self.hits_served,
+            "hit_rate": ((self.hits_served / self.records_served)
+                         if self.records_served else None),
+            "uptime_s": (round(time.time() - self._started_at, 3)
+                         if self._started_at else 0.0),
+        }
+
+    def slow_requests(self) -> dict:
+        """The ``/slow`` body: top-K slowest completed requests."""
+        return self.slow_sampler.snapshot()
+
     # -------------------------------------------------------- connections
 
     async def _on_connection(self, reader, writer) -> None:
@@ -212,7 +417,14 @@ class PredictionServer:
                 frame = await _read_frame(reader)
                 if frame is None:
                     break
-                dispatch = asyncio.ensure_future(self._dispatch(conn, frame))
+                trace = RequestTrace(
+                    trace_id=frame.trace_id or new_trace_id(),
+                    frame_type=_type_name(frame.type),
+                    request_id=frame.request_id,
+                    version=frame.version,
+                    t_recv=time.monotonic())
+                dispatch = asyncio.ensure_future(
+                    self._dispatch(conn, frame, trace))
                 await asyncio.shield(dispatch)
                 dispatch = None
         except asyncio.CancelledError:
@@ -249,7 +461,10 @@ class PredictionServer:
             slot = await conn.responses.get()
             if slot is None:
                 return
-            frame_type, request_id, encode, future = slot
+            frame_type, request_id, encode, future, trace = slot
+            version = (trace.version if trace is not None
+                       else protocol.PROTOCOL_VERSION_V1)
+            trace_id = trace.trace_id if trace is not None else 0
             if future is None:
                 payload = encode  # pre-encoded immediate response
             else:
@@ -258,47 +473,60 @@ class PredictionServer:
                         asyncio.shield(future), self.request_timeout)
                     payload = protocol.encode_frame(
                         frame_type | protocol.RESPONSE_BIT, request_id,
-                        encode(result))
+                        encode(result), version=version, trace_id=trace_id)
                 except asyncio.TimeoutError:
                     # The shielded future stays with the shard worker;
                     # consume its eventual exception so an abandoned
                     # failure doesn't warn "never retrieved".
                     future.add_done_callback(_consume_exception)
+                    message = (f"request not served within "
+                               f"{self.request_timeout:g}s")
+                    if trace is not None:
+                        trace.status = "timeout"
+                        trace.error = message
                     payload = self._error_frame(
-                        request_id, protocol.ErrorCode.TIMEOUT,
-                        f"request not served within "
-                        f"{self.request_timeout:g}s")
+                        request_id, protocol.ErrorCode.TIMEOUT, message,
+                        version=version, trace_id=trace_id)
                 except Exception as exc:  # noqa: BLE001
-                    payload = self._error_frame(request_id,
-                                                *_classify_error(exc))
+                    code, message = _classify_error(exc)
+                    if trace is not None:
+                        trace.status = "error"
+                        trace.error = message
+                    payload = self._error_frame(request_id, code, message,
+                                                version=version,
+                                                trace_id=trace_id)
             try:
                 conn.writer.write(payload)
                 await conn.writer.drain()
             except (ConnectionError, OSError):
                 return
+            if trace is not None:
+                trace.t_done = time.monotonic()
+                self._finish_trace(trace)
 
     # ----------------------------------------------------------- dispatch
 
-    async def _dispatch(self, conn: _Connection, frame) -> None:
+    async def _dispatch(self, conn: _Connection, frame, trace) -> None:
         self.metrics.requests.inc(type=_type_name(frame.type))
         try:
             handler = _DISPATCH.get(frame.type)
             if handler is None:
                 self._respond_error(
                     conn, frame.request_id, protocol.ErrorCode.UNKNOWN_TYPE,
-                    f"unknown frame type {frame.type}")
+                    f"unknown frame type {frame.type}", trace=trace)
                 return
-            await handler(self, conn, frame)
+            await handler(self, conn, frame, trace)
         except protocol.ProtocolError as exc:
             self._respond_error(conn, frame.request_id,
-                                protocol.ErrorCode.BAD_FRAME, str(exc))
+                                protocol.ErrorCode.BAD_FRAME, str(exc),
+                                trace=trace)
 
-    async def _dispatch_open(self, conn, frame) -> None:
+    async def _dispatch_open(self, conn, frame, trace) -> None:
         config, window = protocol.decode_open_session(frame.body)
         if self._stopping:
             self._respond_error(conn, frame.request_id,
                                 protocol.ErrorCode.SHUTTING_DOWN,
-                                "server is draining")
+                                "server is draining", trace=trace)
             return
         try:
             spec = spec_from_config(config)
@@ -306,7 +534,8 @@ class PredictionServer:
                 raise ValueError(f"window must be >= 0, got {window}")
         except (ValueError, TypeError, KeyError) as exc:
             self._respond_error(conn, frame.request_id,
-                                protocol.ErrorCode.BAD_SPEC, str(exc))
+                                protocol.ErrorCode.BAD_SPEC, str(exc),
+                                trace=trace)
             return
         session_id = next(self._session_ids)
         shard = self.shards[session_id % len(self.shards)]
@@ -317,63 +546,63 @@ class PredictionServer:
             self.metrics.sessions_open.inc()
             return session_id
 
-        await self._submit(conn, frame, shard, run=run,
+        await self._submit(conn, frame, trace, shard, run=run,
                            session_id=session_id,
                            encode=protocol.encode_session_op)
 
-    async def _dispatch_predict(self, conn, frame) -> None:
+    async def _dispatch_predict(self, conn, frame, trace) -> None:
         session_id, pc = protocol.decode_session_op(frame.body, 1)
         await self._submit_session(
-            conn, frame, session_id,
+            conn, frame, trace, session_id,
             run=lambda s: s.predict(pc),
             encode=protocol.encode_u32)
 
-    async def _dispatch_outcome(self, conn, frame) -> None:
+    async def _dispatch_outcome(self, conn, frame, trace) -> None:
         session_id, pc, value = protocol.decode_session_op(frame.body, 2)
         await self._submit_session(
-            conn, frame, session_id,
+            conn, frame, trace, session_id,
             run=lambda s: s.outcome(pc, value),
             encode=protocol.encode_u8)
 
-    async def _dispatch_step(self, conn, frame) -> None:
+    async def _dispatch_step(self, conn, frame, trace) -> None:
         session_id, pc, value = protocol.decode_session_op(frame.body, 2)
         self.metrics.records.inc()
         await self._submit(
-            conn, frame, self._shard_of(session_id),
+            conn, frame, trace, self._shard_of(session_id),
             fuse_key="step", pcs=[pc], values=[value],
             session_id=session_id,
             encode=lambda res: protocol.encode_step_result(
                 res[0][0], res[1]))
 
-    async def _dispatch_step_block(self, conn, frame) -> None:
+    async def _dispatch_step_block(self, conn, frame, trace) -> None:
         session_id, pcs, values = protocol.decode_step_block(frame.body)
         if pcs:
             self.metrics.records.inc(len(pcs))
         await self._submit(
-            conn, frame, self._shard_of(session_id),
+            conn, frame, trace, self._shard_of(session_id),
             fuse_key="step", pcs=pcs, values=values,
             session_id=session_id,
             encode=lambda res: protocol.encode_block_result(res[0], res[1]))
 
-    async def _dispatch_flush(self, conn, frame) -> None:
+    async def _dispatch_flush(self, conn, frame, trace) -> None:
         (session_id,) = protocol.decode_session_op(frame.body, 0)
         await self._submit_session(
-            conn, frame, session_id,
+            conn, frame, trace, session_id,
             run=lambda s: s.pending_updates(),
             encode=protocol.encode_u32)
 
-    async def _dispatch_stats(self, conn, frame) -> None:
+    async def _dispatch_stats(self, conn, frame, trace) -> None:
         (session_id,) = protocol.decode_session_op(frame.body, 0)
         if session_id == 0:
             body = protocol.encode_json_body(self.server_stats())
-            self._respond_now(conn, frame, body)
+            self._respond_now(conn, frame, body, trace)
             return
         await self._submit_session(
-            conn, frame, session_id,
+            conn, frame, trace, session_id,
             run=lambda s: s.stats(),
             encode=protocol.encode_json_body)
 
-    async def _dispatch_close(self, conn, frame) -> None:
+    async def _dispatch_close(self, conn, frame, trace) -> None:
         (session_id,) = protocol.decode_session_op(frame.body, 0)
         shard = self._shard_of(session_id)
 
@@ -382,7 +611,7 @@ class PredictionServer:
                 raise KeyError(session_id)
             return self._finish_session(shard, session_id)
 
-        await self._submit(conn, frame, shard, run=run,
+        await self._submit(conn, frame, trace, shard, run=run,
                            session_id=session_id,
                            encode=protocol.encode_json_body)
 
@@ -391,46 +620,62 @@ class PredictionServer:
     def _shard_of(self, session_id: int) -> _Shard:
         return self.shards[session_id % len(self.shards)]
 
-    async def _submit_session(self, conn, frame, session_id, run, encode):
+    async def _submit_session(self, conn, frame, trace, session_id, run,
+                              encode):
         def checked(session):
             if session is None:
                 raise KeyError(session_id)
             return run(session)
 
-        await self._submit(conn, frame, self._shard_of(session_id),
+        await self._submit(conn, frame, trace, self._shard_of(session_id),
                            run=checked, session_id=session_id, encode=encode)
 
-    async def _submit(self, conn, frame, shard, encode, run=None,
+    async def _submit(self, conn, frame, trace, shard, encode, run=None,
                       fuse_key=None, pcs=None, values=None,
                       session_id=None) -> None:
         future = asyncio.get_running_loop().create_future()
+        trace.session_id = session_id if session_id is not None else 0
+        trace.shard = shard.index
+        trace.records = len(pcs) if pcs else 0
+        trace.t_submit = time.monotonic()
         conn.responses.put_nowait((frame.type, frame.request_id, encode,
-                                   future))
+                                   future, trace))
         item = WorkItem(session_id=session_id if session_id is not None
                         else 0, future=future, run=run, fuse_key=fuse_key,
-                        pcs=pcs or [], values=values or [])
+                        pcs=pcs or [], values=values or [], trace=trace)
         self.metrics.queue_depth.set(shard.batcher.qsize() + 1,
                                      shard=str(shard.index))
         await shard.batcher.submit(item)
 
-    def _respond_now(self, conn, frame, body: bytes) -> None:
+    def _respond_now(self, conn, frame, body: bytes, trace=None) -> None:
         payload = protocol.encode_frame(
-            frame.type | protocol.RESPONSE_BIT, frame.request_id, body)
+            frame.type | protocol.RESPONSE_BIT, frame.request_id, body,
+            version=frame.version, trace_id=frame.trace_id)
         conn.responses.put_nowait((frame.type, frame.request_id, payload,
-                                   None))
+                                   None, trace))
 
     def _respond_error(self, conn, request_id: int, code: int,
-                       message: str) -> None:
+                       message: str, trace=None) -> None:
+        if trace is not None:
+            trace.status = "error"
+            trace.error = message
+            version, trace_id = trace.version, trace.trace_id
+        else:
+            version, trace_id = protocol.PROTOCOL_VERSION_V1, 0
         conn.responses.put_nowait(
             (protocol.FrameType.ERROR, request_id,
-             self._error_frame(request_id, code, message), None))
+             self._error_frame(request_id, code, message,
+                               version=version, trace_id=trace_id),
+             None, trace))
 
-    def _error_frame(self, request_id: int, code: int,
-                     message: str) -> bytes:
+    def _error_frame(self, request_id: int, code: int, message: str,
+                     version: int = protocol.PROTOCOL_VERSION_V1,
+                     trace_id: int = 0) -> bytes:
         self.metrics.errors.inc(code=_code_name(code))
         return protocol.encode_frame(
             protocol.FrameType.ERROR, request_id,
-            protocol.encode_error(code, message))
+            protocol.encode_error(code, message),
+            version=version, trace_id=trace_id)
 
     def _finish_session(self, shard: _Shard, session_id: int) -> dict:
         session = shard.sessions.pop(session_id)
@@ -466,6 +711,11 @@ class PredictionServer:
             "uptime_s": (round(time.time() - self._started_at, 3)
                          if self._started_at else 0.0),
             "draining": self._stopping,
+            "records_served": self.records_served,
+            "hits_served": self.hits_served,
+            "slow_observed": self.slow_sampler.observed,
+            "alerts": list(self._alerting),
+            "obs_port": self.obs_port,
         }
 
 
@@ -479,6 +729,27 @@ _DISPATCH = {
     protocol.FrameType.STATS: PredictionServer._dispatch_stats,
     protocol.FrameType.CLOSE_SESSION: PredictionServer._dispatch_close,
 }
+
+
+#: Frame types whose latency feeds the latency SLO stream and the
+#: rolling percentile window (the prediction data path; admin frames
+#: like STATS would skew the percentiles).
+_DATA_TYPES = frozenset({"step", "step_block", "predict", "outcome"})
+
+
+def _latency_percentiles(window: List[float]) -> dict:
+    """p50/p90/p99/max (ms) over the recent-latency window."""
+    if not window:
+        return {"count": 0}
+    from repro.serve.loadgen import percentile
+    ordered = sorted(window)
+    return {
+        "count": len(ordered),
+        "p50_ms": round(percentile(ordered, 50) * 1e3, 4),
+        "p90_ms": round(percentile(ordered, 90) * 1e3, 4),
+        "p99_ms": round(percentile(ordered, 99) * 1e3, 4),
+        "max_ms": round(ordered[-1] * 1e3, 4),
+    }
 
 
 def _type_name(frame_type: int) -> str:
@@ -548,6 +819,7 @@ class ServerThread:
         self._startup_error: Optional[BaseException] = None
         self.server: Optional[PredictionServer] = None
         self.port: Optional[int] = None
+        self.obs_port: Optional[int] = None
         self.final_stats: Optional[dict] = None
 
     def start(self) -> "ServerThread":
@@ -571,6 +843,7 @@ class ServerThread:
             self.server = PredictionServer(**self._kwargs)
             await self.server.start()
             self.port = self.server.port
+            self.obs_port = self.server.obs_port
         except BaseException as exc:  # noqa: BLE001 - rethrown in start()
             self._startup_error = exc
             self._ready.set()

@@ -54,6 +54,10 @@ class Session:
     #: ``outcome`` result when no issued prediction matched the pc.
     NO_PREDICTION = 2
 
+    #: Scored records kept for the rolling recent-accuracy window the
+    #: SLO monitor samples (see :func:`recent_accuracy`).
+    RECENT_WINDOW = 256
+
     def __init__(self, session_id: int, spec: PredictorSpec, window: int = 0):
         if window < 0:
             raise ValueError(f"window must be >= 0, got {window}")
@@ -64,6 +68,7 @@ class Session:
         self.outcomes = 0
         self.hits = 0
         self._issued: Dict[int, deque] = {}
+        self._recent: deque = deque(maxlen=self.RECENT_WINDOW)
         if window == 0 and supports_resume(spec):
             self.mode = "engine"
             self._state = initial_state(spec)
@@ -108,6 +113,7 @@ class Session:
             hit = 1 if predicted == value else 0
             self.outcomes += 1
             self.hits += hit
+            self._recent.append(hit)
         else:
             hit = self.NO_PREDICTION
         if self.mode == "engine":
@@ -144,8 +150,10 @@ class Session:
             predicted, self._state = step_block(
                 self.spec, self._state, block_pcs, block_values)
             predicted = (predicted & _MASK32).astype(np.int64)
-            hits = int((predicted == block_values).sum())
+            matches = predicted == block_values
+            hits = int(matches.sum())
             out = [int(p) for p in predicted]
+            self._recent.extend(int(m) for m in matches)
         else:
             out = []
             hits = 0
@@ -153,7 +161,9 @@ class Session:
                 value = int(value) & _MASK32
                 predicted = self._predictor.predict(int(pc)) & _MASK32
                 self._predictor.update(int(pc), value)
-                hits += predicted == value
+                hit = int(predicted == value)
+                hits += hit
+                self._recent.append(hit)
                 out.append(predicted)
         self.predictions += len(out)
         self.outcomes += len(out)
@@ -172,6 +182,14 @@ class Session:
         """PREDICTs issued but not yet matched by an OUTCOME."""
         return sum(len(q) for q in self._issued.values())
 
+    def recent_accuracy(self) -> Optional[float]:
+        """Hit rate over the last :data:`RECENT_WINDOW` scored records
+        (``None`` until anything has been scored) -- the per-session
+        signal behind the accuracy-floor SLO."""
+        if not self._recent:
+            return None
+        return sum(self._recent) / len(self._recent)
+
     def stats(self) -> dict:
         return {
             "session": self.session_id,
@@ -183,6 +201,7 @@ class Session:
             "outcomes": self.outcomes,
             "hits": self.hits,
             "accuracy": (self.hits / self.outcomes) if self.outcomes else None,
+            "recent_accuracy": self.recent_accuracy(),
             "pending_updates": self.pending_updates(),
             "outstanding_predictions": self.outstanding_predictions(),
         }

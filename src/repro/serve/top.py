@@ -1,0 +1,215 @@
+"""``repro top`` -- live terminal dashboard over the obs endpoint.
+
+Polls a running server's observability endpoint (``repro serve
+--obs-port``) and renders an ANSI dashboard: overall status, record
+throughput and hit-rate with sparklines, latency percentiles over the
+rolling window, per-shard queue depth and throughput, firing SLO
+alerts with burn rates, and the current slowest requests with their
+stage breakdowns.
+
+Rates are computed client-side from counter deltas between polls, so
+the server needs no extra bookkeeping for the dashboard.  ``--once``
+prints a single plain snapshot (no screen control, no second poll) --
+that is what CI smoke tests and scripts use.
+
+Only the standard library is involved: plain HTTP GETs via urllib and
+ANSI escape codes for the live mode (no curses dependency, so it works
+on dumb terminals and in CI logs).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from collections import deque
+from typing import List, Optional
+
+__all__ = ["fetch_json", "sparkline", "render_dashboard", "run_top"]
+
+_SPARK = "▁▂▃▄▅▆▇█"
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+def fetch_json(base_url: str, path: str, timeout: float = 5.0) -> dict:
+    """GET ``base_url + path`` and parse the JSON body."""
+    with urllib.request.urlopen(base_url.rstrip("/") + path,
+                                timeout=timeout) as resp:
+        return json.loads(resp.read().decode("utf-8"))
+
+
+def sparkline(values, width: int = 30) -> str:
+    """The last *width* values as a unicode block sparkline."""
+    vals = [float(v) for v in values][-width:]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    if span <= 0:
+        return (_SPARK[0] if hi <= 0 else _SPARK[3]) * len(vals)
+    return "".join(
+        _SPARK[min(len(_SPARK) - 1,
+                   int((v - lo) / span * (len(_SPARK) - 1) + 0.5))]
+        for v in vals)
+
+
+class _History:
+    """Counter deltas and rolling series between polls."""
+
+    def __init__(self, depth: int = 60):
+        self.t: Optional[float] = None
+        self.records: Optional[int] = None
+        self.shard_items: dict = {}
+        self.rate_series: deque = deque(maxlen=depth)
+        self.hit_series: deque = deque(maxlen=depth)
+
+    def update(self, health: dict, slo: dict) -> dict:
+        """Fold one poll in; returns {rate, shard_rates}."""
+        now = time.monotonic()
+        records = int(health.get("records_served", 0))
+        items = {s["shard"]: int(s.get("items", 0))
+                 for s in health.get("shards", [])}
+        rate = None
+        shard_rates = {}
+        if self.t is not None:
+            dt = max(now - self.t, 1e-9)
+            if self.records is not None and records >= self.records:
+                rate = (records - self.records) / dt
+                self.rate_series.append(rate)
+            for shard, count in items.items():
+                prev = self.shard_items.get(shard)
+                if prev is not None and count >= prev:
+                    shard_rates[shard] = (count - prev) / dt
+        hit_rate = slo.get("hit_rate")
+        if hit_rate is not None:
+            self.hit_series.append(float(hit_rate))
+        self.t, self.records, self.shard_items = now, records, items
+        return {"rate": rate, "shard_rates": shard_rates}
+
+
+def _fmt_rate(rate: Optional[float]) -> str:
+    return f"{rate:,.0f} rec/s" if rate is not None else "--"
+
+
+def render_dashboard(base_url: str, health: dict, slo: dict, slow: dict,
+                     rates: Optional[dict] = None,
+                     history: Optional[_History] = None,
+                     max_slow: int = 8) -> str:
+    """One full dashboard frame as text (no screen control codes)."""
+    rates = rates or {}
+    lines: List[str] = []
+    status = health.get("status", "?")
+    lines.append(f"repro top -- {base_url}   status: {status.upper()}   "
+                 f"uptime {health.get('uptime_s', 0):g}s   "
+                 f"proto v{health.get('protocol_version', '?')}")
+    hit_rate = slo.get("hit_rate")
+    lines.append(f"sessions {health.get('sessions_open', 0)}   "
+                 f"connections {health.get('connections_open', 0)}   "
+                 f"records {health.get('records_served', 0):,}   "
+                 f"hits {health.get('hits_served', 0):,}"
+                 + (f"   hit-rate {hit_rate * 100:.1f}%"
+                    if hit_rate is not None else ""))
+    rate_spark = sparkline(history.rate_series) if history else ""
+    hit_spark = sparkline(history.hit_series) if history else ""
+    lines.append(f"throughput  {_fmt_rate(rates.get('rate')):>16}  "
+                 f"{rate_spark}")
+    if hit_spark:
+        lines.append(f"hit rate    "
+                     f"{(hit_rate or 0) * 100:>15.1f}%  {hit_spark}")
+    latency = slo.get("latency") or {}
+    if latency.get("count"):
+        lines.append(f"latency (n={latency['count']})   "
+                     f"p50 {latency['p50_ms']:.3f}ms   "
+                     f"p90 {latency['p90_ms']:.3f}ms   "
+                     f"p99 {latency['p99_ms']:.3f}ms   "
+                     f"max {latency['max_ms']:.3f}ms")
+    lines.append("")
+    lines.append("  shard  queue  sessions  batches     items      rec/s")
+    shard_rates = rates.get("shard_rates", {})
+    for shard in health.get("shards", []):
+        idx = shard["shard"]
+        rate = shard_rates.get(idx)
+        rate_col = f"{rate:>9,.0f}" if rate is not None else "       --"
+        lines.append(f"  {idx:>5}  {shard.get('queue_depth', 0):>5}  "
+                     f"{shard.get('sessions', 0):>8}  "
+                     f"{shard.get('batches', 0):>7}  "
+                     f"{shard.get('items', 0):>8}  {rate_col}")
+    lines.append("")
+    alerts = health.get("alerts") or []
+    if alerts:
+        burns = {s["name"]: s for s in slo.get("slos", [])}
+        parts = []
+        for name in alerts:
+            s = burns.get(name, {})
+            parts.append(f"{name} (fast {s.get('fast_burn', 0):g}x, "
+                         f"slow {s.get('slow_burn', 0):g}x)")
+        lines.append("ALERTS: " + "; ".join(parts))
+    else:
+        lines.append("alerts: none")
+    slos = slo.get("slos") or []
+    if slos:
+        lines.append("  slo                    kind         threshold  "
+                     "objective   fast   slow  firing")
+        for s in slos:
+            lines.append(f"  {s['name']:<22} {s['kind']:<12} "
+                         f"{s['threshold']:>9g}  {s['objective']:>9g}  "
+                         f"{s['fast_burn']:>5g}  {s['slow_burn']:>5g}  "
+                         f"{'YES' if s['alerting'] else 'no':>6}")
+    slowest = (slow.get("slowest") or [])[:max_slow]
+    if slowest:
+        lines.append("")
+        lines.append(f"slowest requests (of {slow.get('observed', 0)} "
+                     "observed)")
+        lines.append("  trace_id          type        latency   "
+                     "queue/fuse/exec/flush (ms)")
+        for entry in slowest:
+            stages = entry.get("stages_ms", {})
+            breakdown = "/".join(
+                f"{stages.get(stage, 0):.2f}"
+                for stage in ("queue", "fuse", "execute", "flush"))
+            lines.append(f"  {entry.get('trace_id', '?'):<17} "
+                         f"{entry.get('type', '?'):<11} "
+                         f"{entry.get('latency_ms', 0):>8.3f}ms  "
+                         f"{breakdown}")
+    return "\n".join(lines) + "\n"
+
+
+def run_top(base_url: str, interval: float = 1.0,
+            iterations: Optional[int] = None, once: bool = False,
+            out=None, timeout: float = 5.0) -> int:
+    """Poll *base_url* and render; returns a process exit code.
+
+    ``once=True`` prints one plain snapshot and returns.  Otherwise
+    renders a full-screen frame every *interval* seconds until
+    *iterations* frames (None = until Ctrl-C).
+    """
+    import sys
+    out = out or sys.stdout
+    history = _History()
+    frames = 0
+    try:
+        while True:
+            try:
+                health = fetch_json(base_url, "/healthz", timeout)
+                slo = fetch_json(base_url, "/slo", timeout)
+                slow = fetch_json(base_url, "/slow", timeout)
+            except (urllib.error.URLError, ConnectionError, OSError,
+                    json.JSONDecodeError) as exc:
+                out.write(f"error: cannot poll {base_url}: {exc}\n")
+                return 1
+            rates = history.update(health, slo)
+            frame = render_dashboard(base_url, health, slo, slow,
+                                     rates=rates, history=history)
+            if once:
+                out.write(frame)
+                return 0
+            out.write(_CLEAR + frame)
+            out.flush()
+            frames += 1
+            if iterations is not None and frames >= iterations:
+                return 0
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        out.write("\n")
+        return 0

@@ -1,0 +1,169 @@
+"""Wire-level request tracing for the serving data path.
+
+Every request the server accepts gets a :class:`RequestTrace`: the
+64-bit trace id from the frame header (version-2 clients choose it,
+version-1 requests get a server-assigned one), plus monotonic stamps
+at each stage boundary of the pipeline::
+
+    recv -> submit -> dequeue -> exec_start -> exec_end -> done
+           [ queue  ][  fuse   ][  execute  ][   flush   ]
+
+``queue``   waiting in the shard's bounded queue,
+``fuse``    held in the micro-batch accumulation window,
+``execute`` the (possibly fused) kernel call,
+``flush``   writer wait + frame write + socket drain.
+
+Traces are cheap (one small object and six float stamps per request)
+so they are **always on** -- no run needs to be active.  Completed
+traces feed three surfaces: the latency histogram (bucket exemplars),
+the :class:`SlowRequestSampler` (top-K by latency, served at ``/slow``
+and dumped on SIGTERM), and -- when a telemetry run is active -- one
+``serve.request`` span event per request carrying the stage
+breakdown.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import os
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["new_trace_id", "format_trace_id", "RequestTrace",
+           "SlowRequestSampler"]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+#: Per-process upper half of generated trace ids; the lower half is a
+#: sequence number, so ids stay unique within a process and collide
+#: across processes only with ~2^-32 probability.
+_PROCESS_NONCE = (random.getrandbits(24) ^ os.getpid()) & 0xFFFFFFFF
+_SEQUENCE = itertools.count(1)
+
+
+def new_trace_id() -> int:
+    """A fresh nonzero 64-bit trace id (0 means "unassigned")."""
+    return ((_PROCESS_NONCE << 32) | (next(_SEQUENCE) & 0xFFFFFFFF)) or 1
+
+
+def format_trace_id(trace_id: int) -> str:
+    """Canonical textual form: 16 lowercase hex digits."""
+    return f"{trace_id & _MASK64:016x}"
+
+
+#: Pipeline stages in order, as (name, start-stamp, end-stamp) attrs.
+_STAGES = (("queue", "t_submit", "t_dequeue"),
+           ("fuse", "t_dequeue", "t_exec_start"),
+           ("execute", "t_exec_start", "t_exec_end"),
+           ("flush", "t_exec_end", "t_done"))
+
+
+@dataclass
+class RequestTrace:
+    """One request's identity and stage stamps through the server."""
+
+    trace_id: int
+    frame_type: str
+    request_id: int = 0
+    version: int = 0
+    session_id: int = 0
+    shard: Optional[int] = None
+    records: int = 0
+    t_recv: Optional[float] = None
+    t_submit: Optional[float] = None
+    t_dequeue: Optional[float] = None
+    t_exec_start: Optional[float] = None
+    t_exec_end: Optional[float] = None
+    t_done: Optional[float] = None
+    batch_size: int = 0
+    fused: bool = False
+    status: str = "ok"
+    error: Optional[str] = None
+
+    @property
+    def trace_id_hex(self) -> str:
+        return format_trace_id(self.trace_id)
+
+    def latency_s(self) -> float:
+        """recv -> response-written wall time (0.0 while incomplete)."""
+        if self.t_recv is None or self.t_done is None:
+            return 0.0
+        return max(0.0, self.t_done - self.t_recv)
+
+    def stages(self) -> Dict[str, float]:
+        """Per-stage durations (seconds); stages never entered are
+        absent (e.g. immediate responses skip queue/fuse/execute)."""
+        out = {}
+        for name, start_attr, end_attr in _STAGES:
+            start = getattr(self, start_attr)
+            end = getattr(self, end_attr)
+            if start is not None and end is not None:
+                out[name] = max(0.0, end - start)
+        return out
+
+    def to_dict(self) -> dict:
+        """JSON-able record (the ``/slow`` sample entry shape)."""
+        out = {
+            "trace_id": self.trace_id_hex,
+            "type": self.frame_type,
+            "request_id": self.request_id,
+            "protocol_version": self.version,
+            "session": self.session_id,
+            "shard": self.shard,
+            "records": self.records,
+            "batch_size": self.batch_size,
+            "fused": self.fused,
+            "status": self.status,
+            "latency_ms": round(self.latency_s() * 1e3, 4),
+            "stages_ms": {name: round(seconds * 1e3, 4)
+                          for name, seconds in self.stages().items()},
+        }
+        if self.error:
+            out["error"] = self.error
+        return out
+
+
+class SlowRequestSampler:
+    """Always-on top-K (by latency) reservoir of completed traces.
+
+    A fixed-size min-heap: a completed request enters only when it is
+    slower than the current K-th slowest, so steady-state cost per
+    request is one comparison.  ``snapshot()`` is safe from any thread
+    (the obs endpoint and the SIGTERM dump read it while the event
+    loop is still completing traces).
+    """
+
+    def __init__(self, k: int = 32):
+        if k < 1:
+            raise ValueError(f"sampler size must be >= 1, got {k}")
+        self.k = k
+        self.observed = 0
+        self._seq = itertools.count()
+        self._heap: List[tuple] = []
+        self._lock = threading.Lock()
+
+    def add(self, trace: RequestTrace) -> None:
+        latency = trace.latency_s()
+        with self._lock:
+            self.observed += 1
+            if len(self._heap) < self.k:
+                heapq.heappush(self._heap,
+                               (latency, next(self._seq), trace.to_dict()))
+            elif latency > self._heap[0][0]:
+                heapq.heapreplace(self._heap,
+                                  (latency, next(self._seq), trace.to_dict()))
+
+    def snapshot(self) -> dict:
+        """JSON-able dump: slowest first."""
+        with self._lock:
+            entries = sorted(self._heap, reverse=True)
+            observed = self.observed
+        return {
+            "schema": 1,
+            "k": self.k,
+            "observed": observed,
+            "slowest": [entry for _, _, entry in entries],
+        }

@@ -17,6 +17,11 @@ The repo's single observability surface.  Three layers:
    table occupancy, aliasing, confidence, VM profiles) and the read
    side (``repro telemetry summary|export|tail``, Prometheus text
    format).
+4. **Live serving surfaces** (:mod:`repro.telemetry.live`,
+   :mod:`repro.telemetry.slo`) -- scraping the in-process registry
+   while it is still being written (the serve ``/metrics`` endpoint)
+   and multi-window burn-rate evaluation of service-level objectives
+   (the serve ``/healthz``/``/slo`` endpoints and ``repro top``).
 
 Typical producer::
 
@@ -32,12 +37,14 @@ Typical consumer::
     repro telemetry export --format prom --dir telemetry/
 """
 
+from repro.telemetry.live import live_prometheus_text, live_snapshot
 from repro.telemetry.registry import (Counter, Gauge, Histogram,
                                       MetricError, MetricsRegistry,
                                       registry)
 from repro.telemetry.run import (CollectorRun, TelemetryRun, active_run,
                                  collecting_run, detach_run, enabled,
                                  finish_run, start_run, telemetry_run)
+from repro.telemetry.slo import SLO, SLOMonitor, default_serve_slos
 from repro.telemetry.spans import NOOP_SPAN, NoopSpan, Span, current_span, span
 
 __all__ = [
@@ -47,4 +54,6 @@ __all__ = [
     "active_run", "enabled", "telemetry_run", "detach_run",
     "collecting_run",
     "span", "current_span", "Span", "NoopSpan", "NOOP_SPAN",
+    "live_snapshot", "live_prometheus_text",
+    "SLO", "SLOMonitor", "default_serve_slos",
 ]

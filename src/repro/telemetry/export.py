@@ -13,12 +13,14 @@ as cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional
 
 __all__ = ["RunInfo", "list_runs", "find_run", "read_events",
-           "prometheus_text", "summary_text", "tail_text"]
+           "prometheus_text", "snapshot_prometheus_text",
+           "summary_text", "tail_text"]
 
 
 @dataclass(frozen=True)
@@ -92,9 +94,36 @@ def _read_metrics(run: RunInfo) -> dict:
 
 # ----------------------------------------------------------- prometheus
 
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _sanitize_name(name: str) -> str:
+    """Coerce *name* into a legal Prometheus metric name.
+
+    The live registry already rejects bad names, but snapshots can
+    come from other processes or hand-written files -- the exposition
+    must stay parseable regardless."""
+    name = _NAME_BAD_CHARS.sub("_", name) or "_"
+    if name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _sanitize_label_name(name: str) -> str:
+    name = _LABEL_BAD_CHARS.sub("_", name) or "_"
+    if name[0].isdigit():
+        name = "_" + name
+    return name
+
+
 def _escape_label(value: str) -> str:
     return (value.replace("\\", r"\\").replace("\n", r"\n")
             .replace('"', r'\"'))
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _label_text(labels: dict, extra: Optional[dict] = None) -> str:
@@ -103,8 +132,9 @@ def _label_text(labels: dict, extra: Optional[dict] = None) -> str:
         merged.update(extra)
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{_escape_label(str(v))}"'
-                     for k, v in merged.items())
+    inner = ",".join(
+        f'{_sanitize_label_name(str(k))}="{_escape_label(str(v))}"'
+        for k, v in merged.items())
     return "{" + inner + "}"
 
 
@@ -114,34 +144,75 @@ def _format_value(value: float) -> str:
     return str(int(value))
 
 
-def prometheus_text(run: RunInfo) -> str:
-    """The run's closing metrics snapshot in Prometheus text format."""
-    snapshot = _read_metrics(run).get("metrics", {})
+def _exemplar_suffix(exemplars, bound) -> str:
+    """OpenMetrics-style exemplar annotation for one bucket line."""
+    for exemplar_bound, exemplar in exemplars or []:
+        if exemplar_bound == bound and exemplar:
+            return (f' # {{trace_id="{_escape_label(str(exemplar["trace_id"]))}"}}'
+                    f' {_format_value(exemplar["value"])}')
+    return ""
+
+
+def _histogram_lines(name: str, labels: dict, value: dict,
+                     exemplars: bool) -> List[str]:
     lines = []
-    for name in sorted(snapshot):
-        data = snapshot[name]
+    count = int(value.get("count", 0))
+    exemplar_list = value.get("exemplars") if exemplars else None
+    saw_inf = False
+    for bound, bucket_count in value["buckets"]:
+        inf = bound == "+Inf"
+        saw_inf = saw_inf or inf
+        le = "+Inf" if inf else _format_value(bound)
+        lines.append(
+            f"{name}_bucket{_label_text(labels, {'le': le})} "
+            f"{int(bucket_count)}"
+            + _exemplar_suffix(exemplar_list, bound))
+    if not saw_inf:
+        # A snapshot may carry finite buckets only; the exposition
+        # format still requires the +Inf bucket (== _count).
+        lines.append(f"{name}_bucket{_label_text(labels, {'le': '+Inf'})} "
+                     f"{count}")
+    lines.append(f"{name}_sum{_label_text(labels)} "
+                 f"{_format_value(value.get('sum', 0))}")
+    lines.append(f"{name}_count{_label_text(labels)} {count}")
+    return lines
+
+
+def snapshot_prometheus_text(snapshot: dict, exemplars: bool = False) -> str:
+    """Render a registry :meth:`~MetricsRegistry.snapshot` dict as
+    Prometheus text exposition format 0.0.4.
+
+    Metric and label names are sanitised, label values escaped, and
+    histograms always emit the ``+Inf`` bucket plus ``_sum`` and
+    ``_count`` -- even for snapshots that predate those guarantees.
+    With ``exemplars=True``, bucket lines carry their last trace-id
+    exemplar as an OpenMetrics-style ``# {trace_id="..."}`` suffix
+    (strict 0.0.4 consumers should keep the default).
+    """
+    lines = []
+    for raw_name in sorted(snapshot):
+        data = snapshot[raw_name]
+        name = _sanitize_name(raw_name)
         kind = data.get("kind", "untyped")
         help_text = data.get("help", "")
         if help_text:
-            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# HELP {name} {_escape_help(help_text)}")
         lines.append(f"# TYPE {name} {kind}")
         for sample in data.get("samples", []):
             labels = sample.get("labels", {})
             value = sample.get("value")
             if kind == "histogram":
-                for bound, count in value["buckets"]:
-                    le = "+Inf" if bound == "+Inf" else _format_value(bound)
-                    lines.append(
-                        f"{name}_bucket{_label_text(labels, {'le': le})} "
-                        f"{int(count)}")
-                lines.append(f"{name}_sum{_label_text(labels)} "
-                             f"{_format_value(value['sum'])}")
-                lines.append(f"{name}_count{_label_text(labels)} "
-                             f"{int(value['count'])}")
+                lines.extend(_histogram_lines(name, labels, value,
+                                              exemplars))
             else:
                 lines.append(f"{name}{_label_text(labels)} "
                              f"{_format_value(value)}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def prometheus_text(run: RunInfo) -> str:
+    """The run's closing metrics snapshot in Prometheus text format."""
+    return snapshot_prometheus_text(_read_metrics(run).get("metrics", {}))
 
 
 # -------------------------------------------------------------- summary

@@ -138,18 +138,33 @@ class Histogram(_Metric):
         # Per label set: [count per finite bucket] + [+Inf], sum.
         self._counts: Dict[LabelKey, List[int]] = {}
         self._sums: Dict[LabelKey, float] = {}
+        # Per label set: last exemplar per (non-cumulative) bucket.
+        self._exemplars: Dict[LabelKey, List[Optional[dict]]] = {}
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None,
+                **labels) -> None:
+        """Record *value*; an optional *exemplar* (e.g. a trace id)
+        tags the bucket the observation lands in, so a latency series
+        stays traceable back to one concrete slow request."""
         key = self._key(labels)
         counts = self._counts.get(key)
         if counts is None:
             counts = self._counts[key] = [0] * (len(self.buckets) + 1)
             self._sums[key] = 0.0
+        slot = len(self.buckets)
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 counts[i] += 1
+                slot = min(slot, i)
         counts[-1] += 1
         self._sums[key] += value
+        if exemplar is not None:
+            exemplars = self._exemplars.get(key)
+            if exemplars is None:
+                exemplars = self._exemplars[key] = \
+                    [None] * (len(self.buckets) + 1)
+            exemplars[slot] = {"trace_id": str(exemplar),
+                               "value": float(value)}
 
     def count(self, **labels) -> int:
         counts = self._counts.get(self._key(labels))
@@ -165,14 +180,22 @@ class Histogram(_Metric):
             buckets = [[bound, counts[i]]
                        for i, bound in enumerate(self.buckets)]
             buckets.append(["+Inf", counts[-1]])
-            out.append((self._labels_dict(key),
-                        {"buckets": buckets, "sum": self._sums[key],
-                         "count": counts[-1]}))
+            value = {"buckets": buckets, "sum": self._sums[key],
+                     "count": counts[-1]}
+            exemplars = self._exemplars.get(key)
+            if exemplars is not None and any(e is not None
+                                            for e in exemplars):
+                bounds = list(self.buckets) + ["+Inf"]
+                value["exemplars"] = [[bounds[i], exemplars[i]]
+                                      for i in range(len(bounds))
+                                      if exemplars[i] is not None]
+            out.append((self._labels_dict(key), value))
         return out
 
     def _reset(self) -> None:
         self._counts.clear()
         self._sums.clear()
+        self._exemplars.clear()
 
 
 class MetricsRegistry:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.spec import DFCMSpec
-from repro.serve.loadgen import percentile, run_loadgen
+from repro.serve.loadgen import _latency_summary, percentile, run_loadgen
 from repro.serve.server import ServerThread
 from repro.trace.trace import ValueTrace
 
@@ -26,6 +26,53 @@ class TestPercentile:
         values = [float(i) for i in range(100)]
         assert percentile(values, 50) == 50.0
         assert percentile(values, 100) == 99.0
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 10, 11, 100, 101])
+    @pytest.mark.parametrize("p", [0, 1, 25, 50, 75, 90, 99, 100])
+    def test_matches_numpy_nearest(self, n, p):
+        """Our nearest-rank is exactly NumPy's method="nearest"."""
+        rng = np.random.default_rng(n * 1000 + p)
+        values = sorted(rng.uniform(0, 100, size=n).tolist())
+        expected = float(np.percentile(values, p, method="nearest"))
+        assert percentile(values, p) == expected
+
+    def test_random_sweep_matches_numpy(self):
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            n = int(rng.integers(1, 40))
+            p = float(rng.uniform(0, 100))
+            values = sorted(rng.normal(size=n).tolist())
+            assert percentile(values, p) == \
+                float(np.percentile(values, p, method="nearest"))
+
+    def test_even_and_odd_pick_a_real_sample(self):
+        even = [1.0, 2.0, 3.0, 4.0]
+        odd = [1.0, 2.0, 3.0]
+        for values in (even, odd):
+            for p in range(0, 101, 5):
+                assert percentile(values, p) in values
+
+
+class TestLatencySummary:
+    def test_rounds_to_4_decimal_ms(self):
+        summary = _latency_summary([0.00123456, 0.00123456])
+        assert summary["p50_ms"] == 1.2346
+        assert summary["mean_ms"] == 1.2346
+
+    def test_single_sample_is_every_percentile(self):
+        summary = _latency_summary([0.002])
+        assert summary["p50_ms"] == summary["p90_ms"] == \
+            summary["p99_ms"] == summary["mean_ms"] == 2.0
+
+    def test_empty_is_all_zero(self):
+        summary = _latency_summary([])
+        assert set(summary) == {"p50_ms", "p90_ms", "p99_ms", "mean_ms"}
+        assert all(v == 0.0 for v in summary.values())
+
+    def test_percentiles_are_monotone(self):
+        rng = np.random.default_rng(3)
+        summary = _latency_summary(rng.uniform(0, 1, 500).tolist())
+        assert summary["p50_ms"] <= summary["p90_ms"] <= summary["p99_ms"]
 
 
 class TestRunLoadgen:
@@ -77,3 +124,12 @@ class TestRunLoadgen:
                                  server.port, mode="naive", verify=False)
         assert "verify" not in report
         assert report["modes"]["naive"]["records"] == 120
+
+    def test_report_carries_negotiated_protocol_version(self):
+        spec = DFCMSpec(64, 256)
+        with ServerThread(max_delay=0) as server:
+            report = run_loadgen(spec, make_trace(30), "127.0.0.1",
+                                 server.port, mode="batched",
+                                 verify=False)
+        assert report["protocol_version"] == 2
+        assert report["modes"]["batched"]["protocol_version"] == 2

@@ -1,0 +1,153 @@
+"""The ``repro top`` dashboard: rendering, rates, and live polling."""
+
+import io
+
+from repro.core.spec import StrideSpec
+from repro.serve import top as top_module
+from repro.serve.client import ServeClient
+from repro.serve.server import ServerThread
+from repro.serve.top import (_History, render_dashboard, run_top,
+                             sparkline)
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_zero_uses_lowest_block(self):
+        assert sparkline([0, 0, 0]) == "▁▁▁"
+
+    def test_flat_positive_uses_mid_block(self):
+        assert sparkline([5, 5]) == "▄▄"
+
+    def test_ramp_spans_full_range(self):
+        line = sparkline(list(range(9)))
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 9
+
+    def test_width_keeps_latest_values(self):
+        line = sparkline([0] * 50 + [100], width=5)
+        assert len(line) == 5
+        assert line[-1] == "█"
+
+
+class TestHistory:
+    def test_first_poll_has_no_rate(self):
+        history = _History()
+        rates = history.update({"records_served": 100, "shards": []}, {})
+        assert rates["rate"] is None
+        assert rates["shard_rates"] == {}
+
+    def test_counter_deltas_become_rates(self, monkeypatch):
+        clock = iter([10.0, 12.0])
+        monkeypatch.setattr(top_module.time, "monotonic",
+                            lambda: next(clock))
+        history = _History()
+        history.update({"records_served": 100,
+                        "shards": [{"shard": 0, "items": 40}]},
+                       {"hit_rate": 0.5})
+        rates = history.update({"records_served": 300,
+                                "shards": [{"shard": 0, "items": 140}]},
+                               {"hit_rate": 0.6})
+        assert rates["rate"] == 100.0      # 200 records over 2s
+        assert rates["shard_rates"][0] == 50.0
+        assert list(history.rate_series) == [100.0]
+        assert list(history.hit_series) == [0.5, 0.6]
+
+    def test_counter_reset_is_not_a_negative_rate(self, monkeypatch):
+        clock = iter([10.0, 11.0])
+        monkeypatch.setattr(top_module.time, "monotonic",
+                            lambda: next(clock))
+        history = _History()
+        history.update({"records_served": 500, "shards": []}, {})
+        rates = history.update({"records_served": 10, "shards": []}, {})
+        assert rates["rate"] is None  # restarted server: skip the sample
+
+
+class TestRenderDashboard:
+    HEALTH = {
+        "status": "ok", "uptime_s": 12.5, "protocol_version": 2,
+        "sessions_open": 3, "connections_open": 1,
+        "records_served": 1234, "hits_served": 600,
+        "alerts": [],
+        "shards": [{"shard": 0, "queue_depth": 2, "sessions": 2,
+                    "batches": 10, "items": 700},
+                   {"shard": 1, "queue_depth": 0, "sessions": 1,
+                    "batches": 8, "items": 534}],
+    }
+    SLO = {
+        "hit_rate": 0.486,
+        "latency": {"count": 50, "p50_ms": 0.2, "p90_ms": 0.5,
+                    "p99_ms": 1.1, "max_ms": 2.0},
+        "slos": [{"name": "step_latency_p99", "kind": "latency",
+                  "threshold": 0.25, "objective": 0.99,
+                  "fast_burn": 0.1, "slow_burn": 0.05,
+                  "alerting": False}],
+    }
+    SLOW = {"observed": 1234, "slowest": [
+        {"trace_id": "00ab00ab00ab00ab", "type": "step_block",
+         "latency_ms": 2.0,
+         "stages_ms": {"queue": 0.5, "fuse": 0.1, "execute": 0.9,
+                       "flush": 0.5}}]}
+
+    def test_frame_contents(self):
+        frame = render_dashboard("http://h:1", self.HEALTH, self.SLO,
+                                 self.SLOW)
+        assert "status: OK" in frame
+        assert "records 1,234" in frame
+        assert "hit-rate 48.6%" in frame
+        assert "p99 1.100ms" in frame
+        assert "alerts: none" in frame
+        assert "step_latency_p99" in frame
+        assert "00ab00ab00ab00ab" in frame
+        assert "0.50/0.10/0.90/0.50" in frame  # stage breakdown
+        assert "\x1b" not in frame  # screen control stays in run_top
+
+    def test_alerts_line_lists_burns(self):
+        health = dict(self.HEALTH, status="degraded",
+                      alerts=["step_latency_p99"])
+        slo = dict(self.SLO)
+        slo["slos"] = [dict(self.SLO["slos"][0], fast_burn=3.5,
+                            slow_burn=2.1, alerting=True)]
+        frame = render_dashboard("http://h:1", health, slo, self.SLOW)
+        assert "status: DEGRADED" in frame
+        assert "ALERTS: step_latency_p99 (fast 3.5x, slow 2.1x)" in frame
+
+    def test_empty_surfaces_render(self):
+        frame = render_dashboard("http://h:1",
+                                 {"status": "ok", "shards": []},
+                                 {}, {})
+        assert "status: OK" in frame
+        assert "slowest" not in frame
+
+
+class TestRunTop:
+    def test_once_against_live_server(self):
+        with ServerThread(max_delay=0, obs_port=0) as server:
+            with ServeClient(port=server.port) as client:
+                session = client.open_session(StrideSpec(64))
+                for i in range(10):
+                    client.step(session, 0x40, i)
+                out = io.StringIO()
+                rc = run_top(f"http://127.0.0.1:{server.obs_port}",
+                             once=True, out=out)
+        frame = out.getvalue()
+        assert rc == 0
+        assert "status: OK" in frame
+        assert "records 10" in frame
+        assert "\x1b" not in frame  # --once is plain text for CI logs
+
+    def test_iterations_bound_the_loop(self):
+        with ServerThread(max_delay=0, obs_port=0) as server:
+            out = io.StringIO()
+            rc = run_top(f"http://127.0.0.1:{server.obs_port}",
+                         interval=0.01, iterations=2, out=out)
+        assert rc == 0
+        assert out.getvalue().count("\x1b[H\x1b[2J") == 2
+
+    def test_dead_endpoint_is_an_error(self):
+        out = io.StringIO()
+        rc = run_top("http://127.0.0.1:1", once=True, out=out,
+                     timeout=0.5)
+        assert rc == 1
+        assert out.getvalue().startswith("error: cannot poll")

@@ -1,0 +1,102 @@
+"""Request-trace identity, stage breakdowns, and the slow sampler."""
+
+import pytest
+
+from repro.serve.tracing import (RequestTrace, SlowRequestSampler,
+                                 format_trace_id, new_trace_id)
+
+
+def make_trace(trace_id=1, latency=0.01, **overrides):
+    base = dict(trace_id=trace_id, frame_type="step", request_id=1,
+                version=2, t_recv=100.0, t_submit=100.001,
+                t_dequeue=100.002, t_exec_start=100.003,
+                t_exec_end=100.004, t_done=100.0 + latency)
+    base.update(overrides)
+    return RequestTrace(**base)
+
+
+class TestTraceIds:
+    def test_ids_are_unique_and_nonzero(self):
+        ids = {new_trace_id() for _ in range(1000)}
+        assert len(ids) == 1000
+        assert 0 not in ids
+
+    def test_ids_fit_64_bits(self):
+        assert all(0 < new_trace_id() < 1 << 64 for _ in range(100))
+
+    def test_format_is_16_hex_digits(self):
+        assert format_trace_id(0xAB) == "00000000000000ab"
+        assert len(format_trace_id(new_trace_id())) == 16
+
+    def test_format_masks_to_64_bits(self):
+        assert format_trace_id(1 << 64) == "0000000000000000"
+
+
+class TestRequestTrace:
+    def test_latency_from_recv_to_done(self):
+        trace = make_trace(latency=0.25)
+        assert trace.latency_s() == pytest.approx(0.25)
+
+    def test_latency_zero_while_incomplete(self):
+        trace = make_trace()
+        trace.t_done = None
+        assert trace.latency_s() == 0.0
+
+    def test_stage_durations(self):
+        trace = make_trace()
+        stages = trace.stages()
+        assert set(stages) == {"queue", "fuse", "execute", "flush"}
+        assert stages["queue"] == pytest.approx(0.001)
+        assert stages["fuse"] == pytest.approx(0.001)
+        assert stages["execute"] == pytest.approx(0.001)
+
+    def test_skipped_stages_absent(self):
+        trace = RequestTrace(trace_id=1, frame_type="stats",
+                             t_recv=1.0, t_done=1.5)
+        assert trace.stages() == {}
+
+    def test_to_dict_shape(self):
+        trace = make_trace(trace_id=0xFF, latency=0.002)
+        entry = trace.to_dict()
+        assert entry["trace_id"] == format_trace_id(0xFF)
+        assert entry["type"] == "step"
+        assert entry["latency_ms"] == pytest.approx(2.0)
+        assert set(entry["stages_ms"]) == {"queue", "fuse", "execute",
+                                           "flush"}
+        assert "error" not in entry
+
+    def test_to_dict_carries_error(self):
+        trace = make_trace(status="error", error="boom")
+        entry = trace.to_dict()
+        assert entry["status"] == "error"
+        assert entry["error"] == "boom"
+
+
+class TestSlowRequestSampler:
+    def test_keeps_top_k_by_latency(self):
+        sampler = SlowRequestSampler(k=3)
+        for i, latency in enumerate([0.01, 0.05, 0.02, 0.09, 0.001]):
+            sampler.add(make_trace(trace_id=i + 1, latency=latency))
+        snap = sampler.snapshot()
+        assert snap["observed"] == 5
+        assert snap["k"] == 3
+        latencies = [e["latency_ms"] for e in snap["slowest"]]
+        assert latencies == sorted(latencies, reverse=True)
+        assert latencies == pytest.approx([90.0, 50.0, 20.0])
+
+    def test_fills_below_k(self):
+        sampler = SlowRequestSampler(k=8)
+        sampler.add(make_trace(latency=0.01))
+        snap = sampler.snapshot()
+        assert snap["observed"] == 1
+        assert len(snap["slowest"]) == 1
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            SlowRequestSampler(k=0)
+
+    def test_snapshot_is_json_able(self):
+        import json
+        sampler = SlowRequestSampler(k=2)
+        sampler.add(make_trace(latency=0.01))
+        json.dumps(sampler.snapshot())

@@ -5,7 +5,8 @@ import json
 import pytest
 
 from repro.telemetry.export import (find_run, list_runs, prometheus_text,
-                                    read_events, summary_text, tail_text)
+                                    read_events, snapshot_prometheus_text,
+                                    summary_text, tail_text)
 from repro.telemetry.registry import registry
 from repro.telemetry.run import finish_run, start_run
 from repro.telemetry.spans import span
@@ -96,6 +97,66 @@ class TestPrometheusText:
                 if name.endswith(suffix) and name[:-len(suffix)] in declared:
                     base = name[:-len(suffix)]
             assert base in declared, line
+
+
+class TestSnapshotEdgeCases:
+    """snapshot_prometheus_text on hand-built (possibly hostile) input."""
+
+    def test_label_values_escaped(self):
+        snap = {"m": {"kind": "counter", "samples": [
+            {"labels": {"k": 'quote" slash\\ newline\n'}, "value": 1}]}}
+        text = snapshot_prometheus_text(snap)
+        assert r'm{k="quote\" slash\\ newline\n"} 1' in text
+        assert "\n\n" not in text  # the raw newline never leaks
+
+    def test_metric_name_sanitised(self):
+        snap = {"9bad name-x": {"kind": "counter",
+                                "samples": [{"labels": {}, "value": 2}]}}
+        text = snapshot_prometheus_text(snap)
+        assert "# TYPE _9bad_name_x counter" in text
+        assert "_9bad_name_x 2" in text
+
+    def test_label_name_sanitised(self):
+        snap = {"m": {"kind": "counter", "samples": [
+            {"labels": {"bad-label": "v"}, "value": 1}]}}
+        assert 'm{bad_label="v"} 1' in snapshot_prometheus_text(snap)
+
+    def test_help_newlines_escaped(self):
+        snap = {"m": {"kind": "counter", "help": "line1\nline2",
+                      "samples": []}}
+        assert r"# HELP m line1\nline2" in snapshot_prometheus_text(snap)
+
+    def test_inf_bucket_synthesised_when_missing(self):
+        snap = {"h": {"kind": "histogram", "samples": [
+            {"labels": {}, "value": {"buckets": [[1.0, 3], [5.0, 4]],
+                                     "sum": 2.5, "count": 6}}]}}
+        text = snapshot_prometheus_text(snap)
+        assert 'h_bucket{le="+Inf"} 6' in text
+        assert "h_sum 2.5" in text
+        assert "h_count 6" in text
+
+    def test_inf_bucket_not_duplicated_when_present(self):
+        snap = {"h": {"kind": "histogram", "samples": [
+            {"labels": {}, "value": {"buckets": [[1.0, 3], ["+Inf", 4]],
+                                     "sum": 2.5, "count": 4}}]}}
+        text = snapshot_prometheus_text(snap)
+        assert text.count('le="+Inf"') == 1
+
+    def test_exemplar_suffix_opt_in(self):
+        snap = {"h": {"kind": "histogram", "samples": [
+            {"labels": {}, "value": {
+                "buckets": [[1.0, 1], ["+Inf", 1]], "sum": 0.5, "count": 1,
+                "exemplars": [[1.0, {"trace_id": "00ff", "value": 0.5}]],
+            }}]}}
+        strict = snapshot_prometheus_text(snap)
+        assert "trace_id" not in strict
+        annotated = snapshot_prometheus_text(snap, exemplars=True)
+        assert 'h_bucket{le="1"} 1 # {trace_id="00ff"} 0.5' in annotated
+        # Only the matching bucket is annotated.
+        assert 'le="+Inf"} 1 #' not in annotated
+
+    def test_empty_snapshot_renders_empty(self):
+        assert snapshot_prometheus_text({}) == ""
 
 
 class TestSummaryAndTail:

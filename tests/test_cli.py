@@ -239,6 +239,117 @@ class TestServeAndLoadgen:
         assert drained["event"] == "drained"
         assert drained["stats"]["draining"] is True
 
+    def test_serve_subprocess_obs_endpoint_and_slow_out(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import urllib.request
+
+        slow_path = tmp_path / "slow.json"
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--json",
+             "--port", "0", "--obs-port", "0",
+             "--slow-out", str(slow_path)],
+            stdout=subprocess.PIPE, text=True, env=env)
+        try:
+            listening = json.loads(proc.stdout.readline())
+            assert listening["obs_port"] > 0
+            base = f"http://127.0.0.1:{listening['obs_port']}"
+            with urllib.request.urlopen(base + "/healthz",
+                                        timeout=5) as resp:
+                health = json.loads(resp.read())
+            assert health["status"] == "ok"
+            with urllib.request.urlopen(base + "/metrics",
+                                        timeout=5) as resp:
+                assert "version=0.0.4" in resp.headers["Content-Type"]
+                metrics = resp.read().decode()
+            assert "repro_serve_healthy 1" in metrics
+            proc.send_signal(signal.SIGTERM)
+            proc.communicate(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        assert proc.returncode == 0
+        sample = json.loads(slow_path.read_text())
+        assert sample["schema"] == 1
+        assert "slowest" in sample
+
+
+class TestTopCommand:
+    def test_once_against_live_server(self):
+        from repro.serve.server import ServerThread
+        with ServerThread(max_delay=0, obs_port=0) as server:
+            code, text = run_cli("top", str(server.obs_port), "--once")
+        assert code == 0
+        assert "status: OK" in text
+        assert "\x1b" not in text  # plain text in --once mode
+
+    def test_host_port_target_normalised(self):
+        from repro.serve.server import ServerThread
+        with ServerThread(max_delay=0, obs_port=0) as server:
+            code, text = run_cli("top", f"127.0.0.1:{server.obs_port}",
+                                 "--once")
+        assert code == 0
+        assert "status: OK" in text
+
+    def test_dead_endpoint_exits_1(self):
+        code, text = run_cli("top", "1", "--once", "--timeout", "0.5")
+        assert code == 1
+        assert "error: cannot poll" in text
+
+
+class TestBenchHistoryCLI:
+    def entry(self, batch):
+        return json.dumps({
+            "schema": 1, "timestamp": "2026-08-05T00:00:00+0000",
+            "git_sha": "0" * 40, "mode": "fast",
+            "families": {"dfcm": {"batch_records_per_sec": batch,
+                                  "scalar_records_per_sec": batch // 10,
+                                  "speedup": 10.0}},
+            "suite_speedup": 10.0})
+
+    def test_history_flag_appends(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        code, text = run_cli("bench", "--fast", "--out", "-",
+                             "--history", "--history-file", str(path))
+        assert code == 0
+        assert "history: appended" in text
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert "dfcm" in json.loads(lines[0])["families"]
+
+    def test_diff_passes_and_fails(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(self.entry(100_000) + "\n"
+                        + self.entry(80_000) + "\n")
+        code, text = run_cli("bench", "diff", "--history-file", str(path))
+        assert code == 1  # -20% against the 10% default gate
+        assert "REGRESSED" in text and "FAIL" in text
+        code, text = run_cli("bench", "diff", "--history-file", str(path),
+                             "--max-regression-pct", "30")
+        assert code == 0
+        assert "PASS" in text
+
+    def test_diff_json_output(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(self.entry(100_000) + "\n"
+                        + self.entry(99_000) + "\n")
+        code, text = run_cli("bench", "diff", "--history-file", str(path),
+                             "--json")
+        assert code == 0
+        diff = json.loads(text)
+        assert diff["passed"] is True
+        assert diff["families"][0]["delta_pct"] == -1.0
+
+    def test_diff_without_enough_history_errors(self, tmp_path, capsys):
+        path = tmp_path / "hist.jsonl"
+        path.write_text(self.entry(100_000) + "\n")
+        code, _text = run_cli("bench", "diff", "--history-file", str(path))
+        assert code == 1
+        assert "at least 2" in capsys.readouterr().err
+
 
 class TestCompileAndExec:
     SOURCE = """
