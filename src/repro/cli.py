@@ -264,6 +264,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--telemetry", metavar="DIR", default=None,
                        help="record this invocation as a telemetry run "
                             "under DIR")
+    serve.add_argument("--uvloop", action="store_true",
+                       help="run the event loop on uvloop when installed "
+                            "(automatically falls back to asyncio)")
     serve.add_argument("--json", action="store_true",
                        help="print listening/drained lines as JSON")
 
@@ -592,7 +595,9 @@ def _cmd_serve(args, out) -> int:
     import asyncio
     import signal
 
-    from repro.serve.server import PredictionServer
+    from repro.serve.server import PredictionServer, resolve_loop_factory
+
+    loop_factory, loop_flavor = resolve_loop_factory(args.uvloop)
 
     def emit(event: dict, human: str) -> None:
         if args.json:
@@ -618,11 +623,12 @@ def _cmd_serve(args, out) -> int:
         obs_note = (f", obs http://{args.host}:{server.obs_port}"
                     if server.obs_port is not None else "")
         emit({"event": "listening", "host": args.host, "port": server.port,
-              "obs_port": server.obs_port, "shards": args.shards},
+              "obs_port": server.obs_port, "shards": args.shards,
+              "loop": loop_flavor},
              f"listening on {args.host}:{server.port} "
              f"({args.shards} shards, batch<={args.max_batch}, "
-             f"delay<={args.max_delay_ms:g}ms{obs_note}) -- "
-             "SIGTERM/SIGINT drains and exits")
+             f"delay<={args.max_delay_ms:g}ms, loop {loop_flavor}"
+             f"{obs_note}) -- SIGTERM/SIGINT drains and exits")
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for signum in (signal.SIGINT, signal.SIGTERM):
@@ -634,7 +640,11 @@ def _cmd_serve(args, out) -> int:
         return await server.stop()
 
     with _maybe_telemetry(args) as telemetry:
-        stats = asyncio.run(_serve())
+        if loop_factory is None:
+            stats = asyncio.run(_serve())
+        else:
+            with asyncio.Runner(loop_factory=loop_factory) as runner:
+                stats = runner.run(_serve())
     if args.slow_out:
         with open(args.slow_out, "w") as handle:
             json.dump(stats.get("slow_requests", {}), handle, indent=2,

@@ -18,12 +18,33 @@ recurrences into per-group array operations:
 - **two-delta promotion**: ``s1`` changes only where the new stride
   repeats, so a grouped running-maximum of promotion positions forward-
   fills ``s1`` without a loop.
-- **confidence-gated stride**: the saturating counter genuinely is a
-  per-record recurrence, so the kernel runs *rounds*: round ``r``
-  processes the ``r``-th record of every still-active level-1 group as
-  one array step (groups sorted by size keep the active set a prefix),
-  and the few very long groups left below the vector cut-off finish in
-  a tight scalar loop.
+- **confidence-gated stride**: the saturating counter is a genuine
+  per-record recurrence, but both halves of it vectorise exactly.  The
+  counter itself is a clipped walk ``conf' = clip(conf + x, 0, max)``
+  whose per-record transfer functions ``f(s) = min(C, max(B, s + A))``
+  are closed under composition, so a grouped parallel prefix scan
+  (``_conf_scan``) yields every intermediate counter in ``O(log
+  group)`` array steps.  The stride table in turn only changes where
+  the gate ``conf < max`` was open, so each record's effective stride
+  is the delta at the *latest gate-open predecessor* -- a grouped
+  running maximum, like two-delta promotion.  The circular dependency
+  (the gate needs the counters, the counters need the correctness
+  bits, the correctness bits need the strides) resolves by fixpoint
+  iteration from an all-open gate; each pass extends the prefix of
+  records whose bits are exact by at least one rank, and in practice
+  two or three passes converge (``_stride_fixpoint``).  Small blocks
+  -- the serve micro-batch shape -- skip the scan machinery and run
+  the classic lane *rounds* loop instead (``_stride_rounds``), which
+  also backstops the (never yet observed) non-converged case.
+
+All kernels share one :class:`_KernelContext` per run: hybrid specs
+whose components use the same ``((pc >> 2) & (entries - 1), entries)``
+index function -- e.g. the paper's stride + DFCM pairing -- compute
+the full-trace argsort once and reuse it, instead of re-deriving it
+per component.  Kernels return their correctness mask directly (from
+the already-sorted arrays, one boolean unsort) and materialise the
+predicted-value array only when ``want_predicted`` is set, so counting
+runs and non-first hybrid components build no throwaway arrays.
 
 Families without a kernel (last-N, meta hybrids, delayed wrappers,
 non-FS hashes) delegate to the scalar engine; the result's ``engine``
@@ -44,8 +65,21 @@ from repro.core.types import MASK32
 __all__ = ["BatchEngine"]
 
 # Below this many simultaneously active level-1 groups a vector round
-# costs more than stepping the survivors in plain Python.
-_STRIDE_LANE_CUTOFF = 64
+# costs more than stepping the survivors in plain Python.  With the
+# per-lane tail slicing the scalar tail is O(tail records), so the
+# break-even sits where one vector round (~15 us) stops covering its
+# survivors' scalar cost (~0.6 us/record).
+_STRIDE_LANE_CUTOFF = 24
+
+# Blocks shorter than this run the rounds loop outright: the fixpoint
+# scan's fixed cost (a few dozen array allocations) only pays for
+# itself on real traces, not serve micro-batches.
+_STRIDE_FIXPOINT_MIN_N = 2048
+
+# Fixpoint passes before falling back to the rounds loop.  Convergence
+# is guaranteed within the longest group's length and observed at 2-3;
+# the cap only bounds the pathological case.
+_STRIDE_MAX_ITERS = 32
 
 
 class _Groups:
@@ -98,6 +132,34 @@ class _Groups:
             table = np.asarray(base, dtype=np.int64).copy()
         table[self.keys_sorted[self.is_last]] = payload_sorted[self.is_last]
         return table
+
+
+class _KernelContext:
+    """One run's shared arrays: the trace plus memoised decompositions.
+
+    Every kernel keys its level-1 table with the same index function,
+    ``(pc >> 2) & (entries - 1)``, so *entries* fully identifies a
+    decomposition; hybrid components with equal table sizes -- the
+    paper's stride + DFCM configuration among them -- share one argsort
+    and one sorted value array.  (A future family with a different
+    key expression must widen the cache key accordingly.)
+    """
+
+    __slots__ = ("pcs", "values", "_pc_groups")
+
+    def __init__(self, pcs: np.ndarray, values: np.ndarray):
+        self.pcs = pcs
+        self.values = values
+        self._pc_groups = {}
+
+    def pc_groups(self, entries: int):
+        """``(groups, values_sorted)`` for the pc-indexed key, memoised."""
+        cached = self._pc_groups.get(entries)
+        if cached is None:
+            groups = _Groups((self.pcs >> 2) & (entries - 1), entries)
+            cached = (groups, self.values[groups.order])
+            self._pc_groups[entries] = cached
+        return cached
 
 
 def _prev_in_group(payload_sorted: np.ndarray, is_start: np.ndarray,
@@ -182,103 +244,146 @@ def _table_init(state, key, groups):
     return table[groups.keys_sorted], table
 
 
-def _run_last_value(spec, pcs, values, state=None):
-    groups = _Groups((pcs >> 2) & (spec.entries - 1), spec.entries)
-    init, base = _table_init(state, "values", groups)
-    values_sorted = values[groups.order]
-    predicted = groups.unsort(
-        _prev_in_group(values_sorted, groups.is_start, init))
-    return predicted, None, {
-        "values": groups.final_table(spec.entries, values_sorted, base),
-    }
+def _conf_scan(correct_sorted: np.ndarray, rank: np.ndarray,
+               inc: int, dec: int, counter_max: int, initial,
+               max_size: int) -> np.ndarray:
+    """Saturating-counter value after every record, within its group.
+
+    The per-record transfer ``f(s) = clip(s + x, 0, max)`` (with ``x``
+    the +inc/-dec outcome delta) is monotone piecewise-linear, and the
+    family ``f(s) = min(C, max(B, s + A))`` is closed under
+    composition -- composing the older ``f1`` into ``f2`` gives
+    ``A = A1 + A2``, ``B = min(max(B2, B1 + A2), C2)``, ``C = min(
+    max(B2, C1 + A2), C2)``, with ``A`` clamped to ``+/-(max + 1)``
+    (exact on the counter's domain, and what keeps a narrow dtype
+    sufficient).  A Hillis-Steele doubling pass over these triples,
+    padded with the identity where a window would cross a group
+    boundary (``rank < step``), therefore computes every prefix
+    composition in ``ceil(log2(longest group))`` array steps; the
+    result is each triple applied to its group's *initial* counter.
+    """
+    n = len(correct_sorted)
+    bound = counter_max + 1
+    if 2 * bound <= 127:
+        dtype = np.int8
+    elif 2 * bound <= 32767:
+        dtype = np.int16
+    else:
+        dtype = np.int32
+    # The outcome delta, pre-clamped to +/-(max + 1): any larger step
+    # already saturates from every reachable counter value.
+    x = np.where(correct_sorted,
+                 dtype(min(inc, bound)), dtype(-min(dec, bound)))
+    A = x
+    B = np.zeros(n, dtype=dtype)
+    C = np.full(n, counter_max, dtype=dtype)
+    lo, hi = dtype(-bound), dtype(bound)
+    A1 = np.empty(n, dtype)
+    B1 = np.empty(n, dtype)
+    C1 = np.empty(n, dtype)
+    t = np.empty(n, dtype)
+    step = 1
+    while step < max_size:
+        # The triple `step` positions back, or the identity where that
+        # would reach across a group boundary.
+        A1[step:] = A[:-step]
+        B1[step:] = B[:-step]
+        C1[step:] = C[:-step]
+        invalid = rank < step  # includes the unshifted [:step] slots
+        A1[invalid] = 0
+        B1[invalid] = 0
+        C1[invalid] = counter_max
+        # Compose: the shifted-in (older) triple first, then this one.
+        np.add(B1, A, out=t)
+        np.clip(t, lo, hi, out=t)
+        np.maximum(t, B, out=B1)
+        np.minimum(B1, C, out=B1)
+        np.add(C1, A, out=t)
+        np.clip(t, lo, hi, out=t)
+        np.maximum(t, B, out=C1)
+        np.minimum(C1, C, out=C1)
+        np.add(A1, A, out=A1)
+        np.clip(A1, lo, hi, out=A1)
+        A, A1 = A1, A
+        B, B1 = B1, B
+        C, C1 = C1, C
+        step <<= 1
+    base = initial + A  # int64 when warm (array), dtype when cold scalar
+    result = np.maximum(B, base)
+    np.minimum(result, C, out=result)
+    return result.astype(np.int64)
 
 
-def _run_fcm(spec, pcs, values, state=None):
-    hash_spec = spec.hash  # kind 'fs' guaranteed by supports()
-    groups = _Groups((pcs >> 2) & (spec.l1_entries - 1), spec.l1_entries)
-    s0, l1_base = _table_init(state, "l1", groups)
-    s0_arr = s0 if isinstance(s0, np.ndarray) else None
-    values_sorted = values[groups.order]
-    state_after = _fs_states(values_sorted, groups.rank,
-                             hash_spec.index_bits, hash_spec.shift, s0_arr)
-    # The prediction reads -- and the update then writes -- the level-2
-    # slot of the state *before* the record; for the FS hash the state
-    # is the index.  Since read and write hit the same slot, the level-2
-    # read is again a prev-in-group, this time grouped by slot.
-    slots = groups.unsort(_prev_in_group(state_after, groups.is_start, s0))
-    slot_groups = _Groups(slots, spec.l2_entries)
-    l2_init, l2_base = _table_init(state, "l2", slot_groups)
-    slot_values_sorted = values[slot_groups.order]
-    predicted = slot_groups.unsort(
-        _prev_in_group(slot_values_sorted, slot_groups.is_start, l2_init))
-    return predicted, None, {
-        "l1": groups.final_table(spec.l1_entries, state_after, l1_base),
-        "l2": slot_groups.final_table(spec.l2_entries, slot_values_sorted,
-                                      l2_base),
-    }
+def _stride_fixpoint(spec, groups, values_sorted, state, want_predicted):
+    """Whole-block stride kernel; ``None`` when the fixpoint fails.
 
-
-def _run_dfcm(spec, pcs, values, state=None):
-    hash_spec = spec.hash
-    groups = _Groups((pcs >> 2) & (spec.l1_entries - 1), spec.l1_entries)
+    The stride a record predicts with is the delta observed at its
+    latest *gate-open* (``conf < max``) same-group predecessor -- the
+    replace rule fires whenever the gate is open, correct outcome or
+    not -- which a grouped running maximum over gate-open positions
+    finds in one pass, exactly like two-delta promotion.  The gate
+    needs the counters and the counters need the correctness bits,
+    so iterate: start from an all-open gate, derive strides and
+    correctness, rebuild the counters with :func:`_conf_scan`, repeat
+    until the bits stop changing.  A verified fixpoint *is* the exact
+    solution (induction over group rank), and each pass extends the
+    exact prefix of every group by at least one record, so the loop
+    terminates; the cap merely bounds the worst case, handing the
+    block to the rounds loop instead.
+    """
+    n = len(values_sorted)
+    counter_max = (1 << spec.counter_bits) - 1
+    inc, dec = spec.counter_inc, spec.counter_dec
     last_init, last_base = _table_init(state, "last", groups)
-    h0, hist_base = _table_init(state, "hist", groups)
-    h0_arr = h0 if isinstance(h0, np.ndarray) else None
-    values_sorted = values[groups.order]
+    s0_init, stride_base = _table_init(state, "stride", groups)
+    c0_init, conf_base = _table_init(state, "conf", groups)
     last_before = _prev_in_group(values_sorted, groups.is_start, last_init)
-    strides = (values_sorted - last_before) & MASK32
-    state_after = _fs_states(strides, groups.rank,
-                             hash_spec.index_bits, hash_spec.shift, h0_arr)
-    stored = _store_strides(strides, spec.stride_bits)
-    slots = groups.unsort(_prev_in_group(state_after, groups.is_start, h0))
-    slot_groups = _Groups(slots, spec.l2_entries)
-    l2_init, l2_base = _table_init(state, "l2", slot_groups)
-    stored_by_slot = groups.unsort(stored)[slot_groups.order]
-    l2_read = slot_groups.unsort(
-        _prev_in_group(stored_by_slot, slot_groups.is_start, l2_init))
-    predicted = (groups.unsort(last_before) + l2_read) & MASK32
-    return predicted, None, {
-        "last": groups.final_table(spec.l1_entries, values_sorted, last_base),
-        "hist": groups.final_table(spec.l1_entries, state_after, hist_base),
-        "l2": slot_groups.final_table(spec.l2_entries, stored_by_slot,
-                                      l2_base),
-    }
-
-
-def _run_stride2d(spec, pcs, values, state=None):
-    groups = _Groups((pcs >> 2) & (spec.entries - 1), spec.entries)
-    last_init, last_base = _table_init(state, "last", groups)
-    s1_init, s1_base = _table_init(state, "s1", groups)
-    s2_init, s2_base = _table_init(state, "s2", groups)
-    values_sorted = values[groups.order]
-    last_before = _prev_in_group(values_sorted, groups.is_start, last_init)
-    new_stride = (values_sorted - last_before) & MASK32
-    s2_before = _prev_in_group(new_stride, groups.is_start, s2_init)
-    promote = new_stride == s2_before  # same stride twice in a row
-    # s1 before record k is the stride at the latest promotion strictly
-    # before k in the same group (the warm/initial s1 if none): a
-    # running maximum over promotion positions, validated against the
-    # group start.
-    pos = np.arange(len(values_sorted), dtype=np.int64)
-    promo_pos = np.maximum.accumulate(np.where(promote, pos, -1))
-    promo_before = np.empty_like(promo_pos)
-    promo_before[0] = -1
-    promo_before[1:] = promo_pos[:-1]
-    in_group = promo_before >= groups.start
-    s1_before = np.where(in_group,
-                         new_stride[np.maximum(promo_before, 0)], s1_init)
-    predicted = groups.unsort((last_before + s1_before) & MASK32)
-    s1_after = np.where(promote, new_stride, s1_before)
-    return predicted, None, {
+    d = (values_sorted - last_before) & MASK32
+    pos = np.arange(n, dtype=np.int64)
+    rank = groups.rank
+    start = groups.start
+    max_size = int(groups.group_sizes.max())
+    gate = np.ones(n, dtype=bool)
+    correct_sorted = None
+    conf_after = None
+    stride_before = None
+    converged = False
+    j_before = np.empty(n, dtype=np.int64)
+    for _ in range(_STRIDE_MAX_ITERS):
+        # Latest gate-open position strictly before each record, in
+        # its group; the stride it wrote is d there (warm s0 if none).
+        cand = np.where(gate, pos, np.int64(-1))
+        np.maximum.accumulate(cand, out=cand)
+        j_before[0] = -1
+        j_before[1:] = cand[:-1]
+        in_group = j_before >= start
+        stride_before = np.where(in_group, d[np.maximum(j_before, 0)],
+                                 s0_init)
+        fresh = stride_before == d
+        if correct_sorted is not None and np.array_equal(fresh,
+                                                         correct_sorted):
+            converged = True
+            break
+        correct_sorted = fresh
+        conf_after = _conf_scan(correct_sorted, rank, inc, dec, counter_max,
+                                c0_init, max_size)
+        gate = _prev_in_group(conf_after, groups.is_start,
+                              c0_init) < counter_max
+    if not converged:
+        return None
+    predicted = (groups.unsort((last_before + stride_before) & MASK32)
+                 if want_predicted else None)
+    correct = groups.unsort(correct_sorted)
+    stride_after = np.where(gate, d, stride_before)
+    return predicted, correct, {
         "last": groups.final_table(spec.entries, values_sorted, last_base),
-        "s1": groups.final_table(spec.entries, s1_after, s1_base),
-        "s2": groups.final_table(spec.entries, new_stride, s2_base),
+        "stride": groups.final_table(spec.entries, stride_after, stride_base),
+        "conf": groups.final_table(spec.entries, conf_after, conf_base),
     }
 
 
-def _run_stride(spec, pcs, values, state=None):
-    groups = _Groups((pcs >> 2) & (spec.entries - 1), spec.entries)
-    values_sorted = values[groups.order]
+def _stride_rounds(spec, groups, values_sorted, state, want_predicted):
+    """Stride kernel as lane rounds + scalar tail: the small-block path."""
     n = len(values_sorted)
     # One lane per level-1 group, longest first, so the active lanes of
     # every round form a prefix of the arrays.
@@ -324,18 +429,19 @@ def _run_stride(spec, pcs, values, state=None):
         round_no += 1
     if active > 0:
         # A handful of very long groups remain: finish them record by
-        # record on plain ints (cheaper than near-empty vector rounds).
-        values_list = values_sorted.tolist()
+        # record on plain ints (cheaper than near-empty vector rounds),
+        # materialising only each lane's own unprocessed slice.
         for lane in range(active):
             size = int(lane_size[lane])
             base = int(lane_start[lane])
             lane_last = int(last[lane])
             lane_stride = int(stride[lane])
             lane_conf = int(conf[lane])
-            for k in range(base + round_no, base + size):
-                observed = values_list[k]
+            tail = values_sorted[base + round_no:base + size].tolist()
+            tail_predictions = []
+            for observed in tail:
                 prediction = (lane_last + lane_stride) & MASK32
-                predictions_sorted[k] = prediction
+                tail_predictions.append(prediction)
                 replace = lane_conf < counter_max
                 if prediction == observed:
                     lane_conf = min(lane_conf + inc, counter_max)
@@ -344,10 +450,13 @@ def _run_stride(spec, pcs, values, state=None):
                 if replace:
                     lane_stride = (observed - lane_last) & MASK32
                 lane_last = observed
+            predictions_sorted[base + round_no:base + size] = tail_predictions
             last[lane] = lane_last
             stride[lane] = lane_stride
             conf[lane] = lane_conf
-    predicted = groups.unsort(predictions_sorted)
+    predicted = (groups.unsort(predictions_sorted)
+                 if want_predicted else None)
+    correct = groups.unsort(predictions_sorted == values_sorted)
 
     def lane_table(key: str, lane_values: np.ndarray) -> np.ndarray:
         if state is None:
@@ -357,15 +466,126 @@ def _run_stride(spec, pcs, values, state=None):
         table[lane_key] = lane_values
         return table
 
-    return predicted, None, {
+    return predicted, correct, {
         "last": lane_table("last", last),
         "stride": lane_table("stride", stride),
         "conf": lane_table("conf", conf),
     }
 
 
-def _run_oracle_hybrid(spec, pcs, values, state=None):
-    correct_any = np.zeros(len(values), dtype=bool)
+def _run_stride(spec, ctx, state=None, want_predicted=True):
+    groups, values_sorted = ctx.pc_groups(spec.entries)
+    if len(values_sorted) >= _STRIDE_FIXPOINT_MIN_N:
+        result = _stride_fixpoint(spec, groups, values_sorted, state,
+                                  want_predicted)
+        if result is not None:
+            return result
+    return _stride_rounds(spec, groups, values_sorted, state, want_predicted)
+
+
+def _run_last_value(spec, ctx, state=None, want_predicted=True):
+    groups, values_sorted = ctx.pc_groups(spec.entries)
+    init, base = _table_init(state, "values", groups)
+    predicted_sorted = _prev_in_group(values_sorted, groups.is_start, init)
+    predicted = groups.unsort(predicted_sorted) if want_predicted else None
+    correct = groups.unsort(predicted_sorted == values_sorted)
+    return predicted, correct, {
+        "values": groups.final_table(spec.entries, values_sorted, base),
+    }
+
+
+def _run_fcm(spec, ctx, state=None, want_predicted=True):
+    hash_spec = spec.hash  # kind 'fs' guaranteed by supports()
+    groups, values_sorted = ctx.pc_groups(spec.l1_entries)
+    s0, l1_base = _table_init(state, "l1", groups)
+    s0_arr = s0 if isinstance(s0, np.ndarray) else None
+    state_after = _fs_states(values_sorted, groups.rank,
+                             hash_spec.index_bits, hash_spec.shift, s0_arr)
+    # The prediction reads -- and the update then writes -- the level-2
+    # slot of the state *before* the record; for the FS hash the state
+    # is the index.  Since read and write hit the same slot, the level-2
+    # read is again a prev-in-group, this time grouped by slot.
+    slots = groups.unsort(_prev_in_group(state_after, groups.is_start, s0))
+    slot_groups = _Groups(slots, spec.l2_entries)
+    l2_init, l2_base = _table_init(state, "l2", slot_groups)
+    slot_values_sorted = ctx.values[slot_groups.order]
+    predicted_sorted = _prev_in_group(slot_values_sorted,
+                                      slot_groups.is_start, l2_init)
+    predicted = (slot_groups.unsort(predicted_sorted)
+                 if want_predicted else None)
+    correct = slot_groups.unsort(predicted_sorted == slot_values_sorted)
+    return predicted, correct, {
+        "l1": groups.final_table(spec.l1_entries, state_after, l1_base),
+        "l2": slot_groups.final_table(spec.l2_entries, slot_values_sorted,
+                                      l2_base),
+    }
+
+
+def _run_dfcm(spec, ctx, state=None, want_predicted=True):
+    hash_spec = spec.hash
+    groups, values_sorted = ctx.pc_groups(spec.l1_entries)
+    last_init, last_base = _table_init(state, "last", groups)
+    h0, hist_base = _table_init(state, "hist", groups)
+    h0_arr = h0 if isinstance(h0, np.ndarray) else None
+    last_before = _prev_in_group(values_sorted, groups.is_start, last_init)
+    strides = (values_sorted - last_before) & MASK32
+    state_after = _fs_states(strides, groups.rank,
+                             hash_spec.index_bits, hash_spec.shift, h0_arr)
+    stored = _store_strides(strides, spec.stride_bits)
+    slots = groups.unsort(_prev_in_group(state_after, groups.is_start, h0))
+    slot_groups = _Groups(slots, spec.l2_entries)
+    l2_init, l2_base = _table_init(state, "l2", slot_groups)
+    stored_by_slot = groups.unsort(stored)[slot_groups.order]
+    l2_read = slot_groups.unsort(
+        _prev_in_group(stored_by_slot, slot_groups.is_start, l2_init))
+    # predicted = last + l2_read (mod 2^32), so the prediction is
+    # correct exactly where the level-2 read equals the actual stride.
+    correct = l2_read == groups.unsort(strides)
+    predicted = ((groups.unsort(last_before) + l2_read) & MASK32
+                 if want_predicted else None)
+    return predicted, correct, {
+        "last": groups.final_table(spec.l1_entries, values_sorted, last_base),
+        "hist": groups.final_table(spec.l1_entries, state_after, hist_base),
+        "l2": slot_groups.final_table(spec.l2_entries, stored_by_slot,
+                                      l2_base),
+    }
+
+
+def _run_stride2d(spec, ctx, state=None, want_predicted=True):
+    groups, values_sorted = ctx.pc_groups(spec.entries)
+    last_init, last_base = _table_init(state, "last", groups)
+    s1_init, s1_base = _table_init(state, "s1", groups)
+    s2_init, s2_base = _table_init(state, "s2", groups)
+    last_before = _prev_in_group(values_sorted, groups.is_start, last_init)
+    new_stride = (values_sorted - last_before) & MASK32
+    s2_before = _prev_in_group(new_stride, groups.is_start, s2_init)
+    promote = new_stride == s2_before  # same stride twice in a row
+    # s1 before record k is the stride at the latest promotion strictly
+    # before k in the same group (the warm/initial s1 if none): a
+    # running maximum over promotion positions, validated against the
+    # group start.
+    pos = np.arange(len(values_sorted), dtype=np.int64)
+    promo_pos = np.maximum.accumulate(np.where(promote, pos, -1))
+    promo_before = np.empty_like(promo_pos)
+    promo_before[0] = -1
+    promo_before[1:] = promo_pos[:-1]
+    in_group = promo_before >= groups.start
+    s1_before = np.where(in_group,
+                         new_stride[np.maximum(promo_before, 0)], s1_init)
+    # predicted = last + s1 (mod 2^32): correct iff s1 equals the delta.
+    correct = groups.unsort(s1_before == new_stride)
+    predicted = (groups.unsort((last_before + s1_before) & MASK32)
+                 if want_predicted else None)
+    s1_after = np.where(promote, new_stride, s1_before)
+    return predicted, correct, {
+        "last": groups.final_table(spec.entries, values_sorted, last_base),
+        "s1": groups.final_table(spec.entries, s1_after, s1_base),
+        "s2": groups.final_table(spec.entries, new_stride, s2_base),
+    }
+
+
+def _run_oracle_hybrid(spec, ctx, state=None, want_predicted=True):
+    correct_any = None
     tables = {}
     predicted_first = None
     for i, component in enumerate(spec.components):
@@ -373,11 +593,15 @@ def _run_oracle_hybrid(spec, pcs, values, state=None):
         comp_in = (None if state is None else
                    {k[len(prefix):]: v for k, v in state.items()
                     if k.startswith(prefix)})
+        # Only the first component's predictions are ever surfaced; the
+        # others contribute nothing but their correctness mask.
         predicted, correct, comp_state = _KERNELS[component.family](
-            component, pcs, values, comp_in)
-        if correct is None:
-            correct = predicted == values
-        correct_any |= correct
+            component, ctx, comp_in,
+            want_predicted=want_predicted and i == 0)
+        if correct_any is None:
+            correct_any = correct
+        else:
+            correct_any |= correct
         for key, table in comp_state.items():
             tables[prefix + key] = table
         if i == 0:
@@ -417,10 +641,10 @@ class BatchEngine:
         if total == 0:
             state = spec.extract_state(spec.build()) if want_state else None
             return EngineResult(0, 0, self.name, state)
-        pcs = trace.pcs.astype(np.int64)
-        values = trace.values.astype(np.int64)
-        predicted, correct, state = _KERNELS[spec.family](spec, pcs, values)
-        if correct is None:
-            correct = predicted == values
+        ctx = _KernelContext(trace.pcs.astype(np.int64),
+                             trace.values.astype(np.int64))
+        # Counting needs no predicted-value array at all.
+        _, correct, state = _KERNELS[spec.family](spec, ctx, None,
+                                                  want_predicted=False)
         return EngineResult(int(correct.sum()), total, self.name,
                             state if want_state else None)

@@ -39,7 +39,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from repro.core.engines.batch import _KERNELS
+from repro.core.engines.batch import _KERNELS, _KernelContext
 
 __all__ = ["RESUMABLE_FAMILIES", "supports_resume", "initial_state",
            "step_block"]
@@ -92,5 +92,6 @@ def step_block(spec, state: State, pcs: np.ndarray,
                          f"{pcs.shape} vs {values.shape}")
     if len(pcs) == 0:
         return np.zeros(0, dtype=np.int64), state
-    predicted, _, new_state = _KERNELS[spec.family](spec, pcs, values, state)
+    ctx = _KernelContext(pcs, values)
+    predicted, _, new_state = _KERNELS[spec.family](spec, ctx, state)
     return predicted, new_state

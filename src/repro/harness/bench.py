@@ -319,8 +319,12 @@ def diff_history(path: str = "BENCH_history.jsonl",
 
     A family regresses when its batch throughput in the newest record
     drops more than the threshold percent below the previous record;
-    ``passed`` is False when any family regresses.  Only families
-    present in both records are compared (the grid can grow).
+    ``passed`` is False when any family regresses.  The two records
+    must cover the same families: a family silently appearing in (or
+    vanishing from) the grid would otherwise dodge the regression
+    gate, so either direction of mismatch raises :class:`ValueError`
+    with both sides named -- re-run ``bench --history`` after a grid
+    change to re-baseline.
     """
     threshold = resolve_max_regression_pct(max_regression_pct)
     entries = read_history(path)
@@ -329,9 +333,23 @@ def diff_history(path: str = "BENCH_history.jsonl",
             f"need at least 2 history records in {path} to diff, "
             f"found {len(entries)} (run 'repro bench --history' twice)")
     base, head = entries[-2], entries[-1]
+    only_base = sorted(set(base["families"]) - set(head["families"]))
+    only_head = sorted(set(head["families"]) - set(base["families"]))
+    if only_base or only_head:
+        parts = []
+        if only_base:
+            parts.append("missing from the current run: "
+                         + ", ".join(only_base))
+        if only_head:
+            parts.append("not in the previous record: "
+                         + ", ".join(only_head))
+        raise ValueError(
+            f"bench history records in {path} cover different families "
+            f"({'; '.join(parts)}); re-run 'repro bench --history' to "
+            f"re-baseline after a grid change")
     families = []
     regressed = []
-    for family in sorted(set(base["families"]) & set(head["families"])):
+    for family in sorted(base["families"]):
         old = base["families"][family]["batch_records_per_sec"]
         new = head["families"][family]["batch_records_per_sec"]
         delta_pct = ((new - old) / old * 100.0) if old else 0.0

@@ -30,9 +30,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+import numpy as np
+
 from repro.serve.tracing import RequestTrace
 
 __all__ = ["WorkItem", "MicroBatcher"]
+
+_MASK32 = 0xFFFFFFFF
 
 
 @dataclass
@@ -42,17 +46,19 @@ class WorkItem:
     ``fuse_key`` is non-None for STEP / STEP_BLOCK items; adjacent
     items (per session) whose ``fuse_key`` matches are merged into one
     kernel call.  ``pcs``/``values`` carry the records for fusible
-    items; ``run`` executes everything else.  ``trace``, when present,
-    is stamped at each stage boundary (dequeue, execute start/end) so
-    the request's span breakdown survives batching and fusion.
+    items -- int64 arrays on the zero-copy server path, though plain
+    lists still work -- and ``run`` executes everything else.
+    ``trace``, when present, is stamped at each stage boundary
+    (dequeue, execute start/end) so the request's span breakdown
+    survives batching and fusion.
     """
 
     session_id: int
     future: asyncio.Future
     run: Optional[Callable] = None
     fuse_key: Optional[str] = None
-    pcs: List[int] = field(default_factory=list)
-    values: List[int] = field(default_factory=list)
+    pcs: "np.ndarray | List[int]" = field(default_factory=list)
+    values: "np.ndarray | List[int]" = field(default_factory=list)
     trace: Optional[RequestTrace] = None
 
 
@@ -169,20 +175,29 @@ class MicroBatcher:
                 if not item.future.cancelled():
                     item.future.set_result(result)
                 return
-            pcs = [pc for item in fused for pc in item.pcs]
-            values = [v for item in fused for v in item.values]
+            if len(fused) == 1:
+                pcs = np.asarray(fused[0].pcs, dtype=np.int64)
+                values = np.asarray(fused[0].values, dtype=np.int64)
+            else:
+                pcs = np.concatenate(
+                    [np.asarray(item.pcs, dtype=np.int64) for item in fused])
+                values = np.concatenate(
+                    [np.asarray(item.values, dtype=np.int64)
+                     for item in fused])
             if session is None:
                 raise KeyError(fused[0].session_id)
             predicted, _ = session.step_block(pcs, values)
+            predicted = np.asarray(predicted, dtype=np.int64)
+            matches = predicted == (values & _MASK32)
             if len(fused) > 1:
                 self.fused_records += len(pcs)
             end = time.monotonic()
             offset = 0
             for item in fused:
                 part = predicted[offset:offset + len(item.pcs)]
+                hits = int(np.count_nonzero(
+                    matches[offset:offset + len(item.pcs)]))
                 offset += len(item.pcs)
-                hits = sum(1 for p, v in zip(part, item.values)
-                           if p == (v & 0xFFFFFFFF))
                 if item.trace is not None:
                     item.trace.t_exec_end = end
                 if self.on_records is not None:

@@ -74,6 +74,10 @@ class ServeClient:
         sock = socket.create_connection((self.host, self.port),
                                         timeout=self.timeout)
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # One reusable receive buffer per connection: responses are
+        # parsed in place (see BlockingFrameReader) and fully consumed
+        # before the next read, so no copies are needed.
+        self._reader = protocol.BlockingFrameReader(sock)
         return sock
 
     # ---------------------------------------------------------- transport
@@ -128,8 +132,13 @@ class ServeClient:
         return request_id
 
     def recv(self) -> Optional[protocol.Frame]:
-        """Read one response frame; raises :class:`ServeError` on ERROR."""
-        frame = protocol.read_frame_blocking(self.sock)
+        """Read one response frame; raises :class:`ServeError` on ERROR.
+
+        The frame's body aliases the connection's receive buffer and is
+        valid until the next ``recv`` -- every caller in this class
+        decodes it immediately.
+        """
+        frame = self._reader.read_frame()
         if frame is not None and frame.type == protocol.FrameType.ERROR:
             raise ServeError(*protocol.decode_error(frame.body))
         return frame

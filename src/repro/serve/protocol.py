@@ -63,14 +63,19 @@ import struct
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 __all__ = ["PROTOCOL_VERSION", "PROTOCOL_VERSION_V1", "SUPPORTED_VERSIONS",
            "MAX_FRAME_BYTES", "RESPONSE_BIT",
            "FrameType", "ErrorCode", "ProtocolError", "Frame",
            "encode_frame", "decode_frame", "read_frame_blocking",
+           "BlockingFrameReader",
            "encode_open_session", "decode_open_session",
            "encode_session_op", "decode_session_op",
            "encode_step_block", "decode_step_block",
-           "encode_block_result", "decode_block_result",
+           "decode_step_block_arrays",
+           "encode_block_result", "encode_block_result_frame",
+           "decode_block_result",
            "encode_json_body", "decode_json_body",
            "encode_u8", "decode_u8", "encode_u32", "decode_u32",
            "encode_step_result", "decode_step_result",
@@ -136,19 +141,34 @@ class Frame:
         return self.type & ~RESPONSE_BIT
 
 
-def encode_frame(frame_type: int, request_id: int, body: bytes = b"",
-                 version: int = PROTOCOL_VERSION, trace_id: int = 0) -> bytes:
+def _frame_buffer(frame_type: int, request_id: int, body_len: int,
+                  version: int, trace_id: int) -> Tuple[bytearray, int]:
+    """One preallocated buffer for a whole frame (length prefix included),
+    with the prefix and header already written; returns ``(buffer,
+    body_offset)`` so callers serialise the body straight into place."""
     if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(f"cannot encode protocol version {version}; "
                             f"supported: {list(SUPPORTED_VERSIONS)}")
-    payload = _HEADER.pack(version, frame_type, request_id & 0xFFFFFFFF)
-    if version >= 2:
-        payload += _TRACE_ID.pack(trace_id & 0xFFFFFFFFFFFFFFFF)
-    payload += body
-    if len(payload) > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame of {len(payload)} bytes exceeds the "
+    head = _HEADER.size + (_TRACE_ID.size if version >= 2 else 0)
+    if head + body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {head + body_len} bytes exceeds the "
                             f"{MAX_FRAME_BYTES}-byte limit")
-    return _LENGTH.pack(len(payload)) + payload
+    out = bytearray(_LENGTH.size + head + body_len)
+    _LENGTH.pack_into(out, 0, head + body_len)
+    _HEADER.pack_into(out, _LENGTH.size, version, frame_type,
+                      request_id & 0xFFFFFFFF)
+    if version >= 2:
+        _TRACE_ID.pack_into(out, _LENGTH.size + _HEADER.size,
+                            trace_id & 0xFFFFFFFFFFFFFFFF)
+    return out, _LENGTH.size + head
+
+
+def encode_frame(frame_type: int, request_id: int, body: bytes = b"",
+                 version: int = PROTOCOL_VERSION, trace_id: int = 0) -> bytes:
+    out, offset = _frame_buffer(frame_type, request_id, len(body),
+                                version, trace_id)
+    out[offset:] = body
+    return bytes(out)
 
 
 def decode_frame(payload: bytes) -> Frame:
@@ -182,30 +202,63 @@ def read_length(prefix: bytes) -> int:
     return length
 
 
+class BlockingFrameReader:
+    """Zero-copy frame reader for one blocking socket.
+
+    Frames are received with ``recv_into`` a single reusable buffer
+    (grown geometrically, never shrunk): no per-chunk allocations, no
+    ``join``.  :meth:`read_frame` parses the frame straight out of a
+    memoryview of that buffer; the returned frame's ``body`` therefore
+    aliases the buffer and is only valid until the next call.  Pass
+    ``copy=True`` (or use :func:`read_frame_blocking`) to detach the
+    body when it must outlive the next read.
+    """
+
+    __slots__ = ("_sock", "_buf")
+
+    def __init__(self, sock):
+        self._sock = sock
+        self._buf = bytearray(4096)
+
+    def read_frame(self, copy: bool = False) -> Optional[Frame]:
+        """Read one frame; ``None`` on clean EOF at a frame boundary."""
+        prefix = self._recv_exact(_LENGTH.size, eof_ok=True)
+        if prefix is None:
+            return None
+        length = read_length(prefix)
+        payload = self._recv_exact(length)
+        frame = decode_frame(payload)
+        if copy:
+            frame = Frame(frame.type, frame.request_id, bytes(frame.body),
+                          version=frame.version, trace_id=frame.trace_id)
+        return frame
+
+    def _recv_exact(self, n: int,
+                    eof_ok: bool = False) -> Optional[memoryview]:
+        """Exactly *n* bytes into the reusable buffer; ``None`` only on
+        EOF before the first byte (and only when *eof_ok*)."""
+        if len(self._buf) < n:
+            self._buf = bytearray(max(n, 2 * len(self._buf)))
+        view = memoryview(self._buf)[:n]
+        received = 0
+        while received < n:
+            got = self._sock.recv_into(view[received:])
+            if not got:
+                if received == 0 and eof_ok:
+                    return None
+                raise ProtocolError("connection closed mid-frame")
+            received += got
+        return view
+
+
 def read_frame_blocking(sock) -> Optional[Frame]:
-    """Read one frame from a blocking socket; None on clean EOF."""
-    prefix = _recv_exact(sock, _LENGTH.size)
-    if prefix is None:
-        return None
-    payload = _recv_exact(sock, read_length(prefix))
-    if payload is None:
-        raise ProtocolError("connection closed mid-frame")
-    return decode_frame(payload)
+    """Read one frame from a blocking socket; None on clean EOF.
 
-
-def _recv_exact(sock, n: int) -> Optional[bytes]:
-    """Read exactly *n* bytes; None only on EOF before the first byte."""
-    chunks = []
-    remaining = n
-    while remaining:
-        chunk = sock.recv(remaining)
-        if not chunk:
-            if not chunks:
-                return None
-            raise ProtocolError("connection closed mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+    One-shot convenience over :class:`BlockingFrameReader`; the frame's
+    body is detached (copied), so it stays valid indefinitely.  Loops
+    reading many frames should hold one reader instead.
+    """
+    return BlockingFrameReader(sock).read_frame(copy=True)
 
 
 # ------------------------------------------------------------- bodies
@@ -230,7 +283,7 @@ def encode_open_session(config: dict, window: int) -> bytes:
 def decode_open_session(body: bytes) -> Tuple[dict, int]:
     try:
         window, length = _OPEN.unpack_from(body)
-        blob = body[_OPEN.size:_OPEN.size + length]
+        blob = bytes(body[_OPEN.size:_OPEN.size + length])
         if len(blob) != length:
             raise ProtocolError("truncated OPEN_SESSION config")
         return json.loads(blob.decode()), window
@@ -260,26 +313,81 @@ def decode_session_op(body: bytes, fields: int) -> tuple:
 def encode_step_block(session: int, pcs, values) -> bytes:
     if len(pcs) != len(values):
         raise ProtocolError("step block pcs/values lengths differ")
-    head = _BLOCK_HEAD.pack(session, len(pcs))
-    packed = struct.pack(f"!{2 * len(pcs)}I",
-                         *(word & 0xFFFFFFFF
-                           for pair in zip(pcs, values) for word in pair))
-    return head + packed
+    count = len(pcs)
+    out = bytearray(_BLOCK_HEAD.size + 8 * count)
+    _BLOCK_HEAD.pack_into(out, 0, session, count)
+    if count:
+        # Interleave (pc, value) pairs straight into the body as
+        # big-endian words -- no per-record Python packing.
+        words = np.frombuffer(out, dtype=">u4", count=2 * count,
+                              offset=_BLOCK_HEAD.size).reshape(-1, 2)
+        np.bitwise_and(np.asarray(pcs, dtype=np.int64), 0xFFFFFFFF,
+                       out=words[:, 0], casting="unsafe")
+        np.bitwise_and(np.asarray(values, dtype=np.int64), 0xFFFFFFFF,
+                       out=words[:, 1], casting="unsafe")
+    return bytes(out)
+
+
+def decode_step_block_arrays(body) -> Tuple[int, np.ndarray, np.ndarray]:
+    """STEP_BLOCK body -> ``(session, pcs, values)`` as int64 arrays.
+
+    *body* may be any buffer (bytes or a frame-reader memoryview): the
+    record words are read through a zero-copy big-endian view and only
+    materialised once, as the int64 arrays the kernels want anyway.
+    """
+    try:
+        session, count = _BLOCK_HEAD.unpack_from(body)
+    except struct.error as exc:
+        raise ProtocolError(f"bad STEP_BLOCK body: {exc}") from exc
+    if len(body) < _BLOCK_HEAD.size + 8 * count:
+        raise ProtocolError(
+            f"bad STEP_BLOCK body: {count} records announced, "
+            f"{len(body) - _BLOCK_HEAD.size} payload bytes present")
+    words = np.frombuffer(body, dtype=">u4", count=2 * count,
+                          offset=_BLOCK_HEAD.size).reshape(-1, 2)
+    return (session, words[:, 0].astype(np.int64),
+            words[:, 1].astype(np.int64))
 
 
 def decode_step_block(body: bytes) -> Tuple[int, List[int], List[int]]:
-    try:
-        session, count = _BLOCK_HEAD.unpack_from(body)
-        words = struct.unpack_from(f"!{2 * count}I", body, _BLOCK_HEAD.size)
-    except struct.error as exc:
-        raise ProtocolError(f"bad STEP_BLOCK body: {exc}") from exc
-    return session, list(words[0::2]), list(words[1::2])
+    session, pcs, values = decode_step_block_arrays(body)
+    return session, pcs.tolist(), values.tolist()
 
 
 def encode_block_result(predicted, hits: int) -> bytes:
-    return (_RESULT_HEAD.pack(len(predicted), hits)
-            + struct.pack(f"!{len(predicted)}I",
-                          *(int(p) & 0xFFFFFFFF for p in predicted)))
+    count = len(predicted)
+    out = bytearray(_RESULT_HEAD.size + 4 * count)
+    _RESULT_HEAD.pack_into(out, 0, count, hits)
+    _fill_block_result(out, _RESULT_HEAD.size, predicted)
+    return bytes(out)
+
+
+def encode_block_result_frame(frame_type: int, request_id: int, predicted,
+                              hits: int, version: int = PROTOCOL_VERSION,
+                              trace_id: int = 0) -> bytearray:
+    """A complete STEP_BLOCK response frame in one allocation.
+
+    The hot-path equivalent of ``encode_frame(...,
+    encode_block_result(...))``: the predicted values are written
+    straight into the preallocated wire buffer as big-endian words,
+    so a large response is never copied through an intermediate body.
+    """
+    count = len(predicted)
+    out, offset = _frame_buffer(frame_type, request_id,
+                                _RESULT_HEAD.size + 4 * count,
+                                version, trace_id)
+    _RESULT_HEAD.pack_into(out, offset, count, hits)
+    _fill_block_result(out, offset + _RESULT_HEAD.size, predicted)
+    return out
+
+
+def _fill_block_result(out: bytearray, offset: int, predicted) -> None:
+    count = len(predicted)
+    if not count:
+        return
+    view = np.frombuffer(out, dtype=">u4", count=count, offset=offset)
+    np.bitwise_and(np.asarray(predicted, dtype=np.int64), 0xFFFFFFFF,
+                   out=view, casting="unsafe")
 
 
 def decode_block_result(body: bytes) -> Tuple[List[int], int]:
@@ -299,7 +407,7 @@ def encode_json_body(payload: dict) -> bytes:
 def decode_json_body(body: bytes) -> dict:
     try:
         (length,) = _U32.unpack_from(body)
-        blob = body[_U32.size:_U32.size + length]
+        blob = bytes(body[_U32.size:_U32.size + length])
         if len(blob) != length:
             raise ProtocolError("truncated JSON body")
         return json.loads(blob.decode())
@@ -348,6 +456,7 @@ def encode_error(code: int, message: str) -> bytes:
 def decode_error(body: bytes) -> Tuple[int, str]:
     try:
         code, length = _ERROR_HEAD.unpack_from(body)
-        return code, body[_ERROR_HEAD.size:_ERROR_HEAD.size + length].decode()
+        return code, bytes(
+            body[_ERROR_HEAD.size:_ERROR_HEAD.size + length]).decode()
     except (struct.error, UnicodeDecodeError) as exc:
         raise ProtocolError(f"bad ERROR body: {exc}") from exc

@@ -43,6 +43,8 @@ import time
 from collections import deque
 from typing import Dict, List, Optional
 
+import numpy as np
+
 from repro.core.spec import spec_from_config
 from repro.serve import protocol
 from repro.serve.batcher import MicroBatcher, WorkItem
@@ -54,10 +56,50 @@ from repro.telemetry import run as telemetry_run_module
 from repro.telemetry.registry import registry
 from repro.telemetry.slo import SLO, SLOMonitor, default_serve_slos
 
-__all__ = ["PredictionServer", "ServerThread"]
+__all__ = ["PredictionServer", "ServerThread", "resolve_loop_factory"]
 
 _BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
 _LATENCY_BUCKETS = (.0001, .0005, .001, .005, .025, .1, .5, 2.5)
+
+
+class _WholeFrameEncoder:
+    """A response encoder that builds the complete wire frame itself.
+
+    The writer loop normally wraps an encoder's body in
+    ``protocol.encode_frame``; encoders wrapped in this marker are
+    called as ``fn(result, frame_type, request_id, version, trace_id)``
+    and return the finished frame -- the single-allocation path for
+    large STEP_BLOCK responses.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+
+_BLOCK_RESULT_FRAME = _WholeFrameEncoder(
+    lambda res, frame_type, request_id, version, trace_id:
+    protocol.encode_block_result_frame(frame_type, request_id,
+                                       res[0], res[1],
+                                       version=version, trace_id=trace_id))
+
+
+def resolve_loop_factory(use_uvloop: bool):
+    """The event-loop factory for ``use_uvloop``.
+
+    Returns ``(factory_or_None, note)``: uvloop's loop factory when it
+    was requested *and* is importable, else ``None`` (stock asyncio).
+    uvloop is an optional dependency -- missing it downgrades with a
+    note instead of failing, so ``serve --uvloop`` is safe everywhere.
+    """
+    if not use_uvloop:
+        return None, "asyncio"
+    try:
+        import uvloop
+    except ImportError:
+        return None, "asyncio (uvloop requested but not installed)"
+    return uvloop.new_event_loop, "uvloop"
 
 
 class _ServeMetrics:
@@ -471,9 +513,15 @@ class PredictionServer:
                 try:
                     result = await asyncio.wait_for(
                         asyncio.shield(future), self.request_timeout)
-                    payload = protocol.encode_frame(
-                        frame_type | protocol.RESPONSE_BIT, request_id,
-                        encode(result), version=version, trace_id=trace_id)
+                    if isinstance(encode, _WholeFrameEncoder):
+                        payload = encode.fn(
+                            result, frame_type | protocol.RESPONSE_BIT,
+                            request_id, version, trace_id)
+                    else:
+                        payload = protocol.encode_frame(
+                            frame_type | protocol.RESPONSE_BIT, request_id,
+                            encode(result), version=version,
+                            trace_id=trace_id)
                 except asyncio.TimeoutError:
                     # The shielded future stays with the shard worker;
                     # consume its eventual exception so an abandoned
@@ -569,20 +617,23 @@ class PredictionServer:
         self.metrics.records.inc()
         await self._submit(
             conn, frame, trace, self._shard_of(session_id),
-            fuse_key="step", pcs=[pc], values=[value],
+            fuse_key="step",
+            pcs=np.asarray([pc], dtype=np.int64),
+            values=np.asarray([value], dtype=np.int64),
             session_id=session_id,
             encode=lambda res: protocol.encode_step_result(
-                res[0][0], res[1]))
+                int(res[0][0]), res[1]))
 
     async def _dispatch_step_block(self, conn, frame, trace) -> None:
-        session_id, pcs, values = protocol.decode_step_block(frame.body)
-        if pcs:
+        session_id, pcs, values = protocol.decode_step_block_arrays(
+            frame.body)
+        if len(pcs):
             self.metrics.records.inc(len(pcs))
         await self._submit(
             conn, frame, trace, self._shard_of(session_id),
             fuse_key="step", pcs=pcs, values=values,
             session_id=session_id,
-            encode=lambda res: protocol.encode_block_result(res[0], res[1]))
+            encode=_BLOCK_RESULT_FRAME)
 
     async def _dispatch_flush(self, conn, frame, trace) -> None:
         (session_id,) = protocol.decode_session_op(frame.body, 0)
@@ -636,13 +687,15 @@ class PredictionServer:
         future = asyncio.get_running_loop().create_future()
         trace.session_id = session_id if session_id is not None else 0
         trace.shard = shard.index
-        trace.records = len(pcs) if pcs else 0
+        trace.records = len(pcs) if pcs is not None else 0
         trace.t_submit = time.monotonic()
         conn.responses.put_nowait((frame.type, frame.request_id, encode,
                                    future, trace))
         item = WorkItem(session_id=session_id if session_id is not None
                         else 0, future=future, run=run, fuse_key=fuse_key,
-                        pcs=pcs or [], values=values or [], trace=trace)
+                        pcs=pcs if pcs is not None else [],
+                        values=values if values is not None else [],
+                        trace=trace)
         self.metrics.queue_depth.set(shard.batcher.qsize() + 1,
                                      shard=str(shard.index))
         await shard.batcher.submit(item)
@@ -794,7 +847,10 @@ async def _read_frame(reader) -> Optional[protocol.Frame]:
         payload = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise protocol.ProtocolError("connection closed mid-frame") from exc
-    return protocol.decode_frame(payload)
+    # Decode through a memoryview: the frame body aliases the payload
+    # bytes (kept alive by the view) instead of being sliced out, so
+    # STEP_BLOCK records parse with no intermediate copy.
+    return protocol.decode_frame(memoryview(payload))
 
 
 class ServerThread:
@@ -808,10 +864,16 @@ class ServerThread:
 
     ``stop()`` performs the same graceful drain as the async server
     and stores the final stats in :attr:`final_stats`.
+
+    ``use_uvloop=True`` runs the loop on uvloop when it is installed
+    (silently staying on asyncio otherwise; :attr:`loop_flavor` reports
+    which one actually ran).
     """
 
-    def __init__(self, **server_kwargs):
+    def __init__(self, use_uvloop: bool = False, **server_kwargs):
         self._kwargs = server_kwargs
+        self._loop_factory, self.loop_flavor = resolve_loop_factory(
+            use_uvloop)
         self._thread: Optional[threading.Thread] = None
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._stop_event: Optional[asyncio.Event] = None
@@ -834,7 +896,11 @@ class ServerThread:
         return self
 
     def _run(self) -> None:
-        asyncio.run(self._main())
+        if self._loop_factory is None:
+            asyncio.run(self._main())
+        else:
+            with asyncio.Runner(loop_factory=self._loop_factory) as runner:
+                runner.run(self._main())
 
     async def _main(self) -> None:
         self._loop = asyncio.get_running_loop()

@@ -131,13 +131,15 @@ class Session:
     def step(self, pc: int, value: int) -> Tuple[int, int]:
         """Predict-then-train one record; returns ``(predicted, hit)``."""
         predicted, hits = self.step_block([pc], [value])
-        return predicted[0], hits
+        return int(predicted[0]), hits
 
     def step_block(self, pcs, values) -> Tuple[List[int], int]:
         """Predict-then-train a run of records; the micro-batch path.
 
-        Returns the per-record predictions and the number of hits.
-        Counts every record as both a prediction and an outcome.
+        Returns the per-record predictions -- an int64 array in engine
+        mode, a list in scalar mode; both index and serialise the same
+        way -- and the number of hits.  Counts every record as both a
+        prediction and an outcome.
         """
         if len(pcs) != len(values):
             raise ValueError(f"pcs and values lengths differ: "
@@ -152,8 +154,8 @@ class Session:
             predicted = (predicted & _MASK32).astype(np.int64)
             matches = predicted == block_values
             hits = int(matches.sum())
-            out = [int(p) for p in predicted]
-            self._recent.extend(int(m) for m in matches)
+            out = predicted  # stays an array: no per-record boxing
+            self._recent.extend(matches.tolist())
         else:
             out = []
             hits = 0

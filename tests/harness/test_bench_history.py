@@ -125,12 +125,36 @@ class TestDiffGate:
         append(tmp_path, 99_000)          # -1% vs previous: fine
         assert diff_history(path)["passed"] is True
 
-    def test_only_shared_families_compared(self, tmp_path):
+    def test_family_mismatch_raises_both_named(self, tmp_path):
+        # A family silently appearing in or vanishing from the grid
+        # would dodge the gate, so either direction is an error.
         path = append(tmp_path, 100_000, family="dfcm")
         append(tmp_path, 100, family="stride")
-        diff = diff_history(path)
-        assert diff["families"] == []
-        assert diff["passed"] is True  # nothing comparable, nothing failed
+        with pytest.raises(ValueError) as err:
+            diff_history(path)
+        message = str(err.value)
+        assert "missing from the current run: dfcm" in message
+        assert "not in the previous record: stride" in message
+        assert "re-baseline" in message
+
+    def test_family_vanishing_raises(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        report = make_report(family="dfcm")
+        report["families"].append(make_report(family="stride")["families"][0])
+        append_history(report, str(path))
+        append_history(make_report(family="dfcm"), str(path))
+        with pytest.raises(ValueError, match="missing from the current run: "
+                                             "stride"):
+            diff_history(str(path))
+
+    def test_family_appearing_raises(self, tmp_path):
+        path = append(tmp_path, 100_000, family="dfcm")
+        report = make_report(family="dfcm")
+        report["families"].append(make_report(family="stride")["families"][0])
+        append_history(report, str(path))
+        with pytest.raises(ValueError, match="not in the previous record: "
+                                             "stride"):
+            diff_history(path)
 
     def test_render_mentions_verdict(self, tmp_path):
         path = append(tmp_path, 100_000)

@@ -124,7 +124,10 @@ class TestExecute:
             expected = [reference.step_block([4, 8], [10, 20]),
                         reference.step_block([4], [17])]
             got = [item.future.result() for item in items]
-            assert got == expected
+            for (got_pred, got_hits), (want_pred, want_hits) in zip(got,
+                                                                    expected):
+                assert list(got_pred) == list(want_pred)
+                assert got_hits == want_hits
             assert batcher.fused_records == 3
         run(body())
 

@@ -125,6 +125,20 @@ class TestRunLoadgen:
         assert "verify" not in report
         assert report["modes"]["naive"]["records"] == 120
 
+    def test_zero_copy_large_blocks_parity(self):
+        # Blocks of 1024 records put ~8 KiB frames on the wire in both
+        # directions -- larger than the reader's initial receive buffer
+        # -- so this drives the recv_into growth path and the server's
+        # single-allocation response framing, and still demands
+        # bit-exact parity with the offline engines.
+        spec = DFCMSpec(256, 1024)
+        trace = make_trace(4098)
+        with ServerThread(shards=2, max_delay=0.001) as server:
+            report = run_loadgen(spec, trace, "127.0.0.1", server.port,
+                                 mode="batched", block=1024)
+        assert report["modes"]["batched"]["records"] == 4098
+        assert report["verify"]["matched"] is True
+
     def test_report_carries_negotiated_protocol_version(self):
         spec = DFCMSpec(64, 256)
         with ServerThread(max_delay=0) as server:

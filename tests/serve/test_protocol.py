@@ -103,16 +103,17 @@ class TestVersion2:
 
 
 class _FakeSocket:
-    """Replays a byte string through recv(), then reports EOF."""
+    """Replays a byte string through recv_into(), then reports EOF."""
 
     def __init__(self, data: bytes, chunk: int = 1 << 16):
         self._data = data
         self._chunk = chunk
 
-    def recv(self, n):
-        n = min(n, self._chunk)
-        chunk, self._data = self._data[:n], self._data[n:]
-        return chunk
+    def recv_into(self, buffer):
+        n = min(len(buffer), self._chunk, len(self._data))
+        buffer[:n] = self._data[:n]
+        self._data = self._data[n:]
+        return n
 
 
 class TestBlockingRead:

@@ -8,7 +8,7 @@ import pytest
 from repro.core.spec import DFCMSpec, StrideSpec
 from repro.serve import protocol
 from repro.serve.client import ServeClient, ServeError
-from repro.serve.server import ServerThread
+from repro.serve.server import ServerThread, resolve_loop_factory
 from repro.serve.session import Session
 
 
@@ -40,8 +40,10 @@ class TestRoundTrips:
                         reference.step(pc, value)
                 else:
                     block = ([pc, pc + 4], [value, value + 9])
-                    assert client.step_block(session, *block) == \
-                        reference.step_block(*block)
+                    got_pred, got_hits = client.step_block(session, *block)
+                    want_pred, want_hits = reference.step_block(*block)
+                    assert list(got_pred) == list(want_pred)
+                    assert got_hits == want_hits
             stats = client.close_session(session)
             assert stats["hits"] == reference.hits
             assert stats["predictions"] == reference.predictions
@@ -167,8 +169,33 @@ class TestConcurrency:
             # Parity with a local replay despite fusion.
             reference = Session(0, StrideSpec(64))
             expected, _ = reference.step_block(pcs, values)
-            assert [p for p, _hit in results] == expected
+            assert [p for p, _hit in results] == list(expected)
         assert server.final_stats["fused_records"] > 0
+
+
+class TestLoopFactory:
+    def test_default_is_stock_asyncio(self):
+        factory, note = resolve_loop_factory(False)
+        assert factory is None
+        assert note == "asyncio"
+
+    def test_uvloop_request_degrades_when_missing(self):
+        factory, note = resolve_loop_factory(True)
+        try:
+            import uvloop  # noqa: F401
+        except ImportError:
+            assert factory is None
+            assert "uvloop requested but not installed" in note
+        else:
+            assert factory is not None
+            assert note == "uvloop"
+
+    def test_server_thread_reports_loop_flavor(self):
+        with ServerThread(max_delay=0, use_uvloop=True) as server, \
+                ServeClient(port=server.port) as client:
+            assert server.loop_flavor.startswith(("asyncio", "uvloop"))
+            session = client.open_session(StrideSpec(64))
+            assert client.step(session, 4, 7)[1] in (0, 1)
 
 
 class TestDrain:

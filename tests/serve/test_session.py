@@ -125,6 +125,9 @@ class TestEngineScalarParity:
                 assert engine.step(pc, value) == scalar.step(pc, value)
             else:
                 block = ([pc, pc ^ 4], [value, (value * 3) & 0xFFFFFFFF])
-                assert engine.step_block(*block) == scalar.step_block(*block)
+                engine_pred, engine_hits = engine.step_block(*block)
+                scalar_pred, scalar_hits = scalar.step_block(*block)
+                assert list(engine_pred) == list(scalar_pred)
+                assert engine_hits == scalar_hits
         assert engine.hits == scalar.hits
         assert engine.stats()["hits"] == scalar.stats()["hits"]

@@ -350,6 +350,19 @@ class TestBenchHistoryCLI:
         assert code == 1
         assert "at least 2" in capsys.readouterr().err
 
+    def test_diff_family_mismatch_is_clean_error(self, tmp_path, capsys):
+        # Grid changed between records: a clear error, not a traceback.
+        path = tmp_path / "hist.jsonl"
+        stride = self.entry(100_000).replace('"dfcm"', '"stride"')
+        path.write_text(self.entry(100_000) + "\n" + stride + "\n")
+        code, _text = run_cli("bench", "diff", "--history-file", str(path))
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "different families" in err
+        assert "missing from the current run: dfcm" in err
+        assert "not in the previous record: stride" in err
+
 
 class TestCompileAndExec:
     SOURCE = """
