@@ -8,6 +8,9 @@ Commands
 - ``predict NAME`` — measure one predictor configuration on a benchmark.
 - ``compare NAME`` — measure every predictor class on a benchmark.
 - ``bench`` — engine throughput benchmark (writes BENCH_predictors.json).
+- ``tables`` — table-usage efficiency report: families at matched
+  storage budgets, occupancy/aliasing heatmaps, the paper's
+  DFCM-beats-FCM efficiency check (``--json`` for CI).
 - ``compile FILE`` — compile a MinC source file to R32 assembly.
 - ``exec FILE`` — compile and execute a MinC source file on the VM.
 - ``disasm NAME`` — disassemble a workload's compiled text segment.
@@ -163,6 +166,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="bench diff: fail when batch throughput drops "
                             "more than this percent (default "
                             "$REPRO_BENCH_MAX_REGRESSION_PCT or 10)")
+
+    tables = sub.add_parser(
+        "tables", help="table-usage efficiency report across families "
+                       "at matched storage budgets")
+    tables.add_argument("name", nargs="?", default="li",
+                        help="workload name (default li)")
+    tables.add_argument("--limit", type=int, default=50_000,
+                        help="trace length to audit (default 50000)")
+    tables.add_argument("--budgets", default=None,
+                        help="comma-separated storage budgets in Kbit "
+                             "(default 64,128,256,512,1024)")
+    tables.add_argument("--families", default=None,
+                        help="comma-separated families to sweep "
+                             "(default lvp,stride,fcm,dfcm,hybrid)")
+    tables.add_argument("--engine", default="batch",
+                        choices=["batch", "scalar"],
+                        help="auditor replay engine (default batch)")
+    tables.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
+    tables.add_argument("--out", default=None,
+                        help="also write the report JSON to this file")
 
     compile_cmd = sub.add_parser("compile",
                                  help="compile MinC to R32 assembly")
@@ -470,6 +494,31 @@ def _cmd_bench(args, out) -> int:
     return 0 if report["guard"]["passed"] else 1
 
 
+def _cmd_tables(args, out) -> int:
+    from repro.harness.tables_report import (render_tables_report,
+                                             run_tables_report)
+    from repro.trace.cache import cached_trace
+
+    budgets = ([float(b) for b in args.budgets.split(",") if b]
+               if args.budgets else None)
+    families = ([f.strip() for f in args.families.split(",") if f.strip()]
+                if args.families else None)
+    trace = cached_trace(args.name, args.limit)
+    report = run_tables_report(trace, budgets_kbit=budgets,
+                               families=families, engine=args.engine)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.json:
+        out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(render_tables_report(report))
+        if args.out:
+            out.write(f"report: {args.out}\n")
+    return 0
+
+
 def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
@@ -721,6 +770,7 @@ _COMMANDS = {
     "predict": _cmd_predict,
     "compare": _cmd_compare,
     "bench": _cmd_bench,
+    "tables": _cmd_tables,
     "compile": _cmd_compile,
     "exec": _cmd_exec,
     "disasm": _cmd_disasm,

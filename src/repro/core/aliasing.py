@@ -1,186 +1,13 @@
 """Aliasing taxonomy for two-level context predictors (paper section 4.2).
 
-Every prediction made by an (D)FCM is classified into one of five
-categories; *only the first rule that applies is counted*, in this
-order:
-
-``l1``
-    Some value recorded in the history now used to access the level-2
-    table was produced by a *different* static instruction (level-1
-    table conflict).
-``hash``
-    The complete (unhashed) history recorded beside the level-2 entry
-    at its last update differs from the instruction's actual current
-    history: two different histories collided on the same level-2 index.
-``l2_priv``
-    A private (per-level-1-entry) level-2 table would have produced a
-    different prediction than the shared global one.
-``l2_pc``
-    The level-2 entry was last updated by a different static
-    instruction (the histories match, the sharing is between
-    instructions).
-``none``
-    No aliasing detected.
-
-The classification needs shadow state a real predictor would not keep
-(complete histories, producer PCs, private tables); the analyzer
-maintains it alongside an unmodified :class:`FCMPredictor` or
-:class:`DFCMPredictor`, whose predictions it reports on.  A level-2
-entry that was never updated matches nothing: its recorded history is
-taken as absent, so a non-empty current history lands in ``hash`` (the
-prediction is based on state the instruction never trained).
+The analyzer itself lives in :mod:`repro.telemetry.tables` with the
+rest of the table-usage accounting (see :class:`TableUsageAuditor`);
+this module re-exports the historical public API unchanged.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Tuple, Union
-
-from repro.core.dfcm import DFCMPredictor
-from repro.core.fcm import FCMPredictor
-from repro.core.types import MASK32
+from repro.telemetry.tables import (ALIAS_CATEGORIES, AliasReport,
+                                    AliasingAnalyzer)
 
 __all__ = ["ALIAS_CATEGORIES", "AliasReport", "AliasingAnalyzer"]
-
-ALIAS_CATEGORIES = ("l1", "hash", "l2_priv", "l2_pc", "none")
-
-
-@dataclass
-class AliasReport:
-    """Per-category prediction counts for one predictor on one trace."""
-
-    total: Dict[str, int] = field(
-        default_factory=lambda: {c: 0 for c in ALIAS_CATEGORIES})
-    correct: Dict[str, int] = field(
-        default_factory=lambda: {c: 0 for c in ALIAS_CATEGORIES})
-
-    def record(self, category: str, was_correct: bool) -> None:
-        self.total[category] += 1
-        if was_correct:
-            self.correct[category] += 1
-
-    @property
-    def predictions(self) -> int:
-        """Total number of classified predictions."""
-        return sum(self.total.values())
-
-    def wrong(self, category: str) -> int:
-        return self.total[category] - self.correct[category]
-
-    def fraction_of_predictions(self, category: str) -> float:
-        """Share of all predictions in *category* (Figure 13)."""
-        n = self.predictions
-        return self.total[category] / n if n else 0.0
-
-    def accuracy(self, category: str) -> float:
-        """Prediction accuracy within *category* (Figure 12)."""
-        n = self.total[category]
-        return self.correct[category] / n if n else 0.0
-
-    def misprediction_fraction(self, category: str) -> float:
-        """Mispredictions in *category* as a share of all predictions
-        (Figure 14; the per-benchmark bars stack to the global
-        misprediction rate)."""
-        n = self.predictions
-        return self.wrong(category) / n if n else 0.0
-
-    def overall_accuracy(self) -> float:
-        n = self.predictions
-        return sum(self.correct.values()) / n if n else 0.0
-
-    def merged_with(self, other: "AliasReport") -> "AliasReport":
-        """Pooled report (used for the paper's 'avg' bars)."""
-        merged = AliasReport()
-        for category in ALIAS_CATEGORIES:
-            merged.total[category] = self.total[category] + other.total[category]
-            merged.correct[category] = (
-                self.correct[category] + other.correct[category])
-        return merged
-
-
-class AliasingAnalyzer:
-    """Classify every prediction of an (D)FCM into the alias taxonomy.
-
-    Parameters
-    ----------
-    predictor:
-        A fresh :class:`FCMPredictor` or :class:`DFCMPredictor`.  The
-        analyzer drives it; do not update it externally.
-    """
-
-    def __init__(self, predictor: Union[FCMPredictor, DFCMPredictor]):
-        if not isinstance(predictor, (FCMPredictor, DFCMPredictor)):
-            raise TypeError(
-                "AliasingAnalyzer instruments FCMPredictor or DFCMPredictor, "
-                f"got {type(predictor).__name__}")
-        self.predictor = predictor
-        self.differential = isinstance(predictor, DFCMPredictor)
-        order = predictor.order
-        # Shadow level-1: per entry, the last `order` (producer_pc,
-        # history element) pairs actually recorded.
-        self._shadow_l1 = [deque(maxlen=order) for _ in range(predictor.l1_entries)]
-        # Shadow level-2: per entry, the unhashed history stored at the
-        # last update (None = never updated) and the updater's PC.
-        self._l2_history = [None] * predictor.l2_entries
-        self._l2_pc = [None] * predictor.l2_entries
-        # Private level-2 tables, one dict per level-1 entry.
-        self._private: list = [dict() for _ in range(predictor.l1_entries)]
-
-    def _payload(self, l2_index: int) -> int:
-        """Current level-2 payload (value for FCM, stride for DFCM)."""
-        return self.predictor._l2[l2_index]
-
-    def classify(self, pc: int) -> str:
-        """Alias category the *next* prediction for *pc* falls into."""
-        p = self.predictor
-        l1_index = p.l1_index(pc)
-        l2_index = p.l2_index(pc)
-        recorded = self._shadow_l1[l1_index]
-        if any(producer != pc for producer, _ in recorded):
-            return "l1"
-        current_history = tuple(element for _, element in recorded)
-        if self._l2_history[l2_index] != current_history:
-            return "hash"
-        private_payload = self._private[l1_index].get(l2_index, 0)
-        if private_payload != self._payload(l2_index):
-            return "l2_priv"
-        if self._l2_pc[l2_index] != pc:
-            return "l2_pc"
-        return "none"
-
-    def step(self, pc: int, value: int) -> Tuple[bool, str]:
-        """Predict+classify+update for one trace record."""
-        value &= MASK32
-        p = self.predictor
-        category = self.classify(pc)
-        correct = p.predict(pc) == value
-
-        # Shadow bookkeeping mirrors the real update: the level-2 entry
-        # indexed by the OLD history receives the new payload; the
-        # history then grows by one element.
-        l1_index = p.l1_index(pc)
-        l2_index = p.l2_index(pc)
-        old_history = tuple(e for _, e in self._shadow_l1[l1_index])
-        if self.differential:
-            stride = (value - p.last_value(pc)) & MASK32
-            element = stride
-            payload = p._store_stride(stride)
-        else:
-            element = value
-            payload = value
-        self._l2_history[l2_index] = old_history
-        self._l2_pc[l2_index] = pc
-        self._private[l1_index][l2_index] = payload
-        self._shadow_l1[l1_index].append((pc, element))
-
-        p.update(pc, value)
-        return correct, category
-
-    def run(self, records: Iterable[Tuple[int, int]]) -> AliasReport:
-        """Classify a whole (pc, value) stream; returns the report."""
-        report = AliasReport()
-        for pc, value in records:
-            correct, category = self.step(pc, value)
-            report.record(category, correct)
-        return report

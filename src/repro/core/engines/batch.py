@@ -134,6 +134,23 @@ class _Groups:
         return table
 
 
+class _NoopProbe:
+    """Disabled table-usage probe: kernels check one attribute and move
+    on.  The real collector (:class:`repro.telemetry.tables`) sets
+    ``enabled`` truthy and receives the per-record level-2 index
+    stream the kernels already computed."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def observe_l2(self, spec, slots) -> None:  # pragma: no cover
+        pass
+
+
+_NOOP_PROBE = _NoopProbe()
+
+
 class _KernelContext:
     """One run's shared arrays: the trace plus memoised decompositions.
 
@@ -143,13 +160,19 @@ class _KernelContext:
     paper's stride + DFCM configuration among them -- share one argsort
     and one sorted value array.  (A future family with a different
     key expression must widen the cache key accordingly.)
+
+    ``probe`` is the table-usage hook (default: the shared no-op
+    singleton, one attribute check per kernel run); the telemetry
+    auditor installs a collector to read kernel-internal index
+    streams without the kernels materialising anything extra.
     """
 
-    __slots__ = ("pcs", "values", "_pc_groups")
+    __slots__ = ("pcs", "values", "probe", "_pc_groups")
 
     def __init__(self, pcs: np.ndarray, values: np.ndarray):
         self.pcs = pcs
         self.values = values
+        self.probe = _NOOP_PROBE
         self._pc_groups = {}
 
     def pc_groups(self, entries: int):
@@ -506,6 +529,8 @@ def _run_fcm(spec, ctx, state=None, want_predicted=True):
     # is the index.  Since read and write hit the same slot, the level-2
     # read is again a prev-in-group, this time grouped by slot.
     slots = groups.unsort(_prev_in_group(state_after, groups.is_start, s0))
+    if ctx.probe.enabled:
+        ctx.probe.observe_l2(spec, slots)
     slot_groups = _Groups(slots, spec.l2_entries)
     l2_init, l2_base = _table_init(state, "l2", slot_groups)
     slot_values_sorted = ctx.values[slot_groups.order]
@@ -533,6 +558,8 @@ def _run_dfcm(spec, ctx, state=None, want_predicted=True):
                              hash_spec.index_bits, hash_spec.shift, h0_arr)
     stored = _store_strides(strides, spec.stride_bits)
     slots = groups.unsort(_prev_in_group(state_after, groups.is_start, h0))
+    if ctx.probe.enabled:
+        ctx.probe.observe_l2(spec, slots)
     slot_groups = _Groups(slots, spec.l2_entries)
     l2_init, l2_base = _table_init(state, "l2", slot_groups)
     stored_by_slot = groups.unsort(stored)[slot_groups.order]
@@ -646,5 +673,38 @@ class BatchEngine:
         # Counting needs no predicted-value array at all.
         _, correct, state = _KERNELS[spec.family](spec, ctx, None,
                                                   want_predicted=False)
+        self._maybe_probe_tables(spec, trace)
         return EngineResult(int(correct.sum()), total, self.name,
                             state if want_state else None)
+
+    @staticmethod
+    def _maybe_probe_tables(spec, trace) -> None:
+        """Sampled table-usage probe for an instrumented counting run.
+
+        With no active telemetry run this is one global lookup; with
+        one, the auditor replays a bounded prefix (probe_sample_limit
+        records) through these same kernels with the slot collector
+        installed and emits the ``table_usage`` event -- identical, by
+        the parity suite, to the scalar path's sample for this
+        (spec, trace) pair, which the shared once() key then skips.
+        """
+        from repro.telemetry import run as _run
+        run = _run.active_run()
+        if run is None:
+            return
+        from repro.telemetry.probes import probe_sample_limit
+        from repro.telemetry.tables import (AUDITED_FAMILIES,
+                                            TableUsageAuditor,
+                                            emit_table_usage)
+        limit = probe_sample_limit()
+        if limit == 0 or spec.family not in AUDITED_FAMILIES:
+            return
+        if not run.once(("table_usage", spec.name, trace.name)):
+            return
+        pcs = trace.pcs[:limit]
+        values = trace.values[:limit]
+        if not len(pcs):
+            return
+        auditor = TableUsageAuditor(spec, engine="batch")
+        auditor.update(pcs, values)
+        emit_table_usage(run, auditor.report(), trace.name)

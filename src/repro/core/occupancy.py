@@ -1,101 +1,12 @@
 """Level-2 occupancy by stride patterns (paper Figures 6 and 9).
 
-The paper measures how badly stride patterns crowd the (D)FCM level-2
-table: a value is declared *part of a stride pattern* "if a stride
-predictor can correctly predict it" (a 64 K-entry reference stride
-predictor in the paper); each time the (D)FCM is accessed to predict
-such a value, a counter attached to the level-2 entry being read is
-incremented.  Sorting the counters in descending order gives the curves
-of Figures 6 (FCM only) and 9 (FCM vs DFCM): the DFCM concentrates
-stride accesses on a handful of entries while the FCM spreads them over
-virtually the whole table.
+The measurement itself lives in :mod:`repro.telemetry.tables` with the
+rest of the table-usage accounting (see :class:`TableUsageAuditor`);
+this module re-exports the historical public API unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Tuple, Union
-
-from repro.core.dfcm import DFCMPredictor
-from repro.core.fcm import FCMPredictor
-from repro.core.stride import StridePredictor
-from repro.core.types import MASK32
+from repro.telemetry.tables import OccupancyResult, stride_occupancy
 
 __all__ = ["OccupancyResult", "stride_occupancy"]
-
-
-@dataclass
-class OccupancyResult:
-    """Sorted per-entry stride-access counts for one predictor."""
-
-    predictor_name: str
-    l2_entries: int
-    sorted_counts: List[int]  # descending; length == l2_entries
-    stride_accesses: int      # total accesses that were part of a stride
-    total_accesses: int
-
-    def entries_with_at_least(self, threshold: int) -> int:
-        """How many level-2 entries took >= *threshold* stride accesses.
-
-        The paper's headline numbers are of this form ("more than 100
-        entries are accessed more than 100 times", "582 entries more
-        than 1000 times").
-        """
-        count = 0
-        for accesses in self.sorted_counts:
-            if accesses < threshold:
-                break
-            count += 1
-        return count
-
-    def top_share(self, k: int) -> float:
-        """Fraction of all stride accesses landing on the top-*k* entries."""
-        if self.stride_accesses == 0:
-            return 0.0
-        return sum(self.sorted_counts[:k]) / self.stride_accesses
-
-
-def stride_occupancy(
-    predictor: Union[FCMPredictor, DFCMPredictor],
-    records: Iterable[Tuple[int, int]],
-    reference: StridePredictor | None = None,
-) -> OccupancyResult:
-    """Run *records* through *predictor*, counting stride accesses per
-    level-2 entry.
-
-    Parameters
-    ----------
-    predictor:
-        Fresh FCM or DFCM to instrument (it is trained as a side
-        effect).
-    records:
-        The (pc, value) stream.
-    reference:
-        The stride predictor defining "part of a stride pattern";
-        defaults to the paper's 64 K-entry table.
-    """
-    if not isinstance(predictor, (FCMPredictor, DFCMPredictor)):
-        raise TypeError(
-            "stride_occupancy instruments FCMPredictor or DFCMPredictor, "
-            f"got {type(predictor).__name__}")
-    if reference is None:
-        reference = StridePredictor(1 << 16)
-    counters = [0] * predictor.l2_entries
-    stride_accesses = 0
-    total = 0
-    for pc, value in records:
-        value &= MASK32
-        total += 1
-        if reference.predict(pc) == value:
-            counters[predictor.l2_index(pc)] += 1
-            stride_accesses += 1
-        reference.update(pc, value)
-        predictor.update(pc, value)
-    counters.sort(reverse=True)
-    return OccupancyResult(
-        predictor_name=predictor.name,
-        l2_entries=predictor.l2_entries,
-        sorted_counts=counters,
-        stride_accesses=stride_accesses,
-        total_accesses=total,
-    )

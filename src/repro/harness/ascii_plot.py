@@ -9,9 +9,10 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["render_series"]
+__all__ = ["render_series", "render_heatmap"]
 
 _MARKERS = "ox+*#@%&"
+_SHADES = " .:-=+*#%@"
 
 
 def render_series(series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
@@ -68,4 +69,41 @@ def render_series(series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
     lines.append(" " * 10 + x_left + " " * max(1, width - len(x_left)
                                                - len(x_right)) + x_right)
     lines.append("  " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def render_heatmap(rows: Dict[str, Sequence[float]],
+                   col_labels: Sequence[str], title: str = "",
+                   cell_width: int = 7) -> str:
+    """Named rows of values as a shaded intensity grid.
+
+    Every row must be as long as *col_labels*; intensity is normalised
+    over the whole grid (light = minimum, dark = maximum) so rows are
+    directly comparable -- the shape the paper's table-efficiency
+    argument needs.
+    """
+    for name, values in rows.items():
+        if len(values) != len(col_labels):
+            raise ValueError(f"row {name!r}: expected {len(col_labels)} "
+                             f"values, got {len(values)}")
+    flat = [float(v) for values in rows.values() for v in values]
+    if not flat:
+        return "(no data)"
+    low, high = min(flat), max(flat)
+    span = high - low or 1.0
+    label_width = max(len(name) for name in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" " * (label_width + 1)
+                 + "".join(f"{label:>{cell_width}}" for label in col_labels))
+    for name, values in rows.items():
+        cells = []
+        for value in values:
+            shade = _SHADES[min(len(_SHADES) - 1,
+                                int((float(value) - low) / span
+                                    * (len(_SHADES) - 1) + 0.5))]
+            cells.append(" " + shade * (cell_width - 1))
+        lines.append(f"{name:>{label_width}} " + "".join(cells))
+    lines.append(f"  scale: ' '={low:.4g} .. '@'={high:.4g}")
     return "\n".join(lines)

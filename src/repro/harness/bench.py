@@ -65,6 +65,21 @@ FAST_LIMIT = 20_000
 #: The benchmark whose trace anchors the single-trace family grid.
 ANCHOR_BENCHMARK = "li"
 
+#: Records of the anchor trace each family's table-usage audit samples
+#: (matches the default telemetry probe bound; keeps bench time flat).
+EFFICIENCY_SAMPLE = 8192
+
+
+def _table_efficiency(spec: PredictorSpec, trace: ValueTrace) -> float:
+    """Headline table efficiency (correct per live bit) of *spec* on a
+    sampled prefix of *trace* -- recorded next to rec/s so the history
+    tracks usage quality alongside speed."""
+    from repro.telemetry.tables import TableUsageAuditor
+    auditor = TableUsageAuditor(spec)
+    auditor.update(trace.pcs[:EFFICIENCY_SAMPLE],
+                   trace.values[:EFFICIENCY_SAMPLE])
+    return auditor.report()["efficiency"]
+
 
 def bench_specs() -> List[Tuple[str, PredictorSpec]]:
     """The reference grid: one spec per engine-supported family."""
@@ -147,6 +162,7 @@ def run_bench(traces: Optional[Sequence[ValueTrace]] = None,
             "scalar_records_per_sec": round(len(anchor) / scalar_s),
             "batch_records_per_sec": round(len(anchor) / batch_s),
             "speedup": round(scalar_s / batch_s, 3),
+            "table_efficiency": _table_efficiency(spec, anchor),
         })
 
     flagship = _flagship()
@@ -197,10 +213,14 @@ def render_bench(report: dict) -> str:
     rows = [[f["family"], f["predictor"],
              f"{f['scalar_records_per_sec']:,}",
              f"{f['batch_records_per_sec']:,}",
-             f"{f['speedup']:.2f}x"] for f in report["families"]]
+             f"{f['speedup']:.2f}x",
+             ("--" if f.get("table_efficiency") is None
+              else f"{f['table_efficiency']:.3g}")]
+            for f in report["families"]]
     anchor = report["anchor"]
     lines = [format_table(
-        ["family", "predictor", "scalar rec/s", "batch rec/s", "speedup"],
+        ["family", "predictor", "scalar rec/s", "batch rec/s", "speedup",
+         "eff (hits/bit)"],
         rows,
         title=(f"engine throughput on {anchor['benchmark']} "
                f"({anchor['records']} records, {report['mode']} mode)"))]
@@ -288,6 +308,7 @@ def history_entry(report: dict) -> dict:
                 "batch_records_per_sec": f["batch_records_per_sec"],
                 "scalar_records_per_sec": f["scalar_records_per_sec"],
                 "speedup": f["speedup"],
+                "table_efficiency": f.get("table_efficiency"),
             } for f in report["families"]},
         "suite_speedup": report["suite"]["speedup"],
     }
@@ -356,12 +377,22 @@ def diff_history(path: str = "BENCH_history.jsonl",
         is_regressed = delta_pct < -threshold
         if is_regressed:
             regressed.append(family)
+        # Table efficiency is reported, never gated: it moves with
+        # deliberate table-shape changes, and older records predate it
+        # (.get -> None renders as "--").
+        old_eff = base["families"][family].get("table_efficiency")
+        new_eff = head["families"][family].get("table_efficiency")
+        eff_delta = (round((new_eff - old_eff) / old_eff * 100.0, 2)
+                     if old_eff and new_eff is not None else None)
         families.append({
             "family": family,
             "base_records_per_sec": old,
             "head_records_per_sec": new,
             "delta_pct": round(delta_pct, 2),
             "regressed": is_regressed,
+            "base_table_efficiency": old_eff,
+            "head_table_efficiency": new_eff,
+            "efficiency_delta_pct": eff_delta,
         })
     return {
         "schema": HISTORY_SCHEMA,
@@ -391,10 +422,13 @@ def render_history_diff(diff: dict) -> str:
     rows = [[f["family"], f"{f['base_records_per_sec']:,}",
              f"{f['head_records_per_sec']:,}",
              f"{f['delta_pct']:+.2f}%",
+             ("--" if f.get("efficiency_delta_pct") is None
+              else f"{f['efficiency_delta_pct']:+.2f}%"),
              "REGRESSED" if f["regressed"] else "ok"]
             for f in diff["families"]]
     lines = [format_table(
-        ["family", "base rec/s", "head rec/s", "delta", "verdict"], rows,
+        ["family", "base rec/s", "head rec/s", "delta", "eff delta",
+         "verdict"], rows,
         title=(f"bench history diff: {_ident(diff['base'])} -> "
                f"{_ident(diff['head'])}"))]
     verdict = "PASS" if diff["passed"] else "FAIL"

@@ -33,10 +33,8 @@ import contextlib
 import math
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.core.aliasing import ALIAS_CATEGORIES, AliasingAnalyzer, AliasReport
 from repro.core.dfcm import DFCMPredictor
 from repro.core.fcm import FCMPredictor
-from repro.core.occupancy import stride_occupancy
 from repro.core.spec import (DFCMSpec, DelayedSpec, FCMSpec, HashSpec,
                              LastValueSpec, MetaHybridSpec, OracleHybridSpec,
                              StrideSpec)
@@ -46,6 +44,8 @@ from repro.harness.report import ExperimentResult, Table
 from repro.harness.simulate import measure_accuracy, measure_suite
 from repro.harness.sweep import SweepPoint, pareto_front, sweep
 from repro.telemetry.spans import span
+from repro.telemetry.tables import (ALIAS_CATEGORIES, AliasingAnalyzer,
+                                    AliasReport, stride_occupancy)
 from repro.trace.trace import ValueTrace
 
 __all__ = ["EXPERIMENTS", "run_experiment", "experiment_ids",

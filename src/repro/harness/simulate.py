@@ -196,9 +196,11 @@ def measure_cell(predictor_factory: PredictorLike, trace: ValueTrace,
         outcome = measure_accuracy(predictor, trace, engine)
         from repro.telemetry.probes import (probe_confidence,
                                             probe_context_tables,
-                                            probe_sample_limit)
+                                            probe_sample_limit,
+                                            probe_table_usage)
         if probe_sample_limit() > 0:
             probe_context_tables(predictor_factory, trace)
+            probe_table_usage(predictor_factory, trace)
             probe_confidence(predictor_factory, trace)
     return outcome
 

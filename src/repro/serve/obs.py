@@ -18,6 +18,10 @@ compete with the binary protocol for a listener.  Routes:
     rates plus live latency percentiles.
 ``/slow``
     The top-K slowest-request sample with per-stage span breakdowns.
+``/tables``
+    Live table-usage report: per-shard (and per-session) occupancy,
+    live bits, hits per live bit, and level-1 aliasing ratios from the
+    actual session table state.
 
 The implementation is deliberately minimal -- request line + headers
 in, one response out, connection closed -- because its only consumers
@@ -120,10 +124,13 @@ class ObservabilityServer:
             return _json(self.server.slo_report())
         if path == "/slow":
             return _json(self.server.slow_requests())
+        if path == "/tables":
+            return _json(self.server.tables_report())
         if path == "/":
             return _json({
                 "service": "repro-serve",
-                "endpoints": ["/metrics", "/healthz", "/slo", "/slow"],
+                "endpoints": ["/metrics", "/healthz", "/slo", "/slow",
+                              "/tables"],
             })
         return _text("404 Not Found", f"no route {path}\n")
 

@@ -150,6 +150,22 @@ class _ServeMetrics:
             labels=("slo",))
         self.healthy = reg.gauge(
             "repro_serve_healthy", "1 while no SLO alert fires, else 0.")
+        self.table_occupancy = reg.gauge(
+            "repro_serve_table_occupancy",
+            "Live (nonzero) fraction of session table storage, pooled "
+            "per shard.", labels=("shard",))
+        self.table_live_bits = reg.gauge(
+            "repro_serve_table_live_bits",
+            "Live table bits across a shard's open sessions.",
+            labels=("shard",))
+        self.table_efficiency = reg.gauge(
+            "repro_serve_table_efficiency",
+            "Served hits per live table bit, pooled per shard.",
+            labels=("shard",))
+        self.table_aliasing = reg.gauge(
+            "repro_serve_table_aliasing_ratio",
+            "Training accesses whose level-1 entry was last written by "
+            "a different pc, pooled per shard.", labels=("shard",))
 
 
 class _Shard:
@@ -214,6 +230,7 @@ class PredictionServer:
         self._obs = (ObservabilityServer(self, obs_host, obs_port)
                      if obs_port is not None else None)
         self._latencies: deque = deque(maxlen=4096)  # (t_done, seconds)
+        self._table_tick = 0
         self.records_served = 0
         self.hits_served = 0
         for shard in self.shards:
@@ -329,6 +346,13 @@ class PredictionServer:
                     self.monitor.record(slo.name, good=good, bad=1 - good,
                                         now=now)
         self._refresh_slo_state(now)
+        # Table gauges refresh on a slower multiple of the SLO cadence:
+        # snapshotting scalar-mode session state costs more than a
+        # counter read, and occupancy moves slowly.
+        self._table_tick += 1
+        if self._table_tick >= 4:
+            self._table_tick = 0
+            self.tables_report(include_sessions=False)
 
     def _refresh_slo_state(self, now: Optional[float] = None) -> List[dict]:
         """Evaluate burn rates, update gauges, and emit one telemetry
@@ -441,6 +465,72 @@ class PredictionServer:
     def slow_requests(self) -> dict:
         """The ``/slow`` body: top-K slowest completed requests."""
         return self.slow_sampler.snapshot()
+
+    def tables_report(self, include_sessions: bool = True) -> dict:
+        """The ``/tables`` body: live table usage per shard and pooled.
+
+        Walks every open session's actual table-state snapshot (see
+        :meth:`~repro.serve.session.Session.table_stats`), pools the
+        live-bit / hit / conflict counts per shard, and refreshes the
+        ``repro_serve_table_*`` gauges as a side effect -- the SLO loop
+        calls this periodically with ``include_sessions=False`` so the
+        gauges stay warm between scrapes.
+        """
+        shards_out = []
+        totals = {"sessions": 0, "live_bits": 0, "storage_bits": 0,
+                  "hits": 0, "alias_accesses": 0, "alias_conflicts": 0}
+        for shard in self.shards:
+            live_bits = storage_bits = hits = 0
+            accesses = conflicts = 0
+            sessions = []
+            for session in shard.sessions.values():
+                stats = session.table_stats()
+                live_bits += stats["live_bits"]
+                storage_bits += stats["storage_bits"]
+                hits += session.hits
+                alias = stats["aliasing"]
+                if alias is not None:
+                    accesses += alias["accesses"]
+                    conflicts += alias["conflicts"]
+                if include_sessions:
+                    sessions.append(stats)
+            occupancy = live_bits / storage_bits if storage_bits else 0.0
+            efficiency = hits / live_bits if live_bits else 0.0
+            ratio = conflicts / accesses if accesses else 0.0
+            label = str(shard.index)
+            self.metrics.table_occupancy.set(occupancy, shard=label)
+            self.metrics.table_live_bits.set(live_bits, shard=label)
+            self.metrics.table_efficiency.set(efficiency, shard=label)
+            self.metrics.table_aliasing.set(ratio, shard=label)
+            entry = {
+                "shard": shard.index,
+                "sessions_open": len(shard.sessions),
+                "live_bits": live_bits,
+                "storage_bits": storage_bits,
+                "occupancy": round(occupancy, 6),
+                "hits": hits,
+                "efficiency": round(efficiency, 9),
+                "aliasing_ratio": round(ratio, 6),
+            }
+            if include_sessions:
+                entry["sessions"] = sessions
+            shards_out.append(entry)
+            totals["sessions"] += len(shard.sessions)
+            totals["live_bits"] += live_bits
+            totals["storage_bits"] += storage_bits
+            totals["hits"] += hits
+            totals["alias_accesses"] += accesses
+            totals["alias_conflicts"] += conflicts
+        totals["occupancy"] = (
+            round(totals["live_bits"] / totals["storage_bits"], 6)
+            if totals["storage_bits"] else 0.0)
+        totals["efficiency"] = (
+            round(totals["hits"] / totals["live_bits"], 9)
+            if totals["live_bits"] else 0.0)
+        totals["aliasing_ratio"] = (
+            round(totals["alias_conflicts"] / totals["alias_accesses"], 6)
+            if totals["alias_accesses"] else 0.0)
+        return {"schema": 1, "shards": shards_out, "totals": totals}
 
     # -------------------------------------------------------- connections
 

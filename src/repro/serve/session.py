@@ -42,10 +42,71 @@ import numpy as np
 from repro.core.delayed import DelayedUpdatePredictor
 from repro.core.engines import initial_state, step_block, supports_resume
 from repro.core.spec import PredictorSpec
+from repro.telemetry.tables import level1_entries, table_stats_from_state
 
 __all__ = ["Session"]
 
 _MASK32 = 0xFFFFFFFF
+
+
+class _AliasTracker:
+    """Level-1 write-conflict bookkeeping for one live session.
+
+    Tracks, per pc-indexed level-1 entry, the last pc that trained it;
+    a training access whose entry was last written by a *different* pc
+    is a conflict.  This is the live-serving counterpart of the
+    offline :class:`~repro.telemetry.tables._LevelAudit` alias rate,
+    kept deliberately cheap: one carried int64 array plus a vectorised
+    pass per micro-batch, no per-record Python on the block path.
+    """
+
+    __slots__ = ("mask", "accesses", "conflicts", "_last_writer")
+
+    def __init__(self, entries: int):
+        self.mask = entries - 1
+        self.accesses = 0
+        self.conflicts = 0
+        self._last_writer = np.full(entries, -1, dtype=np.int64)
+
+    def observe(self, pc: int) -> None:
+        key = (pc >> 2) & self.mask
+        prev = self._last_writer[key]
+        self.accesses += 1
+        if prev >= 0 and prev != pc:
+            self.conflicts += 1
+        self._last_writer[key] = pc
+
+    def observe_block(self, pcs: np.ndarray) -> None:
+        n = len(pcs)
+        if not n:
+            return
+        keys = (pcs >> 2) & self.mask
+        order = np.argsort(keys, kind="stable")
+        ks = keys[order]
+        ps = pcs[order]
+        is_start = np.empty(n, dtype=bool)
+        is_start[0] = True
+        np.not_equal(ks[1:], ks[:-1], out=is_start[1:])
+        prev = np.empty(n, dtype=np.int64)
+        prev[1:] = ps[:-1]
+        prev[is_start] = self._last_writer[ks[is_start]]
+        self.accesses += n
+        self.conflicts += int(((prev >= 0) & (prev != ps)).sum())
+        is_last = np.empty(n, dtype=bool)
+        is_last[-1] = True
+        is_last[:-1] = is_start[1:]
+        self._last_writer[ks[is_last]] = ps[is_last]
+
+    @property
+    def ratio(self) -> float:
+        return self.conflicts / self.accesses if self.accesses else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "accesses": self.accesses,
+            "conflicts": self.conflicts,
+            "ratio": round(self.ratio, 6),
+        }
 
 
 class Session:
@@ -69,6 +130,8 @@ class Session:
         self.hits = 0
         self._issued: Dict[int, deque] = {}
         self._recent: deque = deque(maxlen=self.RECENT_WINDOW)
+        l1 = level1_entries(spec)
+        self._aliases = _AliasTracker(l1) if l1 else None
         if window == 0 and supports_resume(spec):
             self.mode = "engine"
             self._state = initial_state(spec)
@@ -116,6 +179,8 @@ class Session:
             self._recent.append(hit)
         else:
             hit = self.NO_PREDICTION
+        if self._aliases is not None:
+            self._aliases.observe(pc)
         if self.mode == "engine":
             # Updates never depend on the prediction, so stepping the
             # live state and discarding the predicted column applies
@@ -146,6 +211,8 @@ class Session:
                              f"{len(pcs)} vs {len(values)}")
         if not len(pcs):
             return [], 0
+        if self._aliases is not None:
+            self._aliases.observe_block(np.asarray(pcs, dtype=np.int64))
         if self.mode == "engine":
             block_pcs = np.asarray(pcs, dtype=np.int64)
             block_values = np.asarray(values, dtype=np.int64) & _MASK32
@@ -191,6 +258,30 @@ class Session:
         if not self._recent:
             return None
         return sum(self._recent) / len(self._recent)
+
+    def table_state(self) -> Dict[str, np.ndarray]:
+        """The live table-state snapshot, whichever mode holds it."""
+        if self.mode == "engine":
+            return self._state
+        inner = (self._predictor.inner
+                 if isinstance(self._predictor, DelayedUpdatePredictor)
+                 else self._predictor)
+        return self.spec.extract_state(inner)
+
+    def table_stats(self) -> dict:
+        """Live table-usage statistics for this session: per-table
+        liveness from the actual state arrays, served hits per live
+        bit, and the level-1 write-conflict (aliasing) counters."""
+        stats = table_stats_from_state(self.spec, self.table_state())
+        stats["session"] = self.session_id
+        stats["spec"] = self.spec.name
+        stats["family"] = self.spec.family
+        stats["hits"] = self.hits
+        stats["efficiency"] = (round(self.hits / stats["live_bits"], 9)
+                               if stats["live_bits"] else 0.0)
+        stats["aliasing"] = (self._aliases.snapshot()
+                             if self._aliases is not None else None)
+        return stats
 
     def stats(self) -> dict:
         return {

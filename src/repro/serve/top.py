@@ -4,8 +4,9 @@ Polls a running server's observability endpoint (``repro serve
 --obs-port``) and renders an ANSI dashboard: overall status, record
 throughput and hit-rate with sparklines, latency percentiles over the
 rolling window, per-shard queue depth and throughput, firing SLO
-alerts with burn rates, and the current slowest requests with their
-stage breakdowns.
+alerts with burn rates, live table usage (occupancy / efficiency /
+aliasing per shard, from ``/tables``), and the current slowest
+requests with their stage breakdowns.
 
 Rates are computed client-side from counter deltas between polls, so
 the server needs no extra bookkeeping for the dashboard.  ``--once``
@@ -95,7 +96,8 @@ def _fmt_rate(rate: Optional[float]) -> str:
 def render_dashboard(base_url: str, health: dict, slo: dict, slow: dict,
                      rates: Optional[dict] = None,
                      history: Optional[_History] = None,
-                     max_slow: int = 8) -> str:
+                     max_slow: int = 8,
+                     tables: Optional[dict] = None) -> str:
     """One full dashboard frame as text (no screen control codes)."""
     rates = rates or {}
     lines: List[str] = []
@@ -156,6 +158,25 @@ def render_dashboard(base_url: str, health: dict, slo: dict, slow: dict,
                          f"{s['threshold']:>9g}  {s['objective']:>9g}  "
                          f"{s['fast_burn']:>5g}  {s['slow_burn']:>5g}  "
                          f"{'YES' if s['alerting'] else 'no':>6}")
+    totals = (tables or {}).get("totals") or {}
+    if totals.get("storage_bits"):
+        lines.append("")
+        lines.append(
+            f"tables  occupancy {totals.get('occupancy', 0) * 100:.1f}%   "
+            f"live {totals.get('live_bits', 0):,} / "
+            f"{totals.get('storage_bits', 0):,} bits   "
+            f"efficiency {totals.get('efficiency', 0):.3g} hits/bit   "
+            f"aliasing {totals.get('aliasing_ratio', 0) * 100:.1f}%")
+        lines.append("  shard  sessions   live bits  occupancy  "
+                     "efficiency  aliasing")
+        for shard in tables.get("shards", []):
+            lines.append(
+                f"  {shard.get('shard', '?'):>5}  "
+                f"{shard.get('sessions_open', 0):>8}  "
+                f"{shard.get('live_bits', 0):>10,}  "
+                f"{shard.get('occupancy', 0) * 100:>8.1f}%  "
+                f"{shard.get('efficiency', 0):>10.3g}  "
+                f"{shard.get('aliasing_ratio', 0) * 100:>7.1f}%")
     slowest = (slow.get("slowest") or [])[:max_slow]
     if slowest:
         lines.append("")
@@ -198,9 +219,15 @@ def run_top(base_url: str, interval: float = 1.0,
                     json.JSONDecodeError) as exc:
                 out.write(f"error: cannot poll {base_url}: {exc}\n")
                 return 1
+            try:
+                tables = fetch_json(base_url, "/tables", timeout)
+            except (urllib.error.URLError, ConnectionError, OSError,
+                    json.JSONDecodeError):
+                tables = None  # older server without the route
             rates = history.update(health, slo)
             frame = render_dashboard(base_url, health, slo, slow,
-                                     rates=rates, history=history)
+                                     rates=rates, history=history,
+                                     tables=tables)
             if once:
                 out.write(frame)
                 return 0

@@ -1,17 +1,25 @@
 """Domain probes: predictor and VM instrumentation behind the registry.
 
-Probes translate the repo's existing measurement machinery --
-:func:`repro.core.occupancy.stride_occupancy`, the
-:class:`repro.core.aliasing.AliasingAnalyzer`, the confidence
+Probes translate the repo's existing measurement machinery -- the
+table-usage accounting of :mod:`repro.telemetry.tables`
+(:func:`~repro.telemetry.tables.stride_occupancy`, the
+:class:`~repro.telemetry.tables.AliasingAnalyzer`, the
+:class:`~repro.telemetry.tables.TableUsageAuditor`), the confidence
 estimators of :mod:`repro.core.estimator`, the VM's sampling profile --
 into registry metrics plus one ``probe`` event per sample in the run's
 JSONL log.
 
 Every probe is a no-op unless a telemetry run is active, and the
-heavyweight ones (occupancy, aliasing, confidence replay a *fresh*
-predictor over the trace) are bounded to a prefix of
+heavyweight ones (occupancy, aliasing, table usage, confidence replay
+a *fresh* predictor over the trace) are bounded to a prefix of
 :func:`probe_sample_limit` records so enabling telemetry scales the
 run's cost by a constant factor, not by the sweep size squared.
+
+The ``table_usage`` event is emitted once per (spec, trace) pair by
+whichever path measures first: :meth:`BatchEngine.run` publishes it
+from the vectorised kernels, :func:`probe_table_usage` from a scalar
+replay; they share the run's once() key and -- by the parity suite --
+the exact payload, so scalar and batch runs log identical samples.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ from repro.telemetry.registry import registry
 
 __all__ = [
     "probe_sample_limit", "record_accuracy", "probe_context_tables",
-    "probe_confidence", "record_vm_profile",
+    "probe_table_usage", "probe_confidence", "record_vm_profile",
 ]
 
 _DEFAULT_SAMPLE_LIMIT = 8192
@@ -74,9 +82,9 @@ def probe_context_tables(predictor_factory: Callable, trace) -> None:
     """Occupancy + aliasing sample for a context predictor on *trace*.
 
     Replays a bounded prefix through fresh instances using the
-    existing :mod:`~repro.core.occupancy` / :mod:`~repro.core.aliasing`
-    machinery; records registry gauges and one ``probe`` event each.
-    Non-context predictors (no level-2 table) are skipped silently.
+    table-usage machinery of :mod:`~repro.telemetry.tables`; records
+    registry gauges and one ``probe`` event each.  Non-context
+    predictors (no level-2 table) are skipped silently.
     """
     run = _run.active_run()
     if run is None:
@@ -88,10 +96,10 @@ def probe_context_tables(predictor_factory: Callable, trace) -> None:
     if (isinstance(predictor_factory, PredictorSpec)
             and predictor_factory.family not in ("fcm", "dfcm")):
         return  # spec says non-context: skip without building an instance
-    from repro.core.aliasing import ALIAS_CATEGORIES, AliasingAnalyzer
     from repro.core.dfcm import DFCMPredictor
     from repro.core.fcm import FCMPredictor
-    from repro.core.occupancy import stride_occupancy
+    from repro.telemetry.tables import (ALIAS_CATEGORIES, AliasingAnalyzer,
+                                        stride_occupancy)
     probe = predictor_factory()
     if not isinstance(probe, (FCMPredictor, DFCMPredictor)):
         return
@@ -147,6 +155,41 @@ def probe_context_tables(predictor_factory: Callable, trace) -> None:
         "fractions": fractions,
         "accuracy": round(report.overall_accuracy(), 6),
     })
+
+
+def probe_table_usage(predictor_factory: Callable, trace) -> None:
+    """Table-usage sample via a *scalar* auditor replay.
+
+    The scalar-path counterpart of the batch engine's kernel-side
+    probe: when the batch engine already published this (spec, trace)
+    sample the shared once() key makes this a no-op; otherwise a
+    bounded prefix replays through a fresh predictor instance and the
+    identical ``table_usage`` event is emitted.
+    """
+    run = _run.active_run()
+    if run is None:
+        return
+    limit = probe_sample_limit()
+    if limit == 0:
+        return
+    from repro.core.spec import PredictorSpec, spec_of
+    from repro.telemetry.tables import (AUDITED_FAMILIES, TableUsageAuditor,
+                                        emit_table_usage)
+    if isinstance(predictor_factory, PredictorSpec):
+        spec = predictor_factory
+    else:
+        spec = spec_of(predictor_factory())
+    if spec is None or spec.family not in AUDITED_FAMILIES:
+        return
+    if not run.once(("table_usage", spec.name, trace.name)):
+        return
+    pcs = trace.pcs[:limit]
+    values = trace.values[:limit]
+    if not len(pcs):
+        return
+    auditor = TableUsageAuditor(spec, engine="scalar")
+    auditor.update(pcs, values)
+    emit_table_usage(run, auditor.report(), trace.name)
 
 
 def probe_confidence(predictor_factory: Callable, trace) -> None:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.harness.ascii_plot import render_series
+from repro.harness.ascii_plot import render_heatmap, render_series
 
 
 class TestRenderSeries:
@@ -42,3 +42,34 @@ class TestRenderSeries:
     def test_constant_series_does_not_crash(self):
         text = render_series({"s": ([1, 2, 3], [5, 5, 5])})
         assert "o" in text
+
+
+class TestRenderHeatmap:
+    def test_extremes_get_lightest_and_darkest_shades(self):
+        text = render_heatmap({"low": [0.0, 0.0], "high": [1.0, 1.0]},
+                              ["a", "b"], cell_width=5)
+        low_line = next(l for l in text.splitlines()
+                        if l.startswith(" low"))
+        high_line = next(l for l in text.splitlines()
+                         if l.startswith("high"))
+        assert "@" * 4 in high_line and "@" not in low_line
+        assert low_line.split("low", 1)[1].strip() == ""
+
+    def test_column_labels_and_scale_line(self):
+        text = render_heatmap({"r": [1.0, 2.0, 3.0]}, ["64K", "128K", "256K"],
+                              title="occupancy")
+        lines = text.splitlines()
+        assert lines[0] == "occupancy"
+        assert "64K" in lines[1] and "256K" in lines[1]
+        assert lines[-1] == "  scale: ' '=1 .. '@'=3"
+
+    def test_mismatched_row_length_rejected(self):
+        with pytest.raises(ValueError, match="expected 2 values"):
+            render_heatmap({"r": [1.0]}, ["a", "b"])
+
+    def test_empty_grid(self):
+        assert render_heatmap({}, []) == "(no data)"
+
+    def test_constant_grid_does_not_crash(self):
+        text = render_heatmap({"r": [5.0, 5.0]}, ["a", "b"])
+        assert "scale:" in text

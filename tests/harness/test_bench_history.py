@@ -10,20 +10,24 @@ from repro.harness.bench import (MAX_REGRESSION_PCT, append_history,
                                  resolve_max_regression_pct)
 
 
-def make_report(batch=100_000, scalar=10_000, family="dfcm"):
+def make_report(batch=100_000, scalar=10_000, family="dfcm",
+                efficiency=None):
     """The slice of a run_bench report that history cares about."""
+    entry = {
+        "family": family,
+        "predictor": f"{family}_x",
+        "batch_records_per_sec": batch,
+        "scalar_records_per_sec": scalar,
+        "speedup": round(batch / scalar, 2),
+    }
+    if efficiency is not None:
+        entry["table_efficiency"] = efficiency
     return {
         "mode": "python",
         "anchor": {"benchmark": "synth", "records": 5000},
         "python": "3.11.0",
         "machine": "x86_64",
-        "families": [{
-            "family": family,
-            "predictor": f"{family}_x",
-            "batch_records_per_sec": batch,
-            "scalar_records_per_sec": scalar,
-            "speedup": round(batch / scalar, 2),
-        }],
+        "families": [entry],
         "suite": {"speedup": 9.5},
     }
 
@@ -155,6 +159,38 @@ class TestDiffGate:
         with pytest.raises(ValueError, match="not in the previous record: "
                                              "stride"):
             diff_history(path)
+
+    def test_efficiency_is_reported_but_never_gates(self, tmp_path):
+        # A 50% efficiency collapse with steady throughput still passes:
+        # efficiency moves with deliberate table-shape changes.
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(make_report(efficiency=2.0), str(path))
+        append_history(make_report(efficiency=1.0), str(path))
+        diff = diff_history(str(path))
+        assert diff["passed"] is True
+        (family,) = diff["families"]
+        assert family["base_table_efficiency"] == 2.0
+        assert family["head_table_efficiency"] == 1.0
+        assert family["efficiency_delta_pct"] == -50.0
+        assert not family["regressed"]
+        text = render_history_diff(diff)
+        assert "-50.00%" in text and "PASS" in text
+
+    def test_old_records_without_efficiency_render_as_dash(self, tmp_path):
+        # Records written before the efficiency column predate the
+        # field; the diff degrades to "--" instead of crashing.
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history(make_report(), str(path))
+        append_history(make_report(efficiency=1.5), str(path))
+        diff = diff_history(str(path))
+        (family,) = diff["families"]
+        assert family["base_table_efficiency"] is None
+        assert family["efficiency_delta_pct"] is None
+        assert "--" in render_history_diff(diff)
+
+    def test_history_entry_carries_efficiency(self):
+        entry = history_entry(make_report(efficiency=0.25))
+        assert entry["families"]["dfcm"]["table_efficiency"] == 0.25
 
     def test_render_mentions_verdict(self, tmp_path):
         path = append(tmp_path, 100_000)

@@ -9,7 +9,12 @@ the ratio.
 
 import time
 
+import numpy as np
+
 from repro.core.dfcm import DFCMPredictor
+from repro.core.engines.batch import (_KERNELS, _NOOP_PROBE, BatchEngine,
+                                      _KernelContext)
+from repro.core.spec import DFCMSpec
 from repro.harness.simulate import measure_accuracy
 from repro.telemetry.run import enabled
 from repro.telemetry.spans import NOOP_SPAN, span
@@ -71,6 +76,56 @@ def test_disabled_measure_accuracy_within_5_percent():
         f"disabled-telemetry measure_accuracy is {ratio:.3f}x the "
         f"uninstrumented baseline ({instrumented_best:.4f}s vs "
         f"{baseline_best:.4f}s); the 5% overhead budget is blown")
+
+
+def test_disabled_batch_probe_within_5_percent():
+    """The batch-path guard: with no telemetry run active, a full
+    BatchEngine counting run (kernel probe attribute check + the
+    table-usage gating in ``run()``) must be within 5% of a bare
+    kernel invocation -- the pre-probe hot path."""
+    assert not enabled()
+    spec = DFCMSpec(1 << 10, 1 << 10)
+    trace = build_trace()
+
+    def bare_kernel():
+        # run() verbatim, minus _maybe_probe_tables: the dtype
+        # conversions belong to the pre-probe hot path as well.
+        ctx = _KernelContext(trace.pcs.astype(np.int64),
+                             trace.values.astype(np.int64))
+        _, correct, _ = _KERNELS[spec.family](spec, ctx, None,
+                                              want_predicted=False)
+        return int(correct.sum())
+
+    engine = BatchEngine()
+    expected = bare_kernel()
+    engine.run(spec, trace)  # warm caches once per path
+
+    baseline_best = instrumented_best = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        assert bare_kernel() == expected
+        baseline_best = min(baseline_best, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        result = engine.run(spec, trace)
+        instrumented_best = min(instrumented_best,
+                                time.perf_counter() - start)
+        assert result.correct == expected
+
+    ratio = instrumented_best / baseline_best
+    assert ratio <= 1.05, (
+        f"disabled-probe batch run is {ratio:.3f}x the bare kernel "
+        f"({instrumented_best:.4f}s vs {baseline_best:.4f}s); the 5% "
+        f"overhead budget is blown")
+
+
+def test_disabled_batch_probe_is_shared_noop_singleton():
+    # Kernels check one attribute on a process-wide singleton; nothing
+    # is allocated per run when telemetry is off.
+    contexts = [_KernelContext(np.array([1]), np.array([2]))
+                for _ in range(20)]
+    assert {id(ctx.probe) for ctx in contexts} == {id(_NOOP_PROBE)}
+    assert not _NOOP_PROBE.enabled
 
 
 def test_disabled_span_is_allocation_free():

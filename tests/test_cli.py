@@ -121,6 +121,42 @@ class TestBenchCommand:
         assert json.loads(text)["guard"]["min_speedup"] == 0.25
 
 
+class TestTablesCommand:
+    def test_human_report_with_verdict(self):
+        code, text = run_cli("tables", "li", "--limit", "3000",
+                             "--budgets", "32,64",
+                             "--families", "fcm,dfcm")
+        assert code == 0
+        assert "table usage on li" in text
+        assert "efficiency (correct per live bit)" in text
+        assert "DFCM" in text  # verdict line, either direction
+
+    def test_json_report(self, tmp_path):
+        path = tmp_path / "tables.json"
+        code, text = run_cli("tables", "li", "--limit", "3000",
+                             "--budgets", "32", "--families", "fcm,dfcm",
+                             "--json", "--out", str(path))
+        assert code == 0
+        report = json.loads(text)
+        assert report["schema"] == 1
+        assert report["command"] == "tables"
+        assert report["dfcm_beats_fcm"] in (True, False)
+        assert json.loads(path.read_text()) == report
+
+    def test_scalar_engine_flag(self):
+        code, text = run_cli("tables", "li", "--limit", "1000",
+                             "--budgets", "32", "--families", "lvp",
+                             "--json")
+        assert code == 0
+        code_s, text_s = run_cli("tables", "li", "--limit", "1000",
+                                 "--budgets", "32", "--families", "lvp",
+                                 "--engine", "scalar", "--json")
+        assert code_s == 0
+        batch = json.loads(text)["cells"][0]
+        scalar = json.loads(text_s)["cells"][0]
+        assert batch["efficiency"] == scalar["efficiency"]
+
+
 class TestJsonSchema:
     """Every --json payload carries a schema integer (satellite 3)."""
 
