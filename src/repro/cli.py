@@ -15,9 +15,13 @@ Commands
 - ``exec FILE`` — compile and execute a MinC source file on the VM.
 - ``disasm NAME`` — disassemble a workload's compiled text segment.
 - ``cache ls|verify|clear|warm`` — inspect and manage the trace cache.
+- ``state ls|verify|compact`` — inspect and manage durable session
+  arenas written by ``serve --state-dir`` (see docs/state.md).
 - ``telemetry summary|export|tail`` — inspect recorded telemetry runs.
 - ``serve`` — run the online prediction server (graceful SIGTERM drain;
-  ``--obs-port`` adds the HTTP /metrics /healthz /slo /slow endpoint).
+  ``--obs-port`` adds the HTTP /metrics /healthz /slo /slow endpoint;
+  ``--state-dir`` spills session table state to durable arenas,
+  ``--max-resident`` adds LRU eviction on top).
 - ``loadgen NAME`` — replay a trace against a server, report throughput
   and latency percentiles, verify accuracy against the offline engine.
 - ``top URL|PORT`` — live dashboard over a server's obs endpoint
@@ -59,6 +63,12 @@ def default_telemetry_dir() -> str:
     """Where ``repro telemetry`` looks for runs
     (``REPRO_TELEMETRY_DIR``, default ``.telemetry``)."""
     return os.environ.get("REPRO_TELEMETRY_DIR", ".telemetry")
+
+
+def default_state_dir() -> str:
+    """Where ``repro state`` looks for session arenas
+    (``REPRO_STATE_DIR``, default ``.state``)."""
+    return os.environ.get("REPRO_STATE_DIR", ".state")
 
 
 def _maybe_telemetry(args):
@@ -232,6 +242,27 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="cache directory (default "
                                      ".trace_cache / REPRO_TRACE_CACHE)")
 
+    state = sub.add_parser(
+        "state", help="inspect/manage durable session arenas "
+                      "(written by serve --state-dir)")
+    state_sub = state.add_subparsers(dest="state_command", required=True)
+    state_ls = state_sub.add_parser("ls", help="list session arenas")
+    state_verify = state_sub.add_parser(
+        "verify", help="integrity-check arenas (exit 1 on defects); "
+                       "pass a file path to check just that arena")
+    state_verify.add_argument("path", nargs="?", default=None,
+                              help="one arena file to check (default: "
+                                   "sweep the whole directory)")
+    state_compact = state_sub.add_parser(
+        "compact", help="remove tmp/quarantine litter and arenas that "
+                        "no longer verify")
+    for sub_parser in (state_ls, state_verify, state_compact):
+        sub_parser.add_argument("--dir", default=None,
+                                help="state directory (default "
+                                     ".state / REPRO_STATE_DIR)")
+        sub_parser.add_argument("--json", action="store_true",
+                                help="machine-readable JSON output")
+
     telemetry = sub.add_parser("telemetry",
                                help="inspect recorded telemetry runs")
     telemetry_sub = telemetry.add_subparsers(dest="telemetry_command",
@@ -291,6 +322,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--uvloop", action="store_true",
                        help="run the event loop on uvloop when installed "
                             "(automatically falls back to asyncio)")
+    serve.add_argument("--state-dir", default=None,
+                       help="durable session state: spill/restore "
+                            "per-session table arenas under this "
+                            "directory (default: in-memory only)")
+    serve.add_argument("--max-resident", type=int, default=None,
+                       help="LRU-evict spillable sessions to the state "
+                            "directory beyond this many resident "
+                            "sessions (needs --state-dir; default: "
+                            "spill only on drain)")
     serve.add_argument("--json", action="store_true",
                        help="print listening/drained lines as JSON")
 
@@ -614,6 +654,122 @@ def _cmd_cache(args, out) -> int:
     return 0
 
 
+def _cmd_state(args, out) -> int:
+    from pathlib import Path
+
+    from repro.core.state import (STATE_VERSION, ArenaStore, arena_info,
+                                  verify_arena)
+    from repro.harness.report import format_table
+
+    if getattr(args, "path", None):
+        # Single-file verify: no store needed, no directory side effects.
+        path = Path(args.path)
+        if not path.exists():
+            raise ValueError(f"{path}: no such arena file")
+        if path.stat().st_size == 0:
+            raise ValueError(f"{path}: empty arena file")
+        reason = verify_arena(path)
+        if reason is not None:
+            if args.json:
+                out.write(json.dumps({"schema": 1, "path": str(path),
+                                      "ok": False, "reason": reason},
+                                     sort_keys=True) + "\n")
+            else:
+                out.write(f"BAD  {path}: {reason}\n")
+            return 1
+        info = arena_info(path)
+        stale = info.state_version != STATE_VERSION
+        if args.json:
+            out.write(json.dumps({
+                "schema": 1, "path": str(path), "ok": True,
+                "stale": stale, "state_version": info.state_version,
+                "spec": info.spec_name, "arrays": info.arrays,
+                "bytes": info.nbytes}, sort_keys=True) + "\n")
+        else:
+            note = (f" (STALE: state v{info.state_version}, this build "
+                    f"speaks v{STATE_VERSION})" if stale else "")
+            out.write(f"OK   {path}: {info.spec_name or '?'}, "
+                      f"{info.arrays} arrays, {info.nbytes} bytes{note}\n")
+        return 0
+
+    directory = Path(args.dir) if args.dir else Path(default_state_dir())
+    if not directory.is_dir():
+        raise ValueError(
+            f"{directory}: no state directory (start a server with "
+            f"'repro serve --state-dir {directory}' to create one)")
+    store = ArenaStore(directory)
+
+    if args.state_command == "ls":
+        infos = store.infos()
+        if args.json:
+            out.write(json.dumps({
+                "schema": 1,
+                "directory": str(directory),
+                "state_version": STATE_VERSION,
+                "arenas": [{
+                    "session": store.session_id_of(info.path),
+                    "spec": info.spec_name,
+                    "state_version": info.state_version,
+                    "arrays": info.arrays,
+                    "bytes": info.nbytes,
+                    "predictions": info.meta.get("predictions"),
+                    "hits": info.meta.get("hits"),
+                    "file": info.path.name,
+                } for info in infos],
+            }, sort_keys=True) + "\n")
+            return 0
+        rows = [[str(store.session_id_of(info.path)),
+                 info.spec_name or "?",
+                 f"v{info.state_version}",
+                 str(info.arrays),
+                 str(info.nbytes),
+                 str(info.meta.get("predictions", "?")),
+                 info.path.name] for info in infos]
+        out.write(format_table(
+            ["session", "spec", "state", "arrays", "bytes",
+             "steps", "file"], rows,
+            title=f"{directory} ({len(infos)} arenas)") + "\n")
+        return 0
+
+    if args.state_command == "verify":
+        result = store.verify()
+        if args.json:
+            out.write(json.dumps({
+                "schema": 1,
+                "directory": str(directory),
+                "checked": result["checked"],
+                "defects": [{"file": path.name, "reason": reason}
+                            for path, reason in result["defects"]],
+                "stale": [{"file": path.name, "state_version": version}
+                          for path, version in result["stale"]],
+            }, sort_keys=True) + "\n")
+            return 1 if result["defects"] else 0
+        for path, reason in result["defects"]:
+            out.write(f"BAD    {path.name}: {reason}\n")
+        for path, version in result["stale"]:
+            out.write(f"STALE  {path.name}: state v{version} "
+                      f"(this build speaks v{STATE_VERSION})\n")
+        out.write(f"checked {result['checked']} arenas, "
+                  f"{len(result['defects'])} defective, "
+                  f"{len(result['stale'])} stale\n")
+        return 1 if result["defects"] else 0
+
+    # compact
+    result = store.compact()
+    if args.json:
+        out.write(json.dumps(dict(result, schema=1,
+                                  directory=str(directory)),
+                             sort_keys=True) + "\n")
+        return 0
+    removed = result["removed"]
+    out.write(f"removed {removed['tmp']} tmp, {removed['corrupt']} "
+              f"quarantined, {removed['defective']} defective "
+              f"({result['reclaimed_bytes']} bytes reclaimed); "
+              f"kept {result['kept']} arenas "
+              f"({result['kept_bytes']} bytes)\n")
+    return 0
+
+
 def _cmd_telemetry(args, out) -> int:
     from repro.telemetry.export import (find_run, prometheus_text,
                                         read_events, summary_text,
@@ -667,12 +823,20 @@ def _cmd_serve(args, out) -> int:
             max_batch=args.max_batch, max_delay=args.max_delay_ms / 1e3,
             queue_depth=args.queue_depth,
             request_timeout=args.request_timeout_s,
-            obs_port=args.obs_port, slos=slos)
+            obs_port=args.obs_port, slos=slos,
+            state_dir=args.state_dir, max_resident=args.max_resident)
         await server.start()
         obs_note = (f", obs http://{args.host}:{server.obs_port}"
                     if server.obs_port is not None else "")
+        if args.state_dir:
+            obs_note += (f", state {args.state_dir} "
+                         f"({server.server_stats()['sessions_spilled']} "
+                         f"spilled session(s) adopted)")
         emit({"event": "listening", "host": args.host, "port": server.port,
               "obs_port": server.obs_port, "shards": args.shards,
+              "state_dir": args.state_dir,
+              "sessions_spilled": (server.server_stats()["sessions_spilled"]
+                                   if args.state_dir else 0),
               "loop": loop_flavor},
              f"listening on {args.host}:{server.port} "
              f"({args.shards} shards, batch<={args.max_batch}, "
@@ -775,6 +939,7 @@ _COMMANDS = {
     "exec": _cmd_exec,
     "disasm": _cmd_disasm,
     "cache": _cmd_cache,
+    "state": _cmd_state,
     "telemetry": _cmd_telemetry,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
@@ -793,6 +958,7 @@ def _expected_error_types() -> tuple:
     timeouts) are listed -- a stray KeyError or OSError from a genuine
     bug still produces a traceback.
     """
+    from repro.core.state import ArenaError
     from repro.harness.experiments import UnknownExperimentError
     from repro.serve.client import ServeError
     from repro.serve.protocol import ProtocolError
@@ -800,7 +966,7 @@ def _expected_error_types() -> tuple:
     from repro.workloads.registry import UnknownWorkloadError
     return (ValueError, FileNotFoundError, IsADirectoryError,
             PermissionError, ConnectionError, TimeoutError,
-            TraceCacheError, ProtocolError, ServeError,
+            TraceCacheError, ProtocolError, ServeError, ArenaError,
             UnknownWorkloadError, UnknownExperimentError)
 
 

@@ -31,6 +31,14 @@ Supported families: last_value, stride, stride2d, fcm, dfcm (the
 latter two with the paper's FS hash, same restriction as
 :meth:`BatchEngine.supports`).  Hybrids, meta predictors and delayed
 wrappers keep their stateful scalar objects in the serving layer.
+
+The kernels never write into the input state dict (warm tables are
+fancy-index *copies*; final tables are rebuilt fresh), so *state* may
+be a read-only view -- in particular the zero-copy mmap views handed
+out by :func:`repro.core.state.open_arena`.  That is the contract the
+durable-state layer stands on: a spilled session is re-seated straight
+onto its arena's mapped arrays, no payload copy, and the next
+``step_block`` is bit-identical.
 """
 
 from __future__ import annotations
@@ -41,11 +49,20 @@ import numpy as np
 
 from repro.core.engines.batch import _KERNELS, _KernelContext
 
-__all__ = ["RESUMABLE_FAMILIES", "supports_resume", "initial_state",
-           "step_block"]
+__all__ = ["RESUMABLE_FAMILIES", "NON_RESUMABLE_FAMILIES",
+           "supports_resume", "initial_state", "step_block"]
 
 #: Families whose batch kernel accepts a warm-start state.
 RESUMABLE_FAMILIES = ("last_value", "stride", "stride2d", "fcm", "dfcm")
+
+#: Families that deliberately stay on stateful scalar objects in the
+#: serving layer (composite or measurement-only predictors with no
+#: canonical table snapshot).  Every registered spec family must appear
+#: in exactly one of these two tuples -- ``tests/engines/test_resume.py``
+#: asserts the partition against the full spec registry, so a newly
+#: added family cannot silently fall into the slow non-resumable path.
+NON_RESUMABLE_FAMILIES = ("last_n", "oracle_hybrid", "meta_hybrid",
+                          "delayed")
 
 State = Dict[str, np.ndarray]
 

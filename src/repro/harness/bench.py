@@ -324,9 +324,19 @@ def append_history(report: dict, path: str = "BENCH_history.jsonl") -> dict:
 
 
 def read_history(path: str = "BENCH_history.jsonl") -> List[dict]:
-    """All history records, oldest first (blank lines skipped)."""
+    """All history records, oldest first (blank lines skipped).
+
+    A missing history file is a user/setup error, not a bug: it raises
+    :class:`ValueError` naming the path (the CLI turns that into an
+    ``error: <path>: ...`` line and exit 1)."""
     entries = []
-    with open(path) as handle:
+    try:
+        handle = open(path)
+    except FileNotFoundError:
+        raise ValueError(
+            f"{path}: no bench history (run 'repro bench --history' "
+            f"to create it)") from None
+    with handle:
         for line in handle:
             line = line.strip()
             if line:
@@ -351,7 +361,7 @@ def diff_history(path: str = "BENCH_history.jsonl",
     entries = read_history(path)
     if len(entries) < 2:
         raise ValueError(
-            f"need at least 2 history records in {path} to diff, "
+            f"{path}: need at least 2 history records to diff, "
             f"found {len(entries)} (run 'repro bench --history' twice)")
     base, head = entries[-2], entries[-1]
     only_base = sorted(set(base["families"]) - set(head["families"]))

@@ -126,14 +126,31 @@ class MicroBatcher:
                 item.trace.t_dequeue = now
         return batch
 
-    def execute(self, batch: List[WorkItem], sessions: Dict[int, object]) -> None:
+    def execute(self, batch: List[WorkItem], sessions) -> None:
         """Run a micro-batch against *sessions*, resolving every future.
+
+        *sessions* is either a plain ``{session_id: Session}`` dict or
+        a resolver callable ``session_id -> Session | None`` -- the
+        server passes a resolver that transparently reloads spilled
+        sessions from the arena store, so an evicted session's next
+        request looks exactly like a resident one.  A resolver
+        exception (corrupt arena, state-version mismatch) lands on that
+        session's futures and the rest of the batch proceeds: resolver
+        failures must reach the client as ERROR responses, never kill
+        the shard worker.
 
         Synchronous on purpose: one batch is one scheduling unit of the
         shard worker, and nothing inside it awaits.
         """
+        resolve = sessions.get if hasattr(sessions, "get") else sessions
         for session_id, items in self._by_session(batch).items():
-            session = sessions.get(session_id)
+            try:
+                session = resolve(session_id)
+            except Exception as exc:  # noqa: BLE001 - must reach the client
+                for item in items:
+                    if not item.future.cancelled():
+                        item.future.set_exception(exc)
+                continue
             for fused in self._fuse_runs(items):
                 self._execute_fused(fused, session)
 

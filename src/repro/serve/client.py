@@ -201,3 +201,12 @@ class ServeClient:
         frame = self.request(protocol.FrameType.CLOSE_SESSION,
                              protocol.encode_session_op(session))
         return protocol.decode_json_body(frame.body)
+
+    def snapshot(self, session: int) -> dict:
+        """Checkpoint the session's tables to its arena (durability
+        barrier): returns the snapshot report.  The session stays
+        resident and keeps serving; requires the server to run with a
+        state directory."""
+        frame = self.request(protocol.FrameType.SNAPSHOT,
+                             protocol.encode_session_op(session))
+        return protocol.decode_json_body(frame.body)

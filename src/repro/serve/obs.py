@@ -11,8 +11,13 @@ compete with the binary protocol for a listener.  Routes:
 ``/healthz``
     JSON liveness: overall status (``ok`` / ``degraded`` /
     ``draining``), per-shard queue depth and session counts, firing
-    SLO alerts.  Always HTTP 200 -- health is in the body's
-    ``status`` field so scripted probes can parse one shape.
+    SLO alerts.  Servers running with ``--state-dir`` additionally
+    report the durable-state gauges (``sessions_resident`` /
+    ``sessions_spilled``) and counters (``evictions_total``,
+    ``reloads_total``, ``snapshots_total``) plus per-shard
+    ``spilled`` / ``evictions`` / ``reloads``.  Always HTTP 200 --
+    health is in the body's ``status`` field so scripted probes can
+    parse one shape.
 ``/slo``
     JSON burn-rate report: every objective with fast/slow window burn
     rates plus live latency percentiles.

@@ -37,6 +37,7 @@ Request bodies::
     FLUSH          u64 session
     STATS          u64 session (0 = server-wide)
     CLOSE_SESSION  u64 session
+    SNAPSHOT       u64 session
 
 Response bodies::
 
@@ -48,7 +49,16 @@ Response bodies::
     FLUSH          u32 pending (buffered delayed updates)
     STATS          u32 len | stats JSON (utf-8)
     CLOSE_SESSION  u32 len | final stats JSON (utf-8)
+    SNAPSHOT       u32 len | snapshot report JSON (utf-8)
     ERROR          u16 code | u32 len | message (utf-8)
+
+SNAPSHOT is the durability barrier of the state lifecycle (see
+:mod:`repro.core.state`): it checkpoints the session's tables to its
+arena file while leaving the session resident, so a client that wants
+kill-safety can force a write-out instead of waiting for LRU eviction.
+The server must have a state directory configured
+(``STATE_UNAVAILABLE`` otherwise) and the session must be engine-mode
+(scalar sessions report ``BAD_FRAME``).
 
 The spec config JSON is exactly
 :meth:`repro.core.spec.PredictorSpec.to_config`, so any predictor the
@@ -105,6 +115,7 @@ class FrameType(enum.IntEnum):
     FLUSH = 6
     STATS = 7
     CLOSE_SESSION = 8
+    SNAPSHOT = 9
     ERROR = 0x7F
 
 
@@ -117,6 +128,11 @@ class ErrorCode(enum.IntEnum):
     TIMEOUT = 6
     SHUTTING_DOWN = 7
     INTERNAL = 8
+    #: The session's arena was written by a different state-layout
+    #: generation (rolling deploy); restore is refused, never guessed.
+    STATE_VERSION = 9
+    #: SNAPSHOT on a server running without a state directory.
+    STATE_UNAVAILABLE = 10
 
 
 class ProtocolError(Exception):

@@ -24,10 +24,27 @@ cancel the readers (shielded dispatches finish), let every writer
 drain its pending responses while the shard workers keep executing,
 then cancel the (now idle) workers and close the transports.
 
+With a state directory configured (``--state-dir``), sessions are
+**durable**: an LRU evictor spills the coldest engine-mode sessions to
+per-session arena files (:class:`~repro.core.state.ArenaStore`) when a
+shard exceeds its resident cap, and the shard's session resolver
+transparently reloads a spilled session on its next request -- the
+client never sees an eviction, only (at worst) one slightly slower
+request.  The SNAPSHOT frame checkpoints a session on demand (the
+durability barrier for kill-safety), a graceful stop spills every
+spillable session, and a restarting server picks up the arena
+directory where the last process left off -- session ids continue
+above the highest spilled id, and the first request for a spilled
+session restores it bit-identically.  Arenas from a different
+state-layout generation are refused with ``STATE_VERSION`` (see
+:data:`repro.core.state.STATE_VERSION`): a rolling deploy gets a clear
+error, never misread tables.
+
 Everything is observable through :mod:`repro.telemetry`: request /
 batch / record counters, queue-depth and batch-size distributions,
-open-session and connection gauges, and one ``serve.session`` span
-event per closed session when a telemetry run is active.
+open-session / resident / spilled gauges, eviction / reload / snapshot
+counters, and one ``serve.session`` span event per closed session when
+a telemetry run is active.
 
 :class:`ServerThread` hosts the server on a background thread with a
 plain blocking API -- the test suite and the CLI's loadgen path use it
@@ -38,14 +55,17 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import os
 import threading
 import time
 from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
 from repro.core.spec import spec_from_config
+from repro.core.state import (STATE_VERSION, ArenaStore,
+                              StateVersionError)
 from repro.serve import protocol
 from repro.serve.batcher import MicroBatcher, WorkItem
 from repro.serve.obs import ObservabilityServer
@@ -166,6 +186,25 @@ class _ServeMetrics:
             "repro_serve_table_aliasing_ratio",
             "Training accesses whose level-1 entry was last written by "
             "a different pc, pooled per shard.", labels=("shard",))
+        self.sessions_resident = reg.gauge(
+            "repro_serve_sessions_resident",
+            "Open sessions whose tables are resident in memory.")
+        self.sessions_spilled = reg.gauge(
+            "repro_serve_sessions_spilled",
+            "Open sessions spilled to the arena store, awaiting their "
+            "next request.")
+        self.evictions = reg.counter(
+            "repro_serve_session_evictions_total",
+            "Sessions spilled to the arena store by the LRU evictor "
+            "or the shutdown drain.")
+        self.reloads = reg.counter(
+            "repro_serve_session_reloads_total",
+            "Spilled sessions transparently restored from the arena "
+            "store on a request.")
+        self.snapshots = reg.counter(
+            "repro_serve_session_snapshots_total",
+            "Explicit SNAPSHOT checkpoints written while the session "
+            "stayed resident.")
 
 
 class _Shard:
@@ -173,7 +212,16 @@ class _Shard:
         self.index = index
         self.batcher = batcher
         self.sessions: Dict[int, Session] = {}
+        #: Open sessions currently living in the arena store rather
+        #: than in :attr:`sessions`; the resolver moves ids back on
+        #: their next request.
+        self.spilled: Set[int] = set()
         self.task: Optional[asyncio.Task] = None
+        self.evictions = 0
+        self.reloads = 0
+        # Bound by the server once the store is known (resolver needs
+        # both the shard and the store).
+        self.resolve = self.sessions.get
 
 
 class _Connection:
@@ -196,9 +244,14 @@ class PredictionServer:
                  obs_host: str = "127.0.0.1",
                  slos: Optional[List[SLO]] = None,
                  slo_interval: float = 0.25,
-                 slow_k: int = 32):
+                 slow_k: int = 32,
+                 state_dir: Optional[str] = None,
+                 max_resident: Optional[int] = None):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if max_resident is not None and max_resident < 1:
+            raise ValueError(f"max_resident must be >= 1, "
+                             f"got {max_resident}")
         self.host = host
         self.port = port
         self.request_timeout = request_timeout
@@ -212,6 +265,28 @@ class PredictionServer:
         self._connections: List[_Connection] = []
         self._session_ids = itertools.count(1)
         self._session_opened_at: Dict[int, float] = {}
+        # ----------------------------------------------- durable state
+        # Normalised to str: this field travels in JSON bodies
+        # (healthz, STATS) and tests pass pathlib Paths.
+        self.state_dir = os.fspath(state_dir) if state_dir else None
+        self.max_resident = max_resident
+        self._store = ArenaStore(state_dir) if state_dir else None
+        self._last_used: Dict[int, float] = {}
+        self.snapshots_taken = 0
+        if self._store is not None:
+            # Adopt the previous process's spilled sessions: each id
+            # stays addressable (restored on its first request) and the
+            # id counter continues above the highest one on disk, so a
+            # restarted server never reissues a session id that still
+            # has an arena.
+            adopted = self._store.session_ids()
+            for session_id in adopted:
+                self.shards[session_id % shards].spilled.add(session_id)
+            if adopted:
+                self._session_ids = itertools.count(adopted[-1] + 1)
+        for shard in self.shards:
+            shard.resolve = self._resolver_for(shard)
+        self._refresh_residency()
         self._stopping = False
         self._started_at = 0.0
         # Observability: slow-request sample, SLO monitor, HTTP endpoint.
@@ -288,9 +363,19 @@ class PredictionServer:
             await self._obs.stop()
         stats = self.server_stats()
         stats["slow_requests"] = self.slow_sampler.snapshot()
+        # With a state directory, a graceful drain spills every
+        # spillable session -- the next process adopts them, so they
+        # stay open rather than closing.  Scalar-mode sessions (and
+        # everything when no store is configured) close normally.
         for shard in self.shards:
             for session_id in list(shard.sessions):
-                self._finish_session(shard, session_id)
+                if (self._store is not None
+                        and shard.sessions[session_id].spillable):
+                    self._spill(shard, session_id)
+                else:
+                    self._finish_session(shard, session_id)
+        stats["sessions_spilled_on_drain"] = sum(
+            len(s.spilled) for s in self.shards)
         return stats
 
     async def _worker(self, shard: _Shard) -> None:
@@ -299,8 +384,10 @@ class PredictionServer:
         while True:
             batch = await shard.batcher.next_batch()
             started = loop.time()
-            shard.batcher.execute(batch, shard.sessions)
+            shard.batcher.execute(batch, shard.resolve)
             shard.batcher.task_done(len(batch))
+            if self._store is not None and self.max_resident is not None:
+                self._maybe_evict()
             if shard.batcher.fused_records != fused_seen:
                 self.metrics.fused.inc(
                     shard.batcher.fused_records - fused_seen)
@@ -429,14 +516,24 @@ class PredictionServer:
                          if self._started_at else 0.0),
             "protocol_version": protocol.PROTOCOL_VERSION,
             "connections_open": len(self._connections),
-            "sessions_open": sum(len(s.sessions) for s in self.shards),
+            "sessions_open": sum(len(s.sessions) + len(s.spilled)
+                                 for s in self.shards),
+            "sessions_resident": sum(len(s.sessions) for s in self.shards),
+            "sessions_spilled": sum(len(s.spilled) for s in self.shards),
+            "evictions_total": sum(s.evictions for s in self.shards),
+            "reloads_total": sum(s.reloads for s in self.shards),
+            "snapshots_total": self.snapshots_taken,
+            "state_dir": self.state_dir,
+            "state_version": STATE_VERSION if self.state_dir else None,
             "records_served": self.records_served,
             "hits_served": self.hits_served,
             "alerts": alerting,
             "slow_observed": self.slow_sampler.observed,
             "shards": [
                 {"shard": s.index, "queue_depth": s.batcher.qsize(),
-                 "sessions": len(s.sessions), "batches": s.batcher.batches,
+                 "sessions": len(s.sessions), "spilled": len(s.spilled),
+                 "evictions": s.evictions, "reloads": s.reloads,
+                 "batches": s.batcher.batches,
                  "items": s.batcher.items}
                 for s in self.shards],
         }
@@ -682,6 +779,10 @@ class PredictionServer:
             shard.sessions[session_id] = Session(session_id, spec, window)
             self._session_opened_at[session_id] = time.time()
             self.metrics.sessions_open.inc()
+            self._touch(session_id)
+            self._refresh_residency()
+            if self._store is not None and self.max_resident is not None:
+                self._maybe_evict()
             return session_id
 
         await self._submit(conn, frame, trace, shard, run=run,
@@ -750,11 +851,133 @@ class PredictionServer:
         def run(session):
             if session is None:
                 raise KeyError(session_id)
-            return self._finish_session(shard, session_id)
+            stats = self._finish_session(shard, session_id)
+            if self._store is not None:
+                # A closed session's state is gone by definition; the
+                # arena must not resurrect it on the next restart.
+                self._store.delete(session_id)
+            return stats
 
         await self._submit(conn, frame, trace, shard, run=run,
                            session_id=session_id,
                            encode=protocol.encode_json_body)
+
+    async def _dispatch_snapshot(self, conn, frame, trace) -> None:
+        (session_id,) = protocol.decode_session_op(frame.body, 0)
+        if self._store is None:
+            self._respond_error(
+                conn, frame.request_id,
+                protocol.ErrorCode.STATE_UNAVAILABLE,
+                "server is running without a state directory "
+                "(start it with --state-dir to enable snapshots)",
+                trace=trace)
+            return
+
+        def run(session):
+            if session is None:
+                raise KeyError(session_id)
+            return self._snapshot_session(session)
+
+        await self._submit(conn, frame, trace, self._shard_of(session_id),
+                           run=run, session_id=session_id,
+                           encode=protocol.encode_json_body)
+
+    # ------------------------------------------------------ durable state
+
+    def _touch(self, session_id: int) -> None:
+        self._last_used[session_id] = time.monotonic()
+
+    def _refresh_residency(self) -> None:
+        self.metrics.sessions_resident.set(
+            sum(len(s.sessions) for s in self.shards))
+        self.metrics.sessions_spilled.set(
+            sum(len(s.spilled) for s in self.shards))
+
+    def _resolver_for(self, shard: _Shard):
+        """The shard's ``session_id -> Session | None`` resolver.
+
+        Resident sessions come straight out of the dict; a spilled id
+        is restored from its arena, re-seated as resident, and counted
+        as a reload -- the caller (batch execution, admin frames) never
+        sees the difference.  ``None`` means the session does not exist
+        anywhere.  A :class:`StateVersionError` propagates to the
+        requesting futures (the batcher routes it to the client as a
+        ``STATE_VERSION`` error); a corrupt arena was quarantined by
+        the store and reports as an unknown session.
+        """
+        def resolve(session_id: int) -> Optional[Session]:
+            session = shard.sessions.get(session_id)
+            if session is not None:
+                self._touch(session_id)
+                return session
+            if self._store is None or session_id not in shard.spilled:
+                return None
+            arena = self._store.load(session_id)
+            if arena is None:  # corrupt arena, quarantined by the store
+                shard.spilled.discard(session_id)
+                self._refresh_residency()
+                return None
+            spec = spec_from_config(arena.spec_config)
+            session = Session.restore(session_id, spec, arena.state(),
+                                      arena.meta)
+            shard.sessions[session_id] = session
+            shard.spilled.discard(session_id)
+            shard.reloads += 1
+            self.metrics.reloads.inc()
+            self._refresh_residency()
+            self._touch(session_id)
+            return session
+        return resolve
+
+    def _spill(self, shard: _Shard, session_id: int) -> None:
+        """Move one resident spillable session out to the arena store."""
+        session = shard.sessions.pop(session_id)
+        arrays, meta = session.snapshot()
+        self._store.save(session_id, session.spec.to_config(), arrays,
+                         meta)
+        shard.spilled.add(session_id)
+        shard.evictions += 1
+        self.metrics.evictions.inc()
+        self._refresh_residency()
+
+    def _maybe_evict(self) -> None:
+        """Spill coldest spillable sessions until the resident count is
+        back under ``max_resident`` (LRU by last request time).
+
+        Runs synchronously inside a shard worker's scheduling slice --
+        all shards share one event loop, so no other worker is
+        mid-batch -- and an evicted session with queued work on another
+        shard simply reloads when that batch executes.
+        """
+        while (sum(len(s.sessions) for s in self.shards)
+               > self.max_resident):
+            candidates = [
+                (self._last_used.get(session_id, 0.0), session_id, shard)
+                for shard in self.shards
+                for session_id, session in shard.sessions.items()
+                if session.spillable
+            ]
+            if not candidates:
+                return  # everything resident is scalar-mode
+            _, session_id, shard = min(candidates)
+            self._spill(shard, session_id)
+
+    def _snapshot_session(self, session: Session) -> dict:
+        """Explicit SNAPSHOT: checkpoint to the arena, stay resident."""
+        arrays, meta = session.snapshot()
+        nbytes = self._store.save(session.session_id,
+                                  session.spec.to_config(), arrays, meta)
+        self.snapshots_taken += 1
+        self.metrics.snapshots.inc()
+        return {
+            "schema": 1,
+            "session": session.session_id,
+            "spec": session.spec.name,
+            "path": str(self._store.path_for(session.session_id)),
+            "nbytes": nbytes,
+            "arrays": len(arrays),
+            "state_version": STATE_VERSION,
+        }
 
     # ------------------------------------------------------------ helpers
 
@@ -822,7 +1045,10 @@ class PredictionServer:
 
     def _finish_session(self, shard: _Shard, session_id: int) -> dict:
         session = shard.sessions.pop(session_id)
+        shard.spilled.discard(session_id)
+        self._last_used.pop(session_id, None)
         self.metrics.sessions_open.dec()
+        self._refresh_residency()
         stats = session.stats()
         opened = self._session_opened_at.pop(session_id, None)
         run = telemetry_run_module.active_run()
@@ -841,10 +1067,18 @@ class PredictionServer:
         return stats
 
     def server_stats(self) -> dict:
-        sessions = sum(len(s.sessions) for s in self.shards)
+        sessions = sum(len(s.sessions) + len(s.spilled)
+                       for s in self.shards)
         return {
             "schema": 1,
             "sessions_open": sessions,
+            "sessions_resident": sum(len(s.sessions)
+                                     for s in self.shards),
+            "sessions_spilled": sum(len(s.spilled) for s in self.shards),
+            "evictions_total": sum(s.evictions for s in self.shards),
+            "reloads_total": sum(s.reloads for s in self.shards),
+            "snapshots_total": self.snapshots_taken,
+            "state_dir": self.state_dir,
             "connections_open": len(self._connections),
             "shards": len(self.shards),
             "batches": sum(s.batcher.batches for s in self.shards),
@@ -871,6 +1105,7 @@ _DISPATCH = {
     protocol.FrameType.FLUSH: PredictionServer._dispatch_flush,
     protocol.FrameType.STATS: PredictionServer._dispatch_stats,
     protocol.FrameType.CLOSE_SESSION: PredictionServer._dispatch_close,
+    protocol.FrameType.SNAPSHOT: PredictionServer._dispatch_snapshot,
 }
 
 
@@ -918,6 +1153,11 @@ def _classify_error(exc: Exception):
     if isinstance(exc, KeyError):
         return (protocol.ErrorCode.UNKNOWN_SESSION,
                 f"unknown session {exc.args[0] if exc.args else ''}")
+    if isinstance(exc, StateVersionError):
+        # The arena is sound but from another deploy generation: a
+        # distinct code so rolling-deploy tooling can tell "refused
+        # restore" from a generic failure.
+        return protocol.ErrorCode.STATE_VERSION, str(exc)
     if isinstance(exc, (ValueError, protocol.ProtocolError)):
         return protocol.ErrorCode.BAD_FRAME, str(exc)
     return (protocol.ErrorCode.INTERNAL,

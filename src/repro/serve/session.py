@@ -30,6 +30,17 @@ Split PREDICT/OUTCOME traffic keeps hit accounting honest: each
 PREDICT is remembered per pc (FIFO), the next OUTCOME for that pc is
 scored against it.  An OUTCOME with no outstanding prediction still
 trains the tables and reports :data:`Session.NO_PREDICTION`.
+
+Engine-mode sessions are **spillable**: :meth:`Session.snapshot`
+serialises the table state plus the session's auxiliary bookkeeping
+(recent-hit window, outstanding predictions, aliasing counters) into
+the array-dict + metadata shape that
+:class:`~repro.core.state.ArenaStore` persists, and
+:meth:`Session.restore` rebuilds an equivalent session from it -- the
+restored tables may be the store's read-only mmap views, since the
+warm-start kernels never write into their input state.  Scalar-mode
+sessions (windowed or composite predictors) have no canonical state
+snapshot and stay resident.
 """
 
 from __future__ import annotations
@@ -238,6 +249,97 @@ class Session:
         self.outcomes += len(out)
         self.hits += hits
         return out, hits
+
+    # -------------------------------------------------------- durability
+
+    @property
+    def spillable(self) -> bool:
+        """Whether this session can round-trip through an arena.
+
+        Only engine-mode sessions qualify: their whole identity is the
+        canonical table-state dict plus a few counters.  Scalar-mode
+        sessions hold arbitrary predictor objects (windowed wrappers,
+        hybrids) with no state-injection path, so they stay resident.
+        """
+        return self.mode == "engine"
+
+    def snapshot(self) -> Tuple[Dict[str, np.ndarray], dict]:
+        """Serialise this session as ``(arrays, meta)`` for the store.
+
+        *arrays* holds the table state plus auxiliary ``__``-prefixed
+        arrays (recent-hit window, outstanding PREDICTs in per-pc FIFO
+        order, the aliasing tracker's last-writer table); *meta* holds
+        the scalar counters.  :meth:`restore` inverts it exactly.
+        """
+        if not self.spillable:
+            raise ValueError(f"session {self.session_id} "
+                             f"({self.spec.name}, window={self.window}) "
+                             "is scalar-mode and cannot be snapshotted")
+        arrays = dict(self._state)
+        arrays["__recent"] = np.asarray(self._recent, dtype=np.int64)
+        issued_pcs: List[int] = []
+        issued_values: List[int] = []
+        for pc, queue in self._issued.items():
+            for value in queue:
+                issued_pcs.append(pc)
+                issued_values.append(value)
+        arrays["__issued_pc"] = np.asarray(issued_pcs, dtype=np.int64)
+        arrays["__issued_value"] = np.asarray(issued_values,
+                                              dtype=np.int64)
+        if self._aliases is not None:
+            arrays["__alias_last_writer"] = self._aliases._last_writer
+        meta = {
+            "session_id": self.session_id,
+            "spec_name": self.spec.name,
+            "window": self.window,
+            "predictions": self.predictions,
+            "outcomes": self.outcomes,
+            "hits": self.hits,
+        }
+        if self._aliases is not None:
+            meta["alias_accesses"] = self._aliases.accesses
+            meta["alias_conflicts"] = self._aliases.conflicts
+        return arrays, meta
+
+    @classmethod
+    def restore(cls, session_id: int, spec: PredictorSpec,
+                arrays: Dict[str, np.ndarray],
+                meta: dict) -> "Session":
+        """Rebuild a session from a :meth:`snapshot`-shaped payload.
+
+        *arrays* may be read-only (the arena store's zero-copy mmap
+        views): table state feeds the warm-start kernels untouched,
+        and the one array the session mutates in place -- the aliasing
+        tracker's last-writer table -- is copied on the way in.
+        """
+        session = cls(session_id, spec,
+                      window=int(meta.get("window", 0)))
+        if not session.spillable:
+            raise ValueError(f"session {session_id}: {spec.name} with "
+                             f"window {meta.get('window', 0)} does not "
+                             "restore from an arena")
+        session._state = {key: value for key, value in arrays.items()
+                          if not key.startswith("__")}
+        recent = arrays.get("__recent")
+        if recent is not None:
+            session._recent.extend(int(hit) for hit in recent)
+        issued_pcs = arrays.get("__issued_pc")
+        issued_values = arrays.get("__issued_value")
+        if issued_pcs is not None and issued_values is not None:
+            for pc, value in zip(issued_pcs.tolist(),
+                                 issued_values.tolist()):
+                session._issued.setdefault(pc, deque()).append(value)
+        last_writer = arrays.get("__alias_last_writer")
+        if session._aliases is not None and last_writer is not None:
+            session._aliases._last_writer = np.array(last_writer,
+                                                     dtype=np.int64)
+            session._aliases.accesses = int(meta.get("alias_accesses", 0))
+            session._aliases.conflicts = int(meta.get("alias_conflicts",
+                                                      0))
+        session.predictions = int(meta.get("predictions", 0))
+        session.outcomes = int(meta.get("outcomes", 0))
+        session.hits = int(meta.get("hits", 0))
+        return session
 
     # ------------------------------------------------------------- admin
 

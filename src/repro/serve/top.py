@@ -6,7 +6,10 @@ throughput and hit-rate with sparklines, latency percentiles over the
 rolling window, per-shard queue depth and throughput, firing SLO
 alerts with burn rates, live table usage (occupancy / efficiency /
 aliasing per shard, from ``/tables``), and the current slowest
-requests with their stage breakdowns.
+requests with their stage breakdowns.  Servers running with
+``--state-dir`` additionally get a durable-state line (resident /
+spilled / evictions / reloads / snapshots) and a per-shard eviction
+column; against older servers those simply render as absent / ``--``.
 
 Rates are computed client-side from counter deltas between polls, so
 the server needs no extra bookkeeping for the dashboard.  ``--once``
@@ -112,6 +115,17 @@ def render_dashboard(base_url: str, health: dict, slo: dict, slow: dict,
                  f"hits {health.get('hits_served', 0):,}"
                  + (f"   hit-rate {hit_rate * 100:.1f}%"
                     if hit_rate is not None else ""))
+    # Durable-state summary: only servers running with --state-dir
+    # report these fields (older servers never will -- stay quiet).
+    if "sessions_resident" in health:
+        state_dir = health.get("state_dir")
+        lines.append(
+            f"state  resident {health.get('sessions_resident', 0)}   "
+            f"spilled {health.get('sessions_spilled', 0)}   "
+            f"evictions {health.get('evictions_total', 0)}   "
+            f"reloads {health.get('reloads_total', 0)}   "
+            f"snapshots {health.get('snapshots_total', 0)}"
+            + (f"   dir {state_dir}" if state_dir else ""))
     rate_spark = sparkline(history.rate_series) if history else ""
     hit_spark = sparkline(history.hit_series) if history else ""
     lines.append(f"throughput  {_fmt_rate(rates.get('rate')):>16}  "
@@ -127,16 +141,21 @@ def render_dashboard(base_url: str, health: dict, slo: dict, slow: dict,
                      f"p99 {latency['p99_ms']:.3f}ms   "
                      f"max {latency['max_ms']:.3f}ms")
     lines.append("")
-    lines.append("  shard  queue  sessions  batches     items      rec/s")
+    lines.append("  shard  queue  sessions  batches     items  evict  "
+                 "    rec/s")
     shard_rates = rates.get("shard_rates", {})
     for shard in health.get("shards", []):
         idx = shard["shard"]
         rate = shard_rates.get(idx)
         rate_col = f"{rate:>9,.0f}" if rate is not None else "       --"
+        # Older servers report no eviction counter -- show "--".
+        evict_col = (f"{shard['evictions']:>5}"
+                     if "evictions" in shard else "   --")
         lines.append(f"  {idx:>5}  {shard.get('queue_depth', 0):>5}  "
                      f"{shard.get('sessions', 0):>8}  "
                      f"{shard.get('batches', 0):>7}  "
-                     f"{shard.get('items', 0):>8}  {rate_col}")
+                     f"{shard.get('items', 0):>8}  {evict_col}  "
+                     f"{rate_col}")
     lines.append("")
     alerts = health.get("alerts") or []
     if alerts:

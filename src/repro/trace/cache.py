@@ -46,6 +46,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.state import quarantine_file
 from repro.trace.capture import capture_source
 from repro.trace.stats import CacheStats, cache_stats
 from repro.trace.trace import FORMAT_VERSION, TraceCacheError, ValueTrace
@@ -93,11 +94,11 @@ def quarantine_entry(path: Path) -> Path:
 
     Keeps the bytes for post-mortem instead of deleting; a later
     quarantine of the same key overwrites the previous one.  Returns
-    the quarantine path.
+    the quarantine path.  (The same discipline protects predictor
+    state arenas — this delegates to the shared helper in
+    :mod:`repro.core.state`.)
     """
-    target = path.with_name(path.name + ".corrupt")
-    os.replace(path, target)
-    return target
+    return quarantine_file(path)
 
 
 def cached_trace(name: str, limit: Optional[int] = 100_000,

@@ -1,0 +1,306 @@
+"""Durable arena layer: format round-trips, integrity, the store.
+
+The contract under test: an arena file round-trips table state
+bit-identically through zero-copy mmap views; every corruption mode is
+detected before any view is built; a state-version mismatch is a
+*distinct*, non-quarantining refusal; and the store's verify/compact
+sweeps classify files the way ``repro state`` reports them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engines.resume import initial_state, step_block
+from repro.core.spec import DFCMSpec, StrideSpec, spec_from_config
+from repro.core.state import (ARENA_FORMAT_VERSION, ARENA_MAGIC,
+                              STATE_VERSION, Arena, ArenaError, ArenaStore,
+                              StateVersionError, arena_bytes, arena_info,
+                              atomic_write_bytes, open_arena, quarantine_file,
+                              spec_digest, verify_arena, write_arena)
+
+
+def trained_state(spec, n=300, seed=7):
+    rng = np.random.default_rng(seed)
+    pcs = (rng.integers(0, 1 << 16, size=n) << 2).astype(np.int64)
+    values = rng.integers(0, 1 << 32, size=n).astype(np.int64)
+    _, state = step_block(spec, initial_state(spec), pcs, values)
+    return state
+
+
+class TestRoundTrip:
+    def test_state_round_trips_bit_identically(self, tmp_path):
+        spec = DFCMSpec(64, 256)
+        state = trained_state(spec)
+        path = tmp_path / "s.arena"
+        write_arena(path, spec.to_config(), state, meta={"hits": 41})
+        arena = open_arena(path)
+        assert arena.spec_config == spec.to_config()
+        assert arena.meta == {"hits": 41}
+        assert arena.state_version == STATE_VERSION
+        got = arena.state()
+        assert got.keys() == state.keys()
+        for key in state:
+            np.testing.assert_array_equal(got[key], state[key])
+            assert got[key].dtype == state[key].dtype
+
+    def test_views_are_zero_copy_and_feed_step_block(self, tmp_path):
+        spec = DFCMSpec(64, 256)
+        state = trained_state(spec)
+        path = tmp_path / "s.arena"
+        write_arena(path, spec.to_config(), state)
+        arena = open_arena(path)
+        views = arena.state()
+        for arr in views.values():
+            # A view over the read-only map: no payload copy was made.
+            assert not arr.flags.writeable
+            assert arr.base is not None
+        # The warm-start kernels accept the views directly and must
+        # produce exactly what the in-memory state produces.
+        pcs = np.asarray([0x400, 0x404, 0x400], dtype=np.int64)
+        values = np.asarray([5, 9, 11], dtype=np.int64)
+        want_pred, want_state = step_block(spec, state, pcs, values)
+        got_pred, got_state = step_block(spec, views, pcs, values)
+        np.testing.assert_array_equal(got_pred, want_pred)
+        for key in want_state:
+            np.testing.assert_array_equal(got_state[key], want_state[key])
+
+    def test_aux_arrays_are_separated_from_tables(self, tmp_path):
+        spec = StrideSpec(64)
+        state = dict(trained_state(spec))
+        state["__recent"] = np.asarray([1, 0, 1], dtype=np.int64)
+        path = tmp_path / "s.arena"
+        write_arena(path, spec.to_config(), state)
+        arena = open_arena(path)
+        assert "__recent" not in arena.table_state()
+        np.testing.assert_array_equal(arena.aux("recent"), [1, 0, 1])
+        assert arena.aux("nope") is None
+
+    def test_spec_config_restores_an_equal_spec(self, tmp_path):
+        spec = DFCMSpec(64, 256, stride_bits=8)
+        path = tmp_path / "s.arena"
+        write_arena(path, spec.to_config(), trained_state(spec))
+        arena = open_arena(path)
+        assert spec_from_config(arena.spec_config) == spec
+        # to_config was not consumed: a second resolve still works.
+        assert spec_from_config(arena.spec_config) == spec
+
+    def test_empty_and_zero_size_arrays(self, tmp_path):
+        spec = StrideSpec(64)
+        state = {"table": np.zeros((0, 3), dtype=np.int64)}
+        path = tmp_path / "s.arena"
+        write_arena(path, spec.to_config(), state)
+        got = open_arena(path).state()["table"]
+        assert got.shape == (0, 3)
+        assert got.dtype == np.int64
+
+
+class TestIntegrity:
+    def _write(self, tmp_path, name="s.arena"):
+        spec = StrideSpec(64)
+        path = tmp_path / name
+        write_arena(path, spec.to_config(), trained_state(spec))
+        return path
+
+    def test_bad_magic(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[:8] = b"NOTARENA"
+        path.write_bytes(raw)
+        with pytest.raises(ArenaError, match="bad magic"):
+            open_arena(path)
+
+    def test_unknown_format_version(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[8:12] = (ARENA_FORMAT_VERSION + 1).to_bytes(4, "big")
+        path.write_bytes(raw)
+        with pytest.raises(ArenaError, match="arena format"):
+            open_arena(path)
+
+    def test_truncation(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) - 16])
+        with pytest.raises(ArenaError, match="truncated"):
+            open_arena(path)
+
+    def test_payload_bitflip_fails_crc(self, tmp_path):
+        path = self._write(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x40
+        path.write_bytes(raw)
+        with pytest.raises(ArenaError, match="CRC mismatch"):
+            open_arena(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "s.arena"
+        path.write_bytes(b"")
+        with pytest.raises(ArenaError, match="empty"):
+            open_arena(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArenaError, match="cannot open"):
+            open_arena(tmp_path / "nope.arena")
+
+    def test_verify_arena_names_the_defect(self, tmp_path):
+        path = self._write(tmp_path)
+        assert verify_arena(path) is None
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0x40
+        path.write_bytes(raw)
+        assert "CRC mismatch" in verify_arena(path)
+
+    def test_atomic_write_leaves_no_tmp(self, tmp_path):
+        path = tmp_path / "x.bin"
+        assert atomic_write_bytes(path, b"hello") == 5
+        assert path.read_bytes() == b"hello"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_quarantine_moves_aside(self, tmp_path):
+        path = tmp_path / "x.arena"
+        path.write_bytes(b"junk")
+        target = quarantine_file(path)
+        assert not path.exists()
+        assert target.name == "x.arena.corrupt"
+        assert target.read_bytes() == b"junk"
+
+
+class TestStateVersionGate:
+    def test_mismatch_refuses_with_both_sides_named(self, tmp_path):
+        spec = StrideSpec(64)
+        path = tmp_path / "s.arena"
+        write_arena(path, spec.to_config(), trained_state(spec),
+                    state_version=STATE_VERSION + 1)
+        with pytest.raises(StateVersionError) as err:
+            open_arena(path)
+        message = str(err.value)
+        assert f"v{STATE_VERSION + 1}" in message
+        assert f"v{STATE_VERSION}" in message
+
+    def test_mismatch_is_not_a_defect(self, tmp_path):
+        spec = StrideSpec(64)
+        path = tmp_path / "s.arena"
+        write_arena(path, spec.to_config(), trained_state(spec),
+                    state_version=STATE_VERSION + 1)
+        # The file is sound: verify passes, inspection tools open it.
+        assert verify_arena(path) is None
+        arena = open_arena(path, check_state_version=False)
+        assert isinstance(arena, Arena)
+        assert arena.state_version == STATE_VERSION + 1
+
+    def test_store_load_propagates_and_does_not_quarantine(self, tmp_path):
+        store = ArenaStore(tmp_path)
+        spec = StrideSpec(64)
+        write_arena(store.path_for(3), spec.to_config(),
+                    trained_state(spec), state_version=STATE_VERSION + 1)
+        with pytest.raises(StateVersionError):
+            store.load(3)
+        assert store.path_for(3).exists()
+        assert list(tmp_path.glob("*.corrupt")) == []
+
+
+class TestStore:
+    def test_save_load_delete_cycle(self, tmp_path):
+        store = ArenaStore(tmp_path)
+        spec = DFCMSpec(64, 256)
+        state = trained_state(spec)
+        store.save(7, spec.to_config(), state, meta={"hits": 3})
+        assert store.session_ids() == [7]
+        arena = store.load(7)
+        assert arena.meta["hits"] == 3
+        for key in state:
+            np.testing.assert_array_equal(arena.state()[key], state[key])
+        assert store.delete(7) is True
+        assert store.delete(7) is False
+        assert store.load(7) is None
+
+    def test_session_id_naming(self, tmp_path):
+        store = ArenaStore(tmp_path)
+        path = store.path_for(42)
+        assert path.name == f"session-{42:016d}.arena"
+        assert ArenaStore.session_id_of(path) == 42
+        assert ArenaStore.session_id_of(tmp_path / "other.arena") is None
+        assert ArenaStore.session_id_of(tmp_path / "session-x.arena") is None
+
+    def test_corrupt_arena_is_quarantined_on_load(self, tmp_path):
+        store = ArenaStore(tmp_path)
+        spec = StrideSpec(64)
+        store.save(5, spec.to_config(), trained_state(spec))
+        path = store.path_for(5)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(raw)
+        assert store.load(5) is None
+        assert not path.exists()
+        assert (tmp_path / (path.name + ".corrupt")).exists()
+
+    def test_verify_classifies_defective_and_stale(self, tmp_path):
+        store = ArenaStore(tmp_path)
+        spec = StrideSpec(64)
+        store.save(1, spec.to_config(), trained_state(spec))
+        store.save(2, spec.to_config(), trained_state(spec))
+        write_arena(store.path_for(3), spec.to_config(),
+                    trained_state(spec), state_version=STATE_VERSION + 9)
+        bad = store.path_for(2)
+        bad.write_bytes(bad.read_bytes()[:40])
+        result = store.verify()
+        assert result["checked"] == 3
+        assert [p.name for p, _ in result["defects"]] == [bad.name]
+        assert [(p.name, v) for p, v in result["stale"]] == \
+            [(store.path_for(3).name, STATE_VERSION + 9)]
+
+    def test_compact_removes_litter_keeps_sound_and_stale(self, tmp_path):
+        store = ArenaStore(tmp_path)
+        spec = StrideSpec(64)
+        store.save(1, spec.to_config(), trained_state(spec))
+        write_arena(store.path_for(2), spec.to_config(),
+                    trained_state(spec), state_version=STATE_VERSION + 1)
+        (tmp_path / "stray.arena.tmp").write_bytes(b"half a write")
+        (tmp_path / "old.arena.corrupt").write_bytes(b"quarantined")
+        defective = store.path_for(9)
+        defective.write_bytes(b"RPROARNA" + b"\x00" * 8)
+        result = store.compact()
+        assert result["removed"] == {"tmp": 1, "corrupt": 1, "defective": 1}
+        assert result["reclaimed_bytes"] > 0
+        assert result["kept"] == 2
+        assert sorted(store.session_ids()) == [1, 2]
+
+    def test_infos_skips_defective(self, tmp_path):
+        store = ArenaStore(tmp_path)
+        spec = DFCMSpec(64, 256)
+        store.save(4, spec.to_config(), trained_state(spec),
+                   meta={"spec_name": spec.name})
+        store.path_for(6).write_bytes(b"junk")
+        infos = store.infos()
+        assert len(infos) == 1
+        info = infos[0]
+        assert info.spec_name == spec.name
+        assert info.state_version == STATE_VERSION
+        assert info.arrays == len(trained_state(spec))
+        assert info.nbytes == store.path_for(4).stat().st_size
+
+
+class TestHelpers:
+    def test_spec_digest_is_stable_and_order_blind(self):
+        a = {"family": "dfcm", "l1": 64, "l2": 256}
+        b = {"l2": 256, "l1": 64, "family": "dfcm"}
+        assert spec_digest(a) == spec_digest(b)
+        assert spec_digest(a) != spec_digest(dict(a, l1=128))
+
+    def test_arena_bytes_prefix_fields(self):
+        spec = StrideSpec(64)
+        raw = arena_bytes(spec.to_config(),
+                          {"t": np.arange(4, dtype=np.int64)})
+        assert bytes(raw[:8]) == ARENA_MAGIC
+        assert int.from_bytes(raw[8:12], "big") == ARENA_FORMAT_VERSION
+        assert int.from_bytes(raw[12:16], "big") == STATE_VERSION
+
+    def test_arena_info_summary(self, tmp_path):
+        spec = StrideSpec(64)
+        path = tmp_path / "s.arena"
+        write_arena(path, spec.to_config(), trained_state(spec),
+                    meta={"spec_name": spec.name, "predictions": 300})
+        info = arena_info(path)
+        assert info.spec_name == spec.name
+        assert info.meta["predictions"] == 300
+        assert info.spec_digest == spec_digest(spec.to_config())

@@ -69,6 +69,18 @@ class TestSupports:
         spec = FCMSpec(64, 256, HashSpec(8, "xor", order=2))
         assert not supports_resume(spec)
 
+    def test_families_partition_the_spec_registry(self):
+        # Every registered family must be explicitly classified: a new
+        # family added to SPEC_FAMILIES without a resumability decision
+        # would otherwise silently fall through supports_resume (and
+        # the serve durability layer) as non-resumable.
+        from repro.core.engines.resume import NON_RESUMABLE_FAMILIES
+        from repro.core.spec import SPEC_FAMILIES
+        resumable = set(RESUMABLE_FAMILIES)
+        non_resumable = set(NON_RESUMABLE_FAMILIES)
+        assert not resumable & non_resumable
+        assert resumable | non_resumable == set(SPEC_FAMILIES)
+
 
 class TestColdStartMatchesBatch:
     @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)

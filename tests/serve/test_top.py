@@ -120,6 +120,33 @@ class TestRenderDashboard:
         assert "status: OK" in frame
         assert "slowest" not in frame
 
+    def test_older_server_without_state_fields(self):
+        # HEALTH above deliberately predates --state-dir: no state
+        # summary line, and the eviction column degrades to "--".
+        frame = render_dashboard("http://h:1", self.HEALTH, self.SLO,
+                                 self.SLOW)
+        assert "state  resident" not in frame
+        for line in frame.splitlines():
+            if line.startswith("  ") and "queue" not in line \
+                    and line.strip().startswith(("0 ", "1 ")):
+                assert "--" in line
+
+    def test_durable_state_line_and_eviction_column(self):
+        health = dict(self.HEALTH, sessions_resident=2,
+                      sessions_spilled=1, evictions_total=4,
+                      reloads_total=3, snapshots_total=2,
+                      state_dir=".state")
+        health["shards"] = [dict(s, spilled=0, evictions=2, reloads=1)
+                            for s in self.HEALTH["shards"]]
+        frame = render_dashboard("http://h:1", health, self.SLO,
+                                 self.SLOW)
+        assert ("state  resident 2   spilled 1   evictions 4   "
+                "reloads 3   snapshots 2   dir .state") in frame
+        assert "evict" in frame  # the column header
+        shard_rows = [line for line in frame.splitlines()
+                      if line.strip().startswith(("0 ", "1 "))]
+        assert all("2" in row for row in shard_rows)
+
 
 class TestRunTop:
     def test_once_against_live_server(self):

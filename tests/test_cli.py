@@ -384,7 +384,18 @@ class TestBenchHistoryCLI:
         path.write_text(self.entry(100_000) + "\n")
         code, _text = run_cli("bench", "diff", "--history-file", str(path))
         assert code == 1
-        assert "at least 2" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {path}:")
+        assert "at least 2" in err
+
+    def test_diff_missing_history_file_is_clean_error(self, tmp_path,
+                                                      capsys):
+        path = tmp_path / "no_such_history.jsonl"
+        code, _text = run_cli("bench", "diff", "--history-file", str(path))
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {path}:")
+        assert "no bench history" in err
 
     def test_diff_family_mismatch_is_clean_error(self, tmp_path, capsys):
         # Grid changed between records: a clear error, not a traceback.
@@ -398,6 +409,109 @@ class TestBenchHistoryCLI:
         assert "different families" in err
         assert "missing from the current run: dfcm" in err
         assert "not in the previous record: stride" in err
+
+
+class TestStateCLI:
+    """``repro state ls|verify|compact`` over a directory of arenas."""
+
+    def seed_store(self, directory, session_id=3, corrupt=False):
+        from repro.core.spec import DFCMSpec
+        from repro.core.state import ArenaStore
+        from repro.serve.session import Session
+
+        spec = DFCMSpec(64, 256)
+        session = Session(session_id, spec)
+        session.step_block([0x400, 0x404, 0x400], [5, 9, 11])
+        store = ArenaStore(directory)
+        arrays, meta = session.snapshot()
+        store.save(session_id, spec.to_config(), arrays, meta)
+        if corrupt:
+            path = store.path_for(session_id)
+            raw = bytearray(path.read_bytes())
+            raw[-1] ^= 0xFF
+            path.write_bytes(raw)
+        return store
+
+    def test_ls_lists_sessions(self, tmp_path):
+        self.seed_store(tmp_path, session_id=7)
+        code, text = run_cli("state", "ls", "--dir", str(tmp_path))
+        assert code == 0
+        assert "dfcm" in text
+        assert "7" in text
+        code, text = run_cli("state", "ls", "--dir", str(tmp_path),
+                             "--json")
+        assert code == 0
+        listing = json.loads(text)
+        assert listing["schema"] == 1
+        assert listing["arenas"][0]["session"] == 7
+        assert listing["arenas"][0]["predictions"] == 3
+
+    def test_verify_clean_store(self, tmp_path):
+        self.seed_store(tmp_path)
+        code, text = run_cli("state", "verify", "--dir", str(tmp_path))
+        assert code == 0
+        assert "checked 1 arenas, 0 defective, 0 stale" in text
+
+    def test_verify_flags_defects_and_exits_1(self, tmp_path):
+        self.seed_store(tmp_path, corrupt=True)
+        code, text = run_cli("state", "verify", "--dir", str(tmp_path))
+        assert code == 1
+        assert "BAD" in text and "CRC mismatch" in text
+
+    def test_verify_single_file(self, tmp_path):
+        store = self.seed_store(tmp_path, session_id=4)
+        path = store.path_for(4)
+        code, text = run_cli("state", "verify", str(path))
+        assert code == 0
+        assert text.startswith("OK")
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(raw)
+        code, text = run_cli("state", "verify", str(path))
+        assert code == 1
+        assert "CRC mismatch" in text
+
+    def test_verify_missing_file_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "no_such.arena"
+        code, _text = run_cli("state", "verify", str(path))
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {path}:")
+        assert "no such arena file" in err
+
+    def test_verify_empty_file_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "empty.arena"
+        path.write_bytes(b"")
+        code, _text = run_cli("state", "verify", str(path))
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {path}:")
+        assert "empty arena file" in err
+
+    def test_missing_directory_is_clean_error(self, tmp_path, capsys):
+        missing = tmp_path / "nowhere"
+        code, _text = run_cli("state", "ls", "--dir", str(missing))
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith(f"error: {missing}:")
+        assert "no state directory" in err
+        assert not missing.exists()  # inspection never creates it
+
+    def test_compact_reclaims_litter(self, tmp_path):
+        self.seed_store(tmp_path)
+        (tmp_path / "stray.arena.tmp").write_bytes(b"half")
+        (tmp_path / "old.arena.corrupt").write_bytes(b"bad")
+        code, text = run_cli("state", "compact", "--dir", str(tmp_path))
+        assert code == 0
+        assert "removed 1 tmp, 1 quarantined, 0 defective" in text
+        assert "kept 1 arenas" in text
+
+    def test_default_dir_from_env(self, tmp_path, monkeypatch):
+        self.seed_store(tmp_path)
+        monkeypatch.setenv("REPRO_STATE_DIR", str(tmp_path))
+        code, text = run_cli("state", "verify")
+        assert code == 0
+        assert "checked 1 arenas" in text
 
 
 class TestCompileAndExec:
