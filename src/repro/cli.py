@@ -338,7 +338,7 @@ def build_parser() -> argparse.ArgumentParser:
         "loadgen", help="replay a trace against a prediction server")
     loadgen.add_argument("name", help="workload name")
     loadgen.add_argument("--host", default="127.0.0.1")
-    loadgen.add_argument("--port", type=int, required=True,
+    loadgen.add_argument("--port", type=int, default=None,
                          help="server port")
     loadgen.add_argument("--predictor", default="dfcm",
                          choices=["lvp", "lastn", "stride", "stride2d",
@@ -364,6 +364,66 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the full report JSON")
     loadgen.add_argument("--out", default=None,
                          help="also write the report JSON to this file")
+    loadgen.add_argument("--cluster-workers", default=None,
+                         help="scaling mode: comma-separated fleet "
+                              "sizes (e.g. 1,2,3) to self-host and "
+                              "sweep instead of targeting --port")
+    loadgen.add_argument("--sessions", type=int, default=4,
+                         help="concurrent sessions per scaling point "
+                              "(default 4; scaling mode only)")
+    loadgen.add_argument("--min-scaling", type=float, default=None,
+                         help="fail unless the largest fleet beats one "
+                              "worker by this factor (scaling mode)")
+    loadgen.add_argument("--state-dir", default=None,
+                         help="shared state directory for the "
+                              "self-hosted fleet (scaling mode)")
+    loadgen.add_argument("--history", metavar="FILE", default=None,
+                         help="append the scaling record to this bench "
+                              "history JSONL ('repro bench diff' gates "
+                              "it; scaling mode)")
+
+    cluster = sub.add_parser(
+        "cluster", help="multi-worker cluster serving (router + fleet)")
+    cluster_sub = cluster.add_subparsers(dest="cluster_command",
+                                         required=True)
+    cserve = cluster_sub.add_parser(
+        "serve", help="run a session-affine router over N workers")
+    cserve.add_argument("--workers", type=int, default=2,
+                        help="worker processes (default 2)")
+    cserve.add_argument("--host", default="127.0.0.1")
+    cserve.add_argument("--port", type=int, default=0,
+                        help="router port (default: ephemeral)")
+    cserve.add_argument("--obs-port", type=int, default=None,
+                        help="aggregated observability HTTP port "
+                             "(0 = ephemeral; omit to disable)")
+    cserve.add_argument("--shards", type=int, default=2,
+                        help="batcher shards per worker (default 2)")
+    cserve.add_argument("--max-batch", type=int, default=64)
+    cserve.add_argument("--max-delay-ms", type=float, default=2.0)
+    cserve.add_argument("--queue-depth", type=int, default=1024)
+    cserve.add_argument("--request-timeout-s", type=float, default=30.0)
+    cserve.add_argument("--state-dir", default=None,
+                        help="shared durable-state directory (enables "
+                             "hot migration and failover re-homing)")
+    cserve.add_argument("--max-resident", type=int, default=None,
+                        help="per-worker resident-session LRU cap")
+    cserve.add_argument("--no-auto-restart", action="store_true",
+                        help="do not respawn crashed workers")
+    cserve.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="record a telemetry run under DIR "
+                             "(default $REPRO_TELEMETRY_DIR)")
+    cserve.add_argument("--json", action="store_true",
+                        help="line-JSON lifecycle events (for scripts)")
+    cstatus = cluster_sub.add_parser(
+        "status", help="show a running router's fleet report")
+    cstatus.add_argument("target",
+                         help="router obs endpoint: a base URL "
+                              "(http://host:port) or a bare port on "
+                              "127.0.0.1")
+    cstatus.add_argument("--json", action="store_true",
+                         help="print the raw /cluster JSON")
+    cstatus.add_argument("--timeout", type=float, default=5.0,
+                         help="HTTP timeout (default 5s)")
 
     top = sub.add_parser(
         "top", help="live dashboard over a serve --obs-port endpoint")
@@ -882,6 +942,12 @@ def _cmd_loadgen(args, out) -> int:
 
     spec = spec_from_cli(args.predictor, 1 << args.l1, 1 << args.l2)
     trace = cached_trace(args.name, args.limit)
+    if args.cluster_workers is not None:
+        return _loadgen_scaling(args, out, spec, trace)
+    if args.port is None:
+        raise ValueError(
+            "--port is required (or use --cluster-workers to self-host "
+            "a fleet)")
     report = run_loadgen(spec, trace, args.host, args.port,
                          window=args.window, mode=args.mode,
                          block=args.block, verify=not args.no_verify,
@@ -915,6 +981,147 @@ def _cmd_loadgen(args, out) -> int:
     return 1 if failed else 0
 
 
+def _loadgen_scaling(args, out, spec, trace) -> int:
+    from repro.serve.cluster.loadgen import (render_scaling,
+                                             run_scaling_loadgen)
+    try:
+        workers = [int(n) for n in args.cluster_workers.split(",") if n]
+    except ValueError:
+        raise ValueError(
+            f"--cluster-workers must be comma-separated integers, got "
+            f"{args.cluster_workers!r}") from None
+    report = run_scaling_loadgen(
+        spec, trace, workers=workers, sessions=args.sessions,
+        window=args.window, block=args.block, state_dir=args.state_dir,
+        min_scaling=args.min_scaling)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.history:
+        from repro.harness.bench import append_cluster_history
+        append_cluster_history(report, args.history)
+    if args.json:
+        out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(render_scaling(report))
+        if args.history:
+            out.write(f"history: appended to {args.history}\n")
+    failed = (not report["parity_ok"]
+              or report.get("scaling_ok") is False)
+    return 1 if failed else 0
+
+
+def _cmd_cluster(args, out) -> int:
+    if args.cluster_command == "status":
+        return _cluster_status(args, out)
+    return _cluster_serve(args, out)
+
+
+def _cluster_status(args, out) -> int:
+    import urllib.request
+
+    from repro.harness.report import format_table
+    target = args.target
+    if target.isdigit():
+        target = f"http://127.0.0.1:{target}"
+    elif "://" not in target:
+        target = f"http://{target}"
+    with urllib.request.urlopen(f"{target}/cluster",
+                                timeout=args.timeout) as response:
+        report = json.loads(response.read().decode("utf-8"))
+    if args.json:
+        out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        return 0
+    rows = [[f"{w['worker']}", f"{w['pid']}", f"{w['port']}",
+             ("up" if w.get("connected") else "down"),
+             f"{w.get('sessions', 0)}", f"{w.get('pending', 0)}",
+             f"{w.get('restarts', 0)}",
+             f"{w.get('uptime_s', 0):.0f}s"]
+            for w in report["workers"]]
+    out.write(format_table(
+        ["worker", "pid", "port", "state", "sessions", "in-flight",
+         "restarts", "uptime"], rows,
+        title=(f"cluster @ {target}: "
+               f"{report['workers_alive']}/{len(report['workers'])} "
+               f"workers, {report['sessions_open']} session(s)")) + "\n")
+    out.write(f"frames {report['frames_proxied']:,}  "
+              f"records {report['records_proxied']:,}  "
+              f"migrations {report['migrations_total']}  "
+              f"lost {report['sessions_lost_total']}  "
+              f"parked {report['sessions_parked']}\n")
+    if report.get("state_dir"):
+        out.write(f"state: {report['state_dir']}\n")
+    return 0
+
+
+def _cluster_serve(args, out) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve.cluster.router import Router
+    from repro.serve.cluster.supervisor import ClusterSupervisor
+
+    def emit(event: dict, human: str) -> None:
+        if args.json:
+            out.write(json.dumps(dict(event, schema=1), sort_keys=True)
+                      + "\n")
+        else:
+            out.write(human + "\n")
+        out.flush()
+
+    supervisor = ClusterSupervisor(
+        args.workers, host="127.0.0.1", shards=args.shards,
+        max_batch=args.max_batch, max_delay=args.max_delay_ms / 1e3,
+        queue_depth=args.queue_depth,
+        request_timeout=args.request_timeout_s,
+        state_dir=args.state_dir,
+        max_resident=args.max_resident).start()
+
+    async def _serve():
+        router = Router(supervisor, host=args.host, port=args.port,
+                        obs_port=args.obs_port, obs_host=args.host,
+                        auto_restart=not args.no_auto_restart)
+        await router.start()
+        obs_note = (f", obs http://{args.host}:{router.obs_port}"
+                    if router.obs_port is not None else "")
+        if args.state_dir:
+            obs_note += (f", state {args.state_dir} "
+                         f"({router.adopted_at_start} spilled "
+                         f"session(s) adopted)")
+        emit({"event": "listening", "host": args.host,
+              "port": router.port, "obs_port": router.obs_port,
+              "workers": supervisor.describe(),
+              "state_dir": args.state_dir,
+              "sessions_adopted": router.adopted_at_start},
+             f"router listening on {args.host}:{router.port} "
+             f"({args.workers} workers{obs_note}) -- SIGTERM/SIGINT "
+             f"drains the fleet and exits")
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                signal.signal(signum, lambda *_: stop.set())
+        await stop.wait()
+        return await router.stop()
+
+    with _maybe_telemetry(args) as telemetry:
+        try:
+            stats = asyncio.run(_serve())
+        finally:
+            supervisor.stop()
+    emit({"event": "drained", "stats": stats,
+          "telemetry_run_id": telemetry.run_id if telemetry else None},
+         f"drained: {stats['frames_proxied']} frames proxied, "
+         f"{stats['migrations_total']} migration(s), "
+         f"{stats['sessions_open']} session(s) still open")
+    if telemetry is not None and not args.json:
+        out.write(f"telemetry: {telemetry.dir}\n")
+    return 0
+
+
 def _cmd_top(args, out) -> int:
     from repro.serve.top import run_top
     target = args.target
@@ -943,6 +1150,7 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
+    "cluster": _cmd_cluster,
     "top": _cmd_top,
 }
 

@@ -31,6 +31,7 @@ from repro.trace.trace import ValueTrace
 __all__ = ["MIN_SPEEDUP", "MAX_REGRESSION_PCT", "bench_specs",
            "resolve_min_speedup", "resolve_max_regression_pct", "run_bench",
            "render_bench", "write_report", "history_entry", "append_history",
+           "cluster_history_entry", "append_cluster_history",
            "read_history", "diff_history", "render_history_diff"]
 
 #: Default full-mode guard: flagship DFCM batch replay vs the scalar
@@ -344,6 +345,82 @@ def read_history(path: str = "BENCH_history.jsonl") -> List[dict]:
     return entries
 
 
+def cluster_history_entry(report: dict) -> dict:
+    """One ``kind: cluster_scaling`` history record from a
+    :func:`repro.serve.cluster.loadgen.run_scaling_loadgen` report --
+    aggregate throughput and tail latency per worker count, so ``repro
+    bench diff`` can gate the cluster tier the same way it gates the
+    kernels."""
+    return {
+        "schema": HISTORY_SCHEMA,
+        "kind": "cluster_scaling",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": _bench_git_sha(),
+        "trace": report.get("trace"),
+        "spec": report.get("spec"),
+        "sessions": report.get("sessions"),
+        "points": {
+            str(p["workers"]): {
+                "records_per_s": p["records_per_s"],
+                "p99_ms": p["latency"]["p99_ms"],
+            } for p in report.get("points", [])},
+        "speedup": report.get("speedup"),
+    }
+
+
+def append_cluster_history(report: dict,
+                           path: str = "BENCH_history.jsonl") -> dict:
+    """Append a scaling-loadgen report's history record; returns the
+    entry written."""
+    entry = cluster_history_entry(report)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def _entry_kind(entry: dict) -> str:
+    """Records written before kinds existed are bench records."""
+    return entry.get("kind") or ("bench" if "families" in entry
+                                 else "unknown")
+
+
+def _diff_cluster(base: dict, head: dict, threshold: float) -> dict:
+    """Per-worker-count throughput comparison of two cluster records.
+
+    Only worker counts present in both records gate (a widened or
+    narrowed sweep re-baselines itself); a point regresses when its
+    aggregate throughput drops more than *threshold* percent.
+    """
+    points = []
+    regressed = []
+    shared = sorted(set(base.get("points", {}))
+                    & set(head.get("points", {})), key=int)
+    for workers in shared:
+        old = base["points"][workers]["records_per_s"]
+        new = head["points"][workers]["records_per_s"]
+        delta_pct = ((new - old) / old * 100.0) if old else 0.0
+        is_regressed = delta_pct < -threshold
+        if is_regressed:
+            regressed.append(f"cluster:w{workers}")
+        points.append({
+            "workers": int(workers),
+            "base_records_per_s": old,
+            "head_records_per_s": new,
+            "base_p99_ms": base["points"][workers].get("p99_ms"),
+            "head_p99_ms": head["points"][workers].get("p99_ms"),
+            "delta_pct": round(delta_pct, 2),
+            "regressed": is_regressed,
+        })
+    return {
+        "base": {"git_sha": base.get("git_sha"),
+                 "timestamp": base.get("timestamp")},
+        "head": {"git_sha": head.get("git_sha"),
+                 "timestamp": head.get("timestamp")},
+        "points": points,
+        "regressed": regressed,
+    }
+
+
 def diff_history(path: str = "BENCH_history.jsonl",
                  max_regression_pct: Optional[float] = None) -> dict:
     """Compare the two most recent history records per family.
@@ -356,14 +433,24 @@ def diff_history(path: str = "BENCH_history.jsonl",
     gate, so either direction of mismatch raises :class:`ValueError`
     with both sides named -- re-run ``bench --history`` after a grid
     change to re-baseline.
+
+    The history file may interleave record kinds (plain bench records
+    and ``cluster_scaling`` records from the scaling loadgen); each
+    kind diffs against its own predecessor.  The cluster comparison
+    rides along under ``"cluster"`` whenever two scaling records
+    exist, gated by the same threshold.
     """
     threshold = resolve_max_regression_pct(max_regression_pct)
     entries = read_history(path)
-    if len(entries) < 2:
+    bench_entries = [e for e in entries if _entry_kind(e) == "bench"]
+    cluster_entries = [e for e in entries
+                       if _entry_kind(e) == "cluster_scaling"]
+    if len(bench_entries) < 2:
         raise ValueError(
-            f"{path}: need at least 2 history records to diff, "
-            f"found {len(entries)} (run 'repro bench --history' twice)")
-    base, head = entries[-2], entries[-1]
+            f"{path}: need at least 2 bench history records to diff, "
+            f"found {len(bench_entries)} (run 'repro bench --history' "
+            f"twice)")
+    base, head = bench_entries[-2], bench_entries[-1]
     only_base = sorted(set(base["families"]) - set(head["families"]))
     only_head = sorted(set(head["families"]) - set(base["families"]))
     if only_base or only_head:
@@ -404,7 +491,7 @@ def diff_history(path: str = "BENCH_history.jsonl",
             "head_table_efficiency": new_eff,
             "efficiency_delta_pct": eff_delta,
         })
-    return {
+    diff = {
         "schema": HISTORY_SCHEMA,
         "path": path,
         "max_regression_pct": threshold,
@@ -418,6 +505,13 @@ def diff_history(path: str = "BENCH_history.jsonl",
         "regressed": regressed,
         "passed": not regressed,
     }
+    if len(cluster_entries) >= 2:
+        cluster = _diff_cluster(cluster_entries[-2], cluster_entries[-1],
+                                threshold)
+        diff["cluster"] = cluster
+        diff["regressed"] = regressed + cluster["regressed"]
+        diff["passed"] = not diff["regressed"]
+    return diff
 
 
 def render_history_diff(diff: dict) -> str:
@@ -441,6 +535,18 @@ def render_history_diff(diff: dict) -> str:
          "verdict"], rows,
         title=(f"bench history diff: {_ident(diff['base'])} -> "
                f"{_ident(diff['head'])}"))]
+    cluster = diff.get("cluster")
+    if cluster:
+        cluster_rows = [
+            [f"{p['workers']}",
+             f"{p['base_records_per_s']:,}",
+             f"{p['head_records_per_s']:,}",
+             f"{p['delta_pct']:+.2f}%",
+             "REGRESSED" if p["regressed"] else "ok"]
+            for p in cluster["points"]]
+        lines.append(format_table(
+            ["workers", "base rec/s", "head rec/s", "delta", "verdict"],
+            cluster_rows, title="cluster scaling diff"))
     verdict = "PASS" if diff["passed"] else "FAIL"
     lines.append(f"gate: batch throughput drop <= "
                  f"{diff['max_regression_pct']:g}% per family -- {verdict}")

@@ -187,6 +187,19 @@ def _forward_events(cell_index: int, events: List[dict]) -> None:
         run.emit(event)
 
 
+def forward_worker_events(worker_index: int,
+                          events: List[dict]) -> None:
+    """Merge a worker process's collected telemetry events into the
+    parent's active run (span ids re-namespaced, depths re-based).
+
+    The public face of the sweep executor's stitching machinery:
+    :mod:`repro.serve.cluster` feeds each serve worker's event buffer
+    through it at drain time, so one telemetry run sees spans from the
+    whole fleet exactly as it sees spans from sweep cells.
+    """
+    _forward_events(worker_index, events)
+
+
 def run_cells(cells: Sequence[tuple], engine: Optional[str] = None,
               jobs: Optional[int] = None) -> List:
     """Measure ``(spec, trace)`` cells on a process pool.

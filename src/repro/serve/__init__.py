@@ -16,15 +16,24 @@ this package serves the same predictors over TCP, online:
 - :mod:`repro.serve.server` -- the asyncio TCP server; sessions are
   sharded across worker tasks by session id.
 - :mod:`repro.serve.client` / :mod:`repro.serve.loadgen` -- a blocking
-  client and a trace-replay load generator reporting throughput and
-  latency percentiles, verified against the offline engine.
+  client (with reconnect-on-reset backoff) and a trace-replay load
+  generator reporting throughput and latency percentiles, verified
+  against the offline engine.
+- :mod:`repro.serve.cluster` -- multi-worker serving: a
+  :class:`~repro.serve.cluster.supervisor.ClusterSupervisor` fleet of
+  worker processes behind a session-affine
+  :class:`~repro.serve.cluster.router.Router` (rendezvous-hashed
+  placement, hot migration over durable-state arenas, zero-drop
+  drain/failover, aggregated observability).
 
 Serving is bit-identical to the offline engines: a served trace
 produces the same hit/miss counts as ``measure_suite`` on the same
-spec, including under delayed-update windows.
+spec, including under delayed-update windows -- at every fleet size.
 """
 
 from repro.serve.client import ServeClient
+from repro.serve.cluster import (ClusterSupervisor, ClusterThread,
+                                 RendezvousRing, Router)
 from repro.serve.obs import ObservabilityServer
 from repro.serve.protocol import PROTOCOL_VERSION, ProtocolError
 from repro.serve.server import PredictionServer, ServerThread
@@ -39,6 +48,10 @@ __all__ = [
     "PredictionServer",
     "ServerThread",
     "ServeClient",
+    "ClusterSupervisor",
+    "ClusterThread",
+    "RendezvousRing",
+    "Router",
     "ObservabilityServer",
     "RequestTrace",
     "SlowRequestSampler",

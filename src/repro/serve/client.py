@@ -15,15 +15,28 @@ comes back rejected, the client re-connects speaking version 1 --
 without trace ids -- and retries.  Pin ``version=1`` to skip the
 probe.
 
+A torn connection (ECONNRESET from a restarting server, a router
+re-homing this session mid-migration, a worker killed under the
+request) is retried transparently: the client reconnects with bounded
+exponential backoff and re-sends the request, up to ``reconnect``
+attempts (default 3; pass ``reconnect=0`` to surface transport errors
+raw).  The retry is idempotent against a cluster router's planned
+migrations and SIGTERM drains -- every accepted frame is answered
+before a worker closes -- but a SIGKILL between execution and response
+can apply a re-sent STEP twice; callers needing exactly-once across
+hard kills should fence with SNAPSHOT (see docs/state.md).
+
 Server-side errors surface as :class:`ServeError` carrying the
-protocol error code; transport and framing problems raise
-:class:`~repro.serve.protocol.ProtocolError` / ``ConnectionError``.
+protocol error code; transport and framing problems (once retries are
+exhausted) raise :class:`~repro.serve.protocol.ProtocolError` /
+``ConnectionError``.
 """
 
 from __future__ import annotations
 
 import itertools
 import socket
+import time
 from typing import List, Optional, Tuple
 
 from repro.core.spec import PredictorSpec
@@ -54,16 +67,26 @@ class ServeClient:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  timeout: Optional[float] = 30.0,
-                 version: int = protocol.PROTOCOL_VERSION):
+                 version: int = protocol.PROTOCOL_VERSION,
+                 reconnect: int = 3,
+                 reconnect_backoff: float = 0.05,
+                 reconnect_backoff_max: float = 2.0):
         if version not in protocol.SUPPORTED_VERSIONS:
             raise protocol.ProtocolError(
                 f"unsupported protocol version {version}; supported: "
                 f"{list(protocol.SUPPORTED_VERSIONS)}")
+        if reconnect < 0:
+            raise ValueError(f"reconnect must be >= 0, got {reconnect}")
         self.host = host
         self.port = port
         self.timeout = timeout
         self.protocol_version = version
         self.last_trace_id = 0
+        self.reconnect = reconnect
+        self.reconnect_backoff = reconnect_backoff
+        self.reconnect_backoff_max = reconnect_backoff_max
+        #: Successful transparent reconnects performed so far.
+        self.reconnects = 0
         self._request_ids = itertools.count(1)
         # Version 1 needs no probe; higher versions are confirmed by
         # the first successful round trip (see ``request``).
@@ -85,18 +108,52 @@ class ServeClient:
     def request(self, frame_type: int, body: bytes) -> protocol.Frame:
         """Send one frame, block for its response frame.
 
-        Handles version negotiation: when an un-negotiated connection
-        has its first request rejected for speaking a version the
-        server doesn't know, the client re-connects with version 1 and
-        retries the request once.
+        Handles version negotiation (an un-negotiated connection whose
+        first request is rejected for speaking an unknown version
+        re-connects as version 1 and retries once) and transparent
+        reconnect: a torn connection re-dials with bounded exponential
+        backoff and re-sends the request, up to :attr:`reconnect`
+        times per request.
         """
+        failures = 0
+        while True:
+            if self.sock is None:
+                # The previous attempt tore the connection down;
+                # re-dial before re-sending.  A refused dial consumes
+                # budget like any other failure -- the server may
+                # still be restarting.
+                try:
+                    self.sock = self._connect()
+                    self.reconnects += 1
+                except OSError:
+                    failures += 1
+                    if failures > self.reconnect:
+                        raise
+                    self._backoff(failures)
+                    continue
+            try:
+                # TornFrameError subclasses ConnectionError, and
+                # ConnectionError / socket.timeout subclass OSError:
+                # one clause covers every transport failure.  Protocol
+                # violations (ProtocolError) and server-side errors
+                # (ServeError) are never retried.
+                return self._request_once(frame_type, body)
+            except OSError:
+                failures += 1
+                if failures > self.reconnect:
+                    raise
+                self._backoff(failures)
+                self.close()
+                self.sock = None
+
+    def _request_once(self, frame_type: int, body: bytes) -> protocol.Frame:
         request_id = self.send(frame_type, body)
         try:
             frame = self.recv()
         except ServeError as exc:
             if self._should_downgrade(exc):
                 self._downgrade()
-                return self.request(frame_type, body)
+                return self._request_once(frame_type, body)
             raise
         self._negotiated = True
         if frame is None:
@@ -106,6 +163,12 @@ class ServeClient:
                 f"response for request {frame.request_id}, "
                 f"expected {request_id}")
         return frame
+
+    def _backoff(self, failures: int) -> None:
+        delay = min(self.reconnect_backoff * (2 ** (failures - 1)),
+                    self.reconnect_backoff_max)
+        if delay > 0:
+            time.sleep(delay)
 
     def _should_downgrade(self, exc: "ServeError") -> bool:
         return (not self._negotiated
@@ -144,6 +207,8 @@ class ServeClient:
         return frame
 
     def close(self) -> None:
+        if self.sock is None:
+            return
         try:
             self.sock.close()
         except OSError:
@@ -208,5 +273,32 @@ class ServeClient:
         resident and keeps serving; requires the server to run with a
         state directory."""
         frame = self.request(protocol.FrameType.SNAPSHOT,
+                             protocol.encode_session_op(session))
+        return protocol.decode_json_body(frame.body)
+
+    # ------------------------------------------------- cluster control
+
+    def open_session_as(self, session: int, spec: PredictorSpec,
+                        window: int = 0) -> int:
+        """Open a session under a caller-dictated id (the router path;
+        also useful for deterministic test fixtures)."""
+        frame = self.request(
+            protocol.FrameType.OPEN_SESSION_AS,
+            protocol.encode_open_session_as(session, spec.to_config(),
+                                            window))
+        return protocol.decode_session_op(frame.body, 0)[0]
+
+    def adopt_session(self, session: int) -> dict:
+        """Tell the server to take ownership of the session's arena in
+        its state directory (restored lazily on first use)."""
+        frame = self.request(protocol.FrameType.ADOPT_SESSION,
+                             protocol.encode_session_op(session))
+        return protocol.decode_json_body(frame.body)
+
+    def release_session(self, session: int) -> dict:
+        """Checkpoint the session to its arena and make the server
+        forget it -- the migration barrier; pair with
+        :meth:`adopt_session` on the receiving server."""
+        frame = self.request(protocol.FrameType.RELEASE_SESSION,
                              protocol.encode_session_op(session))
         return protocol.decode_json_body(frame.body)

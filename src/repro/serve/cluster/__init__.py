@@ -1,0 +1,30 @@
+"""Multi-worker cluster serving: supervisor, rendezvous ring, router.
+
+The cluster tier scales :class:`~repro.serve.server.PredictionServer`
+across processes without changing the wire protocol clients speak:
+
+- :class:`~repro.serve.cluster.supervisor.ClusterSupervisor` forks and
+  drains N worker processes;
+- :class:`~repro.serve.cluster.ring.RendezvousRing` maps session ids
+  to worker slots with minimal disruption on membership change;
+- :class:`~repro.serve.cluster.router.Router` is the client-facing
+  proxy: session-affine zero-copy forwarding, hot migration over the
+  durable-state arenas, failover re-homing, aggregated observability;
+- :class:`~repro.serve.cluster.router.ClusterThread` hosts the pair
+  behind a blocking API for tests, loadgen and the CLI.
+"""
+
+from repro.serve.cluster.ring import RendezvousRing, rendezvous_score
+from repro.serve.cluster.router import (ClusterControlError, ClusterThread,
+                                        Router)
+from repro.serve.cluster.supervisor import ClusterSupervisor, WorkerHandle
+
+__all__ = [
+    "ClusterControlError",
+    "ClusterSupervisor",
+    "ClusterThread",
+    "RendezvousRing",
+    "Router",
+    "WorkerHandle",
+    "rendezvous_score",
+]

@@ -1,0 +1,154 @@
+"""Fleet-wide observability aggregation for the router tier.
+
+Two pieces:
+
+- tiny asyncio HTTP/1.0 GET helpers to scrape the workers' embedded
+  :class:`~repro.serve.obs.ObservabilityServer` endpoints (no external
+  HTTP dependency, same as the endpoints themselves);
+- a Prometheus text-format merger that relabels every worker's samples
+  with a ``worker="i"`` label and deduplicates ``# HELP`` / ``# TYPE``
+  comment lines, so the router's ``/metrics`` is one well-formed
+  exposition covering the router's own registry plus the whole fleet.
+
+The merger is deliberately conservative: it only needs to understand
+the exposition our own :func:`repro.telemetry.live.live_prometheus_text`
+emits (comment lines, ``name value``, ``name{labels} value``, optional
+OpenMetrics exemplar suffix), and it passes sample lines through
+byte-for-byte apart from the injected label.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["http_get", "http_get_json", "merge_prometheus_texts",
+           "inject_labels"]
+
+_MAX_RESPONSE = 1 << 26
+
+
+async def http_get(host: str, port: int, path: str,
+                   timeout: float = 5.0) -> str:
+    """GET ``http://host:port{path}``, returning the decoded body.
+
+    Raises ``ConnectionError`` on refusal/reset and ``ValueError`` on
+    a non-200 status -- callers treat both as "worker unreachable".
+    """
+    reader, writer = await asyncio.wait_for(
+        asyncio.open_connection(host, port), timeout)
+    try:
+        writer.write(f"GET {path} HTTP/1.0\r\n"
+                     f"Host: {host}\r\n\r\n".encode("ascii"))
+        await writer.drain()
+        # Read to EOF (the endpoint closes after one response); a
+        # single read(n) would return the first segment only.
+        chunks = []
+        total = 0
+        while total < _MAX_RESPONSE:
+            chunk = await asyncio.wait_for(reader.read(1 << 16), timeout)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            total += len(chunk)
+        raw = b"".join(chunks)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+    parts = status_line.split()
+    if len(parts) < 2 or parts[1] != "200":
+        raise ValueError(f"GET {path} on {host}:{port} -> {status_line}")
+    return body.decode("utf-8", "replace")
+
+
+async def http_get_json(host: str, port: int, path: str,
+                        timeout: float = 5.0) -> dict:
+    return json.loads(await http_get(host, port, path, timeout))
+
+
+# ----------------------------------------------------- prometheus merge
+
+def inject_labels(line: str, labels: Dict[str, str]) -> str:
+    """One sample line with *labels* spliced into its label set."""
+    if not labels:
+        return line
+    rendered = ",".join(f'{key}="{value}"'
+                        for key, value in labels.items())
+    # Find where the metric name ends: at an existing label block or
+    # at the first space (exemplar suffixes live after the value, so
+    # both splits are safe).
+    brace = line.find("{")
+    space = line.find(" ")
+    if brace != -1 and (space == -1 or brace < space):
+        return f"{line[:brace + 1]}{rendered},{line[brace + 1:]}"
+    if space == -1:
+        return line  # not a sample line; pass through untouched
+    return f"{line[:space]}{{{rendered}}}{line[space:]}"
+
+
+def merge_prometheus_texts(
+        parts: List[Tuple[Optional[Dict[str, str]], str]]) -> str:
+    """Merge several expositions into one.
+
+    *parts* is ``[(extra_labels_or_None, exposition_text), ...]``.
+    Samples keep their part order within a metric family; ``# HELP`` /
+    ``# TYPE`` lines are emitted once per family, from the first part
+    that declares them.  Families appear in first-seen order.
+    """
+    order: List[str] = []
+    help_lines: Dict[str, str] = {}
+    type_lines: Dict[str, str] = {}
+    samples: Dict[str, List[str]] = {}
+
+    def family_of(sample_line: str) -> str:
+        name = sample_line.split("{", 1)[0].split(" ", 1)[0]
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix):
+                base = name[:-len(suffix)]
+                # Histogram samples belong to the base family when we
+                # saw its TYPE; plain counters ending in _count stay
+                # themselves.
+                if base in type_lines or base in samples:
+                    return base
+        return name
+
+    def seat(family: str) -> None:
+        if family not in samples:
+            samples[family] = []
+            order.append(family)
+
+    for labels, text in parts:
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            if line.startswith("# HELP "):
+                name = line.split(" ", 3)[2]
+                seat(name)
+                help_lines.setdefault(name, line)
+            elif line.startswith("# TYPE "):
+                name = line.split(" ", 3)[2]
+                seat(name)
+                type_lines.setdefault(name, line)
+            elif line.startswith("#"):
+                continue
+            else:
+                family = family_of(line)
+                seat(family)
+                samples[family].append(
+                    inject_labels(line, labels or {}))
+    out: List[str] = []
+    for family in order:
+        if not samples[family] and family not in type_lines:
+            continue
+        if family in help_lines:
+            out.append(help_lines[family])
+        if family in type_lines:
+            out.append(type_lines[family])
+        out.extend(samples[family])
+    return "\n".join(out) + ("\n" if out else "")

@@ -36,6 +36,7 @@ are scrapers, ``repro top``, and curl.  No external HTTP dependency.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
@@ -114,7 +115,13 @@ class ObservabilityServer:
         if method != "GET":
             return _text("405 Method Not Allowed", "GET only\n")
         split = urlsplit(target)
-        return self._route(split.path, parse_qs(split.query))
+        # Subclasses (the cluster router's aggregating endpoint) may
+        # route to coroutines -- they scrape worker endpoints before
+        # answering; the base server's routes stay synchronous.
+        result = self._route(split.path, parse_qs(split.query))
+        if inspect.isawaitable(result):
+            result = await result
+        return result
 
     def _route(self, path: str, query: dict) -> Tuple[str, str, bytes]:
         if path == "/metrics":

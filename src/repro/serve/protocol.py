@@ -38,6 +38,9 @@ Request bodies::
     STATS          u64 session (0 = server-wide)
     CLOSE_SESSION  u64 session
     SNAPSHOT       u64 session
+    ADOPT_SESSION  u64 session
+    RELEASE_SESSION u64 session
+    OPEN_SESSION_AS u64 session | u32 window | u32 len | config JSON
 
 Response bodies::
 
@@ -50,6 +53,9 @@ Response bodies::
     STATS          u32 len | stats JSON (utf-8)
     CLOSE_SESSION  u32 len | final stats JSON (utf-8)
     SNAPSHOT       u32 len | snapshot report JSON (utf-8)
+    ADOPT_SESSION  u32 len | adoption report JSON (utf-8)
+    RELEASE_SESSION u32 len | release report JSON (utf-8)
+    OPEN_SESSION_AS u64 session
     ERROR          u16 code | u32 len | message (utf-8)
 
 SNAPSHOT is the durability barrier of the state lifecycle (see
@@ -59,6 +65,19 @@ kill-safety can force a write-out instead of waiting for LRU eviction.
 The server must have a state directory configured
 (``STATE_UNAVAILABLE`` otherwise) and the session must be engine-mode
 (scalar sessions report ``BAD_FRAME``).
+
+ADOPT_SESSION, RELEASE_SESSION and OPEN_SESSION_AS are the cluster
+control plane (:mod:`repro.serve.cluster`): the router tier uses
+OPEN_SESSION_AS to dictate a globally-unique session id to a worker
+(the body is OPEN_SESSION's with the session id prepended),
+RELEASE_SESSION to checkpoint a session to its arena and relinquish
+ownership (the migration barrier: it rides the same per-session FIFO
+as data frames, so every in-flight STEP completes first), and
+ADOPT_SESSION to hand the arena to another worker, which restores it
+lazily on the session's next request.  All three need a state
+directory (``STATE_UNAVAILABLE`` otherwise, except OPEN_SESSION_AS)
+and are valid from any peer -- a single-process deployment can drive
+them directly for warm handoffs between servers sharing a state dir.
 
 The spec config JSON is exactly
 :meth:`repro.core.spec.PredictorSpec.to_config`, so any predictor the
@@ -77,10 +96,12 @@ import numpy as np
 
 __all__ = ["PROTOCOL_VERSION", "PROTOCOL_VERSION_V1", "SUPPORTED_VERSIONS",
            "MAX_FRAME_BYTES", "RESPONSE_BIT",
-           "FrameType", "ErrorCode", "ProtocolError", "Frame",
+           "FrameType", "ErrorCode", "ProtocolError", "TornFrameError",
+           "Frame",
            "encode_frame", "decode_frame", "read_frame_blocking",
            "BlockingFrameReader",
            "encode_open_session", "decode_open_session",
+           "encode_open_session_as", "decode_open_session_as",
            "encode_session_op", "decode_session_op",
            "encode_step_block", "decode_step_block",
            "decode_step_block_arrays",
@@ -116,6 +137,9 @@ class FrameType(enum.IntEnum):
     STATS = 7
     CLOSE_SESSION = 8
     SNAPSHOT = 9
+    ADOPT_SESSION = 10
+    RELEASE_SESSION = 11
+    OPEN_SESSION_AS = 12
     ERROR = 0x7F
 
 
@@ -137,6 +161,12 @@ class ErrorCode(enum.IntEnum):
 
 class ProtocolError(Exception):
     """A malformed, oversized, or version-mismatched frame."""
+
+
+class TornFrameError(ProtocolError, ConnectionError):
+    """The connection died mid-frame: a transport failure, not a
+    protocol violation -- :class:`repro.serve.client.ServeClient` may
+    transparently reconnect and retry on it."""
 
 
 @dataclass(frozen=True)
@@ -262,7 +292,7 @@ class BlockingFrameReader:
             if not got:
                 if received == 0 and eof_ok:
                     return None
-                raise ProtocolError("connection closed mid-frame")
+                raise TornFrameError("connection closed mid-frame")
             received += got
         return view
 
@@ -305,6 +335,25 @@ def decode_open_session(body: bytes) -> Tuple[dict, int]:
         return json.loads(blob.decode()), window
     except (struct.error, UnicodeDecodeError, json.JSONDecodeError) as exc:
         raise ProtocolError(f"bad OPEN_SESSION body: {exc}") from exc
+
+
+def encode_open_session_as(session: int, config: dict,
+                           window: int) -> bytes:
+    """OPEN_SESSION_AS: an OPEN_SESSION body with the (router-assigned)
+    session id prepended -- the layout lets a proxy build it from a
+    client's OPEN_SESSION frame by prefixing 8 bytes, never re-encoding
+    the config JSON."""
+    return _SESSION.pack(session) + encode_open_session(config, window)
+
+
+def decode_open_session_as(body: bytes) -> Tuple[int, dict, int]:
+    try:
+        (session,) = _SESSION.unpack_from(body)
+    except struct.error as exc:
+        raise ProtocolError(f"bad OPEN_SESSION_AS body: {exc}") from exc
+    config, window = decode_open_session(
+        memoryview(body)[_SESSION.size:])
+    return session, config, window
 
 
 def encode_session_op(session: int, pc: Optional[int] = None,

@@ -54,7 +54,6 @@ so nothing outside this module needs an event loop.
 from __future__ import annotations
 
 import asyncio
-import itertools
 import os
 import threading
 import time
@@ -205,6 +204,13 @@ class _ServeMetrics:
             "repro_serve_session_snapshots_total",
             "Explicit SNAPSHOT checkpoints written while the session "
             "stayed resident.")
+        self.releases = reg.counter(
+            "repro_serve_session_releases_total",
+            "Sessions checkpointed and relinquished via RELEASE_SESSION "
+            "(the migration barrier).")
+        self.adoptions = reg.counter(
+            "repro_serve_session_adoptions_total",
+            "Arena files adopted via ADOPT_SESSION.")
 
 
 class _Shard:
@@ -246,7 +252,8 @@ class PredictionServer:
                  slo_interval: float = 0.25,
                  slow_k: int = 32,
                  state_dir: Optional[str] = None,
-                 max_resident: Optional[int] = None):
+                 max_resident: Optional[int] = None,
+                 adopt_arenas: bool = True):
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         if max_resident is not None and max_resident < 1:
@@ -263,7 +270,7 @@ class PredictionServer:
         self.metrics = _ServeMetrics()
         self._server: Optional[asyncio.base_events.Server] = None
         self._connections: List[_Connection] = []
-        self._session_ids = itertools.count(1)
+        self._next_session_id = 1
         self._session_opened_at: Dict[int, float] = {}
         # ----------------------------------------------- durable state
         # Normalised to str: this field travels in JSON bodies
@@ -273,17 +280,20 @@ class PredictionServer:
         self._store = ArenaStore(state_dir) if state_dir else None
         self._last_used: Dict[int, float] = {}
         self.snapshots_taken = 0
-        if self._store is not None:
+        self.releases = 0
+        if self._store is not None and adopt_arenas:
             # Adopt the previous process's spilled sessions: each id
             # stays addressable (restored on its first request) and the
             # id counter continues above the highest one on disk, so a
             # restarted server never reissues a session id that still
-            # has an arena.
+            # has an arena.  Cluster workers share one state directory
+            # and run with adopt_arenas=False -- their router assigns
+            # arenas explicitly with ADOPT_SESSION frames instead.
             adopted = self._store.session_ids()
             for session_id in adopted:
                 self.shards[session_id % shards].spilled.add(session_id)
             if adopted:
-                self._session_ids = itertools.count(adopted[-1] + 1)
+                self._note_session_id(adopted[-1])
         for shard in self.shards:
             shard.resolve = self._resolver_for(shard)
         self._refresh_residency()
@@ -523,6 +533,7 @@ class PredictionServer:
             "evictions_total": sum(s.evictions for s in self.shards),
             "reloads_total": sum(s.reloads for s in self.shards),
             "snapshots_total": self.snapshots_taken,
+            "releases_total": self.releases,
             "state_dir": self.state_dir,
             "state_version": STATE_VERSION if self.state_dir else None,
             "records_served": self.records_served,
@@ -758,6 +769,24 @@ class PredictionServer:
 
     async def _dispatch_open(self, conn, frame, trace) -> None:
         config, window = protocol.decode_open_session(frame.body)
+        await self._open_session(conn, frame, trace, config, window,
+                                 self._alloc_session_id())
+
+    async def _dispatch_open_as(self, conn, frame, trace) -> None:
+        session_id, config, window = protocol.decode_open_session_as(
+            frame.body)
+        if session_id < 1:
+            self._respond_error(conn, frame.request_id,
+                                protocol.ErrorCode.BAD_FRAME,
+                                f"session id must be >= 1, "
+                                f"got {session_id}", trace=trace)
+            return
+        self._note_session_id(session_id)
+        await self._open_session(conn, frame, trace, config, window,
+                                 session_id)
+
+    async def _open_session(self, conn, frame, trace, config, window,
+                            session_id) -> None:
         if self._stopping:
             self._respond_error(conn, frame.request_id,
                                 protocol.ErrorCode.SHUTTING_DOWN,
@@ -772,10 +801,12 @@ class PredictionServer:
                                 protocol.ErrorCode.BAD_SPEC, str(exc),
                                 trace=trace)
             return
-        session_id = next(self._session_ids)
         shard = self.shards[session_id % len(self.shards)]
 
-        def run(_session):
+        def run(session):
+            if session is not None or session_id in shard.spilled:
+                raise ValueError(f"session id {session_id} is already "
+                                 f"in use")
             shard.sessions[session_id] = Session(session_id, spec, window)
             self._session_opened_at[session_id] = time.time()
             self.metrics.sessions_open.inc()
@@ -882,6 +913,97 @@ class PredictionServer:
                            run=run, session_id=session_id,
                            encode=protocol.encode_json_body)
 
+    async def _dispatch_adopt(self, conn, frame, trace) -> None:
+        """ADOPT_SESSION: take ownership of an arena in the shared
+        state directory.  The session becomes addressable immediately
+        (listed as spilled) and is restored lazily by the shard
+        resolver on its first request -- adoption itself never loads
+        table state, so re-homing N sessions is O(N) dictionary work.
+        """
+        (session_id,) = protocol.decode_session_op(frame.body, 0)
+        if self._store is None:
+            self._respond_error(
+                conn, frame.request_id,
+                protocol.ErrorCode.STATE_UNAVAILABLE,
+                "server is running without a state directory "
+                "(start it with --state-dir to enable adoption)",
+                trace=trace)
+            return
+        shard = self._shard_of(session_id)
+
+        def run(session):
+            if session is not None or session_id in shard.spilled:
+                # Idempotent: adopting a session already here is a
+                # no-op, so a router retry after a torn control frame
+                # is always safe.
+                return {"schema": 1, "session": session_id,
+                        "adopted": False, "reason": "already owned"}
+            if not self._store.path_for(session_id).exists():
+                raise KeyError(session_id)
+            shard.spilled.add(session_id)
+            self._note_session_id(session_id)
+            self._session_opened_at.setdefault(session_id, time.time())
+            self.metrics.sessions_open.inc()
+            self.metrics.adoptions.inc()
+            self._refresh_residency()
+            return {"schema": 1, "session": session_id, "adopted": True,
+                    "path": str(self._store.path_for(session_id))}
+
+        await self._submit(conn, frame, trace, shard, run=run,
+                           session_id=session_id,
+                           encode=protocol.encode_json_body)
+
+    async def _dispatch_release(self, conn, frame, trace) -> None:
+        """RELEASE_SESSION: checkpoint to the arena and forget.
+
+        The migration barrier: submitted through the owning shard's
+        batcher like any data frame, so every STEP accepted before it
+        has executed (and its response slot filled) by the time the
+        release report goes out.  After a release the session is gone
+        from this worker -- later frames for it get UNKNOWN_SESSION --
+        and the arena belongs to whoever adopts it.
+        """
+        (session_id,) = protocol.decode_session_op(frame.body, 0)
+        if self._store is None:
+            self._respond_error(
+                conn, frame.request_id,
+                protocol.ErrorCode.STATE_UNAVAILABLE,
+                "server is running without a state directory "
+                "(start it with --state-dir to enable release)",
+                trace=trace)
+            return
+        shard = self._shard_of(session_id)
+
+        def run(session):
+            if session is None:
+                raise KeyError(session_id)
+            if not session.spillable:
+                raise ValueError(
+                    f"session {session_id} is scalar-mode (windowed or "
+                    f"non-resumable) and cannot be released for "
+                    f"migration")
+            arrays, meta = session.snapshot()
+            nbytes = self._store.save(session_id,
+                                      session.spec.to_config(), arrays,
+                                      meta)
+            shard.sessions.pop(session_id)
+            shard.spilled.discard(session_id)
+            self._last_used.pop(session_id, None)
+            self._session_opened_at.pop(session_id, None)
+            self.metrics.sessions_open.dec()
+            self.metrics.releases.inc()
+            self.releases += 1
+            self._refresh_residency()
+            return {"schema": 1, "session": session_id,
+                    "path": str(self._store.path_for(session_id)),
+                    "nbytes": nbytes, "state_version": STATE_VERSION,
+                    "released": True, "hits": session.hits,
+                    "predictions": session.predictions}
+
+        await self._submit(conn, frame, trace, shard, run=run,
+                           session_id=session_id,
+                           encode=protocol.encode_json_body)
+
     # ------------------------------------------------------ durable state
 
     def _touch(self, session_id: int) -> None:
@@ -984,6 +1106,18 @@ class PredictionServer:
     def _shard_of(self, session_id: int) -> _Shard:
         return self.shards[session_id % len(self.shards)]
 
+    def _alloc_session_id(self) -> int:
+        session_id = self._next_session_id
+        self._next_session_id += 1
+        return session_id
+
+    def _note_session_id(self, session_id: int) -> None:
+        """Keep the id counter above every externally-assigned id
+        (adopted arenas, router-dictated OPEN_SESSION_AS) so a plain
+        OPEN_SESSION on this worker never collides."""
+        self._next_session_id = max(self._next_session_id,
+                                    session_id + 1)
+
     async def _submit_session(self, conn, frame, trace, session_id, run,
                               encode):
         def checked(session):
@@ -1078,6 +1212,7 @@ class PredictionServer:
             "evictions_total": sum(s.evictions for s in self.shards),
             "reloads_total": sum(s.reloads for s in self.shards),
             "snapshots_total": self.snapshots_taken,
+            "releases_total": self.releases,
             "state_dir": self.state_dir,
             "connections_open": len(self._connections),
             "shards": len(self.shards),
@@ -1106,6 +1241,9 @@ _DISPATCH = {
     protocol.FrameType.STATS: PredictionServer._dispatch_stats,
     protocol.FrameType.CLOSE_SESSION: PredictionServer._dispatch_close,
     protocol.FrameType.SNAPSHOT: PredictionServer._dispatch_snapshot,
+    protocol.FrameType.ADOPT_SESSION: PredictionServer._dispatch_adopt,
+    protocol.FrameType.RELEASE_SESSION: PredictionServer._dispatch_release,
+    protocol.FrameType.OPEN_SESSION_AS: PredictionServer._dispatch_open_as,
 }
 
 

@@ -11,6 +11,15 @@ requests with their stage breakdowns.  Servers running with
 spilled / evictions / reloads / snapshots) and a per-shard eviction
 column; against older servers those simply render as absent / ``--``.
 
+Pointed at a cluster router's aggregated endpoint (``repro cluster
+serve --obs-port``) the same dashboard additionally renders a fleet
+panel -- one row per worker (pid, status, sessions, resident /
+spilled / evictions, restarts, firing alerts) plus migration and
+session-loss counters -- because the router's ``/healthz`` carries a
+``workers`` list.  Single-process servers never report that field, so
+the panel simply does not render; every other section works
+identically against either endpoint.
+
 Rates are computed client-side from counter deltas between polls, so
 the server needs no extra bookkeeping for the dashboard.  ``--once``
 prints a single plain snapshot (no screen control, no second poll) --
@@ -115,6 +124,26 @@ def render_dashboard(base_url: str, health: dict, slo: dict, slow: dict,
                  f"hits {health.get('hits_served', 0):,}"
                  + (f"   hit-rate {hit_rate * 100:.1f}%"
                     if hit_rate is not None else ""))
+    # Fleet summary: only a cluster router's aggregated endpoint
+    # reports per-worker rows -- single servers never will.
+    workers = health.get("workers") or []
+    if workers:
+        lines.append(
+            f"cluster  {sum(1 for w in workers if w.get('alive'))}/"
+            f"{len(workers)} workers up   "
+            f"migrations {health.get('migrations_total', 0)}   "
+            f"lost {health.get('sessions_lost_total', 0)}   "
+            f"parked {health.get('sessions_parked', 0)}")
+        lines.append("  worker      pid   state  sessions  resident  "
+                     "spilled  evict  restarts  alerts")
+        for w in workers:
+            state = w.get("status", "?") if w.get("alive") else "down"
+            lines.append(
+                f"  {w.get('worker', '?'):>6}  {w.get('pid', 0):>7}  "
+                f"{state:>6}  {w.get('sessions', 0):>8}  "
+                f"{w.get('resident', 0):>8}  {w.get('spilled', 0):>7}  "
+                f"{w.get('evictions', 0):>5}  {w.get('restarts', 0):>8}  "
+                f"{','.join(w.get('alerts', [])) or '-'}")
     # Durable-state summary: only servers running with --state-dir
     # report these fields (older servers never will -- stay quiet).
     if "sessions_resident" in health:

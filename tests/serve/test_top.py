@@ -147,6 +147,34 @@ class TestRenderDashboard:
                       if line.strip().startswith(("0 ", "1 "))]
         assert all("2" in row for row in shard_rows)
 
+    def test_cluster_panel_renders_worker_rows(self):
+        # A cluster router's aggregated /healthz carries per-worker
+        # rows; the dashboard grows a fleet panel for them.
+        health = dict(self.HEALTH, cluster=True, migrations_total=3,
+                      sessions_lost_total=0, sessions_parked=1,
+                      workers=[
+                          {"worker": 0, "pid": 101, "alive": True,
+                           "status": "ok", "sessions": 2, "resident": 2,
+                           "spilled": 0, "evictions": 0, "restarts": 0,
+                           "alerts": []},
+                          {"worker": 1, "pid": 0, "alive": False,
+                           "sessions": 0, "restarts": 1,
+                           "alerts": ["w1:worker_down"]},
+                      ])
+        frame = render_dashboard("http://h:1", health, self.SLO,
+                                 self.SLOW)
+        assert "cluster  1/2 workers up" in frame
+        assert "migrations 3" in frame
+        assert "parked 1" in frame
+        assert "down" in frame  # the dead worker's state column
+        assert "w1:worker_down" in frame
+
+    def test_single_server_has_no_cluster_panel(self):
+        frame = render_dashboard("http://h:1", self.HEALTH, self.SLO,
+                                 self.SLOW)
+        assert "cluster" not in frame
+        assert "workers up" not in frame
+
 
 class TestRunTop:
     def test_once_against_live_server(self):
