@@ -90,8 +90,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("workloads", help="list the benchmark suite")
 
-    trace = sub.add_parser("trace", help="capture a value trace")
-    trace.add_argument("name", help="workload name (see 'workloads')")
+    trace = sub.add_parser(
+        "trace",
+        help="capture a value trace, or (--from) look up a request "
+             "trace on a serve/cluster obs endpoint")
+    trace.add_argument("name",
+                       help="workload name (see 'workloads'), or with "
+                            "--from a 16-hex-digit request trace id")
     trace.add_argument("--limit", type=int, default=100_000,
                        help="predictions to capture (default 100000)")
     trace.add_argument("--out", help="write the trace to this .npz file")
@@ -99,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print the first N (pc, value) records")
     trace.add_argument("-O", "--optimize", type=int, default=0,
                        choices=[0, 1, 2], help="compiler optimisation level")
+    trace.add_argument("--from", dest="from_target", metavar="OBS",
+                       default=None,
+                       help="distributed-trace mode: fetch /trace/<id> "
+                            "from this obs endpoint (router or worker; "
+                            "base URL or bare port on 127.0.0.1) and "
+                            "render the cross-process timeline")
+    trace.add_argument("--json", action="store_true",
+                       help="print the raw trace JSON (--from mode)")
+    trace.add_argument("--timeout", type=float, default=5.0,
+                       help="HTTP timeout (default 5s; --from mode)")
 
     run = sub.add_parser("run", help="run a paper experiment")
     run.add_argument("experiment", help="experiment id, or 'list'")
@@ -425,6 +440,51 @@ def build_parser() -> argparse.ArgumentParser:
     cstatus.add_argument("--timeout", type=float, default=5.0,
                          help="HTTP timeout (default 5s)")
 
+    soak = sub.add_parser(
+        "soak", help="sustained cluster soak gated on multi-window "
+                     "SLO burn (self-hosts a fleet)")
+    soak.add_argument("name", help="workload name (see 'workloads')")
+    soak.add_argument("--workers", type=int, default=2,
+                      help="fleet size (default 2)")
+    soak.add_argument("--sessions", type=int, default=4,
+                      help="concurrent replay sessions (default 4)")
+    soak.add_argument("--duration-s", type=float, default=60.0,
+                      help="wall-clock soak duration (default 60)")
+    soak.add_argument("--predictor", default="dfcm",
+                      choices=["lvp", "lastn", "stride", "stride2d",
+                               "fcm", "dfcm"])
+    soak.add_argument("--l1", type=int, default=16,
+                      help="log2 level-1 entries")
+    soak.add_argument("--l2", type=int, default=12,
+                      help="log2 level-2 entries")
+    soak.add_argument("--limit", type=int, default=2000,
+                      help="records per replay pass (default 2000)")
+    soak.add_argument("--window", type=int, default=0,
+                      help="delayed-update window (default 0)")
+    soak.add_argument("--block", type=int, default=256,
+                      help="records per STEP_BLOCK frame (default 256)")
+    soak.add_argument("--state-dir", default=None,
+                      help="shared state directory for the fleet")
+    soak.add_argument("--max-burn", type=float, default=2.0,
+                      help="fail when the sustained SLO burn rate "
+                           "reaches this (default 2.0, the alerting "
+                           "threshold)")
+    soak.add_argument("--poll-interval-s", type=float, default=2.0,
+                      help="telemetry sampling interval (default 2s)")
+    soak.add_argument("--json", action="store_true",
+                      help="print the full report JSON")
+    soak.add_argument("--out", default=None,
+                      help="also write the report JSON to this file")
+    soak.add_argument("--trace-out", metavar="FILE", default=None,
+                      help="write the router's trace-store dump (the "
+                           "most recent cross-process spans) to FILE")
+    soak.add_argument("--history", metavar="FILE", default=None,
+                      help="append the soak record to this bench "
+                           "history JSONL")
+    soak.add_argument("--ci", action="store_true",
+                      help="bounded CI profile: clamps --duration-s to "
+                           "90 and --limit to 2000")
+
     top = sub.add_parser(
         "top", help="live dashboard over a serve --obs-port endpoint")
     top.add_argument("target",
@@ -455,7 +515,39 @@ def _cmd_workloads(args, out) -> int:
     return 0
 
 
+def _normalize_obs_target(target: str) -> str:
+    """``8900`` -> ``http://127.0.0.1:8900``; ``host:port`` gains a
+    scheme; full URLs pass through."""
+    if target.isdigit():
+        return f"http://127.0.0.1:{target}"
+    if "://" not in target:
+        return f"http://{target}"
+    return target
+
+
+def _trace_lookup(args, out) -> int:
+    """``repro trace <id> --from <obs>``: render one request's
+    cross-process timeline from a worker's or the router's trace
+    store."""
+    import urllib.request
+
+    from repro.serve.tracing import (format_trace_id, parse_trace_id,
+                                     render_trace_report)
+    trace_id = parse_trace_id(args.name)
+    target = _normalize_obs_target(args.from_target)
+    url = f"{target}/trace/{format_trace_id(trace_id)}"
+    with urllib.request.urlopen(url, timeout=args.timeout) as response:
+        report = json.loads(response.read().decode("utf-8"))
+    if args.json:
+        out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(render_trace_report(report))
+    return 0 if report.get("found") else 1
+
+
 def _cmd_trace(args, out) -> int:
+    if args.from_target is not None:
+        return _trace_lookup(args, out)
     from repro.trace.capture import capture_trace
     trace = capture_trace(args.name, limit=args.limit,
                           optimize=args.optimize)
@@ -1122,6 +1214,46 @@ def _cluster_serve(args, out) -> int:
     return 0
 
 
+def _cmd_soak(args, out) -> int:
+    from repro.core.spec import spec_from_cli
+    from repro.serve.cluster.soak import render_soak, run_soak
+    from repro.trace.cache import cached_trace
+
+    duration = args.duration_s
+    limit = args.limit
+    if args.ci:
+        duration = min(duration, 90.0)
+        limit = min(limit, 2000)
+    spec = spec_from_cli(args.predictor, 1 << args.l1, 1 << args.l2)
+    trace = cached_trace(args.name, limit)
+    report = run_soak(
+        spec, trace, workers=args.workers, sessions=args.sessions,
+        duration_s=duration, window=args.window, block=args.block,
+        state_dir=args.state_dir, max_burn=args.max_burn,
+        poll_interval_s=args.poll_interval_s)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if args.trace_out:
+        with open(args.trace_out, "w") as handle:
+            json.dump(report["trace_dump"], handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+    if args.history:
+        from repro.harness.bench import append_soak_history
+        append_soak_history(report, args.history)
+    if args.json:
+        out.write(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    else:
+        out.write(render_soak(report))
+        if args.history:
+            out.write(f"history: appended to {args.history}\n")
+        if args.trace_out:
+            out.write(f"trace dump: {args.trace_out}\n")
+    return 0 if report["soak_ok"] else 1
+
+
 def _cmd_top(args, out) -> int:
     from repro.serve.top import run_top
     target = args.target
@@ -1151,6 +1283,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
     "cluster": _cmd_cluster,
+    "soak": _cmd_soak,
     "top": _cmd_top,
 }
 

@@ -32,6 +32,7 @@ __all__ = ["MIN_SPEEDUP", "MAX_REGRESSION_PCT", "bench_specs",
            "resolve_min_speedup", "resolve_max_regression_pct", "run_bench",
            "render_bench", "write_report", "history_entry", "append_history",
            "cluster_history_entry", "append_cluster_history",
+           "soak_history_entry", "append_soak_history",
            "read_history", "diff_history", "render_history_diff"]
 
 #: Default full-mode guard: flagship DFCM batch replay vs the scalar
@@ -373,6 +374,42 @@ def append_cluster_history(report: dict,
     """Append a scaling-loadgen report's history record; returns the
     entry written."""
     entry = cluster_history_entry(report)
+    with open(path, "a") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def soak_history_entry(report: dict) -> dict:
+    """One ``kind: cluster_soak`` history record from a
+    :func:`repro.serve.cluster.soak.run_soak` report -- the sustained
+    throughput, tail latency and SLO-burn verdict of one soak run.
+    ``repro bench diff`` ignores the kind today (soaks gate themselves
+    pass/fail); the record is the longitudinal trail."""
+    return {
+        "schema": HISTORY_SCHEMA,
+        "kind": "cluster_soak",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": _bench_git_sha(),
+        "trace": report.get("trace"),
+        "spec": report.get("spec"),
+        "workers": report.get("workers"),
+        "sessions": report.get("sessions"),
+        "seconds": report.get("seconds"),
+        "passes": report.get("passes"),
+        "records_per_s": report.get("records_per_s"),
+        "p99_ms": report.get("latency", {}).get("p99_ms"),
+        "peak_burn": report.get("peak_burn"),
+        "parity_ok": report.get("parity_ok"),
+        "slo_ok": report.get("slo_ok"),
+        "soak_ok": report.get("soak_ok"),
+    }
+
+
+def append_soak_history(report: dict,
+                        path: str = "BENCH_history.jsonl") -> dict:
+    """Append a soak report's history record; returns the entry
+    written."""
+    entry = soak_history_entry(report)
     with open(path, "a") as handle:
         handle.write(json.dumps(entry, sort_keys=True) + "\n")
     return entry

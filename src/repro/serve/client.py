@@ -6,10 +6,14 @@ any scripting caller wants.  One request is one round trip; the
 pipelined (many requests in flight) path lives in
 :mod:`repro.serve.loadgen`, built on the same frame helpers.
 
-The client speaks protocol version 2 by default: every request
-carries a fresh 64-bit trace id (the last one sent is kept in
+The client speaks protocol version 2 by default: every logical
+request carries a 64-bit trace id, allocated once in
+:meth:`ServeClient.request` and pinned across transparent-reconnect
+re-sends, so a request that survives a server restart stays a single
+trace (the last id used is kept in
 :attr:`ServeClient.last_trace_id` so callers can correlate their
-request with server-side spans and the slow-request sample).  Talking
+request with server-side spans, ``/trace/<id>`` lookups and the
+slow-request sample).  Talking
 to an older, version-1-only server is transparent: the first request
 comes back rejected, the client re-connects speaking version 1 --
 without trace ids -- and retries.  Pin ``version=1`` to skip the
@@ -114,7 +118,14 @@ class ServeClient:
         reconnect: a torn connection re-dials with bounded exponential
         backoff and re-sends the request, up to :attr:`reconnect`
         times per request.
+
+        The trace id is allocated once per *logical* request, here,
+        and pinned across every re-send: a request that survives a
+        reconnect stays one trace end to end, so server-side spans and
+        slow samples from before and after the tear correlate.
         """
+        trace_id = (new_trace_id()
+                    if self.protocol_version >= 2 else 0)
         failures = 0
         while True:
             if self.sock is None:
@@ -137,7 +148,7 @@ class ServeClient:
                 # one clause covers every transport failure.  Protocol
                 # violations (ProtocolError) and server-side errors
                 # (ServeError) are never retried.
-                return self._request_once(frame_type, body)
+                return self._request_once(frame_type, body, trace_id)
             except OSError:
                 failures += 1
                 if failures > self.reconnect:
@@ -146,14 +157,15 @@ class ServeClient:
                 self.close()
                 self.sock = None
 
-    def _request_once(self, frame_type: int, body: bytes) -> protocol.Frame:
-        request_id = self.send(frame_type, body)
+    def _request_once(self, frame_type: int, body: bytes,
+                      trace_id: Optional[int] = None) -> protocol.Frame:
+        request_id = self.send(frame_type, body, trace_id)
         try:
             frame = self.recv()
         except ServeError as exc:
             if self._should_downgrade(exc):
                 self._downgrade()
-                return self._request_once(frame_type, body)
+                return self._request_once(frame_type, body, trace_id)
             raise
         self._negotiated = True
         if frame is None:
@@ -183,11 +195,18 @@ class ServeClient:
         self._negotiated = True
         self.sock = self._connect()
 
-    def send(self, frame_type: int, body: bytes) -> int:
-        """Fire one request frame without waiting; returns its id."""
+    def send(self, frame_type: int, body: bytes,
+             trace_id: Optional[int] = None) -> int:
+        """Fire one request frame without waiting; returns its id.
+
+        Pass *trace_id* to pin one (the retry path does, so a re-sent
+        frame keeps its original id); omit it for a fresh one."""
         request_id = next(self._request_ids)
-        trace_id = (new_trace_id()
-                    if self.protocol_version >= 2 else 0)
+        if trace_id is None:
+            trace_id = (new_trace_id()
+                        if self.protocol_version >= 2 else 0)
+        if self.protocol_version < 2:
+            trace_id = 0  # v1 frames have no trace-id slot
         self.last_trace_id = trace_id
         self.sock.sendall(protocol.encode_frame(
             frame_type, request_id, body,

@@ -61,6 +61,9 @@ from repro.serve.cluster.aggregate import (http_get, http_get_json,
 from repro.serve.cluster.ring import RendezvousRing
 from repro.serve.cluster.supervisor import ClusterSupervisor
 from repro.serve.obs import ObservabilityServer
+from repro.serve.tracing import (RouterTrace, SlowRequestSampler,
+                                 TraceStore, format_trace_id,
+                                 new_trace_id, parse_trace_id)
 from repro.telemetry.registry import registry
 
 __all__ = ["Router", "ClusterThread", "ClusterControlError"]
@@ -155,7 +158,7 @@ class _Entry:
 
     __slots__ = ("payload", "conn", "future", "frame_type", "session_id",
                  "client_request_id", "respond_open", "kind", "records",
-                 "brid", "version", "trace_id", "t_recv")
+                 "brid", "version", "trace_id", "t_recv", "trace")
 
     def __init__(self, payload, conn, future, frame_type, version,
                  trace_id, client_request_id, session_id=0,
@@ -173,6 +176,9 @@ class _Entry:
         self.records = records
         self.brid = 0
         self.t_recv = time.monotonic()
+        #: Router-side stage stamps; None for router-internal control
+        #: frames and synthesized error slots (client frames only).
+        self.trace: Optional[RouterTrace] = None
 
 
 class _ClientConn:
@@ -219,7 +225,9 @@ class Router:
                  auto_restart: bool = True,
                  tick_interval: float = 0.5,
                  adopt_retries: int = 20,
-                 adopt_retry_delay: float = 0.05):
+                 adopt_retry_delay: float = 0.05,
+                 slow_k: int = 32,
+                 trace_capacity: int = 4096):
         self.supervisor = supervisor
         self.host = host
         self.port = port
@@ -249,6 +257,11 @@ class Router:
         self._stopping = False
         self._started_at = 0.0
         self._latencies: deque = deque(maxlen=4096)
+        # Router-side tracing: client-experienced slow sample plus the
+        # bounded span store behind /trace (same machinery the workers
+        # run, keyed by the same u64 trace ids).
+        self.slow_sampler = SlowRequestSampler(slow_k)
+        self.trace_store = TraceStore(trace_capacity)
         # Counters mirrored as plain ints for JSON reports.
         self.frames_proxied = 0
         self.records_proxied = 0
@@ -429,6 +442,13 @@ class Router:
         self.metrics.frames.inc(type=_type_name(ftype))
         entry = _Entry(payload, conn, self._loop.create_future(), ftype,
                        version, trace_id, rid)
+        # Stage-stamp every client frame under the client's trace id
+        # (v1 frames have none; a router-assigned id still records the
+        # router-side timeline, it just won't match the worker's).
+        entry.trace = RouterTrace(
+            trace_id=trace_id or new_trace_id(),
+            frame_type=_type_name(ftype), request_id=rid,
+            version=version, t_recv=entry.t_recv)
         conn.responses.put_nowait(entry)
 
         if ftype == protocol.FrameType.OPEN_SESSION:
@@ -458,6 +478,7 @@ class Router:
                 trace_id))
             return True
         entry.session_id = sid
+        entry.trace.session_id = sid
         if ftype == protocol.FrameType.CLOSE_SESSION:
             entry.kind = "close"
         elif ftype == protocol.FrameType.STEP:
@@ -465,7 +486,9 @@ class Router:
         elif ftype == protocol.FrameType.STEP_BLOCK:
             if len(payload) >= body_off + 12:
                 entry.records = _U32.unpack_from(payload, body_off + 8)[0]
+        entry.trace.records = entry.records
         if sid in self._parked:
+            entry.trace.on_park(time.monotonic())
             self._parked[sid].append(entry)
             return True
         owner = self._sessions.get(sid)
@@ -495,6 +518,7 @@ class Router:
         rewritten[body_off + _U64.size:] = payload[body_off:]
         entry.payload = rewritten
         entry.session_id = gid
+        entry.trace.session_id = gid
         entry.respond_open = True
         entry.kind = "open"
         try:
@@ -540,11 +564,19 @@ class Router:
                 await conn.writer.drain()
             except (ConnectionError, OSError):
                 return
-            latency = time.monotonic() - entry.t_recv
+            now = time.monotonic()
+            latency = now - entry.t_recv
             self.metrics.request_seconds.observe(
                 latency, type=_type_name(entry.frame_type))
             if entry.frame_type in _DATA_TYPES:
-                self._latencies.append((time.monotonic(), latency))
+                self._latencies.append((now, latency))
+            if entry.trace is not None:
+                # The router's span is complete: client-experienced
+                # latency plus every stage between accept and drain.
+                entry.trace.t_done = now
+                self.trace_store.put(entry.trace.trace_id,
+                                     entry.trace.to_dict())
+                self.slow_sampler.add(entry.trace)
 
     # ------------------------------------------------------ backend side
 
@@ -572,6 +604,10 @@ class Router:
         rtype = payload[1]
         body_off = 14 if payload[0] >= 2 else 6
         is_error = rtype == protocol.FrameType.ERROR
+        if entry.trace is not None:
+            entry.trace.t_replied = time.monotonic()
+            if is_error:
+                entry.trace.status = "error"
         _U32.pack_into(payload, 2, entry.client_request_id)
         if entry.respond_open and not is_error:
             payload[1] = (protocol.FrameType.OPEN_SESSION
@@ -609,6 +645,8 @@ class Router:
         brid = self._next_brid & 0xFFFFFFFF
         self._next_brid += 1
         entry.brid = brid
+        if entry.trace is not None:
+            entry.trace.on_forward(backend.index, time.monotonic())
         _U32.pack_into(entry.payload, 2, brid)
         backend.pending[brid] = entry
         backend.writer.write(_LEN.pack(len(entry.payload)))
@@ -838,6 +876,8 @@ class Router:
             entry = entries.pop(0)
             if entry.future.done():
                 continue
+            if entry.trace is not None and entry.trace.t_parked is not None:
+                entry.trace.on_unpark(time.monotonic())
             owner = self._sessions.get(session_id)
             if owner is None:
                 self._fail_entry(
@@ -911,6 +951,11 @@ class Router:
     def _error_frame(self, entry: _Entry, code: int,
                      message: str) -> bytes:
         self.metrics.errors.inc(code=_code_name(code))
+        if entry.trace is not None:
+            entry.trace.status = ("timeout"
+                                  if code == protocol.ErrorCode.TIMEOUT
+                                  else "error")
+            entry.trace.error = message
         return _bare_frame(protocol.FrameType.ERROR,
                            entry.client_request_id,
                            protocol.encode_error(code, message),
@@ -1094,21 +1139,164 @@ class Router:
         }
 
     async def fleet_slow(self, max_entries: int = 32) -> dict:
-        """Aggregated ``/slow``: the fleet's slowest requests."""
+        """Aggregated ``/slow``: the fleet's slowest requests as the
+        *client* experienced them.
+
+        The router's own sampler ranks by client-observed latency
+        (accept to response drain), so queue/park/proxy time at the
+        router counts; each entry is joined with the matching
+        worker-side sample by trace id (``worker_spans``), giving the
+        full cross-process timeline.  Worker-sampled requests the
+        router's top-K missed ride along behind, upgraded with the
+        router span from the trace store when it is still retained.
+        """
         scraped = await self._scrape_workers("/slow")
-        slowest = []
-        observed = 0
+        worker_entries: Dict[str, List[dict]] = {}
+        worker_observed = 0
         for index, report in scraped:
             if report is None:
                 continue
-            observed += report.get("observed", 0)
+            worker_observed += report.get("observed", 0)
             for entry in report.get("slowest", []):
-                entry = dict(entry)
-                entry["worker"] = index
-                slowest.append(entry)
-        slowest.sort(key=lambda e: e.get("latency_ms", 0), reverse=True)
-        return {"schema": 1, "cluster": True, "observed": observed,
+                entry = dict(entry, worker=index, source="worker")
+                worker_entries.setdefault(
+                    entry.get("trace_id", ""), []).append(entry)
+        router_snap = self.slow_sampler.snapshot()
+        slowest = []
+        joined = set()
+        for entry in router_snap["slowest"]:
+            entry = dict(entry)
+            spans = worker_entries.get(entry.get("trace_id", ""))
+            if spans:
+                joined.add(entry["trace_id"])
+                entry["worker_spans"] = spans
+            slowest.append(entry)
+        for trace_id, spans in worker_entries.items():
+            if trace_id in joined:
+                continue
+            for span in spans:
+                span = dict(span)
+                try:
+                    router_spans = self.trace_store.get(
+                        parse_trace_id(trace_id))
+                except ValueError:
+                    router_spans = []
+                if router_spans:
+                    span["router"] = router_spans[-1]
+                    span["client_latency_ms"] = \
+                        router_spans[-1].get("latency_ms")
+                slowest.append(span)
+        slowest.sort(
+            key=lambda e: e.get("client_latency_ms")
+            or e.get("latency_ms", 0), reverse=True)
+        return {"schema": 2, "cluster": True,
+                "observed": router_snap["observed"],
+                "worker_observed": worker_observed,
                 "slowest": slowest[:max_entries]}
+
+    async def fleet_trace(self, trace_id: int) -> dict:
+        """The cluster ``/trace/<id>`` body: the router's span(s) for
+        one trace id merged with every worker's, ordered router first
+        and then workers in hop order -- a request that traversed two
+        workers (mid-flight failover, migration) reads as one timeline.
+        """
+        hex_id = format_trace_id(trace_id)
+        router_spans = self.trace_store.get(trace_id)
+        scraped = await self._scrape_workers(f"/trace/{hex_id}")
+        worker_spans = []
+        for index, report in scraped:
+            if report is None:
+                continue
+            for span in report.get("spans", []):
+                worker_spans.append(dict(span, worker=index))
+        hop_order: Dict[int, int] = {}
+        for span in router_spans:
+            for position, worker in enumerate(span.get("workers", [])):
+                hop_order.setdefault(worker, position)
+        worker_spans.sort(key=lambda s: (
+            hop_order.get(s["worker"], 1 << 30), s["worker"]))
+        spans = router_spans + worker_spans
+        return {"schema": 1, "cluster": True, "trace_id": hex_id,
+                "found": bool(spans), "spans": spans}
+
+    def trace_dump(self, limit: Optional[int] = None) -> dict:
+        """The router's own ``/trace`` body (router-side spans only;
+        per-id lookups fan out to the workers, the dump does not)."""
+        return dict(self.trace_store.dump(limit), cluster=True)
+
+    async def scale_report(self) -> dict:
+        """The ``/scale`` body: autoscaling signals shaped like a
+        Kubernetes custom-metrics API ``MetricValueList``.
+
+        Signals: average sessions per live worker, p99 data-frame
+        latency over the router's 60s window (client-experienced),
+        the deepest shard queue across the fleet, and the worst
+        *sustained* SLO burn (min of the fast and slow windows, so a
+        single spike does not scale the fleet, matching the
+        multi-window alert rule).  ``signals`` carries the raw floats
+        for humans and the soak harness; ``items`` is what a metrics
+        adapter (e.g. prometheus-adapter) serves to the HPA --
+        see deploy/k8s.yaml and deploy/README.md.
+        """
+        scraped_health = await self._scrape_workers("/healthz")
+        scraped_slo = await self._scrape_workers("/slo")
+        workers_alive = sum(1 for b in self._backends.values() if b.alive)
+        sessions_per_worker = (len(self._sessions)
+                               / max(1, workers_alive))
+        queue_depth = 0
+        for _, health in scraped_health:
+            if health is None:
+                continue
+            for shard in health.get("shards", []):
+                queue_depth = max(queue_depth,
+                                  shard.get("queue_depth", 0))
+        burn = 0.0
+        alerting = []
+        for index, report in scraped_slo:
+            if report is None:
+                continue
+            for status in report.get("slos", []):
+                sustained = min(status.get("fast_burn", 0.0),
+                                status.get("slow_burn", 0.0))
+                if sustained > burn:
+                    burn = sustained
+                if status.get("alerting"):
+                    alerting.append(
+                        f"w{index}:{status.get('name', '?')}")
+        horizon = time.monotonic() - 60.0
+        window = sorted(lat for t, lat in self._latencies
+                        if t >= horizon)
+        if window:
+            from repro.serve.loadgen import percentile
+            p99_ms = round(percentile(window, 99) * 1e3, 4)
+        else:
+            p99_ms = 0.0
+        signals = {
+            "sessions_per_worker": round(sessions_per_worker, 4),
+            "step_latency_p99_ms": p99_ms,
+            "queue_depth": queue_depth,
+            "slo_burn_rate": round(burn, 4),
+        }
+        timestamp = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        items = [{
+            "describedObject": {"kind": "Service", "apiVersion": "v1",
+                                "name": "repro-serve"},
+            "metric": {"name": f"repro_{name}"},
+            "timestamp": timestamp,
+            "windowSeconds": 60,
+            "value": _quantity(value),
+        } for name, value in signals.items()]
+        return {
+            "kind": "MetricValueList",
+            "apiVersion": "custom.metrics.k8s.io/v1beta2",
+            "metadata": {},
+            "items": items,
+            "signals": signals,
+            "workers_alive": workers_alive,
+            "sessions_open": len(self._sessions),
+            "sessions_parked": len(self._parked),
+            "alerts": sorted(alerting),
+        }
 
     async def fleet_tables(self) -> dict:
         """Aggregated ``/tables``: per-worker shard rows (relabelled
@@ -1188,13 +1376,29 @@ class _ClusterObs(ObservabilityServer):
             return _json_async(router.fleet_slow())
         if path == "/tables":
             return _json_async(router.fleet_tables())
+        if path == "/scale":
+            return _json_async(router.scale_report())
+        if path == "/trace":
+            values = query.get("limit")
+            try:
+                limit = int(values[0]) if values else None
+            except ValueError:
+                limit = None
+            return _json(router.trace_dump(limit))
+        if path.startswith("/trace/"):
+            try:
+                trace_id = parse_trace_id(path[len("/trace/"):])
+            except ValueError as exc:
+                return ("400 Bad Request", "text/plain; charset=utf-8",
+                        f"{exc}\n".encode("utf-8"))
+            return _json_async(router.fleet_trace(trace_id))
         if path == "/cluster":
             return _json(router.cluster_report())
         if path == "/":
             return _json({
                 "service": "repro-serve-cluster",
                 "endpoints": ["/metrics", "/healthz", "/slo", "/slow",
-                              "/tables", "/cluster"],
+                              "/tables", "/trace", "/scale", "/cluster"],
             })
         return ("404 Not Found", "text/plain; charset=utf-8",
                 f"no route {path}\n".encode("utf-8"))
@@ -1350,6 +1554,13 @@ def _latency_percentiles(window: List[float]) -> dict:
         "p99_ms": round(percentile(ordered, 99) * 1e3, 4),
         "max_ms": round(ordered[-1] * 1e3, 4),
     }
+
+
+def _quantity(value: float) -> str:
+    """A Kubernetes resource.Quantity in milli-units (``"1500m"`` ==
+    1.5): the custom-metrics API has no float type, this is its
+    convention for fractional metric values."""
+    return f"{int(round(float(value) * 1000))}m"
 
 
 def _type_name(frame_type: int) -> str:

@@ -23,6 +23,12 @@ compete with the binary protocol for a listener.  Routes:
     rates plus live latency percentiles.
 ``/slow``
     The top-K slowest-request sample with per-stage span breakdowns.
+``/trace`` and ``/trace/<id>``
+    The bounded in-process trace store: the most recent completed
+    request spans (``?limit=N``), or every span recorded for one
+    16-hex-digit trace id.  The cluster router serves the same routes
+    fleet-wide (its ``/trace/<id>`` merges the router's own span with
+    the worker spans into one ordered cross-process timeline).
 ``/tables``
     Live table-usage report: per-shard (and per-session) occupancy,
     live bits, hits per live bit, and level-1 aliasing ratios from the
@@ -41,6 +47,7 @@ import json
 from typing import Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.serve.tracing import parse_trace_id
 from repro.telemetry.live import live_prometheus_text
 
 __all__ = ["ObservabilityServer"]
@@ -138,11 +145,19 @@ class ObservabilityServer:
             return _json(self.server.slow_requests())
         if path == "/tables":
             return _json(self.server.tables_report())
+        if path == "/trace":
+            return _json(self.server.trace_dump(_int(query, "limit")))
+        if path.startswith("/trace/"):
+            try:
+                trace_id = parse_trace_id(path[len("/trace/"):])
+            except ValueError as exc:
+                return _text("400 Bad Request", f"{exc}\n")
+            return _json(self.server.trace_lookup(trace_id))
         if path == "/":
             return _json({
                 "service": "repro-serve",
                 "endpoints": ["/metrics", "/healthz", "/slo", "/slow",
-                              "/tables"],
+                              "/tables", "/trace"],
             })
         return _text("404 Not Found", f"no route {path}\n")
 
@@ -155,6 +170,16 @@ def _first(query: dict, key: str) -> Optional[str]:
 def _flag(query: dict, key: str) -> bool:
     value = _first(query, key)
     return value not in (None, "", "0", "false", "no")
+
+
+def _int(query: dict, key: str) -> Optional[int]:
+    value = _first(query, key)
+    if value is None:
+        return None
+    try:
+        return int(value)
+    except ValueError:
+        return None
 
 
 def _json(payload: dict) -> Tuple[str, str, bytes]:

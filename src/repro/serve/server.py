@@ -70,7 +70,7 @@ from repro.serve.batcher import MicroBatcher, WorkItem
 from repro.serve.obs import ObservabilityServer
 from repro.serve.session import Session
 from repro.serve.tracing import (RequestTrace, SlowRequestSampler,
-                                 new_trace_id)
+                                 TraceStore, new_trace_id)
 from repro.telemetry import run as telemetry_run_module
 from repro.telemetry.registry import registry
 from repro.telemetry.slo import SLO, SLOMonitor, default_serve_slos
@@ -251,6 +251,7 @@ class PredictionServer:
                  slos: Optional[List[SLO]] = None,
                  slo_interval: float = 0.25,
                  slow_k: int = 32,
+                 trace_capacity: int = 4096,
                  state_dir: Optional[str] = None,
                  max_resident: Optional[int] = None,
                  adopt_arenas: bool = True):
@@ -301,6 +302,7 @@ class PredictionServer:
         self._started_at = 0.0
         # Observability: slow-request sample, SLO monitor, HTTP endpoint.
         self.slow_sampler = SlowRequestSampler(slow_k)
+        self.trace_store = TraceStore(trace_capacity)
         slo_list = default_serve_slos() if slos is None else list(slos)
         self.monitor = SLOMonitor(slo_list) if slo_list else None
         watched = self.monitor.slos if self.monitor is not None else []
@@ -486,6 +488,8 @@ class PredictionServer:
         self.metrics.request_seconds.observe(
             latency, exemplar=trace.trace_id_hex, type=trace.frame_type)
         self.slow_sampler.add(trace)
+        self.trace_store.put(trace.trace_id,
+                             dict(trace.to_dict(), source="worker"))
         if trace.frame_type in _DATA_TYPES:
             self._latencies.append((trace.t_done, latency))
             if self.monitor is not None:
@@ -573,6 +577,16 @@ class PredictionServer:
     def slow_requests(self) -> dict:
         """The ``/slow`` body: top-K slowest completed requests."""
         return self.slow_sampler.snapshot()
+
+    def trace_lookup(self, trace_id: int) -> dict:
+        """The ``/trace/<id>`` body: this process's span(s) for one
+        trace id (a request that revisited this worker after a client
+        reconnect has several)."""
+        return self.trace_store.lookup(trace_id)
+
+    def trace_dump(self, limit: Optional[int] = None) -> dict:
+        """The ``/trace`` body: the most recent completed spans."""
+        return self.trace_store.dump(limit)
 
     def tables_report(self, include_sessions: bool = True) -> dict:
         """The ``/tables`` body: live table usage per shard and pooled.

@@ -1,0 +1,106 @@
+"""Prometheus merge/relabel edge cases (`cluster/aggregate.py`).
+
+The fleet `/metrics` endpoint is only trustworthy if the merger
+survives the awkward expositions real workers emit: samples that
+already carry labels, label values containing escapes, and several
+workers declaring the same family with drifting HELP text.
+"""
+
+from repro.serve.cluster.aggregate import (inject_labels,
+                                           merge_prometheus_texts)
+
+
+class TestInjectLabels:
+    def test_bare_sample_gains_a_label_block(self):
+        assert inject_labels("up 1", {"worker": "0"}) == \
+            'up{worker="0"} 1'
+
+    def test_spliced_into_existing_labels(self):
+        line = 'requests_total{type="step"} 5'
+        assert inject_labels(line, {"worker": "2"}) == \
+            'requests_total{worker="2",type="step"} 5'
+
+    def test_multiple_labels_in_order(self):
+        assert inject_labels("up 1", {"a": "1", "b": "2"}) == \
+            'up{a="1",b="2"} 1'
+
+    def test_no_labels_is_identity(self):
+        assert inject_labels("up 1", {}) == "up 1"
+
+    def test_non_sample_line_passes_through(self):
+        assert inject_labels("garbage", {"worker": "0"}) == "garbage"
+
+    def test_escaped_label_values_survive(self):
+        # A pre-existing label whose value contains an escaped quote
+        # and a literal { must not confuse the splice point: the
+        # injected label lands before it, byte-for-byte preserving it.
+        line = 'errors_total{msg="bad \\"id{\\" seen"} 3'
+        out = inject_labels(line, {"worker": "1"})
+        assert out == \
+            'errors_total{worker="1",msg="bad \\"id{\\" seen"} 3'
+
+    def test_exemplar_suffix_untouched(self):
+        line = ('latency_bucket{le="0.1"} 4 # {trace_id="00ab"} 0.07')
+        out = inject_labels(line, {"worker": "0"})
+        assert out == ('latency_bucket{worker="0",le="0.1"} 4 '
+                       '# {trace_id="00ab"} 0.07')
+
+
+class TestMergePrometheusTexts:
+    def test_injects_worker_label_into_prelabeled_samples(self):
+        text = ('# HELP req_total requests\n'
+                '# TYPE req_total counter\n'
+                'req_total{type="step"} 5\n')
+        merged = merge_prometheus_texts(
+            [({"worker": "0"}, text), ({"worker": "1"}, text)])
+        assert 'req_total{worker="0",type="step"} 5' in merged
+        assert 'req_total{worker="1",type="step"} 5' in merged
+
+    def test_help_and_type_deduped_under_conflict(self):
+        old = ('# HELP up liveness\n# TYPE up gauge\nup 1\n')
+        new = ('# HELP up liveness (v2 wording)\n'
+               '# TYPE up gauge\nup 1\n')
+        merged = merge_prometheus_texts(
+            [({"worker": "0"}, old), ({"worker": "1"}, new)])
+        # First part's metadata wins, exactly once.
+        assert merged.count("# HELP up") == 1
+        assert merged.count("# TYPE up") == 1
+        assert "# HELP up liveness\n" in merged
+        assert "(v2 wording)" not in merged
+
+    def test_histogram_children_group_under_base_family(self):
+        text = ('# HELP lat seconds\n'
+                '# TYPE lat histogram\n'
+                'lat_bucket{le="+Inf"} 3\n'
+                'lat_sum 0.5\n'
+                'lat_count 3\n')
+        merged = merge_prometheus_texts(
+            [({"worker": "0"}, text), ({"worker": "1"}, text)])
+        lines = merged.splitlines()
+        # One header block, then every worker's child samples.
+        assert lines[0] == "# HELP lat seconds"
+        assert lines[1] == "# TYPE lat histogram"
+        assert len([l for l in lines if l.startswith("lat_bucket")]) == 2
+        assert merged.count("# TYPE lat histogram") == 1
+
+    def test_plain_counter_ending_in_count_stays_itself(self):
+        text = ('# HELP beans_count beans\n'
+                '# TYPE beans_count counter\n'
+                'beans_count 7\n')
+        merged = merge_prometheus_texts([(None, text)])
+        assert "# TYPE beans_count counter" in merged
+        assert "beans_count 7" in merged
+
+    def test_unlabelled_part_passes_through_verbatim(self):
+        text = "router_frames_total 12\n"
+        merged = merge_prometheus_texts([(None, text)])
+        assert "router_frames_total 12" in merged
+
+    def test_family_order_is_first_seen(self):
+        a = "alpha 1\n"
+        b = "beta 1\nalpha 2\n"
+        merged = merge_prometheus_texts([(None, a), (None, b)])
+        assert merged.index("alpha") < merged.index("beta")
+
+    def test_empty_input(self):
+        assert merge_prometheus_texts([]) == ""

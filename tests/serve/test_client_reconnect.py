@@ -119,6 +119,73 @@ class TestTransparentReconnect:
             assert client.reconnects == 0
             client.close()
 
+    def test_resent_frame_keeps_its_trace_id(self):
+        """Trace continuity across reconnect: the frame re-sent after
+        a torn connection must carry the *original* trace id, so the
+        spans it leaves on both sides of the tear stay one trace."""
+        import threading
+
+        seen = []  # (connection_index, trace_id, request_id)
+
+        def read_frame(conn):
+            prefix = b""
+            while len(prefix) < 4:
+                chunk = conn.recv(4 - len(prefix))
+                if not chunk:
+                    return None
+                prefix += chunk
+            length = protocol.read_length(prefix)
+            payload = b""
+            while len(payload) < length:
+                chunk = conn.recv(length - len(payload))
+                if not chunk:
+                    return None
+                payload += chunk
+            return protocol.decode_frame(payload)
+
+        listener = socket.socket()
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(2)
+        port = listener.getsockname()[1]
+
+        def serve():
+            # First connection: read the request, then hang up without
+            # answering (a mid-request server death).
+            conn, _ = listener.accept()
+            frame = read_frame(conn)
+            seen.append((0, frame.trace_id, frame.request_id))
+            conn.close()
+            # Second connection: the transparent retry; answer it.
+            conn, _ = listener.accept()
+            frame = read_frame(conn)
+            seen.append((1, frame.trace_id, frame.request_id))
+            conn.sendall(protocol.encode_frame(
+                frame.type | protocol.RESPONSE_BIT, frame.request_id,
+                protocol.encode_json_body({"ok": True}),
+                version=frame.version, trace_id=frame.trace_id))
+            conn.close()
+
+        server = threading.Thread(target=serve, daemon=True)
+        server.start()
+        try:
+            client = ServeClient("127.0.0.1", port, reconnect=5,
+                                 reconnect_backoff=0.01)
+            client._negotiated = True  # the fake never negotiates
+            frame = client.request(protocol.FrameType.STATS,
+                                   protocol.encode_session_op(0))
+            assert protocol.decode_json_body(frame.body) == {"ok": True}
+        finally:
+            listener.close()
+        server.join(timeout=10)
+        assert len(seen) == 2
+        (_, first_trace, first_rid), (_, retry_trace, retry_rid) = seen
+        assert first_trace != 0
+        assert retry_trace == first_trace  # pinned across the tear
+        assert retry_rid != first_rid      # but a fresh request id
+        assert client.last_trace_id == first_trace
+        assert client.reconnects == 1
+
     def test_budget_exhaustion_raises_after_n_attempts(self, monkeypatch):
         port = free_port()  # nothing listening here
         delays = []

@@ -258,6 +258,38 @@ class TestTraceVisibility:
             assert entry["latency_ms"] >= 0
             assert re.fullmatch(r"[0-9a-f]{16}", entry["trace_id"])
 
+    def test_trace_endpoint_serves_stored_spans(self):
+        with ServerThread(max_delay=0, obs_port=0) as server:
+            with ServeClient(port=server.port) as client:
+                session = client.open_session(StrideSpec(64))
+                client.step(session, 0x40, 7)
+                step_trace = format_trace_id(client.last_trace_id)
+                status, _, body = http_get(
+                    server.obs_port, f"/trace/{step_trace}")
+                assert status == 200
+                lookup = json.loads(body)
+                assert lookup["found"] is True
+                assert lookup["trace_id"] == step_trace
+                (span,) = lookup["spans"]
+                assert span["source"] == "worker"
+                assert span["type"] == "step"
+                assert {"queue", "fuse", "execute", "flush"} <= set(
+                    span["stages_ms"])
+                # The dump lists recent spans; ?limit bounds it.
+                _, _, body = http_get(server.obs_port, "/trace?limit=1")
+                dump = json.loads(body)
+                assert dump["retained"] == 1
+                assert dump["stored"] >= 2  # open_session + step
+
+    def test_trace_endpoint_unknown_id_and_bad_id(self):
+        with ServerThread(max_delay=0, obs_port=0) as server:
+            status, _, body = http_get(
+                server.obs_port, "/trace/00000000000000ff")
+            assert status == 200
+            assert json.loads(body)["found"] is False
+            status, _, _ = http_get(server.obs_port, "/trace/nope!")
+            assert status == 400
+
 
 class TestBurnRateDegrade:
     def test_latency_breach_flips_healthz_degraded(self):

@@ -2,8 +2,10 @@
 
 import pytest
 
-from repro.serve.tracing import (RequestTrace, SlowRequestSampler,
-                                 format_trace_id, new_trace_id)
+from repro.serve.tracing import (RequestTrace, RouterTrace,
+                                 SlowRequestSampler, TraceStore,
+                                 format_trace_id, new_trace_id,
+                                 parse_trace_id, render_trace_report)
 
 
 def make_trace(trace_id=1, latency=0.01, **overrides):
@@ -30,6 +32,20 @@ class TestTraceIds:
 
     def test_format_masks_to_64_bits(self):
         assert format_trace_id(1 << 64) == "0000000000000000"
+
+    def test_parse_round_trips_format(self):
+        trace_id = new_trace_id()
+        assert parse_trace_id(format_trace_id(trace_id)) == trace_id
+
+    def test_parse_accepts_hex_spellings(self):
+        assert parse_trace_id("ab") == 0xAB
+        assert parse_trace_id("0xAB") == 0xAB
+        assert parse_trace_id(" 00ab ") == 0xAB
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("", "zz", "12g4", None, "-1", "1" * 17):
+            with pytest.raises(ValueError):
+                parse_trace_id(bad)
 
 
 class TestRequestTrace:
@@ -100,3 +116,151 @@ class TestSlowRequestSampler:
         sampler = SlowRequestSampler(k=2)
         sampler.add(make_trace(latency=0.01))
         json.dumps(sampler.snapshot())
+
+    def test_accepts_router_traces(self):
+        sampler = SlowRequestSampler(k=2)
+        sampler.add(make_router_trace(latency=0.5))
+        entry = sampler.snapshot()["slowest"][0]
+        assert entry["source"] == "router"
+        assert entry["latency_ms"] == pytest.approx(500.0)
+
+
+def make_router_trace(trace_id=1, latency=0.01, **overrides):
+    trace = RouterTrace(trace_id=trace_id, frame_type="step_block",
+                        request_id=7, version=2, session_id=3,
+                        records=256, t_recv=200.0)
+    trace.on_forward(0, 200.001)
+    trace.t_replied = 200.0 + latency * 0.9
+    trace.t_done = 200.0 + latency
+    for key, value in overrides.items():
+        setattr(trace, key, value)
+    return trace
+
+
+class TestRouterTrace:
+    def test_plain_proxy_stages(self):
+        trace = make_router_trace(latency=0.010)
+        stages = trace.stages()
+        assert set(stages) == {"route", "proxy", "write"}
+        assert stages["route"] == pytest.approx(0.001)
+        assert trace.resends == 0
+        assert trace.latency_s() == pytest.approx(0.010)
+
+    def test_failover_resend_adds_migrate_wait(self):
+        trace = make_router_trace()
+        trace.on_forward(2, 200.005)
+        stages = trace.stages()
+        assert trace.resends == 1
+        assert stages["migrate_wait"] == pytest.approx(0.004)
+        # proxy is measured from the forward that actually answered.
+        assert stages["proxy"] == pytest.approx(
+            trace.t_replied - 200.005)
+
+    def test_park_and_flush_stages(self):
+        trace = RouterTrace(trace_id=9, frame_type="step",
+                            t_recv=300.0)
+        trace.on_park(300.002)
+        trace.on_park(300.003)      # re-parked: first stamp wins
+        trace.on_unpark(300.010)
+        trace.on_forward(1, 300.011)
+        trace.t_replied = 300.020
+        trace.t_done = 300.021
+        stages = trace.stages()
+        assert stages["route"] == pytest.approx(0.002)
+        assert stages["park"] == pytest.approx(0.008)
+        assert stages["flush"] == pytest.approx(0.001)
+        assert trace.parks == 2
+
+    def test_to_dict_shape(self):
+        trace = make_router_trace(trace_id=0xFF)
+        trace.on_forward(2, 200.005)
+        entry = trace.to_dict()
+        assert entry["source"] == "router"
+        assert entry["trace_id"] == format_trace_id(0xFF)
+        assert entry["workers"] == [0, 2]
+        assert entry["resends"] == 1
+        assert entry["parked"] is False
+        assert "error" not in entry
+
+    def test_to_dict_carries_error(self):
+        trace = make_router_trace(status="timeout", error="boom")
+        entry = trace.to_dict()
+        assert entry["status"] == "timeout"
+        assert entry["error"] == "boom"
+
+
+class TestTraceStore:
+    def test_put_get_round_trip(self):
+        store = TraceStore(capacity=8)
+        store.put(5, {"trace_id": "05", "latency_ms": 1.0})
+        assert store.get(5) == [{"trace_id": "05", "latency_ms": 1.0}]
+        assert store.get(6) == []
+
+    def test_multiple_spans_per_id_in_order(self):
+        store = TraceStore(capacity=8)
+        store.put(5, {"n": 1})
+        store.put(5, {"n": 2})
+        assert [s["n"] for s in store.get(5)] == [1, 2]
+
+    def test_capacity_evicts_oldest_first(self):
+        store = TraceStore(capacity=3)
+        for i in range(5):
+            store.put(i, {"n": i})
+        assert len(store) == 3
+        assert store.get(0) == [] and store.get(1) == []
+        assert store.get(4) == [{"n": 4}]
+        assert store.stored == 5
+
+    def test_eviction_drops_only_the_oldest_span_of_an_id(self):
+        store = TraceStore(capacity=2)
+        store.put(5, {"n": 1})
+        store.put(5, {"n": 2})
+        store.put(6, {"n": 3})
+        assert [s["n"] for s in store.get(5)] == [2]
+
+    def test_lookup_shape(self):
+        store = TraceStore()
+        body = store.lookup(0xAB)
+        assert body == {"schema": 1, "trace_id": format_trace_id(0xAB),
+                        "found": False, "spans": []}
+        store.put(0xAB, {"n": 1})
+        assert store.lookup(0xAB)["found"] is True
+
+    def test_dump_limit_keeps_newest(self):
+        store = TraceStore(capacity=8)
+        for i in range(5):
+            store.put(i, {"n": i})
+        dump = store.dump(limit=2)
+        assert dump["retained"] == 2
+        assert [s["n"] for s in dump["spans"]] == [3, 4]
+        assert dump["stored"] == 5
+
+    def test_get_returns_copies(self):
+        store = TraceStore()
+        store.put(1, {"n": 1})
+        store.get(1)[0]["n"] = 99
+        assert store.get(1) == [{"n": 1}]
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+
+class TestRenderTraceReport:
+    def test_not_found(self):
+        text = render_trace_report(
+            {"trace_id": "ab", "found": False, "spans": []})
+        assert "not found" in text
+
+    def test_cross_process_timeline(self):
+        router = make_router_trace(trace_id=0xAB)
+        router.on_forward(2, 200.005)
+        worker = dict(make_trace(trace_id=0xAB).to_dict(),
+                      source="worker", worker=2)
+        text = render_trace_report(
+            {"trace_id": format_trace_id(0xAB), "found": True,
+             "cluster": True, "spans": [router.to_dict(), worker]})
+        assert "2 span(s), cluster" in text
+        assert "router" in text and "worker 2" in text
+        assert "workers 0->2" in text and "resends 1" in text
+        assert "proxy" in text and "queue" in text
